@@ -1,0 +1,204 @@
+// Package audit verifies the paper's privacy claims empirically and
+// analytically: it estimates output-probability ratios of the SVT variants
+// on the paper's counterexamples (Theorems 3, 6 and 7), checks the Lemma-1
+// bound on the corrected algorithm, and reproduces the §3.3/Appendix-10.3
+// analysis of the flawed GPTT non-privacy proof.
+//
+// The Monte-Carlo half treats an algorithm as a black box: run it many
+// times on two neighboring worlds, count how often a target output vector
+// appears in each, and bound the privacy-loss ratio with Wilson confidence
+// intervals. The analytical half evaluates the paper's closed-form
+// integrals by numerical quadrature.
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dpgo/svt/internal/core"
+	"github.com/dpgo/svt/internal/rng"
+	"github.com/dpgo/svt/internal/stats"
+)
+
+// Scenario is a pair of neighboring worlds and a target output pattern for
+// a Monte-Carlo privacy audit.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// QD and QDPrime are the query-answer vectors under the two worlds;
+	// they must have equal length and differ by at most Delta per entry
+	// (the neighboring-dataset promise the audited algorithm assumes).
+	QD, QDPrime []float64
+	// Thresholds has length 1 (shared) or len(QD) (per query).
+	Thresholds []float64
+	// Target is the audited output pattern: Target[i] is whether query i
+	// should be reported above. Only indicator outputs are compared, so
+	// scenarios must use indicator-only algorithms.
+	Target []bool
+	// Build constructs a fresh instance of the audited algorithm.
+	Build func(src *rng.Source) core.Algorithm
+}
+
+// Estimate is the result of a Monte-Carlo audit.
+type Estimate struct {
+	Name   string
+	Trials int
+	// CountD / CountDPrime are how many trials produced the target output
+	// in each world; PD / PDPrime the corresponding frequencies.
+	CountD, CountDPrime int
+	PD, PDPrime         float64
+	// RatioLower is a conservative (95%) lower confidence bound on
+	// PD/PDPrime: Wilson lower bound of PD over Wilson upper bound of
+	// PDPrime. +Inf when the upper bound on PDPrime is zero.
+	RatioLower float64
+	// EmpiricalEpsilon is ln(RatioLower): the privacy loss the audit
+	// PROVES (at 95% confidence) the mechanism exceeds.
+	EmpiricalEpsilon float64
+}
+
+// Run executes the scenario for the given number of trials per world.
+func Run(s Scenario, trials int, seed uint64) (Estimate, error) {
+	if len(s.QD) == 0 || len(s.QD) != len(s.QDPrime) {
+		return Estimate{}, fmt.Errorf("audit: query vectors must be equal-length and non-empty (got %d, %d)", len(s.QD), len(s.QDPrime))
+	}
+	if len(s.Target) != len(s.QD) {
+		return Estimate{}, fmt.Errorf("audit: target length %d != query length %d", len(s.Target), len(s.QD))
+	}
+	if len(s.Thresholds) != 1 && len(s.Thresholds) != len(s.QD) {
+		return Estimate{}, fmt.Errorf("audit: thresholds must have length 1 or %d", len(s.QD))
+	}
+	if trials <= 0 {
+		return Estimate{}, fmt.Errorf("audit: trials must be positive, got %d", trials)
+	}
+	if s.Build == nil {
+		return Estimate{}, fmt.Errorf("audit: nil Build")
+	}
+	master := rng.New(seed)
+	countD := countMatches(s, s.QD, trials, master)
+	countDP := countMatches(s, s.QDPrime, trials, master)
+
+	est := Estimate{
+		Name:        s.Name,
+		Trials:      trials,
+		CountD:      countD,
+		CountDPrime: countDP,
+		PD:          float64(countD) / float64(trials),
+		PDPrime:     float64(countDP) / float64(trials),
+	}
+	loD, _ := stats.WilsonInterval(countD, trials, 0.05)
+	_, hiDP := stats.WilsonInterval(countDP, trials, 0.05)
+	switch {
+	case hiDP == 0:
+		est.RatioLower = math.Inf(1)
+	default:
+		est.RatioLower = loD / hiDP
+	}
+	est.EmpiricalEpsilon = math.Log(est.RatioLower)
+	return est, nil
+}
+
+// countMatches runs the algorithm on one world and counts target matches.
+func countMatches(s Scenario, queries []float64, trials int, master *rng.Source) int {
+	count := 0
+	for t := 0; t < trials; t++ {
+		alg := s.Build(master.Split())
+		if matchesTarget(alg, queries, s.Thresholds, s.Target) {
+			count++
+		}
+	}
+	return count
+}
+
+// matchesTarget feeds the queries and compares the indicator pattern.
+func matchesTarget(alg core.Algorithm, queries, thresholds []float64, target []bool) bool {
+	for i, q := range queries {
+		th := thresholds[0]
+		if len(thresholds) > 1 {
+			th = thresholds[i]
+		}
+		ans, ok := alg.Next(q, th)
+		if !ok {
+			// Algorithm aborted before producing the full pattern.
+			return false
+		}
+		if ans.Above != target[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Theorem3Scenario is the paper's two-query counterexample showing that
+// Algorithm 5 (Stoddard et al.) is not ε′-DP for any finite ε′: with T=0,
+// Δ=1, q(D)=⟨0,1⟩, q(D′)=⟨1,0⟩ and target ⟨⊥,⊤⟩, the output has positive
+// probability on D and zero probability on D′.
+func Theorem3Scenario(epsilon float64) Scenario {
+	return Scenario{
+		Name:       fmt.Sprintf("thm3/alg5(eps=%g)", epsilon),
+		QD:         []float64{0, 1},
+		QDPrime:    []float64{1, 0},
+		Thresholds: []float64{0},
+		Target:     []bool{false, true},
+		Build: func(src *rng.Source) core.Algorithm {
+			return core.NewAlg5(src, epsilon, 1)
+		},
+	}
+}
+
+// Theorem7Scenario is the counterexample showing Algorithm 6 (Chen et al.)
+// is not ε′-DP for any finite ε′: 2m queries with q(D)=0²ᵐ,
+// q(D′)=1ᵐ(−1)ᵐ and target ⊥ᵐ⊤ᵐ; the probability ratio grows like
+// e^{mε/2}.
+func Theorem7Scenario(epsilon float64, m int) Scenario {
+	qd := make([]float64, 2*m)
+	qdp := make([]float64, 2*m)
+	target := make([]bool, 2*m)
+	for i := 0; i < m; i++ {
+		qdp[i] = 1
+		qdp[m+i] = -1
+		target[m+i] = true
+	}
+	return Scenario{
+		Name:       fmt.Sprintf("thm7/alg6(eps=%g,m=%d)", epsilon, m),
+		QD:         qd,
+		QDPrime:    qdp,
+		Thresholds: []float64{0},
+		Target:     target,
+		Build: func(src *rng.Source) core.Algorithm {
+			return core.NewAlg6(src, epsilon, 1)
+		},
+	}
+}
+
+// Lemma1Scenario is the sanity check on the corrected Algorithm 1: the
+// all-negative output ⊥^ℓ with q(D)=0^ℓ and q(D′)=Δ^ℓ=1^ℓ. Lemma 1 proves
+// the ratio is at most e^{ε/2} (= e^{ε₁}); the audit should therefore find
+// an empirical epsilon well below the total ε.
+func Lemma1Scenario(epsilon float64, ell, c int) Scenario {
+	qd := make([]float64, ell)
+	qdp := make([]float64, ell)
+	target := make([]bool, ell)
+	for i := range qdp {
+		qdp[i] = 1
+	}
+	return Scenario{
+		Name:       fmt.Sprintf("lemma1/alg1(eps=%g,l=%d,c=%d)", epsilon, ell, c),
+		QD:         qd,
+		QDPrime:    qdp,
+		Thresholds: []float64{0},
+		Target:     target,
+		Build: func(src *rng.Source) core.Algorithm {
+			return core.NewAlg1(src, epsilon, 1, c)
+		},
+	}
+}
+
+// MixedAlg1Scenario audits Algorithm 1 on an output mixing ⊥ and ⊤, the
+// regime Theorem 2 covers: q(D)=⟨0,...,0⟩, q(D′)=⟨1,...,1⟩ with target
+// ⊥^{ℓ-1}⊤. The ratio must stay within e^ε.
+func MixedAlg1Scenario(epsilon float64, ell, c int) Scenario {
+	s := Lemma1Scenario(epsilon, ell, c)
+	s.Name = fmt.Sprintf("thm2-mixed/alg1(eps=%g,l=%d,c=%d)", epsilon, ell, c)
+	s.Target[ell-1] = true
+	return s
+}

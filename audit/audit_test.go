@@ -1,0 +1,422 @@
+package audit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dpgo/svt/internal/core"
+	"github.com/dpgo/svt/internal/rng"
+)
+
+const testTrials = 30000
+
+func TestTheorem3MonteCarlo(t *testing.T) {
+	// Algorithm 5 must produce the target on D with clearly positive
+	// frequency and on D′ never.
+	est, err := Run(Theorem3Scenario(1.0), testTrials, 404)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CountDPrime != 0 {
+		t.Fatalf("D′ produced the impossible output %d times", est.CountDPrime)
+	}
+	wantPD, _, err := Theorem3Probabilities(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.PD-wantPD) > 0.01 {
+		t.Errorf("PD = %v, closed form %v", est.PD, wantPD)
+	}
+	if est.RatioLower < 100 {
+		t.Errorf("ratio lower bound %v too small for an infinite-ratio scenario", est.RatioLower)
+	}
+}
+
+func TestTheorem3ClosedForm(t *testing.T) {
+	pD, pDP, err := Theorem3Probabilities(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pDP != 0 {
+		t.Errorf("pDPrime = %v, want 0", pDP)
+	}
+	want := rng.LaplaceCDF(1, 4) - 0.5
+	if math.Abs(pD-want) > 1e-12 {
+		t.Errorf("pD = %v, want %v", pD, want)
+	}
+	if _, _, err := Theorem3Probabilities(0); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+func TestTheorem7MonteCarloRatioGrows(t *testing.T) {
+	// Empirical ratio of Algorithm 6 on the Theorem-7 construction must
+	// clearly exceed e^ε (the claimed privacy level) already for small m.
+	const eps = 2.0
+	est, err := Run(Theorem7Scenario(eps, 3), testTrials, 405)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PD == 0 {
+		t.Fatal("target output never seen on D; scenario miscalibrated")
+	}
+	// Lower confidence bound must beat e^ε (claimed) — the mechanism
+	// leaks more than advertised.
+	if est.RatioLower < math.Exp(eps) {
+		t.Errorf("ratio lower bound %v does not exceed e^eps = %v (PD=%v, PD'=%v)",
+			est.RatioLower, math.Exp(eps), est.PD, est.PDPrime)
+	}
+}
+
+func TestTheorem7ClosedFormMatchesBoundAndGrows(t *testing.T) {
+	const eps = 1.0
+	prev := 0.0
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		ratio, bound, err := Theorem7Ratio(eps, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio < bound*(1-1e-6) {
+			t.Errorf("m=%d: ratio %v below the paper's lower bound %v", m, ratio, bound)
+		}
+		if ratio <= prev {
+			t.Errorf("m=%d: ratio %v did not grow (prev %v)", m, ratio, prev)
+		}
+		prev = ratio
+	}
+	if _, _, err := Theorem7Ratio(0, 1); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, _, err := Theorem7Ratio(1, 0); err == nil {
+		t.Error("m 0 accepted")
+	}
+}
+
+func TestAlg4RatioExceedsAdvertisedEpsilon(t *testing.T) {
+	const eps = 1.0
+	// At c = m = 1 Algorithm 4 is close to private; by m = 8 the measured
+	// loss must clearly exceed the advertised ε while staying below the
+	// true guarantee ((1+6c)/4)ε.
+	r1, err := Alg4Ratio(eps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Alg4Ratio(eps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r8 > r1) {
+		t.Errorf("ratio not growing: m=1 %v, m=8 %v", r1, r8)
+	}
+	if math.Log(r8) <= eps {
+		t.Errorf("m=8 loss %v does not exceed advertised eps", math.Log(r8))
+	}
+	trueBound := (1.0 + 6*8) / 4 * eps
+	if math.Log(r8) > trueBound {
+		t.Errorf("m=8 loss %v exceeds the true ((1+6c)/4)eps bound %v", math.Log(r8), trueBound)
+	}
+	if _, err := Alg4Ratio(0, 1); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := MixedPatternRatio(0, 1, 1); err == nil {
+		t.Error("bad rho scale accepted")
+	}
+	if _, err := MixedPatternRatio(1, 1, 0); err == nil {
+		t.Error("m 0 accepted")
+	}
+}
+
+func TestTheorem6ClosedForm(t *testing.T) {
+	const eps = 1.0
+	for _, m := range []int{1, 2, 5, 10, 40} {
+		numeric, closed, err := Theorem6Ratio(eps, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(numeric-closed)/closed > 1e-6 {
+			t.Errorf("m=%d: numeric ratio %v != closed form %v", m, numeric, closed)
+		}
+	}
+	// The ratio is unbounded in m: for any epsilon' there is an m beyond it.
+	numeric, _, err := Theorem6Ratio(eps, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric < math.Exp(20) {
+		t.Errorf("ratio %v at m=50 should exceed e^20", numeric)
+	}
+	if _, _, err := Theorem6Ratio(1, 0); err == nil {
+		t.Error("m 0 accepted")
+	}
+}
+
+func TestLemma1RatioBoundHolds(t *testing.T) {
+	const eps = 1.0
+	for _, c := range []int{1, 3} {
+		for _, ell := range []int{1, 5, 20, 100, 400} {
+			ratio, bound, err := Lemma1Ratio(eps, ell, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ratio > bound*(1+1e-6) {
+				t.Errorf("c=%d ell=%d: ratio %v exceeds Lemma-1 bound %v", c, ell, ratio, bound)
+			}
+			if ratio < 1 {
+				t.Errorf("c=%d ell=%d: ratio %v below 1; D should dominate", c, ell, ratio)
+			}
+		}
+	}
+	// The ratio approaches but never crosses the bound as ell grows: this
+	// is exactly the sequence the flawed Appendix-10.3 "proof" would push
+	// past any bound, so staying below refutes that proof technique.
+	r20, bound, _ := Lemma1Ratio(eps, 20, 1)
+	r400, _, _ := Lemma1Ratio(eps, 400, 1)
+	if !(r400 >= r20) {
+		t.Errorf("ratio should be non-decreasing in ell: r(400)=%v < r(20)=%v", r400, r20)
+	}
+	if r400 > bound {
+		t.Errorf("r(400)=%v exceeded bound %v", r400, bound)
+	}
+	if _, _, err := Lemma1Ratio(1, 0, 1); err == nil {
+		t.Error("ell 0 accepted")
+	}
+	if _, _, err := Lemma1Ratio(1, 1, 0); err == nil {
+		t.Error("c 0 accepted")
+	}
+}
+
+func TestLemma1MonteCarlo(t *testing.T) {
+	const eps = 1.0
+	est, err := Run(Lemma1Scenario(eps, 4, 1), testTrials, 406)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PD == 0 || est.PDPrime == 0 {
+		t.Fatalf("degenerate scenario: PD=%v PD'=%v", est.PD, est.PDPrime)
+	}
+	ratio, _, err := Lemma1Ratio(eps, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.PD / est.PDPrime; math.Abs(got-ratio)/ratio > 0.15 {
+		t.Errorf("empirical ratio %v vs closed form %v", got, ratio)
+	}
+	// A 95% lower bound must not "prove" more privacy loss than the
+	// algorithm's actual guarantee.
+	if est.EmpiricalEpsilon > eps {
+		t.Errorf("empirical epsilon %v exceeds the DP guarantee %v", est.EmpiricalEpsilon, eps)
+	}
+}
+
+func TestMixedAlg1ScenarioWithinBudget(t *testing.T) {
+	const eps = 1.5
+	scen := MixedAlg1Scenario(eps, 4, 2)
+	est, err := Run(scen, testTrials, 407)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PD == 0 || est.PDPrime == 0 {
+		t.Fatalf("degenerate: PD=%v PD'=%v", est.PD, est.PDPrime)
+	}
+	if est.EmpiricalEpsilon > eps {
+		t.Errorf("empirical epsilon %v exceeds guarantee %v", est.EmpiricalEpsilon, eps)
+	}
+	// Reverse direction must hold too (DP is symmetric over neighbors).
+	rev := scen
+	rev.QD, rev.QDPrime = scen.QDPrime, scen.QD
+	estRev, err := Run(rev, testTrials, 408)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estRev.EmpiricalEpsilon > eps {
+		t.Errorf("reverse empirical epsilon %v exceeds guarantee %v", estRev.EmpiricalEpsilon, eps)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	good := Theorem3Scenario(1)
+	cases := map[string]func(Scenario) Scenario{
+		"empty queries":   func(s Scenario) Scenario { s.QD, s.QDPrime = nil, nil; return s },
+		"length mismatch": func(s Scenario) Scenario { s.QDPrime = []float64{1}; return s },
+		"bad target":      func(s Scenario) Scenario { s.Target = []bool{true}; return s },
+		"bad thresholds":  func(s Scenario) Scenario { s.Thresholds = []float64{0, 0, 0}; return s },
+		"nil build":       func(s Scenario) Scenario { s.Build = nil; return s },
+	}
+	for name, mut := range cases {
+		if _, err := Run(mut(good), 10, 1); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := Run(good, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Theorem7Scenario(1, 2), 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Theorem7Scenario(1, 2), 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CountD != b.CountD || a.CountDPrime != b.CountDPrime {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestMatchesTargetAbortedRun(t *testing.T) {
+	// An algorithm that aborts before completing the pattern cannot match.
+	alg := core.NewAlg1(rng.New(1), 1, 1, 1)
+	// First query forces the single allowed ⊤; second query then cannot
+	// be answered, so a 2-long all-⊤ target must not match.
+	if matchesTarget(alg, []float64{1e9, 1e9}, []float64{0}, []bool{true, true}) {
+		t.Fatal("aborted run reported as matching")
+	}
+}
+
+func TestGPTTKappaProperties(t *testing.T) {
+	// κ(z) > e^{ε₂} everywhere, peaks at the center, and decays toward
+	// e^{ε₂} as |z| grows. (The paper's prose says the tail limit is 1;
+	// the measured limit for this κ is e^{ε₂} — see the file comment in
+	// gptt.go. The t-dependence the paper exposes is unaffected.)
+	const eps2 = 0.5
+	tailLimit := math.Exp(eps2)
+	for _, z := range []float64{-30, -5, -1, 0, 1, 5, 30} {
+		if k := GPTTKappa(eps2, z); k <= tailLimit*(1-1e-9) {
+			t.Errorf("kappa(%v) = %v, want > e^eps2 = %v", z, k, tailLimit)
+		}
+	}
+	if !(GPTTKappa(eps2, 0) > GPTTKappa(eps2, 10)) {
+		t.Error("kappa should decay away from 0 (positive side)")
+	}
+	if !(GPTTKappa(eps2, 0) > GPTTKappa(eps2, -10)) {
+		t.Error("kappa should decay away from 0 (negative side)")
+	}
+	if math.Abs(GPTTKappa(eps2, 40)-tailLimit) > 0.01 {
+		t.Errorf("kappa(40) = %v, want ≈ e^eps2 = %v", GPTTKappa(eps2, 40), tailLimit)
+	}
+	// Center value is 2e^{ε₂} − 1 exactly.
+	if got, want := GPTTKappa(eps2, 0), 2*math.Exp(eps2)-1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("kappa(0) = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad eps2 accepted")
+		}
+	}()
+	GPTTKappa(0, 1)
+}
+
+func TestAlg1FakeProofStaysBounded(t *testing.T) {
+	// The decisive demonstration that the GPTT proof technique is flawed:
+	// applied to the ε-DP Algorithm 1, its bound κ(t)^t/2 must stay below
+	// the Lemma-1 cap e^{ε/2} for every t — so the technique's concluding
+	// "choose t large enough" step is impossible.
+	const eps = 1.0
+	points, err := Alg1FakeProofAnalyze(eps, []int{1, 2, 4, 8, 16, 32, 64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap95 := math.Exp(eps / 2)
+	for i, p := range points {
+		if !(p.FakeBound <= p.TrueRatio*(1+1e-6)) {
+			t.Errorf("t=%d: fake bound %v exceeds true ratio %v — chain broken", p.T, p.FakeBound, p.TrueRatio)
+		}
+		if !(p.TrueRatio <= cap95*(1+1e-6)) {
+			t.Errorf("t=%d: true ratio %v exceeds Lemma-1 bound %v", p.T, p.TrueRatio, cap95)
+		}
+		if !(p.Kappa > 1) {
+			t.Errorf("t=%d: kappa %v <= 1", p.T, p.Kappa)
+		}
+		if i > 0 {
+			prev := points[i-1]
+			if !(p.Alpha < prev.Alpha) {
+				t.Errorf("alpha not decreasing at t=%d", p.T)
+			}
+			if !(p.Delta > prev.Delta) {
+				t.Errorf("delta not increasing at t=%d", p.T)
+			}
+			if !(p.Kappa < prev.Kappa) {
+				t.Errorf("kappa not decreasing at t=%d", p.T)
+			}
+		}
+	}
+	// κ(t) must decay toward 1 — the decay the flawed proof ignores.
+	last := points[len(points)-1]
+	if last.Kappa > 1.2 {
+		t.Errorf("kappa(t=%d) = %v; expected decay toward 1", last.T, last.Kappa)
+	}
+	if _, err := Alg1FakeProofAnalyze(0, []int{1}); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := Alg1FakeProofAnalyze(1, nil); err == nil {
+		t.Error("empty ts accepted")
+	}
+	if _, err := Alg1FakeProofAnalyze(1, []int{-1}); err == nil {
+		t.Error("negative t accepted")
+	}
+}
+
+func TestGPTTAnalyzeReproducesProofGap(t *testing.T) {
+	points, err := GPTTAnalyze(1.0, []int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if p.Alpha <= 0 || p.Alpha >= 1 {
+			t.Errorf("t=%d: alpha %v out of (0,1)", p.T, p.Alpha)
+		}
+		if p.Kappa <= 1 {
+			t.Errorf("t=%d: kappa %v <= 1", p.T, p.Kappa)
+		}
+		if i > 0 {
+			prev := points[i-1]
+			// The paper's dependence chain: α decreases and δ increases
+			// with t, dragging κ = κ(δ(t)) down toward its tail limit.
+			if !(p.Alpha < prev.Alpha) {
+				t.Errorf("alpha not decreasing at t=%d", p.T)
+			}
+			if !(p.Delta > prev.Delta) {
+				t.Errorf("delta not increasing at t=%d", p.T)
+			}
+			// Non-increasing with tolerance: κ(δ(t)) reaches the float
+			// representation of its tail limit for large t.
+			if p.Kappa > prev.Kappa*(1+1e-12) {
+				t.Errorf("kappa increased at t=%d", p.T)
+			}
+			// The true ratio does diverge (GPTT really is ∞-DP).
+			if !(p.TrueRatio > prev.TrueRatio) {
+				t.Errorf("true ratio not growing at t=%d", p.T)
+			}
+		}
+	}
+	if _, err := GPTTAnalyze(0, []int{1}); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := GPTTAnalyze(1, nil); err == nil {
+		t.Error("empty ts accepted")
+	}
+	if _, err := GPTTAnalyze(1, []int{0}); err == nil {
+		t.Error("t=0 accepted")
+	}
+}
+
+func TestIntegrateKnownValues(t *testing.T) {
+	// ∫₀¹ x² = 1/3.
+	got := integrate(func(x float64) float64 { return x * x }, 0, 1, 1000)
+	if math.Abs(got-1.0/3) > 1e-10 {
+		t.Errorf("integral = %v, want 1/3", got)
+	}
+	// Laplace pdf integrates to 1.
+	got = integrate(func(x float64) float64 { return rng.LaplacePDF(x, 2) }, -200, 200, 40000)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("Laplace pdf integral = %v, want 1", got)
+	}
+	// Odd subinterval counts are rounded up internally.
+	got = integrate(func(x float64) float64 { return x }, 0, 2, 3)
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("integral = %v, want 2", got)
+	}
+}

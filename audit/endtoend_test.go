@@ -1,0 +1,182 @@
+package audit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dpgo/svt/dataset"
+	"github.com/dpgo/svt/internal/core"
+	"github.com/dpgo/svt/internal/rng"
+	"github.com/dpgo/svt/metrics"
+)
+
+// neighborScores builds a real store and its remove-one neighbor and
+// returns both support vectors. The removed transaction is chosen to
+// contain a borderline item so the audited event actually moves.
+func neighborScores(t *testing.T) (scoresD, scoresDP []float64, borderline int) {
+	t.Helper()
+	p := dataset.Profile{Name: "audit", Records: 3000, Items: 40, MeanTxLen: 4, Exponent: 0.9}
+	store, err := dataset.Generate(p, 1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoresD = store.SupportsFloat()
+	// The borderline item for a top-5 selection is rank 5 or 6.
+	top := metrics.TopIndices(scoresD, 6)
+	borderline = top[4]
+	// Find a transaction containing the borderline item to remove, so the
+	// neighbor differs exactly where the selection is most sensitive.
+	removed := -1
+	for i := 0; i < store.NumRecords(); i++ {
+		for _, it := range store.Transaction(i) {
+			if int(it) == borderline {
+				removed = i
+				break
+			}
+		}
+		if removed >= 0 {
+			break
+		}
+	}
+	if removed < 0 {
+		t.Fatal("no transaction contains the borderline item")
+	}
+	neighbor := store.WithoutRecord(removed)
+	if neighbor.NumRecords() != store.NumRecords()-1 {
+		t.Fatal("neighbor has wrong size")
+	}
+	scoresDP = neighbor.SupportsFloat()
+	// Sanity: supports differ by at most 1 per item (sensitivity 1).
+	for i := range scoresD {
+		if d := math.Abs(scoresD[i] - scoresDP[i]); d > 1 {
+			t.Fatalf("item %d support moved by %v > 1", i, d)
+		}
+	}
+	return scoresD, scoresDP, borderline
+}
+
+func TestEndToEndEMWithinBudget(t *testing.T) {
+	scoresD, scoresDP, borderline := neighborScores(t)
+	const eps = 1.0
+	a := SelectionAudit{
+		Name:         "em-top5-neighbor",
+		ScoresD:      scoresD,
+		ScoresDPrime: scoresDP,
+		Run: func(src *rng.Source, scores []float64) []int {
+			return core.SelectEM(src, scores, eps, 1, 5, true)
+		},
+		Event: ContainsIndex(borderline),
+	}
+	est, err := RunSelectionAudit(a, 20000, 901)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PD == 0 {
+		t.Fatal("borderline item never selected; audit has no power")
+	}
+	if est.EmpiricalEpsilon > eps {
+		t.Fatalf("EM end-to-end audit measured eps %v over budget %v", est.EmpiricalEpsilon, eps)
+	}
+	// Reverse direction too: DP is symmetric over the neighbor pair.
+	rev := a
+	rev.ScoresD, rev.ScoresDPrime = a.ScoresDPrime, a.ScoresD
+	estRev, err := RunSelectionAudit(rev, 20000, 902)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estRev.EmpiricalEpsilon > eps {
+		t.Fatalf("reverse audit measured eps %v over budget %v", estRev.EmpiricalEpsilon, eps)
+	}
+}
+
+func TestEndToEndSVTWithinBudget(t *testing.T) {
+	scoresD, scoresDP, borderline := neighborScores(t)
+	const eps = 1.0
+	threshold := scoresD[borderline] // maximally contentious threshold
+	a := SelectionAudit{
+		Name:         "svt-top5-neighbor",
+		ScoresD:      scoresD,
+		ScoresDPrime: scoresDP,
+		Run: func(src *rng.Source, scores []float64) []int {
+			eps1, eps2 := core.RatioCubeRootC.Split(eps, 5)
+			return core.SelectSVT(src, scores, threshold, core.ReTrConfig{
+				Eps1: eps1, Eps2: eps2, Delta: 1, C: 5, Monotonic: true,
+			})
+		},
+		Event: ContainsIndex(borderline),
+	}
+	est, err := RunSelectionAudit(a, 20000, 903)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PD == 0 {
+		t.Fatal("audit has no power")
+	}
+	if est.EmpiricalEpsilon > eps {
+		t.Fatalf("SVT end-to-end audit measured eps %v over budget %v", est.EmpiricalEpsilon, eps)
+	}
+}
+
+// A non-private "mechanism" (exact top-c) must be caught immediately: on a
+// borderline item whose rank flips between the neighbors, membership is
+// deterministic on each side.
+func TestEndToEndCatchesNonPrivateSelection(t *testing.T) {
+	// Construct scores where removing one record demotes the borderline
+	// item out of the top-2.
+	scoresD := []float64{10, 8, 7, 1}  // top-2 = {0, 1}
+	scoresDP := []float64{10, 7, 8, 1} // top-2 = {0, 2} (items 1 and 2 swapped by the neighbor)
+	a := SelectionAudit{
+		Name:         "exact-top2",
+		ScoresD:      scoresD,
+		ScoresDPrime: scoresDP,
+		Run: func(src *rng.Source, scores []float64) []int {
+			return metrics.TopIndices(scores, 2)
+		},
+		Event: ContainsIndex(1),
+	}
+	est, err := RunSelectionAudit(a, 3000, 904)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CountDPrime != 0 || est.CountD != est.Trials {
+		t.Fatalf("expected deterministic split, got %d/%d", est.CountD, est.CountDPrime)
+	}
+	// The Wilson upper bound keeps the certified ratio finite, but it must
+	// be enormous: far beyond any plausible DP budget.
+	if est.EmpiricalEpsilon < 5 {
+		t.Fatalf("exact selection not flagged: certified eps only %v", est.EmpiricalEpsilon)
+	}
+}
+
+func TestRunSelectionAuditValidation(t *testing.T) {
+	good := SelectionAudit{
+		ScoresD:      []float64{1, 2},
+		ScoresDPrime: []float64{1, 2},
+		Run:          func(src *rng.Source, scores []float64) []int { return nil },
+		Event:        func([]int) bool { return false },
+	}
+	cases := map[string]func(SelectionAudit) SelectionAudit{
+		"empty scores": func(a SelectionAudit) SelectionAudit { a.ScoresD, a.ScoresDPrime = nil, nil; return a },
+		"mismatch":     func(a SelectionAudit) SelectionAudit { a.ScoresDPrime = []float64{1}; return a },
+		"nil run":      func(a SelectionAudit) SelectionAudit { a.Run = nil; return a },
+		"nil event":    func(a SelectionAudit) SelectionAudit { a.Event = nil; return a },
+	}
+	for name, mut := range cases {
+		if _, err := RunSelectionAudit(mut(good), 10, 1); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := RunSelectionAudit(good, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestContainsIndex(t *testing.T) {
+	ev := ContainsIndex(3)
+	if !ev([]int{1, 3, 5}) {
+		t.Error("missed present index")
+	}
+	if ev([]int{1, 2}) || ev(nil) {
+		t.Error("false positive")
+	}
+}

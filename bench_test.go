@@ -1,0 +1,360 @@
+package svt_test
+
+// One benchmark per table and figure of the paper, plus the ablation
+// benches DESIGN.md §5 calls out and micro-benchmarks of the hot paths.
+//
+// Benchmarks regenerate each artifact end to end at a reduced, fixed
+// configuration so `go test -bench=.` finishes on a laptop; the full
+// paper-scale regeneration (scale 1, 100 runs, all four datasets) is
+// cmd/svtbench's job, and EXPERIMENTS.md records its output against the
+// published results.
+
+import (
+	"testing"
+
+	svt "github.com/dpgo/svt"
+	"github.com/dpgo/svt/audit"
+	"github.com/dpgo/svt/dataset"
+	"github.com/dpgo/svt/experiments"
+	"github.com/dpgo/svt/fim"
+	"github.com/dpgo/svt/internal/core"
+	"github.com/dpgo/svt/internal/rng"
+	"github.com/dpgo/svt/metrics"
+)
+
+// benchConfig is the reduced sweep configuration shared by the figure
+// benches.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Scale:    0.05,
+		Runs:     5,
+		Epsilon:  0.1,
+		CValues:  []int{25, 100, 300},
+		Datasets: []string{"BMS-POS", "Zipf"},
+		Seed:     1234,
+	}
+}
+
+// --- Tables and figures -------------------------------------------------
+
+func BenchmarkTable1DatasetGen(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkFig2Audit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cols, err := experiments.Figure2(2000, 1.0, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cols) != 6 {
+			b.Fatal("wrong column count")
+		}
+	}
+}
+
+func BenchmarkFig3Scores(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 2 {
+			b.Fatal("wrong series count")
+		}
+	}
+}
+
+func BenchmarkFig4Interactive(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkFig5NonInteractive(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkSec5Alpha(b *testing.B) {
+	ks := []int{10, 100, 1000, 10000, 100000}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.AlphaComparison(ks, 0.05, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != len(ks) {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// --- Audits (Theorems 3, 6, 7; Lemma 1; GPTT) ---------------------------
+
+func BenchmarkAuditThm3(b *testing.B) {
+	scen := audit.Theorem3Scenario(1.0)
+	for i := 0; i < b.N; i++ {
+		if _, err := audit.Run(scen, 5000, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuditThm6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := audit.Theorem6Ratio(1.0, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuditThm7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := audit.Theorem7Ratio(1.0, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuditLemma1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := audit.Lemma1Ratio(1.0, 100, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuditGPTT(b *testing.B) {
+	ts := []int{1, 4, 16}
+	for i := 0; i < b.N; i++ {
+		if _, err := audit.GPTTAnalyze(1.0, ts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := audit.Alg1FakeProofAnalyze(1.0, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) -------------------------------------------
+
+// benchScores builds one fixed Zipf score vector for the ablations.
+func benchScores(b *testing.B) []float64 {
+	b.Helper()
+	store, err := dataset.Generate(dataset.Zipf, 0.05, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return store.SupportsFloat()
+}
+
+func BenchmarkAblationAllocation(b *testing.B) {
+	scores := benchScores(b)
+	const c = 50
+	trueTop := metrics.TopIndices(scores, c)
+	threshold := scores[trueTop[c-1]]
+	for _, alloc := range []svt.Allocation{
+		svt.Allocation1x1, svt.Allocation1x3, svt.Allocation1xC, svt.Allocation1xC23,
+	} {
+		b.Run(alloc.String(), func(b *testing.B) {
+			ser := 0.0
+			for i := 0; i < b.N; i++ {
+				sel, err := svt.TopC(scores, svt.SelectOptions{
+					Epsilon: 0.1, Sensitivity: 1, C: c, Monotonic: true,
+					Method: svt.MethodSVT, Threshold: threshold,
+					Allocation: alloc, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ser += metrics.SER(scores, trueTop, sel)
+			}
+			b.ReportMetric(ser/float64(b.N), "SER/op")
+		})
+	}
+}
+
+func BenchmarkAblationResample(b *testing.B) {
+	// Alg1 (fixed rho) vs Alg2 (c-scaled, resampled rho): same budget,
+	// same stream; the metric is how many of the true top survive.
+	scores := benchScores(b)
+	const c = 50
+	trueTop := metrics.TopIndices(scores, c)
+	threshold := scores[trueTop[c-1]]
+	run := func(b *testing.B, build func(src *rng.Source) core.Algorithm) {
+		ser := 0.0
+		for i := 0; i < b.N; i++ {
+			alg := build(rng.New(uint64(i + 1)))
+			var sel []int
+			for idx, s := range scores {
+				ans, ok := alg.Next(s, threshold)
+				if !ok {
+					break
+				}
+				if ans.Above {
+					sel = append(sel, idx)
+				}
+			}
+			ser += metrics.SER(scores, trueTop, sel)
+		}
+		b.ReportMetric(ser/float64(b.N), "SER/op")
+	}
+	b.Run("fixed-rho/alg1", func(b *testing.B) {
+		run(b, func(src *rng.Source) core.Algorithm { return core.NewAlg1(src, 0.1, 1, c) })
+	})
+	b.Run("resampled-rho/alg2", func(b *testing.B) {
+		run(b, func(src *rng.Source) core.Algorithm { return core.NewAlg2(src, 0.1, 1, c) })
+	})
+}
+
+func BenchmarkAblationMonotonic(b *testing.B) {
+	scores := benchScores(b)
+	const c = 50
+	trueTop := metrics.TopIndices(scores, c)
+	threshold := scores[trueTop[c-1]]
+	for _, monotonic := range []bool{false, true} {
+		name := "general-2c"
+		if monotonic {
+			name = "monotonic-c"
+		}
+		b.Run(name, func(b *testing.B) {
+			ser := 0.0
+			for i := 0; i < b.N; i++ {
+				sel, err := svt.TopC(scores, svt.SelectOptions{
+					Epsilon: 0.1, Sensitivity: 1, C: c, Monotonic: monotonic,
+					Method: svt.MethodSVT, Threshold: threshold, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ser += metrics.SER(scores, trueTop, sel)
+			}
+			b.ReportMetric(ser/float64(b.N), "SER/op")
+		})
+	}
+}
+
+func BenchmarkAblationRetraversalBoost(b *testing.B) {
+	scores := benchScores(b)
+	const c = 50
+	trueTop := metrics.TopIndices(scores, c)
+	threshold := scores[trueTop[c-1]]
+	for boost := 0; boost <= 5; boost++ {
+		b.Run("boost="+string(rune('0'+boost))+"D", func(b *testing.B) {
+			ser := 0.0
+			for i := 0; i < b.N; i++ {
+				sel, err := svt.TopC(scores, svt.SelectOptions{
+					Epsilon: 0.1, Sensitivity: 1, C: c, Monotonic: true,
+					Method: svt.MethodReTr, Threshold: threshold,
+					BoostSD: float64(boost), MaxPasses: 100, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ser += metrics.SER(scores, trueTop, sel)
+			}
+			b.ReportMetric(ser/float64(b.N), "SER/op")
+		})
+	}
+}
+
+func BenchmarkAblationEMSampler(b *testing.B) {
+	scores := benchScores(b)
+	const c = 50
+	b.Run("gumbel-topc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SelectEM(rng.New(uint64(i+1)), scores, 0.1, 1, c, true)
+		}
+	})
+	b.Run("sequential-invcdf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SelectEMInvCDF(rng.New(uint64(i+1)), scores, 0.1, 1, c, true)
+		}
+	})
+}
+
+// --- Micro-benchmarks of the hot paths ----------------------------------
+
+func BenchmarkLaplaceSample(b *testing.B) {
+	src := rng.New(1)
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += src.Laplace(2.0)
+	}
+	_ = sink
+}
+
+func BenchmarkSparseNext(b *testing.B) {
+	mech, err := svt.New(svt.Options{
+		Epsilon: 0.1, Sensitivity: 1, MaxPositives: 1 << 30, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mech.Next(float64(i%100), 1e12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEMTopC(b *testing.B) {
+	scores := benchScores(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SelectEM(rng.New(uint64(i+1)), scores, 0.1, 1, 300, true)
+	}
+}
+
+func BenchmarkFPGrowthMine(b *testing.B) {
+	store, err := dataset.Generate(dataset.BMSPOS, 0.01, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	minSup := store.NumRecords() / 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fim.Mine(store, minSup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkItemSupports(b *testing.B) {
+	store, err := dataset.Generate(dataset.Kosarak, 0.02, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := store.ItemSupports(); len(got) != store.NumItems() {
+			b.Fatal("bad supports")
+		}
+	}
+}

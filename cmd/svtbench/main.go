@@ -1,0 +1,169 @@
+// Command svtbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	svtbench -exp all                        # everything, paper settings
+//	svtbench -exp fig4 -scale 0.25 -runs 30  # one figure, reduced cost
+//	svtbench -exp fig5 -datasets Zipf,AOL -csv out.csv
+//
+// Experiments: table1, table2, fig2, fig3, fig4, fig5, alpha, all.
+// Figures 4 and 5 at full paper settings (-scale 1 -runs 100, all four
+// datasets) take a while on one core — the AOL profile alone sweeps 2.3M
+// candidate queries per run; use -scale/-runs/-datasets to trade fidelity
+// for time. Shapes are stable well below full scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dpgo/svt/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig2, fig3, fig4, fig5, alpha, all")
+		scale    = flag.Float64("scale", 1.0, "dataset scale in (0,1]; 1 = exact Table 1 sizes")
+		runs     = flag.Int("runs", 100, "randomized repetitions per configuration")
+		epsilon  = flag.Float64("eps", 0.1, "total privacy budget")
+		datasets = flag.String("datasets", "", "comma-separated subset of BMS-POS,Kosarak,AOL,Zipf (empty = all)")
+		cvalues  = flag.String("cvalues", "", "comma-separated c sweep (empty = paper's 25..300 step 25)")
+		seed     = flag.Uint64("seed", 20170401, "master seed")
+		trials   = flag.Int("audit-trials", 20000, "Monte-Carlo trials per world for fig2 audits")
+		csvPath  = flag.String("csv", "", "also write sweep results as CSV to this path")
+		verify   = flag.Bool("verify", false, "check the paper's qualitative claims against the measured sweeps; non-zero exit on failure")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Runs = *runs
+	cfg.Epsilon = *epsilon
+	cfg.Seed = *seed
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *cvalues != "" {
+		cfg.CValues = cfg.CValues[:0]
+		for _, s := range strings.Split(*cvalues, ",") {
+			var c int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &c); err != nil {
+				fmt.Fprintf(os.Stderr, "svtbench: bad -cvalues entry %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			cfg.CValues = append(cfg.CValues, c)
+		}
+	}
+
+	if err := run(*exp, cfg, *trials, *csvPath, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "svtbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiments.Config, trials int, csvPath string, verify bool) error {
+	out := os.Stdout
+	var sweeps []experiments.MethodResult
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable1(out, rows)
+	}
+	if want("table2") {
+		ran = true
+		experiments.RenderTable2(out, experiments.Table2())
+	}
+	if want("fig2") {
+		ran = true
+		cols, err := experiments.Figure2(trials, 1.0, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFigure2(out, cols)
+	}
+	if want("fig3") {
+		ran = true
+		series, err := experiments.Figure3(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderScoreSeries(out, series)
+	}
+	if want("fig4") {
+		ran = true
+		fmt.Fprintf(out, "\n=== Figure 4: interactive setting (eps=%g, runs=%d, scale=%g) ===\n",
+			cfg.Epsilon, cfg.Runs, cfg.Scale)
+		results, err := experiments.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.SortResults(results)
+		if err := experiments.RenderSweep(out, results, "SER"); err != nil {
+			return err
+		}
+		if err := experiments.RenderSweep(out, results, "FNR"); err != nil {
+			return err
+		}
+		if verify {
+			if failed := experiments.RenderClaims(out, experiments.VerifyFigure4(results)); failed > 0 {
+				return fmt.Errorf("%d figure-4 claims failed", failed)
+			}
+		}
+		sweeps = append(sweeps, results...)
+	}
+	if want("fig5") {
+		ran = true
+		fmt.Fprintf(out, "\n=== Figure 5: non-interactive setting (eps=%g, runs=%d, scale=%g) ===\n",
+			cfg.Epsilon, cfg.Runs, cfg.Scale)
+		results, err := experiments.Figure5(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.SortResults(results)
+		if err := experiments.RenderSweep(out, results, "SER"); err != nil {
+			return err
+		}
+		if err := experiments.RenderSweep(out, results, "FNR"); err != nil {
+			return err
+		}
+		if verify {
+			if failed := experiments.RenderClaims(out, experiments.VerifyFigure5(results)); failed > 0 {
+				return fmt.Errorf("%d figure-5 claims failed", failed)
+			}
+		}
+		sweeps = append(sweeps, results...)
+	}
+	if want("alpha") {
+		ran = true
+		points, err := experiments.AlphaComparison(
+			[]int{10, 100, 1000, 10000, 100000}, 0.05, cfg.Epsilon)
+		if err != nil {
+			return err
+		}
+		experiments.RenderAlpha(out, points)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if csvPath != "" && len(sweeps) > 0 {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteSweepCSV(f, sweeps); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", csvPath)
+	}
+	return nil
+}

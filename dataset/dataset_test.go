@@ -1,0 +1,356 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleStore(t *testing.T) *Store {
+	t.Helper()
+	b := NewBuilder("sample", 5)
+	b.Add([]Item{0, 1, 2})
+	b.Add([]Item{1, 2})
+	b.Add([]Item{2})
+	b.Add([]Item{})
+	b.Add([]Item{4, 4, 1}) // duplicate item in one transaction
+	return b.Build()
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := sampleStore(t)
+	if s.Name() != "sample" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.NumRecords() != 5 {
+		t.Errorf("NumRecords = %d", s.NumRecords())
+	}
+	if s.NumItems() != 5 {
+		t.Errorf("NumItems = %d", s.NumItems())
+	}
+	if got := s.Transaction(1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Transaction(1) = %v", got)
+	}
+	count := 0
+	s.Each(func(tx []Item) { count++ })
+	if count != 5 {
+		t.Errorf("Each visited %d transactions", count)
+	}
+}
+
+func TestItemSupportsCountsPresenceNotOccurrences(t *testing.T) {
+	s := sampleStore(t)
+	want := []int{1, 3, 3, 0, 1} // item 4 appears twice in one tx but support is 1
+	got := s.ItemSupports()
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("support[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+	f := s.SupportsFloat()
+	for i, w := range want {
+		if f[i] != float64(w) {
+			t.Errorf("SupportsFloat[%d] = %v", i, f[i])
+		}
+	}
+}
+
+func TestTopSupports(t *testing.T) {
+	s := sampleStore(t)
+	top := s.TopSupports(3)
+	// Supports: item1=3, item2=3, item0=1, item4=1, item3=0.
+	// Ties break by item id: 1 before 2, 0 before 4.
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0].Item != 1 || top[1].Item != 2 || top[2].Item != 0 {
+		t.Errorf("top order %v", top)
+	}
+	if got := s.TopSupports(100); len(got) != 5 {
+		t.Errorf("clamped top length %d", len(got))
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewBuilder(0) did not panic")
+			}
+		}()
+		NewBuilder("x", 0)
+	}()
+	b := NewBuilder("x", 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Add did not panic")
+		}
+	}()
+	b.Add([]Item{3})
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := sampleStore(t)
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	// The empty transaction serializes to an empty line, which Read skips;
+	// compare supports rather than record counts.
+	back, err := Read(&buf, "sample", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRecords() != 4 {
+		t.Errorf("round-trip records = %d, want 4 (empty tx dropped)", back.NumRecords())
+	}
+	wantSup := s.ItemSupports()
+	gotSup := back.ItemSupports()
+	for i := range wantSup {
+		if wantSup[i] != gotSup[i] {
+			t.Errorf("support[%d]: %d != %d", i, gotSup[i], wantSup[i])
+		}
+	}
+}
+
+func TestReadInference(t *testing.T) {
+	in := "1 5 2\n\n7\n"
+	s, err := Read(strings.NewReader(in), "inferred", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumItems() != 8 {
+		t.Errorf("inferred NumItems = %d, want 8", s.NumItems())
+	}
+	if s.NumRecords() != 2 {
+		t.Errorf("records = %d, want 2", s.NumRecords())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]struct {
+		in       string
+		numItems int
+	}{
+		"garbage":      {"1 x 2\n", 0},
+		"negative":     {"-3\n", 0},
+		"out of range": {"9\n", 5},
+	}
+	for name, c := range cases {
+		if _, err := Read(strings.NewReader(c.in), "bad", c.numItems); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	s, err := Read(strings.NewReader(""), "empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRecords() != 0 || s.NumItems() != 1 {
+		t.Errorf("empty store: %d records, %d items", s.NumRecords(), s.NumItems())
+	}
+}
+
+func TestProfilesMatchTable1(t *testing.T) {
+	want := []struct {
+		name    string
+		records int
+		items   int
+	}{
+		{"BMS-POS", 515597, 1657},
+		{"Kosarak", 990002, 41270},
+		{"AOL", 647377, 2290685},
+		{"Zipf", 1000000, 10000},
+	}
+	ps := Profiles()
+	if len(ps) != len(want) {
+		t.Fatalf("got %d profiles", len(ps))
+	}
+	for i, w := range want {
+		if ps[i].Name != w.name || ps[i].Records != w.records || ps[i].Items != w.items {
+			t.Errorf("profile %d = %+v, want %+v", i, ps[i], w)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("Kosarak")
+	if err != nil || p.Name != "Kosarak" {
+		t.Errorf("ProfileByName(Kosarak) = %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestGenerateDeterministicAndSized(t *testing.T) {
+	p := Profile{Name: "tiny", Records: 2000, Items: 100, MeanTxLen: 4, Exponent: 1.0}
+	a, err := Generate(p, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRecords() != 2000 {
+		t.Errorf("records = %d", a.NumRecords())
+	}
+	sa, sb := a.ItemSupports(), b.ItemSupports()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same seed diverged at item %d", i)
+		}
+	}
+	c, err := Generate(p, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRecords() != 500 {
+		t.Errorf("scaled records = %d, want 500", c.NumRecords())
+	}
+	if c.NumItems() != 100 {
+		t.Errorf("scaled items = %d, want full universe", c.NumItems())
+	}
+}
+
+func TestGenerateTransactionsAreSets(t *testing.T) {
+	p := Profile{Name: "sets", Records: 500, Items: 20, MeanTxLen: 6, Exponent: 0.8}
+	s, err := Generate(p, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Each(func(tx []Item) {
+		seen := map[Item]bool{}
+		for _, it := range tx {
+			if seen[it] {
+				t.Fatalf("duplicate item %d in transaction %v", it, tx)
+			}
+			seen[it] = true
+		}
+		if len(tx) == 0 {
+			t.Fatal("empty generated transaction")
+		}
+	})
+}
+
+func TestGenerateSupportShape(t *testing.T) {
+	// The realized support curve must decrease with popularity rank and
+	// roughly match the analytic expectation.
+	p := Profile{Name: "shape", Records: 50000, Items: 500, MeanTxLen: 3, Exponent: 1.0}
+	s, err := Generate(p, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supports := s.ItemSupports()
+	// Items are generated so that item id == popularity rank - 1.
+	for _, rank := range []int{1, 5, 20, 100} {
+		want := ExpectedSupport(p, 1, rank)
+		got := float64(supports[rank-1])
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("rank %d: support %v, expected ≈%v", rank, got, want)
+		}
+	}
+	// Monotone on average: compare coarse buckets rather than neighbors.
+	bucket := func(lo, hi int) float64 {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += float64(supports[i])
+		}
+		return sum / float64(hi-lo)
+	}
+	if !(bucket(0, 10) > bucket(50, 60) && bucket(50, 60) > bucket(400, 500)) {
+		t.Error("support curve is not decreasing across rank buckets")
+	}
+}
+
+func TestGenerateSteeperExponentConcentratesHead(t *testing.T) {
+	base := Profile{Name: "flat", Records: 30000, Items: 300, MeanTxLen: 2, Exponent: 0.6}
+	steep := base
+	steep.Name = "steep"
+	steep.Exponent = 1.4
+	headShare := func(p Profile) float64 {
+		s, err := Generate(p, 1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := s.ItemSupports()
+		head, total := 0, 0
+		for i, v := range sup {
+			total += v
+			if i < 10 {
+				head += v
+			}
+		}
+		return float64(head) / float64(total)
+	}
+	if hFlat, hSteep := headShare(base), headShare(steep); hSteep <= hFlat {
+		t.Errorf("steeper exponent head share %v <= flatter %v", hSteep, hFlat)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	good := Profile{Name: "g", Records: 10, Items: 5, MeanTxLen: 2, Exponent: 1}
+	cases := map[string]struct {
+		p     Profile
+		scale float64
+	}{
+		"zero scale":   {good, 0},
+		"neg scale":    {good, -0.5},
+		"scale > 1":    {good, 1.5},
+		"NaN scale":    {good, math.NaN()},
+		"zero records": {Profile{Name: "b", Records: 0, Items: 5, MeanTxLen: 2, Exponent: 1}, 1},
+		"zero items":   {Profile{Name: "b", Records: 10, Items: 0, MeanTxLen: 2, Exponent: 1}, 1},
+		"short txlen":  {Profile{Name: "b", Records: 10, Items: 5, MeanTxLen: 0.5, Exponent: 1}, 1},
+		"bad exponent": {Profile{Name: "b", Records: 10, Items: 5, MeanTxLen: 2, Exponent: 0}, 1},
+	}
+	for name, c := range cases {
+		if _, err := Generate(c.p, c.scale, 1); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Property: any generated store has records within bounds, all items in
+// range, and no empty transactions.
+func TestQuickGenerateWellFormed(t *testing.T) {
+	f := func(seed uint64, recRaw, itemRaw, expRaw uint8) bool {
+		p := Profile{
+			Name:      "q",
+			Records:   int(recRaw%50) + 1,
+			Items:     int(itemRaw%30) + 2,
+			MeanTxLen: 1 + float64(expRaw%4),
+			Exponent:  0.5 + float64(expRaw%3)/2,
+		}
+		s, err := Generate(p, 1, seed)
+		if err != nil {
+			return false
+		}
+		if s.NumRecords() != p.Records {
+			return false
+		}
+		okAll := true
+		s.Each(func(tx []Item) {
+			if len(tx) == 0 {
+				okAll = false
+			}
+			for _, it := range tx {
+				if it < 0 || int(it) >= p.Items {
+					okAll = false
+				}
+			}
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

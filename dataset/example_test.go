@@ -1,0 +1,41 @@
+package dataset_test
+
+import (
+	"fmt"
+
+	"github.com/dpgo/svt/dataset"
+)
+
+// Building a store and reading item supports.
+func ExampleBuilder() {
+	b := dataset.NewBuilder("visits", 3)
+	b.Add([]dataset.Item{0, 1})
+	b.Add([]dataset.Item{1})
+	b.Add([]dataset.Item{1, 2})
+	store := b.Build()
+
+	fmt.Println("records:", store.NumRecords())
+	fmt.Println("supports:", store.ItemSupports())
+	top := store.TopSupports(1)
+	fmt.Printf("top item: %d (support %d)\n", top[0].Item, top[0].Support)
+	// Output:
+	// records: 3
+	// supports: [1 3 1]
+	// top item: 1 (support 3)
+}
+
+// Generating one of the paper's Table-1 workloads at reduced scale.
+func ExampleGenerate() {
+	store, err := dataset.Generate(dataset.Zipf, 0.001, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("name:", store.Name())
+	fmt.Println("records:", store.NumRecords())
+	fmt.Println("items:", store.NumItems())
+	// Output:
+	// name: Zipf
+	// records: 1000
+	// items: 10000
+}

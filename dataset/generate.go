@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dpgo/svt/internal/rng"
+)
+
+// Profile describes one of the paper's four workloads (Table 1) together
+// with the shape parameters used to synthesize it.
+type Profile struct {
+	// Name is the dataset name as it appears in the paper.
+	Name string
+	// Records and Items are the Table 1 characteristics.
+	Records int
+	Items   int
+	// MeanTxLen is the mean transaction length of the synthesized store
+	// (1 means every record is a single item draw).
+	MeanTxLen float64
+	// Exponent is the Zipf exponent of the item-popularity distribution;
+	// larger values give steeper Figure 3 curves.
+	Exponent float64
+}
+
+// The four profiles of Table 1. Record and item counts are exactly the
+// published ones; MeanTxLen and Exponent are calibrated so the top-300
+// support curves reproduce the shapes of Figure 3 (AOL steepest and
+// sparsest, BMS-POS flattest and densest, Kosarak in between with a heavy
+// head, Zipf exactly 1/rank).
+var (
+	BMSPOS  = Profile{Name: "BMS-POS", Records: 515597, Items: 1657, MeanTxLen: 6.5, Exponent: 0.75}
+	Kosarak = Profile{Name: "Kosarak", Records: 990002, Items: 41270, MeanTxLen: 8.1, Exponent: 1.05}
+	AOL     = Profile{Name: "AOL", Records: 647377, Items: 2290685, MeanTxLen: 3.0, Exponent: 1.10}
+	Zipf    = Profile{Name: "Zipf", Records: 1000000, Items: 10000, MeanTxLen: 1.0, Exponent: 1.00}
+)
+
+// Profiles returns the paper's four workloads in Table 1 order.
+func Profiles() []Profile {
+	return []Profile{BMSPOS, Kosarak, AOL, Zipf}
+}
+
+// ProfileByName finds a profile case-sensitively by its paper name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("dataset: unknown profile %q", name)
+}
+
+// Generate synthesizes a transaction store for the profile at the given
+// scale: scale 1 produces exactly Profile.Records transactions over
+// Profile.Items items (the Table 1 characteristics); smaller scales shrink
+// the record count proportionally (the item universe keeps its full size so
+// score distributions keep their shape). Generation is deterministic in
+// seed.
+func Generate(p Profile, scale float64, seed uint64) (*Store, error) {
+	if !(scale > 0 && scale <= 1) || math.IsNaN(scale) {
+		return nil, fmt.Errorf("dataset: scale must be in (0, 1], got %v", scale)
+	}
+	if p.Records <= 0 || p.Items <= 0 {
+		return nil, fmt.Errorf("dataset: profile %q has non-positive size", p.Name)
+	}
+	if !(p.MeanTxLen >= 1) {
+		return nil, fmt.Errorf("dataset: profile %q mean transaction length %v < 1", p.Name, p.MeanTxLen)
+	}
+	if !(p.Exponent > 0) {
+		return nil, fmt.Errorf("dataset: profile %q exponent %v <= 0", p.Name, p.Exponent)
+	}
+	records := int(math.Round(float64(p.Records) * scale))
+	if records < 1 {
+		records = 1
+	}
+	src := rng.New(seed)
+	popularity := rng.NewZipf(p.Items, p.Exponent)
+
+	b := NewBuilder(p.Name, p.Items)
+	// Transaction lengths are 1 + Geometric(pGeom), giving mean MeanTxLen.
+	single := p.MeanTxLen == 1
+	var pGeom float64
+	if !single {
+		pGeom = 1 / p.MeanTxLen
+	}
+	tx := make([]Item, 0, 32)
+	for r := 0; r < records; r++ {
+		length := 1
+		if !single {
+			length = 1 + src.Geometric(pGeom)
+			// A transaction cannot hold more distinct items than the
+			// universe; without this clamp the redraw loop below would
+			// never terminate on tiny universes.
+			if length > p.Items {
+				length = p.Items
+			}
+		}
+		tx = tx[:0]
+		for len(tx) < length {
+			it := Item(popularity.Sample(src) - 1)
+			if containsItem(tx, it) {
+				// Redraw duplicates; transactions are item sets. With
+				// thousands of items collisions are rare, so the expected
+				// number of redraws is negligible.
+				continue
+			}
+			tx = append(tx, it)
+		}
+		b.Add(tx)
+	}
+	return b.Build(), nil
+}
+
+// containsItem reports whether tx already holds it. Transactions are short
+// (a few dozen items at most), so a linear scan beats a map.
+func containsItem(tx []Item, it Item) bool {
+	for _, v := range tx {
+		if v == it {
+			return true
+		}
+	}
+	return false
+}
+
+// ExpectedSupport returns the analytically expected support of the item at
+// popularity rank (1-based) under the profile at the given scale. Tests use
+// it to verify the generator matches its own model; the experiments use the
+// realized supports, never this.
+func ExpectedSupport(p Profile, scale float64, rank int) float64 {
+	z := rng.NewZipf(p.Items, p.Exponent)
+	records := math.Round(float64(p.Records) * scale)
+	prob := z.Prob(rank)
+	if p.MeanTxLen == 1 {
+		return records * prob
+	}
+	// A transaction of length L contains the item with probability
+	// ≈ 1-(1-prob)^L; average over the geometric length distribution.
+	// For small prob this is ≈ MeanTxLen·prob.
+	mean := 0.0
+	pGeom := 1 / p.MeanTxLen
+	// Truncate the length distribution at a generous quantile.
+	for l, w := 1, pGeom; l < 200; l++ {
+		mean += w * (1 - math.Pow(1-prob, float64(l)))
+		w *= 1 - pGeom
+	}
+	return records * mean
+}

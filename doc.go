@@ -1,0 +1,34 @@
+// Package svt implements the Sparse Vector Technique (SVT) for
+// differential privacy as analyzed and fixed by Lyu, Su and Li,
+// "Understanding the Sparse Vector Technique for Differential Privacy"
+// (PVLDB 10(6), 2017; arXiv:1603.01699).
+//
+// # What SVT does
+//
+// Given a stream of queries q₁, q₂, ... (each with sensitivity at most Δ)
+// and thresholds T₁, T₂, ..., SVT releases for each query only whether its
+// answer is above (⊤) or below (⊥) the threshold. Its unique property is
+// that only positive outcomes consume privacy budget: with a cutoff of c
+// positives, the whole — arbitrarily long — interaction is ε-DP.
+//
+// # What this package provides
+//
+//   - Sparse: a streaming above-threshold mechanism implementing the
+//     paper's Algorithm 7 (the corrected, generalized SVT proved
+//     (ε₁+ε₂+ε₃)-DP in Theorem 4) with the monotonic-query refinement of
+//     Theorem 5 and the variance-optimal budget allocation of §4.2.
+//   - TopC: non-interactive top-c selection via single-pass SVT, SVT with
+//     retraversal (§5), or the Exponential Mechanism — the paper's
+//     recommendation for the non-interactive setting.
+//
+// The subpackage variants exposes the paper's six historical SVT variants
+// (including the broken, non-private ones) for research and auditing; the
+// packages dataset, fim, pmw, metrics, audit and experiments reproduce the
+// paper's evaluation end to end.
+//
+// # Choosing between SVT and EM
+//
+// In the interactive setting (queries not known in advance) use Sparse. In
+// the non-interactive setting the paper shows the Exponential Mechanism
+// dominates SVT for top-c selection; use TopC with MethodEM.
+package svt

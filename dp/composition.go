@@ -1,0 +1,82 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdvancedComposition returns the (ε′, δ′)-DP guarantee of running k
+// instances of an ε-DP mechanism, per the boosting theorem of Dwork,
+// Rothblum and Vadhan (FOCS 2010) that the paper's §3.4 cites:
+//
+//	ε′ = √(2k·ln(1/δ′))·ε + k·ε·(e^ε − 1).
+//
+// It returns an error unless k ≥ 1, ε > 0 and δ′ ∈ (0, 1). For small ε and
+// large k this is far tighter than the basic k·ε bound; the (ε, δ)-DP SVT
+// variants the paper sets aside in §3.4 are built on it.
+func AdvancedComposition(k int, epsilon, deltaPrime float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("dp: k must be >= 1, got %d", k)
+	}
+	if !(epsilon > 0) || math.IsInf(epsilon, 0) {
+		return 0, fmt.Errorf("dp: epsilon must be positive and finite, got %v", epsilon)
+	}
+	if !(deltaPrime > 0 && deltaPrime < 1) {
+		return 0, fmt.Errorf("dp: delta' must be in (0,1), got %v", deltaPrime)
+	}
+	kf := float64(k)
+	return math.Sqrt(2*kf*math.Log(1/deltaPrime))*epsilon + kf*epsilon*(math.Expm1(epsilon)), nil
+}
+
+// PerStepEpsilon inverts AdvancedComposition: the largest per-step ε such
+// that k steps compose to at most (totalEpsilon, deltaPrime)-DP. It solves
+// the monotone equation by bisection to within 1e-12 relative error.
+func PerStepEpsilon(k int, totalEpsilon, deltaPrime float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("dp: k must be >= 1, got %d", k)
+	}
+	if !(totalEpsilon > 0) || math.IsInf(totalEpsilon, 0) {
+		return 0, fmt.Errorf("dp: total epsilon must be positive and finite, got %v", totalEpsilon)
+	}
+	if !(deltaPrime > 0 && deltaPrime < 1) {
+		return 0, fmt.Errorf("dp: delta' must be in (0,1), got %v", deltaPrime)
+	}
+	lo, hi := 0.0, totalEpsilon // per-step ε never exceeds the total
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
+		got, err := AdvancedComposition(k, mid, deltaPrime)
+		if err != nil {
+			return 0, err
+		}
+		if got > totalEpsilon {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if lo == 0 {
+		return 0, fmt.Errorf("dp: no positive per-step epsilon satisfies the target")
+	}
+	return lo, nil
+}
+
+// BasicComposition returns the ε of sequentially composing the given
+// per-mechanism budgets (the §2 composition the whole paper runs on): the
+// plain sum. It errors on non-positive entries so silent budget accounting
+// bugs surface early.
+func BasicComposition(epsilons ...float64) (float64, error) {
+	if len(epsilons) == 0 {
+		return 0, fmt.Errorf("dp: no budgets to compose")
+	}
+	total := 0.0
+	for i, e := range epsilons {
+		if !(e > 0) || math.IsInf(e, 0) {
+			return 0, fmt.Errorf("dp: budget %d must be positive and finite, got %v", i, e)
+		}
+		total += e
+	}
+	return total, nil
+}

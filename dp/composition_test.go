@@ -1,0 +1,176 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvancedCompositionKnownValue(t *testing.T) {
+	// k=100, eps=0.1, delta'=1e-5: sqrt(2*100*ln(1e5))*0.1 + 100*0.1*(e^0.1-1)
+	got, err := AdvancedComposition(100, 0.1, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2*100*math.Log(1e5))*0.1 + 100*0.1*(math.Exp(0.1)-1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestAdvancedCompositionBeatsBasicForSmallEps(t *testing.T) {
+	// The §3.4 point: for many small-ε steps the advanced bound is far
+	// below k·ε.
+	const k, eps = 10000, 0.001
+	adv, err := AdvancedComposition(k, eps, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basic := float64(k) * eps; adv >= basic {
+		t.Fatalf("advanced %v not below basic %v", adv, basic)
+	}
+}
+
+func TestAdvancedCompositionValidation(t *testing.T) {
+	cases := []struct {
+		k     int
+		eps   float64
+		delta float64
+	}{
+		{0, 0.1, 0.1}, {-1, 0.1, 0.1},
+		{1, 0, 0.1}, {1, -1, 0.1}, {1, math.Inf(1), 0.1},
+		{1, 0.1, 0}, {1, 0.1, 1}, {1, 0.1, -0.5},
+	}
+	for _, c := range cases {
+		if _, err := AdvancedComposition(c.k, c.eps, c.delta); err == nil {
+			t.Errorf("AdvancedComposition(%d, %v, %v) accepted", c.k, c.eps, c.delta)
+		}
+	}
+}
+
+func TestPerStepEpsilonInverts(t *testing.T) {
+	for _, k := range []int{1, 10, 1000} {
+		for _, total := range []float64{0.1, 1, 5} {
+			per, err := PerStepEpsilon(k, total, 1e-5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if per <= 0 || per > total {
+				t.Fatalf("k=%d total=%v: per-step %v out of range", k, total, per)
+			}
+			back, err := AdvancedComposition(k, per, 1e-5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back > total*(1+1e-9) {
+				t.Fatalf("k=%d: composed %v exceeds target %v", k, back, total)
+			}
+			// Tightness: nudging the per-step budget up must overshoot.
+			over, err := AdvancedComposition(k, per*1.001, 1e-5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if over <= total {
+				t.Fatalf("k=%d: inversion not tight (%v still under %v)", k, over, total)
+			}
+		}
+	}
+	if _, err := PerStepEpsilon(0, 1, 0.1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PerStepEpsilon(1, 0, 0.1); err == nil {
+		t.Error("total 0 accepted")
+	}
+	if _, err := PerStepEpsilon(1, 1, 0); err == nil {
+		t.Error("delta 0 accepted")
+	}
+}
+
+// Property: advanced composition is monotone in k and ε.
+func TestQuickAdvancedCompositionMonotone(t *testing.T) {
+	f := func(kRaw uint8, epsRaw uint8) bool {
+		k := int(kRaw%100) + 1
+		eps := float64(epsRaw%50)/100 + 0.01
+		a, err1 := AdvancedComposition(k, eps, 1e-5)
+		b, err2 := AdvancedComposition(k+1, eps, 1e-5)
+		c, err3 := AdvancedComposition(k, eps*1.1, 1e-5)
+		return err1 == nil && err2 == nil && err3 == nil && b > a && c > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicComposition(t *testing.T) {
+	got, err := BasicComposition(0.1, 0.2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := BasicComposition(); err == nil {
+		t.Error("empty composition accepted")
+	}
+	if _, err := BasicComposition(0.1, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := BasicComposition(math.Inf(1)); err == nil {
+		t.Error("infinite budget accepted")
+	}
+}
+
+func TestGeometricReleaseDistribution(t *testing.T) {
+	g, err := NewGeometric(1.0, 1, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.Alpha(), math.Exp(-1); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Alpha = %v, want %v", got, want)
+	}
+	const n = 200000
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		counts[g.Release(0)]++
+	}
+	alpha := math.Exp(-1.0)
+	norm := (1 - alpha) / (1 + alpha)
+	for _, k := range []int64{-2, -1, 0, 1, 2} {
+		want := norm * math.Pow(alpha, math.Abs(float64(k)))
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Pr[X=%d] = %v, want %v", k, got, want)
+		}
+	}
+	// DP ratio check on the pmf: Pr[X=k]/Pr[X=k+1] = 1/alpha = e^eps for k >= 0.
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatal("degenerate sample")
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if math.Abs(ratio-math.E) > 0.2 {
+		t.Errorf("pmf ratio %v, want ~e", ratio)
+	}
+}
+
+func TestGeometricSensitivityScalesNoise(t *testing.T) {
+	g1, _ := NewGeometric(1.0, 1, 5)
+	g4, _ := NewGeometric(1.0, 4, 5)
+	if !(g4.Alpha() > g1.Alpha()) {
+		t.Fatal("higher sensitivity should mean slower decay (more noise)")
+	}
+}
+
+func TestNewGeometricValidation(t *testing.T) {
+	if _, err := NewGeometric(0, 1, 1); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := NewGeometric(math.Inf(1), 1, 1); err == nil {
+		t.Error("infinite epsilon accepted")
+	}
+	if _, err := NewGeometric(1, 0, 1); err == nil {
+		t.Error("zero sensitivity accepted")
+	}
+	if _, err := NewGeometric(1, -3, 1); err == nil {
+		t.Error("negative sensitivity accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Package dp provides the differential-privacy primitives the paper builds
+// on (§2 Background): the Laplace mechanism, the Exponential Mechanism, and
+// a sequential-composition budget accountant.
+//
+// Definitions follow Dwork et al.: a randomized mechanism A is ε-DP when
+// for all neighboring datasets D ≃ D′ and all outputs S,
+// Pr[A(D) = S] ≤ e^ε · Pr[A(D′) = S]. Neighbors differ in one tuple.
+//
+// Randomness: mechanisms draw noise from a deterministic generator seeded
+// either explicitly (reproducible experiments) or, by default, from
+// crypto/rand. Like essentially all floating-point DP implementations,
+// the samplers are subject to the caveats of Mironov (CCS 2012) on
+// floating-point artifacts; this library targets research reproduction,
+// not adversarial deployment.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/dpgo/svt/internal/rng"
+)
+
+// ErrBudgetExhausted is returned by Accountant.Spend when a request would
+// exceed the total privacy budget.
+var ErrBudgetExhausted = errors.New("dp: privacy budget exhausted")
+
+// Laplace is the Laplace mechanism: Release(x) = x + Lap(Δ/ε).
+type Laplace struct {
+	src         *rng.Source
+	epsilon     float64
+	sensitivity float64
+}
+
+// NewLaplace builds a Laplace mechanism with per-release budget epsilon and
+// global sensitivity Δ = sensitivity. Seed 0 means crypto-seeded.
+func NewLaplace(epsilon, sensitivity float64, seed uint64) (*Laplace, error) {
+	if !(epsilon > 0) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("dp: epsilon must be positive and finite, got %v", epsilon)
+	}
+	if !(sensitivity > 0) || math.IsInf(sensitivity, 0) {
+		return nil, fmt.Errorf("dp: sensitivity must be positive and finite, got %v", sensitivity)
+	}
+	return &Laplace{src: rng.NewSeeded(seed), epsilon: epsilon, sensitivity: sensitivity}, nil
+}
+
+// Release returns value + Lap(Δ/ε). Each call is one ε-DP release; callers
+// compose budgets with an Accountant.
+func (l *Laplace) Release(value float64) float64 {
+	return value + l.src.Laplace(l.sensitivity/l.epsilon)
+}
+
+// Scale returns the Laplace noise scale Δ/ε used by Release.
+func (l *Laplace) Scale() float64 { return l.sensitivity / l.epsilon }
+
+// Exponential is the Exponential Mechanism of McSherry and Talwar: it
+// selects an output r with probability proportional to exp(ε·q(D,r)/(2Δq)),
+// or exp(ε·q(D,r)/Δq) when the quality changes are one-directional
+// (monotonic), as for counting queries under add/remove-one neighbors.
+type Exponential struct {
+	src         *rng.Source
+	epsilon     float64
+	sensitivity float64
+	monotonic   bool
+}
+
+// NewExponential builds an exponential mechanism with budget epsilon and
+// quality-function sensitivity Δq = sensitivity. Seed 0 means
+// crypto-seeded.
+func NewExponential(epsilon, sensitivity float64, monotonic bool, seed uint64) (*Exponential, error) {
+	if !(epsilon > 0) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("dp: epsilon must be positive and finite, got %v", epsilon)
+	}
+	if !(sensitivity > 0) || math.IsInf(sensitivity, 0) {
+		return nil, fmt.Errorf("dp: sensitivity must be positive and finite, got %v", sensitivity)
+	}
+	return &Exponential{src: rng.NewSeeded(seed), epsilon: epsilon, sensitivity: sensitivity, monotonic: monotonic}, nil
+}
+
+// Select returns the index of one candidate drawn with probability
+// proportional to exp(coef·quality[i]), where coef is ε/(2Δq) — ε/Δq when
+// monotonic. It uses the Gumbel-max trick, which samples the softmax
+// exactly. It returns an error if quality is empty or contains a NaN.
+func (e *Exponential) Select(quality []float64) (int, error) {
+	if len(quality) == 0 {
+		return 0, errors.New("dp: Select on empty candidate set")
+	}
+	coef := e.epsilon / (2 * e.sensitivity)
+	if e.monotonic {
+		coef = e.epsilon / e.sensitivity
+	}
+	best, bestVal := -1, math.Inf(-1)
+	for i, q := range quality {
+		if math.IsNaN(q) {
+			return 0, fmt.Errorf("dp: quality[%d] is NaN", i)
+		}
+		if v := coef*q + e.src.Gumbel(1); v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best, nil
+}
+
+// Accountant tracks sequential composition against a fixed total budget.
+// It is not safe for concurrent use; guard it with a mutex if shared.
+type Accountant struct {
+	total float64
+	spent float64
+}
+
+// NewAccountant creates an accountant with the given total ε budget.
+func NewAccountant(total float64) (*Accountant, error) {
+	if !(total > 0) || math.IsInf(total, 0) {
+		return nil, fmt.Errorf("dp: total budget must be positive and finite, got %v", total)
+	}
+	return &Accountant{total: total}, nil
+}
+
+// Spend reserves eps from the budget, or returns ErrBudgetExhausted
+// (wrapped with the amounts involved) without spending anything.
+func (a *Accountant) Spend(eps float64) error {
+	if !(eps > 0) {
+		return fmt.Errorf("dp: spend amount must be positive, got %v", eps)
+	}
+	// A relative tolerance absorbs float accumulation across many spends.
+	if a.spent+eps > a.total*(1+1e-9) {
+		return fmt.Errorf("%w: requested %v with %v of %v remaining",
+			ErrBudgetExhausted, eps, a.Remaining(), a.total)
+	}
+	a.spent += eps
+	return nil
+}
+
+// Remaining returns the unspent budget (never negative).
+func (a *Accountant) Remaining() float64 {
+	r := a.total - a.spent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Spent returns the consumed budget.
+func (a *Accountant) Spent() float64 { return a.spent }
+
+// Total returns the configured total budget.
+func (a *Accountant) Total() float64 { return a.total }

@@ -1,0 +1,80 @@
+package dp_test
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dpgo/svt/dp"
+)
+
+// Releasing a count with the Laplace mechanism.
+func ExampleLaplace() {
+	mech, err := dp.NewLaplace(1.0, 1, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	noisy := mech.Release(1000)
+	// The release is within a few noise scales of the truth.
+	fmt.Println("scale:", mech.Scale())
+	fmt.Println("plausible:", noisy > 990 && noisy < 1010)
+	// Output:
+	// scale: 1
+	// plausible: true
+}
+
+// Selecting the (approximately) best candidate with the Exponential
+// Mechanism.
+func ExampleExponential() {
+	mech, err := dp.NewExponential(5.0, 1, true, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	quality := []float64{1, 30, 2, 3}
+	idx, err := mech.Select(quality)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("selected index:", idx)
+	// Output:
+	// selected index: 1
+}
+
+// Tracking sequential composition against a fixed total budget.
+func ExampleAccountant() {
+	acct, err := dp.NewAccountant(1.0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 0; i < 3; i++ {
+		if err := acct.Spend(0.4); err != nil {
+			if errors.Is(err, dp.ErrBudgetExhausted) {
+				fmt.Println("stopped: budget exhausted")
+				break
+			}
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("spent 0.4, remaining %.1f\n", acct.Remaining())
+	}
+	// Output:
+	// spent 0.4, remaining 0.6
+	// spent 0.4, remaining 0.2
+	// stopped: budget exhausted
+}
+
+// The §3.4 advanced-composition bound: k small-ε steps compose far better
+// than the basic k·ε sum.
+func ExampleAdvancedComposition() {
+	eps, err := dp.AdvancedComposition(10000, 0.001, 1e-6)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("advanced: %.3f vs basic: %.1f\n", eps, 10000*0.001)
+	// Output:
+	// advanced: 0.536 vs basic: 10.0
+}

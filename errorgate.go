@@ -1,0 +1,71 @@
+package svt
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrorGate is the §3.4 pattern as a first-class API: deciding whether the
+// error of a derived (public) answer exceeds a threshold, the primitive at
+// the heart of the iterative-construction frameworks (Roth-Roughgarden's
+// median mechanism, Hardt-Rothblum's multiplicative weights).
+//
+// The original papers tested "if |q̃ᵢ − qᵢ(D) + νᵢ| ≥ T + ρ" — noise INSIDE
+// the absolute value — which leaks the threshold noise: the left side is
+// always non-negative, so any ⊤ reveals ρ ≥ −T and the free negative
+// answers stop being free. The paper's fix is to treat rᵢ = |q̃ᵢ − qᵢ(D)|
+// as the query and add the noise outside: "if |q̃ᵢ − qᵢ(D)| + νᵢ ≥ T + ρ".
+// ErrorGate implements exactly that, as a thin wrapper over Sparse.
+//
+// Sensitivity: if q has sensitivity Δ and q̃ is public (computed from past
+// released answers), then r = |q̃ − q(D)| also has sensitivity Δ.
+type ErrorGate struct {
+	sparse    *Sparse
+	threshold float64
+}
+
+// NewErrorGate builds an error gate with the given error threshold. The
+// remaining options are as for New; opts.Monotonic must be false because
+// error queries r = |q̃ − q(D)| are not monotonic even when q is (the error
+// can move either way when a record is added).
+func NewErrorGate(threshold float64, opts Options) (*ErrorGate, error) {
+	if !(threshold > 0) || math.IsInf(threshold, 0) {
+		return nil, fmt.Errorf("svt: error threshold must be positive and finite, got %v", threshold)
+	}
+	if opts.Monotonic {
+		return nil, fmt.Errorf("svt: error-gate queries are not monotonic; unset Monotonic")
+	}
+	s, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ErrorGate{sparse: s, threshold: threshold}, nil
+}
+
+// ExceedsThreshold reports (noisily) whether |estimate − truth| is at or
+// above the gate's threshold. estimate must be derived from public
+// information only; truth is the private value. Each true report consumes
+// one of MaxPositives; false reports are free. It returns ErrHalted after
+// the positive budget is spent.
+func (g *ErrorGate) ExceedsThreshold(estimate, truth float64) (bool, error) {
+	if math.IsNaN(estimate) || math.IsInf(estimate, 0) {
+		return false, fmt.Errorf("svt: estimate must be finite, got %v", estimate)
+	}
+	if math.IsNaN(truth) || math.IsInf(truth, 0) {
+		return false, fmt.Errorf("svt: truth must be finite, got %v", truth)
+	}
+	res, err := g.sparse.Next(math.Abs(estimate-truth), g.threshold)
+	if err != nil {
+		return false, err
+	}
+	return res.Above, nil
+}
+
+// Halted reports whether the gate has spent its positive budget.
+func (g *ErrorGate) Halted() bool { return g.sparse.Halted() }
+
+// Remaining returns how many more positive reports may be issued.
+func (g *ErrorGate) Remaining() int { return g.sparse.Remaining() }
+
+// Threshold returns the configured error threshold.
+func (g *ErrorGate) Threshold() float64 { return g.threshold }

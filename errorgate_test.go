@@ -1,0 +1,134 @@
+package svt_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	svt "github.com/dpgo/svt"
+)
+
+func gateOptions() svt.Options {
+	return svt.Options{Epsilon: 2.0, Sensitivity: 1, MaxPositives: 3, Seed: 55}
+}
+
+func TestNewErrorGateValidation(t *testing.T) {
+	if _, err := svt.NewErrorGate(0, gateOptions()); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := svt.NewErrorGate(-5, gateOptions()); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := svt.NewErrorGate(math.Inf(1), gateOptions()); err == nil {
+		t.Error("infinite threshold accepted")
+	}
+	opts := gateOptions()
+	opts.Monotonic = true
+	if _, err := svt.NewErrorGate(10, opts); err == nil {
+		t.Error("monotonic error gate accepted")
+	}
+	opts = gateOptions()
+	opts.Epsilon = 0
+	if _, err := svt.NewErrorGate(10, opts); err == nil {
+		t.Error("invalid inner options accepted")
+	}
+}
+
+func TestErrorGateSmallErrorsAreFree(t *testing.T) {
+	gate, err := svt.NewErrorGate(1000, gateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gate.Threshold() != 1000 {
+		t.Fatalf("Threshold = %v", gate.Threshold())
+	}
+	// Zero-error checks: with threshold 1000 and modest noise, these must
+	// essentially always pass and never consume budget.
+	for i := 0; i < 100; i++ {
+		above, err := gate.ExceedsThreshold(500, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above {
+			t.Fatalf("zero error reported above threshold at query %d", i)
+		}
+	}
+	if gate.Remaining() != 3 {
+		t.Fatalf("free checks consumed budget: remaining %d", gate.Remaining())
+	}
+}
+
+func TestErrorGateLargeErrorsTriggerAndHalt(t *testing.T) {
+	gate, err := svt.NewErrorGate(10, gateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	positives := 0
+	for i := 0; i < 50; i++ {
+		above, err := gate.ExceedsThreshold(0, 1e9)
+		if errors.Is(err, svt.ErrHalted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above {
+			positives++
+		}
+	}
+	if positives != 3 {
+		t.Fatalf("positives = %d, want 3", positives)
+	}
+	if !gate.Halted() || gate.Remaining() != 0 {
+		t.Fatal("gate did not halt after budget")
+	}
+}
+
+func TestErrorGateRejectsNonFinite(t *testing.T) {
+	gate, err := svt.NewErrorGate(10, gateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := gate.ExceedsThreshold(v, 0); err == nil {
+			t.Errorf("estimate %v accepted", v)
+		}
+		if _, err := gate.ExceedsThreshold(0, v); err == nil {
+			t.Errorf("truth %v accepted", v)
+		}
+	}
+}
+
+// The gate must be symmetric in the error sign: |q̃ − q| is what is tested.
+func TestErrorGateSymmetry(t *testing.T) {
+	count := func(estimate, truth float64, seed uint64) int {
+		hits := 0
+		for i := 0; i < 4000; i++ {
+			opts := gateOptions()
+			opts.Seed = seed + uint64(i)
+			opts.MaxPositives = 1
+			gate, err := svt.NewErrorGate(50, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			above, err := gate.ExceedsThreshold(estimate, truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if above {
+				hits++
+			}
+		}
+		return hits
+	}
+	plus := count(100, 40, 1000)  // error +60
+	minus := count(40, 100, 5000) // error −60
+	// Both directions see |error| = 60 above threshold 50; rates must be
+	// statistically indistinguishable.
+	if math.Abs(float64(plus-minus)) > 300 {
+		t.Fatalf("asymmetric gate: +%d vs -%d", plus, minus)
+	}
+	if plus < 2000 {
+		t.Fatalf("error 60 vs threshold 50 triggered only %d/4000", plus)
+	}
+}

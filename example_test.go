@@ -1,0 +1,96 @@
+package svt_test
+
+import (
+	"errors"
+	"fmt"
+
+	svt "github.com/dpgo/svt"
+)
+
+// The basic interactive loop: stream counts against a threshold, stop when
+// the positive budget is spent.
+func ExampleSparse() {
+	mech, err := svt.New(svt.Options{
+		Epsilon:      2.0,
+		Sensitivity:  1,
+		MaxPositives: 2,
+		Monotonic:    true,
+		Seed:         42, // fixed seed: reproducible example output
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	counts := []float64{900, 2100, 400, 1900, 800}
+	for _, c := range counts {
+		res, err := mech.Next(c, 1000)
+		if errors.Is(err, svt.ErrHalted) {
+			fmt.Println("halted")
+			break
+		}
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Println(res)
+	}
+	// Output:
+	// ⊥
+	// ⊤
+	// ⊥
+	// ⊤
+	// halted
+}
+
+// Non-interactive top-c selection with the Exponential Mechanism — the
+// paper's recommendation when all scores are known up front.
+func ExampleTopC() {
+	scores := []float64{120, 4500, 300, 3900, 80, 4100}
+	selected, err := svt.TopC(scores, svt.SelectOptions{
+		Epsilon:     1.0,
+		Sensitivity: 1,
+		C:           3,
+		Monotonic:   true,
+		Method:      svt.MethodEM,
+		Seed:        7,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("selected:", selected)
+	// Output:
+	// selected: [1 5 3]
+}
+
+// The §3.4 error gate: spend budget only when a public estimate is too far
+// from the private truth.
+func ExampleErrorGate() {
+	gate, err := svt.NewErrorGate(100, svt.Options{
+		Epsilon:      2.0,
+		Sensitivity:  1,
+		MaxPositives: 1,
+		Seed:         11,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Estimate 510 vs truth 500: error 10, far under the threshold of 100.
+	ok, err := gate.ExceedsThreshold(510, 500)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("needs refresh:", ok)
+	// Estimate 100 vs truth 900: error 800, far over.
+	ok, err = gate.ExceedsThreshold(100, 900)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("needs refresh:", ok)
+	// Output:
+	// needs refresh: false
+	// needs refresh: true
+}

@@ -1,0 +1,51 @@
+// Quickstart: answer a stream of threshold queries with the corrected
+// Sparse Vector Technique (the paper's Algorithm 7).
+//
+// The scenario: a sequence of daily event counts arrives; we want to flag
+// the days whose count exceeds 1000, spending privacy budget only on the
+// flagged days. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	svt "github.com/dpgo/svt"
+)
+
+func main() {
+	// One mechanism answers the whole stream. Epsilon covers the entire
+	// interaction; MaxPositives caps how many ⊤ answers may be released.
+	mech, err := svt.New(svt.Options{
+		Epsilon:      1.0,
+		Sensitivity:  1, // counting query: one person changes a day's count by 1
+		MaxPositives: 3,
+		Monotonic:    true, // counts move one way between neighbors
+		Seed:         42,   // fixed seed so the example is reproducible; drop for production
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eps1, eps2, _ := mech.Budgets()
+	fmt.Printf("budget split: eps1=%.4f (threshold), eps2=%.4f (queries)\n\n", eps1, eps2)
+
+	dailyCounts := []float64{850, 990, 1400, 700, 1250, 500, 2100, 950, 1800, 600}
+	const threshold = 1000
+
+	for day, count := range dailyCounts {
+		res, err := mech.Next(count, threshold)
+		if errors.Is(err, svt.ErrHalted) {
+			fmt.Printf("day %d: budget for positive answers exhausted, stopping\n", day)
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("day %d: count %5.0f → %s\n", day, count, res)
+	}
+	fmt.Printf("\nanswered %d queries, %d positive slots left\n", mech.Answered(), mech.Remaining())
+	fmt.Println("negative answers consumed no budget — that is SVT's whole point")
+}

@@ -1,0 +1,60 @@
+// Private top-k frequent itemsets — the Lee & Clifton 2014 workload whose
+// broken SVT (Algorithm 4) the paper dissects, rebuilt on the corrected
+// machinery.
+//
+// The pipeline mines candidate itemsets with FP-Growth from a synthetic
+// Kosarak-profile store, then privately selects the top k by support,
+// comparing the paper's two non-interactive contenders: SVT with
+// retraversal and the Exponential Mechanism. Run with:
+//
+//	go run ./examples/topk-itemsets
+package main
+
+import (
+	"fmt"
+	"log"
+
+	svt "github.com/dpgo/svt"
+	"github.com/dpgo/svt/dataset"
+	"github.com/dpgo/svt/fim"
+)
+
+func main() {
+	// A small-scale Kosarak-shaped transaction store (the paper's §6 uses
+	// the real Kosarak; the synthetic profile reproduces its support
+	// distribution — see DESIGN.md §3).
+	store, err := dataset.Generate(dataset.Kosarak, 0.02, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("store: %d records over %d items\n", store.NumRecords(), store.NumItems())
+
+	const k = 10
+	truth, err := fim.MineTopK(store, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrue top-%d itemsets (FP-Growth):\n", k)
+	for i, is := range truth {
+		fmt.Printf("%3d. %v\n", i+1, is)
+	}
+
+	for _, method := range []svt.Method{svt.MethodReTr, svt.MethodEM} {
+		selected, err := fim.PrivateTopK(store, fim.PrivateTopKOptions{
+			K:       k,
+			Epsilon: 0.5,
+			Method:  method,
+			BoostSD: 2,
+			Seed:    99,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nprivate top-%d via %s (eps=0.5):\n", k, method)
+		for i, is := range selected {
+			fmt.Printf("%3d. %v\n", i+1, is)
+		}
+	}
+	fmt.Println("\nthe paper's §6 finding: in this non-interactive setting EM matches or beats")
+	fmt.Println("every SVT variant — run cmd/svtbench -exp fig5 for the full sweep")
+}

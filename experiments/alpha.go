@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// AlphaPoint is one row of the §5 closed-form utility comparison between
+// SVT and EM for selecting the single above-threshold query among k.
+type AlphaPoint struct {
+	// K is the number of queries; Beta the failure probability.
+	K    int
+	Beta float64
+	// AlphaSVT is the (α, β)-accuracy bound of SVT (Dwork & Roth Thm 3.24,
+	// c = Δ = 1): α = 8(ln k + ln(2/β))/ε.
+	AlphaSVT float64
+	// AlphaEM is the paper's bound for EM in the same setting:
+	// α = (ln(k−1) + ln((1−β)/β))/ε.
+	AlphaEM float64
+	// Ratio is AlphaSVT/AlphaEM; the paper's point is that it exceeds 8.
+	Ratio float64
+}
+
+// AlphaComparison evaluates both bounds over the given k values. epsilon
+// and beta must be in their valid ranges; every k must be at least 2 (the
+// EM bound needs k−1 ≥ 1).
+func AlphaComparison(ks []int, beta, epsilon float64) ([]AlphaPoint, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("experiments: no k values")
+	}
+	if !(beta > 0 && beta < 1) {
+		return nil, fmt.Errorf("experiments: beta must be in (0,1), got %v", beta)
+	}
+	if !(epsilon > 0) {
+		return nil, fmt.Errorf("experiments: epsilon must be positive, got %v", epsilon)
+	}
+	out := make([]AlphaPoint, 0, len(ks))
+	for _, k := range ks {
+		if k < 2 {
+			return nil, fmt.Errorf("experiments: k must be >= 2, got %d", k)
+		}
+		svt := 8 * (math.Log(float64(k)) + math.Log(2/beta)) / epsilon
+		em := (math.Log(float64(k-1)) + math.Log((1-beta)/beta)) / epsilon
+		out = append(out, AlphaPoint{
+			K: k, Beta: beta,
+			AlphaSVT: svt, AlphaEM: em, Ratio: svt / em,
+		})
+	}
+	return out, nil
+}

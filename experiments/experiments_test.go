@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps unit-test cost minimal while exercising the full path.
+func tinyConfig() Config {
+	return Config{
+		Scale:    0.01,
+		Runs:     3,
+		Epsilon:  0.1,
+		CValues:  []int{10, 25},
+		Datasets: []string{"BMS-POS", "Zipf"},
+		Seed:     99,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Scale = 0 },
+		func(c *Config) { c.Scale = 1.5 },
+		func(c *Config) { c.Scale = math.NaN() },
+		func(c *Config) { c.Runs = 0 },
+		func(c *Config) { c.Epsilon = 0 },
+		func(c *Config) { c.CValues = nil },
+		func(c *Config) { c.CValues = []int{0} },
+	}
+	for i, mut := range bad {
+		cfg := tinyConfig()
+		mut(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultConfig().validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+	if err := QuickConfig().validate(); err != nil {
+		t.Errorf("QuickConfig invalid: %v", err)
+	}
+}
+
+func TestCellString(t *testing.T) {
+	c := Cell{Mean: 0.1234, SD: 0.056}
+	if got := c.String(); got != "0.123±0.056" {
+		t.Errorf("Cell.String = %q", got)
+	}
+}
+
+func TestTable1MatchesPaperAtFullScale(t *testing.T) {
+	// Generating the full-scale stores takes a few seconds; use the two
+	// smaller profiles to check exact record counts, and scale for AOL.
+	cfg := tinyConfig()
+	cfg.Scale = 1
+	cfg.Datasets = []string{"BMS-POS"}
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.GeneratedRecords != r.PaperRecords {
+		t.Errorf("records %d != paper %d", r.GeneratedRecords, r.PaperRecords)
+	}
+	if r.GeneratedItems != r.PaperItems {
+		t.Errorf("items %d != paper %d", r.GeneratedItems, r.PaperItems)
+	}
+}
+
+func TestTable2IsThePaperTable(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Method != "SVT-DPBook" || rows[3].Method != "EM" {
+		t.Errorf("unexpected methods: %+v", rows)
+	}
+	interactive := 0
+	for _, r := range rows {
+		if r.Setting == "Interactive" {
+			interactive++
+		}
+	}
+	if interactive != 2 {
+		t.Errorf("interactive rows = %d, want 2", interactive)
+	}
+}
+
+func TestFigure2AuditVerdicts(t *testing.T) {
+	cols, err := Figure2(4000, 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 6 {
+		t.Fatalf("got %d columns", len(cols))
+	}
+	for _, c := range cols {
+		ratio := c.AuditedEpsilonLower / c.AuditEpsilon
+		if c.DP && ratio > 1 {
+			t.Errorf("%s: audited loss %.2fε exceeds budget for a private variant", c.Name, ratio)
+		}
+		if !c.DP && ratio <= 1 {
+			t.Errorf("%s: audited loss %.2fε does not expose the broken variant", c.Name, ratio)
+		}
+	}
+	if _, err := Figure2(0, 1, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := Figure2(10, 0, 1); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+}
+
+func TestFigure3ShapesAndDeterminism(t *testing.T) {
+	cfg := tinyConfig()
+	series, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Scores) != 300 {
+			t.Errorf("%s: %d ranks, want 300", s.Dataset, len(s.Scores))
+		}
+		for i := 1; i < len(s.Scores); i++ {
+			if s.Scores[i] > s.Scores[i-1] {
+				t.Errorf("%s: scores not sorted at rank %d", s.Dataset, i+1)
+			}
+		}
+		if s.Scores[0] <= 0 {
+			t.Errorf("%s: top score %v", s.Dataset, s.Scores[0])
+		}
+	}
+	again, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range series {
+		for r := range series[i].Scores {
+			if series[i].Scores[r] != again[i].Scores[r] {
+				t.Fatalf("Figure3 not deterministic at %s rank %d", series[i].Dataset, r+1)
+			}
+		}
+	}
+}
+
+func TestFigure4ShapeAndSanity(t *testing.T) {
+	cfg := tinyConfig()
+	results, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 datasets x 5 methods.
+	if len(results) != 10 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if len(r.C) != len(cfg.CValues) || len(r.SER) != len(cfg.CValues) || len(r.FNR) != len(cfg.CValues) {
+			t.Fatalf("%s/%s: ragged result", r.Dataset, r.Method)
+		}
+		for i := range r.C {
+			for name, cell := range map[string]Cell{"SER": r.SER[i], "FNR": r.FNR[i]} {
+				if cell.Mean < -1e-9 || cell.Mean > 1+1e-9 || math.IsNaN(cell.Mean) {
+					t.Errorf("%s/%s c=%d: %s mean %v out of [0,1]", r.Dataset, r.Method, r.C[i], name, cell.Mean)
+				}
+				if cell.SD < 0 {
+					t.Errorf("%s/%s: negative SD", r.Dataset, r.Method)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure4OrderingDPBookWorst(t *testing.T) {
+	// The paper's headline ordering: SVT-DPBook is clearly worse than the
+	// optimized allocations at moderate c. Use a slightly bigger config so
+	// the separation is far outside noise.
+	cfg := Config{
+		Scale: 0.05, Runs: 8, Epsilon: 0.1,
+		CValues: []int{100}, Datasets: []string{"Zipf"}, Seed: 31,
+	}
+	results, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser := map[string]float64{}
+	for _, r := range results {
+		ser[r.Method] = r.SER[0].Mean
+	}
+	if !(ser["SVT-DPBook"] > ser["SVT-S-1:c23"]) {
+		t.Errorf("DPBook SER %v not worse than 1:c23 %v", ser["SVT-DPBook"], ser["SVT-S-1:c23"])
+	}
+	if !(ser["SVT-S-1:1"] >= ser["SVT-S-1:c23"]-0.05) {
+		t.Errorf("1:1 SER %v unexpectedly beats optimal %v", ser["SVT-S-1:1"], ser["SVT-S-1:c23"])
+	}
+}
+
+func TestFigure5ShapeAndEMWins(t *testing.T) {
+	cfg := Config{
+		Scale: 0.05, Runs: 8, Epsilon: 0.1,
+		CValues: []int{100}, Datasets: []string{"Zipf"}, Seed: 33,
+	}
+	results, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 dataset x 7 methods (SVT-S, 5x ReTr, EM).
+	if len(results) != 7 {
+		t.Fatalf("got %d results", len(results))
+	}
+	ser := map[string]float64{}
+	for _, r := range results {
+		ser[r.Method] = r.SER[0].Mean
+	}
+	if !(ser["EM"] <= ser["SVT-S-1:c23"]+0.02) {
+		t.Errorf("EM SER %v worse than SVT-S %v; paper's conclusion violated", ser["EM"], ser["SVT-S-1:c23"])
+	}
+}
+
+func TestSweepRejectsOversizedC(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.CValues = []int{5000} // larger than both item universes
+	if _, err := Figure4(cfg); err == nil {
+		t.Error("oversized c accepted")
+	}
+}
+
+func TestAlphaComparison(t *testing.T) {
+	points, err := AlphaComparison([]int{10, 100, 1000}, 0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.AlphaSVT <= p.AlphaEM {
+			t.Errorf("k=%d: SVT bound %v not worse than EM %v", p.K, p.AlphaSVT, p.AlphaEM)
+		}
+		// §5: the EM bound is less than 1/8 of the SVT bound.
+		if p.Ratio < 8 {
+			t.Errorf("k=%d: ratio %v < 8", p.K, p.Ratio)
+		}
+	}
+	if _, err := AlphaComparison(nil, 0.05, 0.1); err == nil {
+		t.Error("empty ks accepted")
+	}
+	if _, err := AlphaComparison([]int{1}, 0.05, 0.1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := AlphaComparison([]int{10}, 0, 0.1); err == nil {
+		t.Error("beta 0 accepted")
+	}
+	if _, err := AlphaComparison([]int{10}, 0.5, 0); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := tinyConfig()
+	results, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortResults(results)
+	var buf bytes.Buffer
+	if err := RenderSweep(&buf, results, "SER"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BMS-POS", "Zipf", "SVT-DPBook", "c=25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered sweep missing %q", want)
+		}
+	}
+	if err := RenderSweep(&buf, results, "XXX"); err == nil {
+		t.Error("bad metric accepted")
+	}
+
+	buf.Reset()
+	if err := WriteSweepCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	wantLines := 1 + len(results)*len(cfg.CValues)
+	if len(lines) != wantLines {
+		t.Errorf("CSV has %d lines, want %d", len(lines), wantLines)
+	}
+
+	series, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderScoreSeries(&buf, series)
+	if !strings.Contains(buf.String(), "rank") {
+		t.Error("score series render missing header")
+	}
+	buf.Reset()
+	if err := WriteScoreSeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 1+2*300 {
+		t.Errorf("score CSV lines = %d", got)
+	}
+
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "BMS-POS") {
+		t.Error("table1 render missing dataset")
+	}
+	buf.Reset()
+	RenderTable2(&buf, Table2())
+	if !strings.Contains(buf.String(), "Exponential Mechanism") {
+		t.Error("table2 render missing EM")
+	}
+	points, err := AlphaComparison([]int{10}, 0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderAlpha(&buf, points)
+	if !strings.Contains(buf.String(), "alpha_SVT") {
+		t.Error("alpha render missing header")
+	}
+}
+
+func TestRenderFigure2(t *testing.T) {
+	cols, err := Figure2(500, 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFigure2(&buf, cols)
+	out := buf.String()
+	for _, want := range []string{"Alg. 1", "Alg. 6", "∞-DP", "ε/4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure2 render missing %q", want)
+		}
+	}
+}
+
+func TestSortResultsPaperOrder(t *testing.T) {
+	rs := []MethodResult{
+		{Dataset: "Zipf", Method: "b"},
+		{Dataset: "BMS-POS", Method: "z"},
+		{Dataset: "Zipf", Method: "a"},
+		{Dataset: "AOL", Method: "m"},
+	}
+	SortResults(rs)
+	want := []string{"BMS-POS", "AOL", "Zipf", "Zipf"}
+	for i, w := range want {
+		if rs[i].Dataset != w {
+			t.Fatalf("position %d: %s, want %s", i, rs[i].Dataset, w)
+		}
+	}
+	if rs[2].Method != "a" || rs[3].Method != "b" {
+		t.Error("methods not sorted within dataset")
+	}
+}
+
+func TestUnknownDatasetRejected(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"nope"}
+	if _, err := Figure3(cfg); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := Figure4(cfg); err == nil {
+		t.Error("unknown dataset accepted in sweep")
+	}
+	if _, err := Table1(cfg); err == nil {
+		t.Error("unknown dataset accepted in table1")
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/dpgo/svt/dataset"
+	"github.com/dpgo/svt/internal/core"
+	"github.com/dpgo/svt/internal/rng"
+	"github.com/dpgo/svt/internal/stats"
+	"github.com/dpgo/svt/metrics"
+)
+
+// ScoreSeries is one curve of Figure 3: the supports of a dataset's top
+// items by rank.
+type ScoreSeries struct {
+	Dataset string
+	// Scores[r] is the support of the item at rank r+1 (descending).
+	Scores []float64
+}
+
+// Figure3 regenerates the "distribution of the 300 highest scores" plot:
+// for each dataset it generates the store and extracts the top-300 item
+// supports. (At reduced Config.Scale supports shrink proportionally; the
+// log-log shapes — the figure's point — are preserved.)
+func Figure3(cfg Config) ([]ScoreSeries, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	profiles, err := selectedProfiles(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const ranks = 300
+	out := make([]ScoreSeries, 0, len(profiles))
+	for pi, p := range profiles {
+		store, err := dataset.Generate(p, cfg.Scale, cfg.Seed+uint64(pi))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating %s: %w", p.Name, err)
+		}
+		top := store.TopSupports(ranks)
+		series := ScoreSeries{Dataset: p.Name, Scores: make([]float64, len(top))}
+		for i, ts := range top {
+			series.Scores[i] = float64(ts.Support)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// MethodResult is one curve of Figure 4 or 5 on one dataset: SER and FNR
+// cells per c value.
+type MethodResult struct {
+	Dataset string
+	Method  string
+	C       []int
+	SER     []Cell
+	FNR     []Cell
+}
+
+// selector runs one private top-c selection over the (shuffled) scores and
+// returns selected indices into the shuffled vector.
+type selector func(src *rng.Source, shuffled []float64, threshold float64, c int) []int
+
+// method pairs a paper label with its selector.
+type method struct {
+	name string
+	run  selector
+}
+
+// interactiveMethods are the Figure 4 contenders: the Dwork-Roth book SVT
+// and the paper's standard SVT under four budget allocations. Count
+// queries are monotonic, so SVT-S uses the Theorem-5 noise (the paper does
+// the same: "since the count query is monotonic, we use the version for
+// monotonic queries").
+func interactiveMethods(epsilon float64) []method {
+	svtS := func(ratio core.Ratio) selector {
+		return func(src *rng.Source, shuffled []float64, threshold float64, c int) []int {
+			eps1, eps2 := ratio.Split(epsilon, c)
+			return core.SelectSVT(src, shuffled, threshold, core.ReTrConfig{
+				Eps1: eps1, Eps2: eps2, Delta: 1, C: c, Monotonic: true,
+			})
+		}
+	}
+	return []method{
+		{"SVT-DPBook", func(src *rng.Source, shuffled []float64, threshold float64, c int) []int {
+			alg := core.NewAlg2(src, epsilon, 1, c)
+			selected := make([]int, 0, c)
+			for idx, s := range shuffled {
+				ans, ok := alg.Next(s, threshold)
+				if !ok {
+					break
+				}
+				if ans.Above {
+					selected = append(selected, idx)
+				}
+			}
+			return selected
+		}},
+		{"SVT-S-1:1", svtS(core.RatioOneOne)},
+		{"SVT-S-1:3", svtS(core.RatioOneThree)},
+		{"SVT-S-1:c", svtS(core.RatioOneC)},
+		{"SVT-S-1:c23", svtS(core.RatioCubeRootC)},
+	}
+}
+
+// nonInteractiveMethods are the Figure 5 contenders: the best interactive
+// SVT, retraversal with threshold boosts of 1-5 noise SDs, and the
+// exponential mechanism.
+func nonInteractiveMethods(epsilon float64) []method {
+	ms := []method{
+		{"SVT-S-1:c23", func(src *rng.Source, shuffled []float64, threshold float64, c int) []int {
+			eps1, eps2 := core.RatioCubeRootC.Split(epsilon, c)
+			return core.SelectSVT(src, shuffled, threshold, core.ReTrConfig{
+				Eps1: eps1, Eps2: eps2, Delta: 1, C: c, Monotonic: true,
+			})
+		}},
+	}
+	for boost := 1; boost <= 5; boost++ {
+		b := float64(boost)
+		ms = append(ms, method{
+			name: fmt.Sprintf("SVT-ReTr-1:c23-%dD", boost),
+			run: func(src *rng.Source, shuffled []float64, threshold float64, c int) []int {
+				eps1, eps2 := core.RatioCubeRootC.Split(epsilon, c)
+				return core.SelectReTr(src, shuffled, threshold, core.ReTrConfig{
+					Eps1: eps1, Eps2: eps2, Delta: 1, C: c, Monotonic: true,
+					BoostSD: b, MaxPasses: 200,
+				})
+			},
+		})
+	}
+	ms = append(ms, method{"EM", func(src *rng.Source, shuffled []float64, threshold float64, c int) []int {
+		return core.SelectEM(src, shuffled, epsilon, 1, c, true)
+	}})
+	return ms
+}
+
+// Figure4 regenerates the interactive-setting comparison (Figure 4 a-h):
+// SER and FNR versus c for SVT-DPBook and SVT-S under four allocations, on
+// each dataset.
+func Figure4(cfg Config) ([]MethodResult, error) {
+	return runSweep(cfg, interactiveMethods(cfg.Epsilon))
+}
+
+// Figure5 regenerates the non-interactive comparison (Figure 5 a-h):
+// SVT-S-1:c^{2/3}, SVT-ReTr with 1D-5D threshold boosts, and EM.
+func Figure5(cfg Config) ([]MethodResult, error) {
+	return runSweep(cfg, nonInteractiveMethods(cfg.Epsilon))
+}
+
+// runSweep executes the shared §6 protocol: for every dataset and every c,
+// the threshold is the midpoint of the c-th and (c+1)-th highest scores,
+// the item order is reshuffled every run, and SER/FNR are averaged over
+// Config.Runs runs.
+func runSweep(cfg Config, methods []method) ([]MethodResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	profiles, err := selectedProfiles(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []MethodResult
+	for pi, p := range profiles {
+		store, err := dataset.Generate(p, cfg.Scale, cfg.Seed+uint64(pi))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating %s: %w", p.Name, err)
+		}
+		scores := store.SupportsFloat()
+		results := make([]MethodResult, len(methods))
+		for mi, m := range methods {
+			results[mi] = MethodResult{Dataset: p.Name, Method: m.name}
+		}
+		master := rng.New(cfg.Seed ^ (0x9e3779b9 * uint64(pi+1)))
+		shuffled := make([]float64, len(scores))
+		for _, c := range cfg.CValues {
+			if c >= len(scores) {
+				return nil, fmt.Errorf("experiments: c=%d too large for %s (%d items)", c, p.Name, len(scores))
+			}
+			trueTop := metrics.TopIndices(scores, c)
+			topSet := make(map[int]bool, c)
+			for _, idx := range trueTop {
+				topSet[idx] = true
+			}
+			threshold := thresholdFor(scores, c)
+			serAcc := make([]stats.Accumulator, len(methods))
+			fnrAcc := make([]stats.Accumulator, len(methods))
+			for run := 0; run < cfg.Runs; run++ {
+				perm := master.Perm(len(scores))
+				for i, j := range perm {
+					shuffled[i] = scores[j]
+				}
+				for mi, m := range methods {
+					sel := m.run(master.Split(), shuffled, threshold, c)
+					mapped := make([]int, len(sel))
+					for i, pos := range sel {
+						mapped[i] = perm[pos]
+					}
+					serAcc[mi].Add(metrics.SER(scores, trueTop, mapped))
+					fnrAcc[mi].Add(metrics.FNR(trueTop, mapped))
+				}
+			}
+			for mi := range methods {
+				results[mi].C = append(results[mi].C, c)
+				results[mi].SER = append(results[mi].SER, cellOf(&serAcc[mi]))
+				results[mi].FNR = append(results[mi].FNR, cellOf(&fnrAcc[mi]))
+			}
+		}
+		out = append(out, results...)
+	}
+	return out, nil
+}
+
+// thresholdFor returns the paper's threshold rule: the average of the c-th
+// and (c+1)-th highest scores.
+func thresholdFor(scores []float64, c int) float64 {
+	top := metrics.TopIndices(scores, c+1)
+	return (scores[top[c-1]] + scores[top[c]]) / 2
+}
+
+// selectedProfiles resolves Config.Datasets (nil = all of Table 1).
+func selectedProfiles(cfg Config) ([]dataset.Profile, error) {
+	if len(cfg.Datasets) == 0 {
+		return dataset.Profiles(), nil
+	}
+	out := make([]dataset.Profile, 0, len(cfg.Datasets))
+	for _, name := range cfg.Datasets {
+		p, err := dataset.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderSweep writes the Figure 4/5 results as one paper-style text table
+// per dataset: methods as rows, c values as columns, for the chosen metric
+// ("SER" or "FNR").
+func RenderSweep(w io.Writer, results []MethodResult, metric string) error {
+	if metric != "SER" && metric != "FNR" {
+		return fmt.Errorf("experiments: unknown metric %q (want SER or FNR)", metric)
+	}
+	byDataset := map[string][]MethodResult{}
+	var order []string
+	for _, r := range results {
+		if _, ok := byDataset[r.Dataset]; !ok {
+			order = append(order, r.Dataset)
+		}
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	for _, ds := range order {
+		rs := byDataset[ds]
+		fmt.Fprintf(w, "\n%s, %s (mean±sd over runs)\n", ds, metric)
+		header := []string{fmt.Sprintf("%-22s", "method")}
+		for _, c := range rs[0].C {
+			header = append(header, fmt.Sprintf("%13s", fmt.Sprintf("c=%d", c)))
+		}
+		fmt.Fprintln(w, strings.Join(header, " "))
+		for _, r := range rs {
+			row := []string{fmt.Sprintf("%-22s", r.Method)}
+			cells := r.SER
+			if metric == "FNR" {
+				cells = r.FNR
+			}
+			for _, cell := range cells {
+				row = append(row, fmt.Sprintf("%13s", cell.String()))
+			}
+			fmt.Fprintln(w, strings.Join(row, " "))
+		}
+	}
+	return nil
+}
+
+// WriteSweepCSV writes the full sweep (both metrics) as CSV with the
+// columns dataset,method,c,ser_mean,ser_sd,fnr_mean,fnr_sd.
+func WriteSweepCSV(w io.Writer, results []MethodResult) error {
+	if _, err := fmt.Fprintln(w, "dataset,method,c,ser_mean,ser_sd,fnr_mean,fnr_sd"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for i, c := range r.C {
+			_, err := fmt.Fprintf(w, "%s,%s,%d,%.6f,%.6f,%.6f,%.6f\n",
+				r.Dataset, r.Method, c,
+				r.SER[i].Mean, r.SER[i].SD, r.FNR[i].Mean, r.FNR[i].SD)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderScoreSeries writes Figure 3 as a rank/score table (one column per
+// dataset, log-log shape left to the eye or a plotting tool), sampling a
+// handful of ranks like the published plot's axis.
+func RenderScoreSeries(w io.Writer, series []ScoreSeries) {
+	fmt.Fprintln(w, "\nFigure 3: top-300 item supports (sampled ranks)")
+	ranks := []int{1, 2, 3, 5, 10, 20, 50, 100, 200, 300}
+	header := []string{fmt.Sprintf("%6s", "rank")}
+	for _, s := range series {
+		header = append(header, fmt.Sprintf("%12s", s.Dataset))
+	}
+	fmt.Fprintln(w, strings.Join(header, " "))
+	for _, r := range ranks {
+		row := []string{fmt.Sprintf("%6d", r)}
+		for _, s := range series {
+			if r <= len(s.Scores) {
+				row = append(row, fmt.Sprintf("%12.0f", s.Scores[r-1]))
+			} else {
+				row = append(row, fmt.Sprintf("%12s", "-"))
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, " "))
+	}
+}
+
+// WriteScoreSeriesCSV writes the full Figure 3 data as CSV.
+func WriteScoreSeriesCSV(w io.Writer, series []ScoreSeries) error {
+	if _, err := fmt.Fprintln(w, "dataset,rank,score"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, score := range s.Scores {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.0f\n", s.Dataset, i+1, score); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderTable1 writes Table 1 with the published and realized sizes.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "\nTable 1: dataset characteristics (paper vs generated)")
+	fmt.Fprintf(w, "%-10s %14s %14s %14s %14s\n", "dataset", "paper recs", "gen recs", "paper items", "gen items")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %14d %14d %14d %14d\n",
+			r.Name, r.PaperRecords, r.GeneratedRecords, r.PaperItems, r.GeneratedItems)
+	}
+}
+
+// RenderTable2 writes Table 2.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "\nTable 2: summary of algorithms")
+	fmt.Fprintf(w, "%-16s %-12s %s\n", "setting", "method", "description")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-12s %s\n", r.Setting, r.Method, r.Description)
+	}
+}
+
+// RenderFigure2 writes the Figure 2 table with audit verdicts.
+func RenderFigure2(w io.Writer, cols []Figure2Column) {
+	fmt.Fprintln(w, "\nFigure 2: differences among Algorithms 1-6 (with audit verdicts)")
+	fmt.Fprintf(w, "%-8s %-6s %-10s %-6s %-10s %-8s %-10s %-16s %s\n",
+		"variant", "eps1", "rho scale", "reset", "nu scale", "numeric", "unbounded", "privacy", "audited loss (eps units)")
+	for _, c := range cols {
+		fmt.Fprintf(w, "%-8s %-6s %-10s %-6v %-10s %-8v %-10v %-16s %.2f\n",
+			c.Name, fracString(c.Eps1Fraction), c.ThresholdNoiseScale, c.ResetsRho,
+			c.QueryNoiseScale, c.OutputsNumeric, c.UnboundedPositives, c.PrivacyProperty,
+			c.AuditedEpsilonLower/c.AuditEpsilon)
+	}
+}
+
+func fracString(f float64) string {
+	switch f {
+	case 0.5:
+		return "ε/2"
+	case 0.25:
+		return "ε/4"
+	default:
+		return fmt.Sprintf("%gε", f)
+	}
+}
+
+// RenderAlpha writes the §5 α comparison.
+func RenderAlpha(w io.Writer, points []AlphaPoint) {
+	fmt.Fprintln(w, "\nSection 5: closed-form (alpha, beta)-accuracy, SVT vs EM")
+	fmt.Fprintf(w, "%8s %8s %14s %14s %8s\n", "k", "beta", "alpha_SVT", "alpha_EM", "ratio")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8d %8.3f %14.1f %14.1f %8.2f\n", p.K, p.Beta, p.AlphaSVT, p.AlphaEM, p.Ratio)
+	}
+}
+
+// SortResults orders sweep results by dataset (paper order) then method
+// name, giving deterministic output across map-iteration differences.
+func SortResults(results []MethodResult) {
+	paperOrder := map[string]int{"BMS-POS": 0, "Kosarak": 1, "AOL": 2, "Zipf": 3}
+	sort.SliceStable(results, func(i, j int) bool {
+		di, dj := paperOrder[results[i].Dataset], paperOrder[results[j].Dataset]
+		if di != dj {
+			return di < dj
+		}
+		return results[i].Method < results[j].Method
+	})
+}

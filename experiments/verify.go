@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Claim is one of the paper's qualitative assertions checked against a
+// measured sweep — the EXPERIMENTS.md checklist as code.
+type Claim struct {
+	// ID ties the claim to its paper location.
+	ID string
+	// Description is the assertion in words.
+	Description string
+	// Holds reports whether the measured data supports it.
+	Holds bool
+	// Detail carries the measured numbers behind the verdict.
+	Detail string
+}
+
+// VerifyFigure4 checks the paper's Figure-4 claims on a measured
+// interactive sweep: SVT-DPBook is worst, the allocation ordering
+// DPBook ≥ 1:1 ≥ 1:3 ≥ best(1:c, 1:c^{2/3}), and 1:c's larger variance.
+// Claims are evaluated on mean SER averaged over the c sweep per dataset.
+func VerifyFigure4(results []MethodResult) []Claim {
+	byDataset := groupByDataset(results)
+	var claims []Claim
+	for ds, rs := range byDataset {
+		mean := map[string]float64{}
+		sd := map[string]float64{}
+		for _, r := range rs {
+			mean[r.Method] = meanSER(r)
+			sd[r.Method] = meanSD(r)
+		}
+		worst := Claim{
+			ID:          "fig4/dpbook-worst/" + ds,
+			Description: "SVT-DPBook has the highest average SER on " + ds,
+		}
+		worst.Holds = true
+		for m, v := range mean {
+			if m != "SVT-DPBook" && v > mean["SVT-DPBook"]+1e-9 {
+				worst.Holds = false
+			}
+		}
+		worst.Detail = fmt.Sprintf("DPBook %.3f vs others %s", mean["SVT-DPBook"], fmtMeans(mean))
+		claims = append(claims, worst)
+
+		ordering := Claim{
+			ID:          "fig4/allocation-order/" + ds,
+			Description: "average SER ordering 1:1 ≥ 1:3 ≥ min(1:c, 1:c^(2/3)) on " + ds,
+		}
+		best := mean["SVT-S-1:c"]
+		if mean["SVT-S-1:c23"] < best {
+			best = mean["SVT-S-1:c23"]
+		}
+		ordering.Holds = mean["SVT-S-1:1"]+1e-9 >= mean["SVT-S-1:3"] &&
+			mean["SVT-S-1:3"]+1e-9 >= best
+		ordering.Detail = fmtMeans(mean)
+		claims = append(claims, ordering)
+
+		variance := Claim{
+			ID:          "fig4/1c-higher-sd/" + ds,
+			Description: "1:c has a larger average SD than 1:c^(2/3) on " + ds,
+			Holds:       sd["SVT-S-1:c"] > sd["SVT-S-1:c23"],
+			Detail:      fmt.Sprintf("sd(1:c)=%.3f sd(1:c23)=%.3f", sd["SVT-S-1:c"], sd["SVT-S-1:c23"]),
+		}
+		claims = append(claims, variance)
+	}
+	return claims
+}
+
+// VerifyFigure5 checks the Figure-5 claims on a measured non-interactive
+// sweep: EM is at least as good as every SVT method on average, and the
+// retraversal boost improves on plain SVT-S.
+func VerifyFigure5(results []MethodResult) []Claim {
+	byDataset := groupByDataset(results)
+	var claims []Claim
+	for ds, rs := range byDataset {
+		mean := map[string]float64{}
+		for _, r := range rs {
+			mean[r.Method] = meanSER(r)
+		}
+		em := Claim{
+			ID:          "fig5/em-wins/" + ds,
+			Description: "EM's average SER is lowest on " + ds,
+		}
+		// The 0.02 slack absorbs Monte-Carlo noise at small run counts; the
+		// paper-scale gaps are an order of magnitude larger.
+		em.Holds = true
+		for m, v := range mean {
+			if m != "EM" && v < mean["EM"]-0.02 {
+				em.Holds = false
+			}
+		}
+		em.Detail = fmtMeans(mean)
+		claims = append(claims, em)
+
+		bestReTr := 2.0
+		for m, v := range mean {
+			if len(m) > 8 && m[:8] == "SVT-ReTr" && v < bestReTr {
+				bestReTr = v
+			}
+		}
+		retr := Claim{
+			ID:          "fig5/retraversal-helps/" + ds,
+			Description: "the best retraversal boost beats single-pass SVT-S on " + ds,
+			Holds:       bestReTr <= mean["SVT-S-1:c23"]+0.01,
+			Detail:      fmt.Sprintf("best ReTr %.3f vs SVT-S %.3f", bestReTr, mean["SVT-S-1:c23"]),
+		}
+		claims = append(claims, retr)
+	}
+	return claims
+}
+
+// RenderClaims writes a pass/fail checklist.
+func RenderClaims(w io.Writer, claims []Claim) (failed int) {
+	fmt.Fprintln(w, "\nclaim verification:")
+	for _, c := range claims {
+		mark := "PASS"
+		if !c.Holds {
+			mark = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "[%s] %-34s %s\n       %s\n", mark, c.ID, c.Description, c.Detail)
+	}
+	return failed
+}
+
+func groupByDataset(results []MethodResult) map[string][]MethodResult {
+	out := map[string][]MethodResult{}
+	for _, r := range results {
+		out[r.Dataset] = append(out[r.Dataset], r)
+	}
+	return out
+}
+
+func meanSER(r MethodResult) float64 {
+	sum := 0.0
+	for _, c := range r.SER {
+		sum += c.Mean
+	}
+	return sum / float64(len(r.SER))
+}
+
+func meanSD(r MethodResult) float64 {
+	sum := 0.0
+	for _, c := range r.SER {
+		sum += c.SD
+	}
+	return sum / float64(len(r.SER))
+}
+
+func fmtMeans(mean map[string]float64) string {
+	// Stable order for the handful of known methods.
+	order := []string{"SVT-DPBook", "SVT-S-1:1", "SVT-S-1:3", "SVT-S-1:c", "SVT-S-1:c23",
+		"SVT-ReTr-1:c23-1D", "SVT-ReTr-1:c23-2D", "SVT-ReTr-1:c23-3D",
+		"SVT-ReTr-1:c23-4D", "SVT-ReTr-1:c23-5D", "EM"}
+	s := ""
+	for _, m := range order {
+		if v, ok := mean[m]; ok {
+			s += fmt.Sprintf("%s=%.3f ", m, v)
+		}
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mkResult(dataset, method string, sers ...float64) MethodResult {
+	r := MethodResult{Dataset: dataset, Method: method}
+	for i, s := range sers {
+		r.C = append(r.C, 25*(i+1))
+		r.SER = append(r.SER, Cell{Mean: s, SD: s / 10})
+		r.FNR = append(r.FNR, Cell{Mean: s, SD: s / 10})
+	}
+	return r
+}
+
+func fig4Fixture(good bool) []MethodResult {
+	if good {
+		return []MethodResult{
+			mkResult("X", "SVT-DPBook", 0.9, 0.8),
+			mkResult("X", "SVT-S-1:1", 0.7, 0.6),
+			mkResult("X", "SVT-S-1:3", 0.5, 0.4),
+			mkResult("X", "SVT-S-1:c", 0.35, 0.32),
+			mkResult("X", "SVT-S-1:c23", 0.3, 0.25),
+		}
+	}
+	return []MethodResult{
+		mkResult("X", "SVT-DPBook", 0.1, 0.1), // best instead of worst
+		mkResult("X", "SVT-S-1:1", 0.7, 0.6),
+		mkResult("X", "SVT-S-1:3", 0.5, 0.4),
+		mkResult("X", "SVT-S-1:c", 0.35, 0.32),
+		mkResult("X", "SVT-S-1:c23", 0.3, 0.25),
+	}
+}
+
+func TestVerifyFigure4Fixtures(t *testing.T) {
+	for _, c := range VerifyFigure4(fig4Fixture(true)) {
+		if c.ID == "fig4/1c-higher-sd/X" {
+			// SDs in the fixture scale with means, so 1:c (0.335 avg) has
+			// higher SD than 1:c23 (0.275 avg): claim holds.
+			if !c.Holds {
+				t.Errorf("%s failed on good fixture: %s", c.ID, c.Detail)
+			}
+			continue
+		}
+		if !c.Holds {
+			t.Errorf("claim %s failed on good fixture: %s", c.ID, c.Detail)
+		}
+	}
+	failedAny := false
+	for _, c := range VerifyFigure4(fig4Fixture(false)) {
+		if !c.Holds {
+			failedAny = true
+		}
+	}
+	if !failedAny {
+		t.Error("bad fixture passed all claims")
+	}
+}
+
+func TestVerifyFigure5Fixtures(t *testing.T) {
+	good := []MethodResult{
+		mkResult("Y", "SVT-S-1:c23", 0.6, 0.5),
+		mkResult("Y", "SVT-ReTr-1:c23-1D", 0.4, 0.35),
+		mkResult("Y", "SVT-ReTr-1:c23-3D", 0.3, 0.25),
+		mkResult("Y", "EM", 0.2, 0.15),
+	}
+	for _, c := range VerifyFigure5(good) {
+		if !c.Holds {
+			t.Errorf("claim %s failed on good fixture: %s", c.ID, c.Detail)
+		}
+	}
+	bad := []MethodResult{
+		mkResult("Y", "SVT-S-1:c23", 0.1, 0.1), // SVT-S beats EM and ReTr
+		mkResult("Y", "SVT-ReTr-1:c23-1D", 0.4, 0.35),
+		mkResult("Y", "EM", 0.2, 0.15),
+	}
+	failedAny := false
+	for _, c := range VerifyFigure5(bad) {
+		if !c.Holds {
+			failedAny = true
+		}
+	}
+	if !failedAny {
+		t.Error("bad fixture passed all fig5 claims")
+	}
+}
+
+// The real miniature sweeps must pass their own claims — the same check
+// `svtbench -verify` runs at paper scale.
+func TestVerifyOnMeasuredSweeps(t *testing.T) {
+	cfg := Config{
+		Scale: 0.05, Runs: 8, Epsilon: 0.1,
+		CValues: []int{50, 100, 200}, Datasets: []string{"Zipf"}, Seed: 41,
+	}
+	f4, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if failed := RenderClaims(&buf, VerifyFigure4(f4)); failed > 0 {
+		t.Errorf("figure 4 claims failed on measured sweep:\n%s", buf.String())
+	}
+	f5, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if failed := RenderClaims(&buf, VerifyFigure5(f5)); failed > 0 {
+		t.Errorf("figure 5 claims failed on measured sweep:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Error("render produced no PASS lines")
+	}
+}

@@ -1,0 +1,146 @@
+package fim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dpgo/svt/dataset"
+)
+
+// AprioriMine returns every itemset with support >= minSupport using the
+// classic level-wise Apriori algorithm. It is exponentially slower than
+// Mine on dense data and exists as an independent oracle: the tests check
+// FP-Growth against it on small stores, and the ablation bench measures the
+// gap.
+func AprioriMine(s *dataset.Store, minSupport int) ([]Itemset, error) {
+	if s == nil {
+		return nil, fmt.Errorf("fim: nil store")
+	}
+	if minSupport <= 0 {
+		return nil, fmt.Errorf("fim: minSupport must be positive, got %d", minSupport)
+	}
+	// Level 1: frequent single items.
+	supports := s.ItemSupports()
+	var level [][]dataset.Item
+	for i, v := range supports {
+		if v >= minSupport {
+			level = append(level, []dataset.Item{dataset.Item(i)})
+		}
+	}
+	var out []Itemset
+	for _, set := range level {
+		out = append(out, Itemset{Items: set, Support: supports[set[0]]})
+	}
+	for len(level) > 0 {
+		candidates := aprioriGen(level)
+		if len(candidates) == 0 {
+			break
+		}
+		counts := make([]int, len(candidates))
+		s.Each(func(tx []dataset.Item) {
+			for ci, cand := range candidates {
+				if containsAll(tx, cand) {
+					counts[ci]++
+				}
+			}
+		})
+		level = level[:0]
+		for ci, cand := range candidates {
+			if counts[ci] >= minSupport {
+				level = append(level, cand)
+				out = append(out, Itemset{Items: cand, Support: counts[ci]})
+			}
+		}
+	}
+	sortItemsets(out)
+	return out, nil
+}
+
+// aprioriGen joins frequent k-itemsets sharing a (k-1)-prefix into (k+1)-
+// candidates and prunes those with an infrequent subset.
+func aprioriGen(level [][]dataset.Item) [][]dataset.Item {
+	sort.Slice(level, func(i, j int) bool { return lessItems(level[i], level[j]) })
+	frequent := map[string]bool{}
+	for _, set := range level {
+		frequent[itemsKey(set)] = true
+	}
+	var out [][]dataset.Item
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !samePrefix(a, b, k-1) {
+				break // sorted order: no later j shares the prefix either
+			}
+			cand := make([]dataset.Item, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			if cand[k-1] > cand[k] {
+				cand[k-1], cand[k] = cand[k], cand[k-1]
+			}
+			if allSubsetsFrequent(cand, frequent) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b []dataset.Item, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(cand []dataset.Item, frequent map[string]bool) bool {
+	sub := make([]dataset.Item, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !frequent[itemsKey(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+func itemsKey(items []dataset.Item) string {
+	b := make([]byte, 0, len(items)*4)
+	for _, it := range items {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// containsAll reports whether the transaction contains every item of set.
+func containsAll(tx, set []dataset.Item) bool {
+	for _, want := range set {
+		found := false
+		for _, it := range tx {
+			if it == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package fim_test
+
+import (
+	"fmt"
+
+	"github.com/dpgo/svt/dataset"
+	"github.com/dpgo/svt/fim"
+)
+
+// Mining all itemsets above a support threshold with FP-Growth.
+func ExampleMine() {
+	b := dataset.NewBuilder("groceries", 4)
+	b.Add([]dataset.Item{0, 1})    // bread, milk
+	b.Add([]dataset.Item{0, 1, 2}) // bread, milk, eggs
+	b.Add([]dataset.Item{0, 2})    // bread, eggs
+	b.Add([]dataset.Item{1, 3})    // milk, butter
+	b.Add([]dataset.Item{0, 1})    // bread, milk
+	store := b.Build()
+
+	sets, err := fim.Mine(store, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range sets {
+		fmt.Println(s)
+	}
+	// Output:
+	// [0]:4
+	// [1]:4
+	// [0 1]:3
+}
+
+// Finding the k most frequent itemsets regardless of threshold.
+func ExampleMineTopK() {
+	b := dataset.NewBuilder("toy", 3)
+	b.Add([]dataset.Item{0, 1})
+	b.Add([]dataset.Item{0, 1, 2})
+	b.Add([]dataset.Item{0})
+	store := b.Build()
+
+	sets, err := fim.MineTopK(store, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range sets {
+		fmt.Println(s)
+	}
+	// Output:
+	// [0]:3
+	// [1]:2
+}

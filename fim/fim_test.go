@@ -1,0 +1,269 @@
+package fim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	svt "github.com/dpgo/svt"
+	"github.com/dpgo/svt/dataset"
+	"github.com/dpgo/svt/internal/rng"
+)
+
+// classic toy dataset with well-known frequent itemsets.
+func toyStore() *dataset.Store {
+	b := dataset.NewBuilder("toy", 6)
+	txs := [][]dataset.Item{
+		{0, 1, 4},
+		{1, 3},
+		{1, 2},
+		{0, 1, 3},
+		{0, 2},
+		{1, 2},
+		{0, 2},
+		{0, 1, 2, 4},
+		{0, 1, 2},
+	}
+	for _, tx := range txs {
+		b.Add(tx)
+	}
+	return b.Build()
+}
+
+func findSet(t *testing.T, sets []Itemset, items ...dataset.Item) Itemset {
+	t.Helper()
+	for _, s := range sets {
+		if len(s.Items) != len(items) {
+			continue
+		}
+		match := true
+		for i := range items {
+			if s.Items[i] != items[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s
+		}
+	}
+	t.Fatalf("itemset %v not found in %v", items, sets)
+	return Itemset{}
+}
+
+func TestMineKnownSupports(t *testing.T) {
+	sets, err := Mine(toyStore(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed supports on the toy data.
+	cases := []struct {
+		items   []dataset.Item
+		support int
+	}{
+		{[]dataset.Item{0}, 6},
+		{[]dataset.Item{1}, 7},
+		{[]dataset.Item{2}, 6},
+		{[]dataset.Item{3}, 2},
+		{[]dataset.Item{4}, 2},
+		{[]dataset.Item{0, 1}, 4},
+		{[]dataset.Item{0, 2}, 4},
+		{[]dataset.Item{1, 2}, 4},
+		{[]dataset.Item{0, 1, 2}, 2},
+		{[]dataset.Item{1, 3}, 2},
+		{[]dataset.Item{0, 1, 4}, 2},
+	}
+	for _, c := range cases {
+		got := findSet(t, sets, c.items...)
+		if got.Support != c.support {
+			t.Errorf("support%v = %d, want %d", c.items, got.Support, c.support)
+		}
+	}
+	// No itemset below the threshold may appear.
+	for _, s := range sets {
+		if s.Support < 2 {
+			t.Errorf("itemset %v below minSupport", s)
+		}
+	}
+}
+
+func TestMineMatchesApriori(t *testing.T) {
+	for _, minSup := range []int{1, 2, 3, 5} {
+		a, err := Mine(toyStore(), minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := AprioriMine(toyStore(), minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("minSup=%d: FP-Growth %d sets, Apriori %d", minSup, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Errorf("minSup=%d: position %d differs: %v vs %v", minSup, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// Property: FP-Growth equals Apriori on random small stores — the classic
+// differential oracle for mining correctness.
+func TestQuickMineEqualsApriori(t *testing.T) {
+	f := func(seed uint64, nRaw, minRaw uint8) bool {
+		src := rng.New(seed)
+		nTx := int(nRaw%30) + 5
+		minSup := int(minRaw%3) + 1
+		b := dataset.NewBuilder("rand", 8)
+		for i := 0; i < nTx; i++ {
+			var tx []dataset.Item
+			for it := dataset.Item(0); it < 8; it++ {
+				if src.Float64() < 0.3 {
+					tx = append(tx, it)
+				}
+			}
+			if len(tx) == 0 {
+				tx = []dataset.Item{dataset.Item(src.Intn(8))}
+			}
+			b.Add(tx)
+		}
+		s := b.Build()
+		a, errA := Mine(s, minSup)
+		ap, errB := AprioriMine(s, minSup)
+		if errA != nil || errB != nil {
+			return false
+		}
+		if len(a) != len(ap) {
+			return false
+		}
+		for i := range a {
+			if a[i].String() != ap[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	if _, err := Mine(nil, 1); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := Mine(toyStore(), 0); err == nil {
+		t.Error("zero minSupport accepted")
+	}
+	if _, err := AprioriMine(nil, 1); err == nil {
+		t.Error("apriori nil store accepted")
+	}
+	if _, err := AprioriMine(toyStore(), -1); err == nil {
+		t.Error("apriori bad minSupport accepted")
+	}
+}
+
+func TestMineHighThresholdEmpty(t *testing.T) {
+	sets, err := Mine(toyStore(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 0 {
+		t.Errorf("got %d sets above impossible threshold", len(sets))
+	}
+}
+
+func TestMineTopK(t *testing.T) {
+	sets, err := MineTopK(toyStore(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 5 {
+		t.Fatalf("got %d sets, want 5", len(sets))
+	}
+	// Must be the 5 highest-support itemsets: {1}:7, {0}:6, {2}:6, then
+	// the 4-support pairs.
+	if sets[0].Support != 7 || sets[1].Support != 6 || sets[2].Support != 6 {
+		t.Errorf("top supports %v", sets[:3])
+	}
+	// Sorted non-increasing.
+	for i := 1; i < len(sets); i++ {
+		if sets[i].Support > sets[i-1].Support {
+			t.Errorf("not sorted at %d: %v", i, sets)
+		}
+	}
+}
+
+func TestMineTopKFewerThanK(t *testing.T) {
+	b := dataset.NewBuilder("tiny", 2)
+	b.Add([]dataset.Item{0})
+	s := b.Build()
+	sets, err := MineTopK(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 {
+		t.Fatalf("got %d sets, want 1", len(sets))
+	}
+}
+
+func TestMineTopKValidation(t *testing.T) {
+	if _, err := MineTopK(nil, 1); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := MineTopK(toyStore(), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestPrivateTopKHighEpsilon(t *testing.T) {
+	// With a huge budget the private selection must match the true top-k.
+	truth, err := MineTopK(toyStore(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []svt.Method{svt.MethodEM, svt.MethodReTr} {
+		got, err := PrivateTopK(toyStore(), PrivateTopKOptions{
+			K: 3, Epsilon: 500, Method: method, Seed: 9,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("%v: selected %d", method, len(got))
+		}
+		wantSup := []int{truth[0].Support, truth[1].Support, truth[2].Support}
+		gotSup := []int{got[0].Support, got[1].Support, got[2].Support}
+		sort.Ints(wantSup)
+		sort.Ints(gotSup)
+		for i := range wantSup {
+			if wantSup[i] != gotSup[i] {
+				t.Errorf("%v: supports %v, want %v", method, gotSup, wantSup)
+			}
+		}
+	}
+}
+
+func TestPrivateTopKValidation(t *testing.T) {
+	cases := map[string]PrivateTopKOptions{
+		"zero k":     {K: 0, Epsilon: 1},
+		"zero eps":   {K: 1, Epsilon: 0},
+		"neg factor": {K: 1, Epsilon: 1, CandidateFactor: -1},
+	}
+	for name, opts := range cases {
+		if _, err := PrivateTopK(toyStore(), opts); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := PrivateTopK(nil, PrivateTopKOptions{K: 1, Epsilon: 1}); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestItemsetString(t *testing.T) {
+	is := Itemset{Items: []dataset.Item{1, 2}, Support: 5}
+	if got := is.String(); got != "[1 2]:5" {
+		t.Errorf("String = %q", got)
+	}
+}

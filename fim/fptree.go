@@ -1,0 +1,279 @@
+// Package fim is the frequent-itemset-mining substrate: FP-Growth (the
+// FP-tree algorithm Lee and Clifton build on), a brute-force Apriori
+// baseline used for cross-checking, and a differentially private top-k
+// itemset selector in the style the paper analyzes (§3, Algorithm 4's
+// application; §5-6's top-c selection workload).
+package fim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dpgo/svt/dataset"
+)
+
+// Itemset is a set of items with its support (the number of transactions
+// containing every item of the set). Items are sorted ascending.
+type Itemset struct {
+	Items   []dataset.Item
+	Support int
+}
+
+// String renders the itemset as "{a b c}:support".
+func (is Itemset) String() string {
+	return fmt.Sprintf("%v:%d", is.Items, is.Support)
+}
+
+// fpNode is one node of an FP-tree.
+type fpNode struct {
+	item     dataset.Item
+	count    int
+	parent   *fpNode
+	next     *fpNode // header-table chain of nodes holding the same item
+	children map[dataset.Item]*fpNode
+}
+
+// fpTree is an FP-tree with its header table.
+type fpTree struct {
+	root    *fpNode
+	heads   map[dataset.Item]*fpNode // first node per item
+	tails   map[dataset.Item]*fpNode // last node per item, for O(1) appends
+	support map[dataset.Item]int     // per-item support within this tree
+}
+
+func newFPTree() *fpTree {
+	return &fpTree{
+		root:    &fpNode{children: map[dataset.Item]*fpNode{}},
+		heads:   map[dataset.Item]*fpNode{},
+		tails:   map[dataset.Item]*fpNode{},
+		support: map[dataset.Item]int{},
+	}
+}
+
+// insert adds a frequency-ordered transaction with multiplicity count.
+func (t *fpTree) insert(tx []dataset.Item, count int) {
+	cur := t.root
+	for _, it := range tx {
+		child, ok := cur.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: cur, children: map[dataset.Item]*fpNode{}}
+			cur.children[it] = child
+			if t.tails[it] == nil {
+				t.heads[it] = child
+			} else {
+				t.tails[it].next = child
+			}
+			t.tails[it] = child
+		}
+		child.count += count
+		cur = child
+	}
+	for _, it := range tx {
+		t.support[it] += count
+	}
+}
+
+// itemOrder returns the tree's items sorted by ascending support (ties by
+// descending id), the order in which FP-Growth peels suffixes.
+func (t *fpTree) itemOrder() []dataset.Item {
+	items := make([]dataset.Item, 0, len(t.support))
+	for it := range t.support {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		si, sj := t.support[items[i]], t.support[items[j]]
+		if si != sj {
+			return si < sj
+		}
+		return items[i] > items[j]
+	})
+	return items
+}
+
+// Mine returns every itemset with support >= minSupport, found with
+// FP-Growth. Results are sorted by descending support, then by ascending
+// size and items, so output order is deterministic. minSupport must be
+// positive: support-0 itemsets are the entire powerset and never useful.
+func Mine(s *dataset.Store, minSupport int) ([]Itemset, error) {
+	if s == nil {
+		return nil, fmt.Errorf("fim: nil store")
+	}
+	if minSupport <= 0 {
+		return nil, fmt.Errorf("fim: minSupport must be positive, got %d", minSupport)
+	}
+	// Pass 1: global item supports; keep frequent items only.
+	supports := s.ItemSupports()
+	frequent := map[dataset.Item]int{}
+	for i, v := range supports {
+		if v >= minSupport {
+			frequent[dataset.Item(i)] = v
+		}
+	}
+	// Pass 2: build the FP-tree over frequency-ordered filtered transactions.
+	tree := newFPTree()
+	var buf []dataset.Item
+	s.Each(func(tx []dataset.Item) {
+		buf = buf[:0]
+		seen := map[dataset.Item]bool{}
+		for _, it := range tx {
+			if _, ok := frequent[it]; ok && !seen[it] {
+				seen[it] = true
+				buf = append(buf, it)
+			}
+		}
+		if len(buf) == 0 {
+			return
+		}
+		sort.Slice(buf, func(i, j int) bool {
+			si, sj := frequent[buf[i]], frequent[buf[j]]
+			if si != sj {
+				return si > sj
+			}
+			return buf[i] < buf[j]
+		})
+		tree.insert(buf, 1)
+	})
+	var out []Itemset
+	growth(tree, nil, minSupport, &out)
+	sortItemsets(out)
+	return out, nil
+}
+
+// growth is the recursive FP-Growth step: for each item in the tree it
+// emits suffix ∪ {item} and recurses on the conditional tree.
+func growth(t *fpTree, suffix []dataset.Item, minSupport int, out *[]Itemset) {
+	for _, it := range t.itemOrder() {
+		sup := t.support[it]
+		if sup < minSupport {
+			continue
+		}
+		itemset := make([]dataset.Item, 0, len(suffix)+1)
+		itemset = append(itemset, suffix...)
+		itemset = append(itemset, it)
+		sorted := make([]dataset.Item, len(itemset))
+		copy(sorted, itemset)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		*out = append(*out, Itemset{Items: sorted, Support: sup})
+
+		// Conditional pattern base: prefix paths of every node holding it.
+		cond := newFPTree()
+		for node := t.heads[it]; node != nil; node = node.next {
+			var path []dataset.Item
+			for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+				path = append(path, p.item)
+			}
+			if len(path) == 0 {
+				continue
+			}
+			// path is leaf-to-root; reverse to root-to-leaf insertion order.
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			cond.insert(path, node.count)
+		}
+		// Prune infrequent items from the conditional tree by rebuilding;
+		// cheaper than filtering mid-recursion for the shallow trees here.
+		pruned := pruneTree(cond, minSupport)
+		if len(pruned.support) > 0 {
+			growth(pruned, itemset, minSupport, out)
+		}
+	}
+}
+
+// pruneTree rebuilds a conditional tree keeping only items with support >=
+// minSupport. Returns the input when nothing needs pruning.
+func pruneTree(t *fpTree, minSupport int) *fpTree {
+	needs := false
+	for _, sup := range t.support {
+		if sup < minSupport {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return t
+	}
+	out := newFPTree()
+	var walk func(n *fpNode, path []dataset.Item)
+	walk = func(n *fpNode, path []dataset.Item) {
+		// Each node's "own" weight is its count minus its children's sum:
+		// that many transactions ended exactly here.
+		childSum := 0
+		for _, c := range n.children {
+			childSum += c.count
+		}
+		own := n.count - childSum
+		if own > 0 && len(path) > 0 {
+			filtered := make([]dataset.Item, 0, len(path))
+			for _, it := range path {
+				if t.support[it] >= minSupport {
+					filtered = append(filtered, it)
+				}
+			}
+			if len(filtered) > 0 {
+				out.insert(filtered, own)
+			}
+		}
+		for _, c := range n.children {
+			walk(c, append(path, c.item))
+		}
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// sortItemsets orders by descending support, then ascending length, then
+// lexicographic items.
+func sortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) < len(b.Items)
+		}
+		for k := range a.Items {
+			if a.Items[k] != b.Items[k] {
+				return a.Items[k] < b.Items[k]
+			}
+		}
+		return false
+	})
+}
+
+// MineTopK returns the k most frequent itemsets (of any size), lowering the
+// support threshold geometrically until at least k are found — the standard
+// top-k reduction over FP-Growth. It returns fewer than k only when the
+// store has fewer than k itemsets with positive support.
+func MineTopK(s *dataset.Store, k int) ([]Itemset, error) {
+	if s == nil {
+		return nil, fmt.Errorf("fim: nil store")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("fim: k must be positive, got %d", k)
+	}
+	// Start at the k-th highest single-item support: the top-k itemsets
+	// can include at most k singletons, so this is a sound upper start.
+	top := s.TopSupports(k)
+	minSupport := 1
+	if len(top) == k && top[k-1].Support > 0 {
+		minSupport = top[k-1].Support
+	}
+	for {
+		sets, err := Mine(s, minSupport)
+		if err != nil {
+			return nil, err
+		}
+		if len(sets) >= k {
+			return sets[:k], nil
+		}
+		if minSupport == 1 {
+			return sets, nil
+		}
+		minSupport /= 2
+		if minSupport < 1 {
+			minSupport = 1
+		}
+	}
+}

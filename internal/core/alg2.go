@@ -1,0 +1,67 @@
+package core
+
+import "github.com/dpgo/svt/internal/rng"
+
+// Alg2 is the SVT of Dwork and Roth's 2014 book (Figure 1, Algorithm 2).
+// It satisfies ε-DP but is much less accurate than Alg1 because the
+// threshold noise scales with c, an artifact of the design choice to
+// resample ρ after every positive outcome.
+//
+//	1: ε₁ = ε/2, ρ = Lap(cΔ/ε₁)
+//	2: ε₂ = ε − ε₁, count = 0
+//	3: for each query qᵢ ∈ Q do
+//	4:   νᵢ = Lap(2cΔ/ε₁)
+//	5:   if qᵢ(D) + νᵢ ≥ T + ρ then
+//	6:     output aᵢ = ⊤, ρ = Lap(cΔ/ε₂)
+//	7:     count = count + 1, Abort if count ≥ c
+//	8:   else
+//	9:     output aᵢ = ⊥
+//
+// (With ε₁ = ε₂ = ε/2 the book's Lap(2cΔ/ε₁) query noise equals Alg1's
+// Lap(2cΔ/ε₂); the resampling on Line 6 switches the ρ scale to cΔ/ε₂,
+// which is the same number too.)
+type Alg2 struct {
+	src        *rng.Source
+	rho        float64
+	rhoScale2  float64 // cΔ/ε₂, used when resampling after a ⊤
+	queryScale float64 // 2cΔ/ε₁
+	c          int
+	count      int
+	halted     bool
+}
+
+// NewAlg2 prepares the Dwork-Roth book SVT.
+func NewAlg2(src *rng.Source, epsilon, delta float64, c int) *Alg2 {
+	checkCommon(src, epsilon, delta)
+	checkCutoff(c)
+	eps1 := epsilon / 2
+	eps2 := epsilon - eps1
+	cf := float64(c)
+	return &Alg2{
+		src:        src,
+		rho:        src.Laplace(cf * delta / eps1),
+		rhoScale2:  cf * delta / eps2,
+		queryScale: 2 * cf * delta / eps1,
+		c:          c,
+	}
+}
+
+// Next implements Algorithm.
+func (a *Alg2) Next(q, threshold float64) (Answer, bool) {
+	if a.halted {
+		return Answer{}, false
+	}
+	nu := a.src.Laplace(a.queryScale)
+	if q+nu >= threshold+a.rho {
+		a.rho = a.src.Laplace(a.rhoScale2) // Line 6: refresh the noisy threshold
+		a.count++
+		if a.count >= a.c {
+			a.halted = true
+		}
+		return Answer{Above: true}, true
+	}
+	return Answer{}, true
+}
+
+// Halted implements Algorithm.
+func (a *Alg2) Halted() bool { return a.halted }

@@ -1,0 +1,65 @@
+package core
+
+import "github.com/dpgo/svt/internal/rng"
+
+// Alg3 is the SVT from Roth's 2011 lecture notes (Figure 1, Algorithm 3),
+// abstracted from the algorithms of Gupta-Roth-Ullman and Hardt-Rothblum.
+//
+// It is NOT differentially private for any finite ε (Theorem 6): releasing
+// the noisy query answer qᵢ(D) + νᵢ for positive outcomes reveals an upper
+// bound on the noisy threshold, destroying the "negative answers are free"
+// argument. Its query noise Lap(cΔ/ε₂) would also only suffice for
+// (3ε/2)-DP even if it output ⊤ instead.
+//
+//	1: ε₁ = ε/2, ρ = Lap(Δ/ε₁)
+//	2: ε₂ = ε − ε₁, count = 0
+//	3: for each query qᵢ ∈ Q do
+//	4:   νᵢ = Lap(cΔ/ε₂)
+//	5:   if qᵢ(D) + νᵢ ≥ T + ρ then
+//	6:     output aᵢ = qᵢ(D) + νᵢ
+//	7:     count = count + 1, Abort if count ≥ c
+//	8:   else
+//	9:     output aᵢ = ⊥
+type Alg3 struct {
+	src        *rng.Source
+	rho        float64
+	queryScale float64 // cΔ/ε₂
+	c          int
+	count      int
+	halted     bool
+}
+
+// NewAlg3 prepares the Roth-2011 SVT. The result is not ε-DP; it exists to
+// reproduce the paper's analysis.
+func NewAlg3(src *rng.Source, epsilon, delta float64, c int) *Alg3 {
+	checkCommon(src, epsilon, delta)
+	checkCutoff(c)
+	eps1 := epsilon / 2
+	eps2 := epsilon - eps1
+	return &Alg3{
+		src:        src,
+		rho:        src.Laplace(delta / eps1),
+		queryScale: float64(c) * delta / eps2,
+		c:          c,
+	}
+}
+
+// Next implements Algorithm. Positive outcomes carry the leaked noisy
+// answer in Value.
+func (a *Alg3) Next(q, threshold float64) (Answer, bool) {
+	if a.halted {
+		return Answer{}, false
+	}
+	noisy := q + a.src.Laplace(a.queryScale)
+	if noisy >= threshold+a.rho {
+		a.count++
+		if a.count >= a.c {
+			a.halted = true
+		}
+		return Answer{Above: true, Numeric: true, Value: noisy}, true
+	}
+	return Answer{}, true
+}
+
+// Halted implements Algorithm.
+func (a *Alg3) Halted() bool { return a.halted }

@@ -1,0 +1,62 @@
+package core
+
+import "github.com/dpgo/svt/internal/rng"
+
+// Alg4 is the SVT of Lee and Clifton 2014 (Figure 1, Algorithm 4), used for
+// privately finding top-c frequent itemsets.
+//
+// Its query noise Lap(Δ/ε₂) does not scale with c, so it only satisfies
+// ((1+6c)/4)·ε-DP in general, and ((1+3c)/4)·ε-DP for monotonic counting
+// queries — far weaker than the advertised ε-DP once c is large.
+//
+//	1: ε₁ = ε/4, ρ = Lap(Δ/ε₁)
+//	2: ε₂ = ε − ε₁, count = 0
+//	3: for each query qᵢ ∈ Q do
+//	4:   νᵢ = Lap(Δ/ε₂)
+//	5:   if qᵢ(D) + νᵢ ≥ T + ρ then
+//	6:     output aᵢ = ⊤
+//	7:     count = count + 1, Abort if count ≥ c
+//	8:   else
+//	9:     output aᵢ = ⊥
+type Alg4 struct {
+	src        *rng.Source
+	rho        float64
+	queryScale float64 // Δ/ε₂ with ε₂ = 3ε/4
+	c          int
+	count      int
+	halted     bool
+}
+
+// NewAlg4 prepares the Lee-Clifton SVT. The result satisfies only
+// ((1+6c)/4)·ε-DP, not ε-DP; it exists to reproduce the paper's analysis.
+func NewAlg4(src *rng.Source, epsilon, delta float64, c int) *Alg4 {
+	checkCommon(src, epsilon, delta)
+	checkCutoff(c)
+	eps1 := epsilon / 4
+	eps2 := epsilon - eps1
+	return &Alg4{
+		src:        src,
+		rho:        src.Laplace(delta / eps1),
+		queryScale: delta / eps2,
+		c:          c,
+	}
+}
+
+// Next implements Algorithm.
+func (a *Alg4) Next(q, threshold float64) (Answer, bool) {
+	if a.halted {
+		return Answer{}, false
+	}
+	nu := a.src.Laplace(a.queryScale)
+	if q+nu >= threshold+a.rho {
+		a.count++
+		if a.count >= a.c {
+			a.halted = true
+		}
+		return Answer{Above: true}, true
+	}
+	return Answer{}, true
+}
+
+// Halted implements Algorithm.
+func (a *Alg4) Halted() bool { return a.halted }

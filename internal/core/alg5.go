@@ -1,0 +1,45 @@
+package core
+
+import "github.com/dpgo/svt/internal/rng"
+
+// Alg5 is the SVT of Stoddard, Chen and Machanavajjhala 2014 (Figure 1,
+// Algorithm 5), used for private feature selection.
+//
+// It adds NO noise to query answers and never stops, so it is not ε-DP for
+// any finite ε (Theorem 3 gives a two-query counterexample where an output
+// has positive probability on D and zero probability on the neighbor D′).
+//
+//	1: ε₁ = ε/2, ρ = Lap(Δ/ε₁)
+//	2: ε₂ = ε − ε₁
+//	3: for each query qᵢ ∈ Q do
+//	4:   νᵢ = 0
+//	5:   if qᵢ(D) + νᵢ ≥ T + ρ then
+//	6:     output aᵢ = ⊤
+//	8:   else
+//	9:     output aᵢ = ⊥
+type Alg5 struct {
+	rho float64
+}
+
+// NewAlg5 prepares the Stoddard-et-al SVT. The result is not ε-DP for any
+// finite ε; it exists to reproduce the paper's analysis. (ε₂ = ε/2 is
+// computed by the published pseudocode but never used — no query noise is
+// drawn.)
+func NewAlg5(src *rng.Source, epsilon, delta float64) *Alg5 {
+	checkCommon(src, epsilon, delta)
+	eps1 := epsilon / 2
+	return &Alg5{rho: src.Laplace(delta / eps1)}
+}
+
+// Next implements Algorithm. It never halts: the variant has no cutoff, so
+// positive outcomes are unbounded ("privacy for free", which is exactly why
+// it is broken).
+func (a *Alg5) Next(q, threshold float64) (Answer, bool) {
+	if q >= threshold+a.rho {
+		return Answer{Above: true}, true
+	}
+	return Answer{}, true
+}
+
+// Halted implements Algorithm; Alg5 never halts.
+func (a *Alg5) Halted() bool { return false }

@@ -1,0 +1,50 @@
+package core
+
+import "github.com/dpgo/svt/internal/rng"
+
+// Alg6 is the SVT of Chen et al. 2015 (Figure 1, Algorithm 6), used to
+// select attribute pairs when learning a differentially private Bayesian
+// network.
+//
+// It perturbs each query with Lap(Δ/ε₂) — no c factor — and never stops, so
+// it is not ε-DP for any finite ε (Theorem 7: the privacy-loss ratio on the
+// construction q(D)=0²ᵐ, q(D′)=1ᵐ(−1)ᵐ grows like e^{mε/2}).
+//
+//	1: ε₁ = ε/2, ρ = Lap(Δ/ε₁)
+//	2: ε₂ = ε − ε₁
+//	3: for each query qᵢ ∈ Q do
+//	4:   νᵢ = Lap(Δ/ε₂)
+//	5:   if qᵢ(D) + νᵢ ≥ Tᵢ + ρ then
+//	6:     output aᵢ = ⊤
+//	8:   else
+//	9:     output aᵢ = ⊥
+type Alg6 struct {
+	src        *rng.Source
+	rho        float64
+	queryScale float64 // Δ/ε₂
+}
+
+// NewAlg6 prepares the Chen-et-al SVT. The result is not ε-DP for any
+// finite ε; it exists to reproduce the paper's analysis.
+func NewAlg6(src *rng.Source, epsilon, delta float64) *Alg6 {
+	checkCommon(src, epsilon, delta)
+	eps1 := epsilon / 2
+	eps2 := epsilon - eps1
+	return &Alg6{
+		src:        src,
+		rho:        src.Laplace(delta / eps1),
+		queryScale: delta / eps2,
+	}
+}
+
+// Next implements Algorithm. It never halts (no cutoff).
+func (a *Alg6) Next(q, threshold float64) (Answer, bool) {
+	nu := a.src.Laplace(a.queryScale)
+	if q+nu >= threshold+a.rho {
+		return Answer{Above: true}, true
+	}
+	return Answer{}, true
+}
+
+// Halted implements Algorithm; Alg6 never halts.
+func (a *Alg6) Halted() bool { return false }

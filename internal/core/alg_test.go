@@ -1,0 +1,425 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/dpgo/svt/internal/rng"
+)
+
+// mkQueries returns n copies of q.
+func mkQueries(n int, q float64) []float64 {
+	qs := make([]float64, n)
+	for i := range qs {
+		qs[i] = q
+	}
+	return qs
+}
+
+// builders constructs every variant with a common (ε, Δ, c) so the shared
+// behaviours can be table-tested.
+func builders(epsilon, delta float64, c int) map[string]func(*rng.Source) Algorithm {
+	return map[string]func(*rng.Source) Algorithm{
+		"Alg1": func(s *rng.Source) Algorithm { return NewAlg1(s, epsilon, delta, c) },
+		"Alg2": func(s *rng.Source) Algorithm { return NewAlg2(s, epsilon, delta, c) },
+		"Alg3": func(s *rng.Source) Algorithm { return NewAlg3(s, epsilon, delta, c) },
+		"Alg4": func(s *rng.Source) Algorithm { return NewAlg4(s, epsilon, delta, c) },
+		"Alg5": func(s *rng.Source) Algorithm { return NewAlg5(s, epsilon, delta) },
+		"Alg6": func(s *rng.Source) Algorithm { return NewAlg6(s, epsilon, delta) },
+		"Alg7": func(s *rng.Source) Algorithm {
+			return NewAlg7(s, Alg7Config{Eps1: epsilon / 2, Eps2: epsilon / 2, Delta: delta, C: c})
+		},
+		"GPTT": func(s *rng.Source) Algorithm { return NewGPTT(s, epsilon/2, epsilon/2, delta) },
+	}
+}
+
+func hasCutoff(name string) bool {
+	switch name {
+	case "Alg5", "Alg6", "GPTT":
+		return false
+	}
+	return true
+}
+
+// With an overwhelming margin every query is reported above; algorithms
+// with a cutoff must emit exactly c ⊤'s and then halt.
+func TestCutoffAbortsAfterCPositives(t *testing.T) {
+	const c = 3
+	for name, build := range builders(1.0, 1.0, c) {
+		alg := build(rng.New(101))
+		queries := mkQueries(50, 1e9) // far above threshold 0 for any plausible noise
+		out := Run(alg, queries, []float64{0})
+		positives := 0
+		for _, a := range out {
+			if a.Above {
+				positives++
+			}
+		}
+		if hasCutoff(name) {
+			if len(out) != c {
+				t.Errorf("%s: answered %d queries before abort, want %d", name, len(out), c)
+			}
+			if positives != c {
+				t.Errorf("%s: %d positives, want %d", name, positives, c)
+			}
+			if !alg.Halted() {
+				t.Errorf("%s: not halted after c positives", name)
+			}
+			if _, ok := alg.Next(1e9, 0); ok {
+				t.Errorf("%s: Next succeeded after halt", name)
+			}
+		} else {
+			if len(out) != len(queries) {
+				t.Errorf("%s: answered %d, want all %d (no cutoff)", name, len(out), len(queries))
+			}
+			if positives != len(queries) {
+				t.Errorf("%s: %d positives, want %d", name, positives, len(queries))
+			}
+			if alg.Halted() {
+				t.Errorf("%s: halted but has no cutoff", name)
+			}
+		}
+	}
+}
+
+// With an overwhelmingly negative margin, every answer is ⊥ and no variant
+// ever halts.
+func TestAllBelow(t *testing.T) {
+	for name, build := range builders(1.0, 1.0, 3) {
+		alg := build(rng.New(102))
+		out := Run(alg, mkQueries(40, -1e9), []float64{0})
+		if len(out) != 40 {
+			t.Errorf("%s: answered %d, want 40", name, len(out))
+		}
+		for i, a := range out {
+			if a.Above {
+				t.Errorf("%s: query %d reported above", name, i)
+			}
+			if a.Numeric {
+				t.Errorf("%s: negative outcome %d carries a numeric value", name, i)
+			}
+		}
+		if alg.Halted() {
+			t.Errorf("%s: halted on all-below stream", name)
+		}
+	}
+}
+
+// Determinism: the same seed must give the same output stream.
+func TestDeterministicGivenSeed(t *testing.T) {
+	queries := []float64{5, -3, 10, 0, 2, -8, 7, 1}
+	for name, build := range builders(0.5, 1.0, 2) {
+		a := Run(build(rng.New(7)), queries, []float64{1})
+		b := Run(build(rng.New(7)), queries, []float64{1})
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ: %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: answer %d differs: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// Only Alg3 (always) and Alg7 (with ε₃>0) release numeric values.
+func TestNumericOutputs(t *testing.T) {
+	queries := mkQueries(10, 1e9)
+	for name, build := range builders(1.0, 1.0, 5) {
+		out := Run(build(rng.New(103)), queries, []float64{0})
+		for i, a := range out {
+			if a.Above && a.Numeric != (name == "Alg3") {
+				t.Errorf("%s: answer %d Numeric = %v", name, i, a.Numeric)
+			}
+		}
+	}
+	alg7 := NewAlg7(rng.New(104), Alg7Config{Eps1: 0.25, Eps2: 0.5, Eps3: 0.25, Delta: 1, C: 5})
+	out := Run(alg7, queries, []float64{0})
+	for i, a := range out {
+		if a.Above && !a.Numeric {
+			t.Errorf("Alg7(eps3>0): positive answer %d lacks numeric value", i)
+		}
+	}
+}
+
+// Alg3's leaked numeric value must itself be consistent with the positive
+// test: it is the very quantity compared against the noisy threshold.
+func TestAlg3NumericValueAboveNoisyThreshold(t *testing.T) {
+	src := rng.New(105)
+	alg := NewAlg3(src, 1.0, 1.0, 100)
+	for i := 0; i < 3000; i++ {
+		ans, ok := alg.Next(1.0, 0)
+		if !ok {
+			break
+		}
+		if ans.Above && ans.Value < alg.rho {
+			t.Fatalf("leaked value %v below noisy threshold %v", ans.Value, alg.rho)
+		}
+	}
+}
+
+// Alg5 adds no query noise: conditioned on its single threshold draw, equal
+// queries must receive equal answers.
+func TestAlg5DeterministicGivenRho(t *testing.T) {
+	alg := NewAlg5(rng.New(106), 0.1, 1.0)
+	first, _ := alg.Next(3.0, 2.0)
+	for i := 0; i < 100; i++ {
+		a, _ := alg.Next(3.0, 2.0)
+		if a != first {
+			t.Fatalf("Alg5 answer changed between identical queries")
+		}
+	}
+}
+
+// White-box check of every noise scale against the Figure 1 pseudocode.
+func TestNoiseScales(t *testing.T) {
+	const eps, delta = 0.4, 2.0
+	const c = 7
+	eps1, eps2 := eps/2, eps/2
+	if a := NewAlg1(rng.New(1), eps, delta, c); math.Abs(a.queryScale-2*c*delta/eps2) > 1e-12 {
+		t.Errorf("Alg1 query scale %v", a.queryScale)
+	}
+	a2 := NewAlg2(rng.New(1), eps, delta, c)
+	if math.Abs(a2.queryScale-2*c*delta/eps1) > 1e-12 {
+		t.Errorf("Alg2 query scale %v", a2.queryScale)
+	}
+	if math.Abs(a2.rhoScale2-c*delta/eps2) > 1e-12 {
+		t.Errorf("Alg2 resample scale %v", a2.rhoScale2)
+	}
+	if a := NewAlg3(rng.New(1), eps, delta, c); math.Abs(a.queryScale-c*delta/eps2) > 1e-12 {
+		t.Errorf("Alg3 query scale %v", a.queryScale)
+	}
+	// Alg4: eps1 = eps/4, eps2 = 3eps/4.
+	if a := NewAlg4(rng.New(1), eps, delta, c); math.Abs(a.queryScale-delta/(0.75*eps)) > 1e-12 {
+		t.Errorf("Alg4 query scale %v", a.queryScale)
+	}
+	if a := NewAlg6(rng.New(1), eps, delta); math.Abs(a.queryScale-delta/eps2) > 1e-12 {
+		t.Errorf("Alg6 query scale %v", a.queryScale)
+	}
+	a7 := NewAlg7(rng.New(1), Alg7Config{Eps1: 0.1, Eps2: 0.3, Delta: delta, C: c})
+	if math.Abs(a7.queryScale-2*c*delta/0.3) > 1e-12 {
+		t.Errorf("Alg7 general query scale %v", a7.queryScale)
+	}
+	a7m := NewAlg7(rng.New(1), Alg7Config{Eps1: 0.1, Eps2: 0.3, Delta: delta, C: c, Monotonic: true})
+	if math.Abs(a7m.queryScale-c*delta/0.3) > 1e-12 {
+		t.Errorf("Alg7 monotonic query scale %v", a7m.queryScale)
+	}
+	a7n := NewAlg7(rng.New(1), Alg7Config{Eps1: 0.1, Eps2: 0.2, Eps3: 0.1, Delta: delta, C: c})
+	if math.Abs(a7n.answerScale-c*delta/0.1) > 1e-12 {
+		t.Errorf("Alg7 answer scale %v", a7n.answerScale)
+	}
+	if a7.answerScale != 0 {
+		t.Errorf("Alg7 eps3=0 should disable numeric answers")
+	}
+}
+
+// Alg2 resamples ρ after each positive outcome; Alg1 never does.
+func TestRhoResampling(t *testing.T) {
+	a2 := NewAlg2(rng.New(107), 1.0, 1.0, 10)
+	before := a2.rho
+	changed := false
+	for i := 0; i < 10; i++ {
+		ans, _ := a2.Next(1e9, 0)
+		if ans.Above && a2.rho != before {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("Alg2 never resampled rho after a positive outcome")
+	}
+	a1 := NewAlg1(rng.New(107), 1.0, 1.0, 10)
+	before = a1.rho
+	for i := 0; i < 9; i++ {
+		a1.Next(1e9, 0)
+	}
+	if a1.rho != before {
+		t.Error("Alg1 resampled rho")
+	}
+}
+
+func TestRunThresholdHandling(t *testing.T) {
+	// Per-query thresholds: query 0 far above its threshold, query 1 far below.
+	alg := NewAlg1(rng.New(108), 1.0, 1.0, 10)
+	out := Run(alg, []float64{0, 0}, []float64{-1e9, 1e9})
+	if !out[0].Above || out[1].Above {
+		t.Errorf("per-query thresholds misapplied: %v", out)
+	}
+	// Mismatched threshold slice panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("Run with bad thresholds did not panic")
+		}
+	}()
+	Run(NewAlg1(rng.New(1), 1, 1, 1), []float64{1, 2, 3}, []float64{0, 0})
+}
+
+func TestAnswerString(t *testing.T) {
+	cases := []struct {
+		a    Answer
+		want string
+	}{
+		{Answer{}, "⊥"},
+		{Answer{Above: true}, "⊤"},
+		{Answer{Above: true, Numeric: true, Value: 2.5}, "2.5"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.a, got, c.want)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	src := rng.New(1)
+	cases := map[string]func(){
+		"nil source":     func() { NewAlg1(nil, 1, 1, 1) },
+		"zero epsilon":   func() { NewAlg1(src, 0, 1, 1) },
+		"neg epsilon":    func() { NewAlg2(src, -1, 1, 1) },
+		"zero delta":     func() { NewAlg3(src, 1, 0, 1) },
+		"zero cutoff":    func() { NewAlg4(src, 1, 1, 0) },
+		"neg cutoff":     func() { NewAlg1(src, 1, 1, -2) },
+		"alg5 bad eps":   func() { NewAlg5(src, 0, 1) },
+		"alg6 bad delta": func() { NewAlg6(src, 1, -1) },
+		"alg7 eps1":      func() { NewAlg7(src, Alg7Config{Eps2: 1, Delta: 1, C: 1}) },
+		"alg7 eps2":      func() { NewAlg7(src, Alg7Config{Eps1: 1, Delta: 1, C: 1}) },
+		"alg7 eps3 neg":  func() { NewAlg7(src, Alg7Config{Eps1: 1, Eps2: 1, Eps3: -1, Delta: 1, C: 1}) },
+		"alg7 delta":     func() { NewAlg7(src, Alg7Config{Eps1: 1, Eps2: 1, C: 1}) },
+		"alg7 cutoff":    func() { NewAlg7(src, Alg7Config{Eps1: 1, Eps2: 1, Delta: 1}) },
+		"alg7 nil src":   func() { NewAlg7(nil, Alg7Config{Eps1: 1, Eps2: 1, Delta: 1, C: 1}) },
+		"gptt eps1":      func() { NewGPTT(src, 0, 1, 1) },
+		"gptt eps2":      func() { NewGPTT(src, 1, 0, 1) },
+		"gptt delta":     func() { NewGPTT(src, 1, 1, 0) },
+		"gptt nil":       func() { NewGPTT(nil, 1, 1, 1) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for any (seeded) variant and any query stream, the number of
+// positive outcomes never exceeds c for cutoff algorithms, and answers
+// after Halted() are refused.
+func TestQuickCutoffInvariant(t *testing.T) {
+	f := func(seed uint64, raw []int8, cRaw uint8) bool {
+		c := int(cRaw%5) + 1
+		queries := make([]float64, len(raw))
+		for i, v := range raw {
+			queries[i] = float64(v)
+		}
+		for name, build := range builders(0.8, 1.0, c) {
+			alg := build(rng.New(seed))
+			positives := 0
+			for _, q := range queries {
+				ans, ok := alg.Next(q, 0)
+				if !ok {
+					break
+				}
+				if ans.Above {
+					positives++
+				}
+			}
+			if hasCutoff(name) && positives > c {
+				return false
+			}
+			if alg.Halted() {
+				if _, ok := alg.Next(100, 0); ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Statistical sanity: Alg1 with a borderline query should produce ⊤ about
+// half the time (symmetric noise around a zero margin).
+func TestAlg1BorderlineProbability(t *testing.T) {
+	src := rng.New(109)
+	const trials = 20000
+	above := 0
+	for i := 0; i < trials; i++ {
+		alg := NewAlg1(src.Split(), 1.0, 1.0, 1)
+		ans, _ := alg.Next(0, 0)
+		if ans.Above {
+			above++
+		}
+	}
+	frac := float64(above) / trials
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("borderline positive fraction %v, want ~0.5", frac)
+	}
+}
+
+// Analytic oracle: the probability that a single query is reported above
+// the threshold is exactly Pr[ν − ρ ≥ T − q] = 1 − LaplaceDiffCDF(T − q)
+// with the algorithm's two noise scales. This pins the implemented
+// comparison (noise directions, scale wiring) to the closed form.
+func TestSingleQueryPositiveProbabilityMatchesClosedForm(t *testing.T) {
+	const eps, delta = 0.8, 1.0
+	const c = 3
+	const trials = 60000
+	cases := []struct {
+		name   string
+		margin float64 // q − T
+		rhoB   float64
+		nuB    float64
+		build  func(src *rng.Source) Algorithm
+	}{
+		{
+			name: "alg1", margin: 2.5,
+			rhoB: delta / (eps / 2), nuB: 2 * c * delta / (eps / 2),
+			build: func(src *rng.Source) Algorithm { return NewAlg1(src, eps, delta, c) },
+		},
+		{
+			name: "alg7-monotonic", margin: -1.5,
+			rhoB: delta / 0.3, nuB: c * delta / 0.5,
+			build: func(src *rng.Source) Algorithm {
+				return NewAlg7(src, Alg7Config{Eps1: 0.3, Eps2: 0.5, Delta: delta, C: c, Monotonic: true})
+			},
+		},
+		{
+			name: "alg6", margin: 0.7,
+			rhoB: delta / (eps / 2), nuB: delta / (eps / 2),
+			build: func(src *rng.Source) Algorithm { return NewAlg6(src, eps, delta) },
+		},
+	}
+	master := rng.New(606)
+	for _, cse := range cases {
+		above := 0
+		for i := 0; i < trials; i++ {
+			alg := cse.build(master.Split())
+			ans, _ := alg.Next(cse.margin, 0)
+			if ans.Above {
+				above++
+			}
+		}
+		got := float64(above) / trials
+		want := 1 - rng.LaplaceDiffCDF(-cse.margin, cse.nuB, cse.rhoB)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s: empirical Pr[⊤] = %v, closed form %v", cse.name, got, want)
+		}
+	}
+}
+
+func TestAlg7Remaining(t *testing.T) {
+	alg := NewAlg7(rng.New(110), Alg7Config{Eps1: 1, Eps2: 1, Delta: 1, C: 3})
+	if alg.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", alg.Remaining())
+	}
+	alg.Next(1e9, 0)
+	if alg.Remaining() != 2 {
+		t.Fatalf("Remaining after one positive = %d, want 2", alg.Remaining())
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ratio enumerates the ε₁:ε₂ privacy-budget allocations studied in §4.2 and
+// evaluated in Figure 4. An allocation 1:k gives the threshold ε₁ = ε/(1+k)
+// and the queries ε₂ = kε/(1+k).
+type Ratio int
+
+const (
+	// RatioOneOne is the conventional 1:1 split used by most prior
+	// variants "without a clear justification" (§4.2).
+	RatioOneOne Ratio = iota
+	// RatioOneThree is the 1:3 split of Lee and Clifton (Algorithm 4).
+	RatioOneThree
+	// RatioOneC is the 1:c split, a strong heuristic at large c.
+	RatioOneC
+	// RatioCubeRoot2C is the paper's variance-minimizing allocation for
+	// general queries, ε₁:ε₂ = 1:(2c)^{2/3} (Equation 12).
+	RatioCubeRoot2C
+	// RatioCubeRootC is the variance-minimizing allocation for monotonic
+	// queries, ε₁:ε₂ = 1:c^{2/3} (§4.3).
+	RatioCubeRootC
+)
+
+// String returns the label used in the paper's plots.
+func (r Ratio) String() string {
+	switch r {
+	case RatioOneOne:
+		return "1:1"
+	case RatioOneThree:
+		return "1:3"
+	case RatioOneC:
+		return "1:c"
+	case RatioCubeRoot2C:
+		return "1:(2c)^(2/3)"
+	case RatioCubeRootC:
+		return "1:c^(2/3)"
+	default:
+		return fmt.Sprintf("Ratio(%d)", int(r))
+	}
+}
+
+// Coefficient returns k such that the allocation is ε₁:ε₂ = 1:k for the
+// given cutoff c. It panics if c <= 0.
+func (r Ratio) Coefficient(c int) float64 {
+	checkCutoff(c)
+	cf := float64(c)
+	switch r {
+	case RatioOneOne:
+		return 1
+	case RatioOneThree:
+		return 3
+	case RatioOneC:
+		return cf
+	case RatioCubeRoot2C:
+		return math.Pow(2*cf, 2.0/3)
+	case RatioCubeRootC:
+		return math.Pow(cf, 2.0/3)
+	default:
+		panic("core: unknown allocation ratio")
+	}
+}
+
+// Split divides the total budget epsilon into (ε₁, ε₂) according to the
+// ratio. The shares always sum to epsilon.
+func (r Ratio) Split(epsilon float64, c int) (eps1, eps2 float64) {
+	if !(epsilon > 0) {
+		panic("core: epsilon must be positive")
+	}
+	k := r.Coefficient(c)
+	eps1 = epsilon / (1 + k)
+	return eps1, epsilon - eps1
+}
+
+// OptimalRatio returns the variance-minimizing allocation for the query
+// class: RatioCubeRootC when monotonic, RatioCubeRoot2C otherwise.
+//
+// Derivation (§4.2): the comparison error is Lap(Δ/ε₁) − Lap(2cΔ/ε₂) with
+// variance 2(Δ/ε₁)² + 2(2cΔ/ε₂)²; minimizing subject to ε₁+ε₂ fixed gives
+// ε₁:ε₂ = 1:(2c)^{2/3}.
+func OptimalRatio(monotonic bool) Ratio {
+	if monotonic {
+		return RatioCubeRootC
+	}
+	return RatioCubeRoot2C
+}
+
+// ComparisonVariance returns the variance of the threshold-vs-query
+// comparison noise, Var[Lap(Δ/ε₁)] + Var[Lap(mcΔ/ε₂)] with m = 2 (or 1 for
+// monotonic queries). The allocation tests verify that the paper's Eq. 12
+// split minimizes this quantity.
+func ComparisonVariance(eps1, eps2, delta float64, c int, monotonic bool) float64 {
+	if !(eps1 > 0) || !(eps2 > 0) || !(delta > 0) {
+		panic("core: ComparisonVariance requires positive budgets and sensitivity")
+	}
+	checkCutoff(c)
+	m := 2.0
+	if monotonic {
+		m = 1.0
+	}
+	b1 := delta / eps1
+	b2 := m * float64(c) * delta / eps2
+	return 2*b1*b1 + 2*b2*b2
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatioSplitSumsToEpsilon(t *testing.T) {
+	ratios := []Ratio{RatioOneOne, RatioOneThree, RatioOneC, RatioCubeRoot2C, RatioCubeRootC}
+	for _, r := range ratios {
+		for _, c := range []int{1, 25, 300} {
+			e1, e2 := r.Split(0.1, c)
+			if e1 <= 0 || e2 <= 0 {
+				t.Errorf("%v c=%d: non-positive share (%v, %v)", r, c, e1, e2)
+			}
+			if math.Abs(e1+e2-0.1) > 1e-12 {
+				t.Errorf("%v c=%d: shares sum to %v", r, c, e1+e2)
+			}
+			if got := e2 / e1; math.Abs(got-r.Coefficient(c))/r.Coefficient(c) > 1e-9 {
+				t.Errorf("%v c=%d: ratio %v, want %v", r, c, got, r.Coefficient(c))
+			}
+		}
+	}
+}
+
+func TestRatioCoefficients(t *testing.T) {
+	cases := []struct {
+		r    Ratio
+		c    int
+		want float64
+	}{
+		{RatioOneOne, 50, 1},
+		{RatioOneThree, 50, 3},
+		{RatioOneC, 50, 50},
+		{RatioCubeRoot2C, 50, math.Pow(100, 2.0/3)},
+		{RatioCubeRootC, 50, math.Pow(50, 2.0/3)},
+	}
+	for _, cse := range cases {
+		if got := cse.r.Coefficient(cse.c); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("%v.Coefficient(%d) = %v, want %v", cse.r, cse.c, got, cse.want)
+		}
+	}
+}
+
+func TestRatioString(t *testing.T) {
+	want := map[Ratio]string{
+		RatioOneOne:     "1:1",
+		RatioOneThree:   "1:3",
+		RatioOneC:       "1:c",
+		RatioCubeRoot2C: "1:(2c)^(2/3)",
+		RatioCubeRootC:  "1:c^(2/3)",
+		Ratio(99):       "Ratio(99)",
+	}
+	for r, s := range want {
+		if got := r.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, s)
+		}
+	}
+}
+
+func TestOptimalRatio(t *testing.T) {
+	if OptimalRatio(false) != RatioCubeRoot2C {
+		t.Error("general optimal should be 1:(2c)^(2/3)")
+	}
+	if OptimalRatio(true) != RatioCubeRootC {
+		t.Error("monotonic optimal should be 1:c^(2/3)")
+	}
+}
+
+// The paper's Eq. 12 claim: the 1:(2c)^{2/3} split minimizes the comparison
+// variance over all splits of a fixed ε. Check against a fine grid.
+func TestOptimalSplitMinimizesVariance(t *testing.T) {
+	for _, monotonic := range []bool{false, true} {
+		for _, c := range []int{1, 5, 50, 300} {
+			const eps, delta = 0.1, 1.0
+			e1, e2 := OptimalRatio(monotonic).Split(eps, c)
+			best := ComparisonVariance(e1, e2, delta, c, monotonic)
+			for f := 0.01; f < 1.0; f += 0.01 {
+				v := ComparisonVariance(eps*f, eps*(1-f), delta, c, monotonic)
+				if v < best*(1-1e-9) {
+					t.Errorf("monotonic=%v c=%d: split %.2f beats optimal (%v < %v)",
+						monotonic, c, f, v, best)
+				}
+			}
+		}
+	}
+}
+
+// Property: comparison variance is symmetric in its Laplace components and
+// always positive; the optimal ratio's coefficient grows with c.
+func TestQuickVariancePositiveAndRatioMonotone(t *testing.T) {
+	f := func(cRaw uint8) bool {
+		c := int(cRaw%200) + 1
+		v := ComparisonVariance(0.05, 0.05, 1, c, false)
+		if !(v > 0) {
+			return false
+		}
+		if c > 1 {
+			if RatioCubeRoot2C.Coefficient(c) <= RatioCubeRoot2C.Coefficient(c-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocationPanics(t *testing.T) {
+	cases := map[string]func(){
+		"split zero eps":   func() { RatioOneOne.Split(0, 5) },
+		"split neg eps":    func() { RatioOneOne.Split(-1, 5) },
+		"coef zero c":      func() { RatioOneC.Coefficient(0) },
+		"unknown ratio":    func() { Ratio(42).Coefficient(5) },
+		"variance zero e1": func() { ComparisonVariance(0, 1, 1, 5, false) },
+		"variance zero e2": func() { ComparisonVariance(1, 0, 1, 5, false) },
+		"variance delta":   func() { ComparisonVariance(1, 1, 0, 5, false) },
+		"variance zero c":  func() { ComparisonVariance(1, 1, 1, 0, false) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "github.com/dpgo/svt/internal/rng"
+
+// GPTT is the Generalized Private Threshold Testing algorithm from Chen and
+// Machanavajjhala ("On the privacy properties of variants on the sparse
+// vector technique", 2015), the abstraction the paper dissects in §3.3.
+//
+// GPTT perturbs the threshold with Lap(Δ/ε₁), each query with Lap(Δ/ε₂),
+// and has no cutoff. Setting ε₁ = ε₂ = ε/2 recovers Algorithm 6. GPTT is
+// not ε′-DP for any finite ε′ — but the constructive proof of that fact in
+// the 2015 paper is itself flawed (Appendix 10.3): its lower bound κ(t)
+// on the integrand ratio degrades toward 1 as the construction length t
+// grows, so κ(t)^{t/2} need not diverge. The audit package reproduces
+// both the non-privacy (via Theorem 7's argument) and the κ(t) → 1 decay
+// that invalidates the published proof.
+type GPTT struct {
+	src        *rng.Source
+	rho        float64
+	queryScale float64 // Δ/ε₂
+}
+
+// NewGPTT prepares a GPTT instance with separate threshold/query budgets.
+// The result is not ε-DP for any finite ε; it exists to reproduce the
+// paper's analysis.
+func NewGPTT(src *rng.Source, eps1, eps2, delta float64) *GPTT {
+	if src == nil {
+		panic("core: nil random source")
+	}
+	if !(eps1 > 0) || !(eps2 > 0) {
+		panic("core: GPTT requires positive eps1 and eps2")
+	}
+	if !(delta > 0) {
+		panic("core: sensitivity must be positive")
+	}
+	return &GPTT{
+		src:        src,
+		rho:        src.Laplace(delta / eps1),
+		queryScale: delta / eps2,
+	}
+}
+
+// Next implements Algorithm. GPTT never halts.
+func (g *GPTT) Next(q, threshold float64) (Answer, bool) {
+	nu := g.src.Laplace(g.queryScale)
+	if q+nu >= threshold+g.rho {
+		return Answer{Above: true}, true
+	}
+	return Answer{}, true
+}
+
+// Halted implements Algorithm; GPTT never halts.
+func (g *GPTT) Halted() bool { return false }

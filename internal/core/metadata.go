@@ -1,0 +1,99 @@
+package core
+
+// Variant identifies one of the six SVT variants of Figure 1.
+type Variant int
+
+const (
+	// VariantAlg1 is the paper's proposed instantiation (ε-DP).
+	VariantAlg1 Variant = 1 + iota
+	// VariantAlg2 is Dwork & Roth's 2014 book version (ε-DP).
+	VariantAlg2
+	// VariantAlg3 is Roth's 2011 lecture-notes version (∞-DP).
+	VariantAlg3
+	// VariantAlg4 is Lee & Clifton 2014 ((1+6c)/4·ε-DP).
+	VariantAlg4
+	// VariantAlg5 is Stoddard et al. 2014 (∞-DP).
+	VariantAlg5
+	// VariantAlg6 is Chen et al. 2015 (∞-DP).
+	VariantAlg6
+)
+
+// Metadata summarizes one column of the paper's Figure 2 ("Differences
+// among Algorithms 1-6"). The experiments package renders the figure's
+// table from these values, and the audit package checks the Privacy row
+// empirically.
+type Metadata struct {
+	Variant Variant
+	Name    string
+	Source  string
+	// Eps1Fraction is ε₁ as a fraction of ε (1/2 everywhere except Alg4's 1/4).
+	Eps1Fraction float64
+	// ThresholdNoiseScale is the scale of ρ in the paper's symbolic form.
+	ThresholdNoiseScale string
+	// ResetsRho reports whether ρ is resampled after each ⊤ (only Alg2).
+	ResetsRho bool
+	// QueryNoiseScale is the scale of νᵢ in the paper's symbolic form.
+	QueryNoiseScale string
+	// OutputsNumeric reports whether positive outcomes leak qᵢ+νᵢ (only Alg3).
+	OutputsNumeric bool
+	// UnboundedPositives reports a missing cutoff (Alg5 and Alg6).
+	UnboundedPositives bool
+	// PrivacyProperty is the last row of Figure 2.
+	PrivacyProperty string
+	// DP reports whether the variant satisfies ε-DP as claimed.
+	DP bool
+}
+
+// variantTable mirrors Figure 2 column by column.
+var variantTable = [...]Metadata{
+	{
+		Variant: VariantAlg1, Name: "Alg. 1", Source: "this paper (Lyu-Su-Li)",
+		Eps1Fraction: 0.5, ThresholdNoiseScale: "Δ/ε1",
+		QueryNoiseScale: "2cΔ/ε2",
+		PrivacyProperty: "ε-DP", DP: true,
+	},
+	{
+		Variant: VariantAlg2, Name: "Alg. 2", Source: "Dwork & Roth 2014",
+		Eps1Fraction: 0.5, ThresholdNoiseScale: "cΔ/ε1", ResetsRho: true,
+		QueryNoiseScale: "2cΔ/ε2",
+		PrivacyProperty: "ε-DP", DP: true,
+	},
+	{
+		Variant: VariantAlg3, Name: "Alg. 3", Source: "Roth 2011 lecture notes",
+		Eps1Fraction: 0.5, ThresholdNoiseScale: "Δ/ε1",
+		QueryNoiseScale: "cΔ/ε2", OutputsNumeric: true,
+		PrivacyProperty: "∞-DP", DP: false,
+	},
+	{
+		Variant: VariantAlg4, Name: "Alg. 4", Source: "Lee & Clifton 2014",
+		Eps1Fraction: 0.25, ThresholdNoiseScale: "Δ/ε1",
+		QueryNoiseScale: "Δ/ε2",
+		PrivacyProperty: "((1+6c)/4)ε-DP", DP: false,
+	},
+	{
+		Variant: VariantAlg5, Name: "Alg. 5", Source: "Stoddard et al. 2014",
+		Eps1Fraction: 0.5, ThresholdNoiseScale: "Δ/ε1",
+		QueryNoiseScale: "0", UnboundedPositives: true,
+		PrivacyProperty: "∞-DP", DP: false,
+	},
+	{
+		Variant: VariantAlg6, Name: "Alg. 6", Source: "Chen et al. 2015",
+		Eps1Fraction: 0.5, ThresholdNoiseScale: "Δ/ε1",
+		QueryNoiseScale: "Δ/ε2", UnboundedPositives: true,
+		PrivacyProperty: "∞-DP", DP: false,
+	},
+}
+
+// VariantMetadata returns the Figure-2 column for v. It panics on an
+// unknown variant.
+func VariantMetadata(v Variant) Metadata {
+	if v < VariantAlg1 || v > VariantAlg6 {
+		panic("core: unknown variant")
+	}
+	return variantTable[v-1]
+}
+
+// AllVariants lists the six variants in paper order.
+func AllVariants() []Variant {
+	return []Variant{VariantAlg1, VariantAlg2, VariantAlg3, VariantAlg4, VariantAlg5, VariantAlg6}
+}

@@ -1,0 +1,78 @@
+package core
+
+import "testing"
+
+func TestVariantMetadataMirrorsFigure2(t *testing.T) {
+	// Row-by-row checks against the published table.
+	m1 := VariantMetadata(VariantAlg1)
+	if !m1.DP || m1.PrivacyProperty != "ε-DP" || m1.Eps1Fraction != 0.5 {
+		t.Errorf("Alg1 metadata wrong: %+v", m1)
+	}
+	m2 := VariantMetadata(VariantAlg2)
+	if !m2.DP || !m2.ResetsRho || m2.ThresholdNoiseScale != "cΔ/ε1" {
+		t.Errorf("Alg2 metadata wrong: %+v", m2)
+	}
+	m3 := VariantMetadata(VariantAlg3)
+	if m3.DP || !m3.OutputsNumeric || m3.PrivacyProperty != "∞-DP" {
+		t.Errorf("Alg3 metadata wrong: %+v", m3)
+	}
+	m4 := VariantMetadata(VariantAlg4)
+	if m4.DP || m4.Eps1Fraction != 0.25 || m4.QueryNoiseScale != "Δ/ε2" {
+		t.Errorf("Alg4 metadata wrong: %+v", m4)
+	}
+	m5 := VariantMetadata(VariantAlg5)
+	if m5.DP || !m5.UnboundedPositives || m5.QueryNoiseScale != "0" {
+		t.Errorf("Alg5 metadata wrong: %+v", m5)
+	}
+	m6 := VariantMetadata(VariantAlg6)
+	if m6.DP || !m6.UnboundedPositives || m6.QueryNoiseScale != "Δ/ε2" {
+		t.Errorf("Alg6 metadata wrong: %+v", m6)
+	}
+}
+
+func TestVariantTableConsistency(t *testing.T) {
+	vs := AllVariants()
+	if len(vs) != 6 {
+		t.Fatalf("AllVariants returned %d entries", len(vs))
+	}
+	// Exactly two variants are ε-DP; exactly one resets ρ; exactly one
+	// leaks numeric answers; exactly two lack a cutoff.
+	var dp, resets, numeric, unbounded int
+	for _, v := range vs {
+		m := VariantMetadata(v)
+		if m.Variant != v {
+			t.Errorf("metadata variant mismatch for %v", v)
+		}
+		if m.Name == "" || m.Source == "" {
+			t.Errorf("%v: missing name/source", v)
+		}
+		if m.DP {
+			dp++
+		}
+		if m.ResetsRho {
+			resets++
+		}
+		if m.OutputsNumeric {
+			numeric++
+		}
+		if m.UnboundedPositives {
+			unbounded++
+		}
+	}
+	if dp != 2 || resets != 1 || numeric != 1 || unbounded != 2 {
+		t.Errorf("table counts dp=%d resets=%d numeric=%d unbounded=%d", dp, resets, numeric, unbounded)
+	}
+}
+
+func TestVariantMetadataPanics(t *testing.T) {
+	for _, v := range []Variant{0, 7, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("VariantMetadata(%d) did not panic", v)
+				}
+			}()
+			VariantMetadata(v)
+		}()
+	}
+}

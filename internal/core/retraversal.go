@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+
+	"github.com/dpgo/svt/internal/rng"
+)
+
+// ReTrConfig configures SVT with Retraversal (SVT-ReTr, §5), the paper's
+// non-interactive optimization of the standard SVT.
+type ReTrConfig struct {
+	// Eps1 and Eps2 are the threshold and query perturbation budgets.
+	Eps1, Eps2 float64
+	// Delta is the query sensitivity.
+	Delta float64
+	// C is the number of queries to select.
+	C int
+	// Monotonic enables the Theorem-5 noise reduction.
+	Monotonic bool
+	// BoostSD raises the threshold by BoostSD standard deviations of the
+	// per-query Laplace noise ("kD" in the paper's plots, k ∈ 1..5). Zero
+	// means no boost; negative values are invalid.
+	BoostSD float64
+	// MaxPasses bounds the number of retraversals (0 means the default of
+	// 10000). The loop terminates with probability 1 regardless — every
+	// pass gives every remaining query fresh noise and hence positive
+	// selection probability — but a bound keeps worst-case latency finite.
+	MaxPasses int
+}
+
+const defaultMaxPasses = 10000
+
+// SelectReTr selects up to cfg.C indices of scores using the standard SVT
+// (Algorithm 7) with a raised threshold, retraversing the not-yet-selected
+// queries until C have been selected or MaxPasses is exhausted.
+//
+// Rationale (§5): with a high threshold SVT may run out of queries having
+// selected fewer than c, wasting the remaining budget; with a low one it
+// may fill up on early mediocre queries. Retraversal permits a high
+// threshold — fewer false positives per pass — without wasting budget,
+// because negative outcomes are free and unselected queries can simply be
+// tested again.
+//
+// The privacy analysis is unchanged: the retraversed stream is just a
+// longer query sequence fed to the same (ε₁+ε₂)-DP machine, with the same
+// at-most-C positive outcomes. The returned indices are in selection order.
+func SelectReTr(src *rng.Source, scores []float64, threshold float64, cfg ReTrConfig) []int {
+	if len(scores) == 0 {
+		panic("core: empty score vector")
+	}
+	if cfg.BoostSD < 0 || math.IsNaN(cfg.BoostSD) {
+		panic("core: negative retraversal boost")
+	}
+	maxPasses := cfg.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = defaultMaxPasses
+	}
+	alg := NewAlg7(src, Alg7Config{
+		Eps1: cfg.Eps1, Eps2: cfg.Eps2, Delta: cfg.Delta,
+		C: cfg.C, Monotonic: cfg.Monotonic,
+	})
+	// Boost in units of the query-noise standard deviation (b√2 for
+	// Laplace(b)), exactly the paper's "1D...5D" increments.
+	boosted := threshold + cfg.BoostSD*rng.LaplaceStdDev(alg.queryScale)
+
+	selected := make([]int, 0, cfg.C)
+	remaining := make([]int, len(scores))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for pass := 0; pass < maxPasses && len(remaining) > 0 && !alg.Halted(); pass++ {
+		next := remaining[:0]
+		for _, idx := range remaining {
+			if alg.Halted() {
+				next = append(next, idx)
+				continue
+			}
+			ans, ok := alg.Next(scores[idx], boosted)
+			if ok && ans.Above {
+				selected = append(selected, idx)
+			} else {
+				next = append(next, idx)
+			}
+		}
+		remaining = next
+	}
+	return selected
+}
+
+// SelectSVT selects up to cfg.C indices with a single pass of the standard
+// SVT (Algorithm 7) at the given threshold — the paper's "SVT-S". It is
+// SelectReTr with no boost and exactly one traversal.
+func SelectSVT(src *rng.Source, scores []float64, threshold float64, cfg ReTrConfig) []int {
+	if len(scores) == 0 {
+		panic("core: empty score vector")
+	}
+	alg := NewAlg7(src, Alg7Config{
+		Eps1: cfg.Eps1, Eps2: cfg.Eps2, Delta: cfg.Delta,
+		C: cfg.C, Monotonic: cfg.Monotonic,
+	})
+	selected := make([]int, 0, cfg.C)
+	for idx, s := range scores {
+		ans, ok := alg.Next(s, threshold)
+		if !ok {
+			break
+		}
+		if ans.Above {
+			selected = append(selected, idx)
+		}
+	}
+	return selected
+}

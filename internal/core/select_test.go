@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/dpgo/svt/internal/rng"
+)
+
+func distinctInRange(t *testing.T, name string, sel []int, n, c int) {
+	t.Helper()
+	if len(sel) > c {
+		t.Fatalf("%s: selected %d > c=%d", name, len(sel), c)
+	}
+	seen := make(map[int]bool)
+	for _, idx := range sel {
+		if idx < 0 || idx >= n {
+			t.Fatalf("%s: index %d out of range", name, idx)
+		}
+		if seen[idx] {
+			t.Fatalf("%s: duplicate index %d", name, idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestSelectEMBasics(t *testing.T) {
+	src := rng.New(201)
+	scores := []float64{10, 50, 20, 40, 30}
+	sel := SelectEM(src, scores, 1.0, 1.0, 3, false)
+	distinctInRange(t, "EM", sel, len(scores), 3)
+	if len(sel) != 3 {
+		t.Fatalf("selected %d, want 3", len(sel))
+	}
+}
+
+func TestSelectEMClampsToLen(t *testing.T) {
+	src := rng.New(202)
+	sel := SelectEM(src, []float64{1, 2}, 1.0, 1.0, 10, true)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d, want all 2", len(sel))
+	}
+	sort.Ints(sel)
+	if sel[0] != 0 || sel[1] != 1 {
+		t.Fatalf("selection %v, want both indices", sel)
+	}
+}
+
+// With large ε the EM selection should almost always be the true top-c.
+func TestSelectEMHighEpsilonFindsTop(t *testing.T) {
+	src := rng.New(203)
+	scores := []float64{1, 100, 2, 99, 3, 98}
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		sel := SelectEM(src.Split(), scores, 1000, 1.0, 3, false)
+		sort.Ints(sel)
+		if len(sel) == 3 && sel[0] == 1 && sel[1] == 3 && sel[2] == 5 {
+			hits++
+		}
+	}
+	if hits < trials*95/100 {
+		t.Fatalf("high-eps EM found true top-3 only %d/%d times", hits, trials)
+	}
+}
+
+// The first EM round must sample exactly the softmax distribution; compare
+// both samplers against the closed form.
+func TestSelectEMMatchesSoftmaxFirstRound(t *testing.T) {
+	scores := []float64{0, 1, 2}
+	const eps, delta = 2.0, 1.0
+	const c = 1
+	coef := eps / (2 * float64(c) * delta)
+	var want [3]float64
+	z := 0.0
+	for _, s := range scores {
+		z += math.Exp(coef * s)
+	}
+	for i, s := range scores {
+		want[i] = math.Exp(coef*s) / z
+	}
+	const trials = 100000
+	samplers := map[string]func(*rng.Source) []int{
+		"gumbel": func(s *rng.Source) []int { return SelectEM(s, scores, eps, delta, c, false) },
+		"invcdf": func(s *rng.Source) []int { return SelectEMInvCDF(s, scores, eps, delta, c, false) },
+	}
+	for name, sample := range samplers {
+		src := rng.New(204)
+		var counts [3]int
+		for i := 0; i < trials; i++ {
+			counts[sample(src.Split())[0]]++
+		}
+		for i := range counts {
+			got := float64(counts[i]) / trials
+			if math.Abs(got-want[i]) > 0.01 {
+				t.Errorf("%s bucket %d: got %v want %v", name, i, got, want[i])
+			}
+		}
+	}
+}
+
+// The Gumbel top-c sampler must match the explicit sequential
+// without-replacement sampler on the full ORDERED selection distribution,
+// not just the first round — this is the Yellott equivalence SelectEM's
+// speed relies on.
+func TestSelectEMGumbelTopCMatchesSequential(t *testing.T) {
+	scores := []float64{0, 1, 2}
+	const eps, delta = 1.5, 1.0
+	const c = 2
+	const trials = 60000
+	freq := func(sample func(*rng.Source) []int, seed uint64) map[[2]int]float64 {
+		src := rng.New(seed)
+		counts := map[[2]int]int{}
+		for i := 0; i < trials; i++ {
+			sel := sample(src.Split())
+			counts[[2]int{sel[0], sel[1]}]++
+		}
+		out := map[[2]int]float64{}
+		for k, v := range counts {
+			out[k] = float64(v) / trials
+		}
+		return out
+	}
+	a := freq(func(s *rng.Source) []int { return SelectEM(s, scores, eps, delta, c, false) }, 301)
+	b := freq(func(s *rng.Source) []int { return SelectEMInvCDF(s, scores, eps, delta, c, false) }, 302)
+	for pair, pa := range a {
+		if math.Abs(pa-b[pair]) > 0.012 {
+			t.Errorf("ordered pair %v: gumbel %v vs sequential %v", pair, pa, b[pair])
+		}
+	}
+}
+
+// Monotonic mode doubles the exponent coefficient, which must make the
+// selection strictly more concentrated on the top item.
+func TestSelectEMMonotonicSharper(t *testing.T) {
+	scores := []float64{0, 5}
+	const trials = 40000
+	count := func(monotonic bool, seed uint64) int {
+		src := rng.New(seed)
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if SelectEM(src.Split(), scores, 1.0, 1.0, 1, monotonic)[0] == 1 {
+				hits++
+			}
+		}
+		return hits
+	}
+	general := count(false, 205)
+	mono := count(true, 206)
+	if mono <= general {
+		t.Fatalf("monotonic EM (%d hits) not sharper than general (%d hits)", mono, general)
+	}
+}
+
+// Property: EM selections are always distinct, in-range, and of size
+// min(c, n), for both samplers.
+func TestQuickSelectEMInvariants(t *testing.T) {
+	f := func(seed uint64, raw []uint8, cRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			scores[i] = float64(v)
+		}
+		c := int(cRaw%10) + 1
+		wantLen := c
+		if wantLen > len(scores) {
+			wantLen = len(scores)
+		}
+		for _, sel := range [][]int{
+			SelectEM(rng.New(seed), scores, 0.5, 1, c, false),
+			SelectEMInvCDF(rng.New(seed), scores, 0.5, 1, c, true),
+		} {
+			if len(sel) != wantLen {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, idx := range sel {
+				if idx < 0 || idx >= len(scores) || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectSVTBasics(t *testing.T) {
+	src := rng.New(207)
+	scores := []float64{1e9, -1e9, 1e9, -1e9, 1e9, 1e9}
+	cfg := ReTrConfig{Eps1: 0.05, Eps2: 0.05, Delta: 1, C: 3}
+	sel := SelectSVT(src, scores, 0, cfg)
+	distinctInRange(t, "SVT", sel, len(scores), 3)
+	if len(sel) != 3 {
+		t.Fatalf("selected %d, want 3", len(sel))
+	}
+	// One pass, huge margins: must be the first three high-score indices.
+	want := []int{0, 2, 4}
+	for i, idx := range sel {
+		if idx != want[i] {
+			t.Fatalf("selection %v, want %v", sel, want)
+		}
+	}
+}
+
+// Retraversal must find c items even when the threshold is boosted so high
+// that single-pass SVT-S would select almost nothing.
+func TestSelectReTrFillsQuota(t *testing.T) {
+	src := rng.New(208)
+	scores := make([]float64, 100)
+	for i := range scores {
+		scores[i] = float64(i)
+	}
+	cfg := ReTrConfig{Eps1: 0.1, Eps2: 0.5, Delta: 1, C: 10, BoostSD: 5}
+	sel := SelectReTr(src, scores, 90, cfg)
+	distinctInRange(t, "ReTr", sel, len(scores), 10)
+	if len(sel) != 10 {
+		t.Fatalf("retraversal selected %d, want full quota 10", len(sel))
+	}
+}
+
+func TestSelectReTrRespectsMaxPasses(t *testing.T) {
+	src := rng.New(209)
+	scores := mkQueries(20, -1e12) // hopeless: far below any plausible noisy threshold
+	cfg := ReTrConfig{Eps1: 1, Eps2: 1, Delta: 1, C: 5, MaxPasses: 3}
+	sel := SelectReTr(src, scores, 0, cfg)
+	if len(sel) != 0 {
+		t.Fatalf("selected %d from hopeless scores", len(sel))
+	}
+}
+
+// Property: retraversal never duplicates an index and never exceeds c.
+func TestQuickSelectReTrInvariants(t *testing.T) {
+	f := func(seed uint64, raw []int8, cRaw, boostRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			scores[i] = float64(v)
+		}
+		c := int(cRaw%8) + 1
+		cfg := ReTrConfig{
+			Eps1: 0.2, Eps2: 0.8, Delta: 1, C: c,
+			BoostSD: float64(boostRaw % 6), MaxPasses: 50,
+		}
+		sel := SelectReTr(rng.New(seed), scores, 0, cfg)
+		if len(sel) > c {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, idx := range sel {
+			if idx < 0 || idx >= len(scores) || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectPanics(t *testing.T) {
+	src := rng.New(1)
+	cases := map[string]func(){
+		"EM empty scores":   func() { SelectEM(src, nil, 1, 1, 1, false) },
+		"EM zero eps":       func() { SelectEM(src, []float64{1}, 0, 1, 1, false) },
+		"EM zero delta":     func() { SelectEM(src, []float64{1}, 1, 0, 1, false) },
+		"EM zero c":         func() { SelectEM(src, []float64{1}, 1, 1, 0, false) },
+		"EM nil src":        func() { SelectEM(nil, []float64{1}, 1, 1, 1, false) },
+		"InvCDF empty":      func() { SelectEMInvCDF(src, nil, 1, 1, 1, false) },
+		"ReTr empty scores": func() { SelectReTr(src, nil, 0, ReTrConfig{Eps1: 1, Eps2: 1, Delta: 1, C: 1}) },
+		"ReTr neg boost": func() {
+			SelectReTr(src, []float64{1}, 0, ReTrConfig{Eps1: 1, Eps2: 1, Delta: 1, C: 1, BoostSD: -1})
+		},
+		"SVT empty scores": func() { SelectSVT(src, nil, 0, ReTrConfig{Eps1: 1, Eps2: 1, Delta: 1, C: 1}) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,148 @@
+package rng
+
+import "math"
+
+// Laplace returns a variate from the Laplace (double-exponential)
+// distribution with mean 0 and scale b: density (1/2b)·exp(-|x|/b).
+//
+// The Laplace distribution is the noise primitive of every ε-DP mechanism
+// in this repository; its key property, used throughout the paper's proofs,
+// is Pr[X = x] ≤ e^{Δ/b} · Pr[X = x + Δ].
+//
+// Laplace panics if b <= 0 or b is not finite.
+func (r *Source) Laplace(b float64) float64 {
+	if !(b > 0) || math.IsInf(b, 0) {
+		panic("rng: Laplace scale must be positive and finite")
+	}
+	// Inverse-CDF: with u uniform on (0,1), the variate is
+	//   b·ln(2u)      for u < 1/2   (negative tail)
+	//   -b·ln(2(1-u)) for u ≥ 1/2   (positive tail)
+	// Float64Open keeps u strictly inside (0,1) so the logs are finite.
+	u := r.Float64Open()
+	if u < 0.5 {
+		return b * math.Log(2*u)
+	}
+	return -b * math.Log(2*(1-u))
+}
+
+// Exponential returns a variate from the exponential distribution with
+// mean m (rate 1/m). It panics if m <= 0.
+func (r *Source) Exponential(m float64) float64 {
+	if !(m > 0) {
+		panic("rng: Exponential mean must be positive")
+	}
+	return -m * math.Log(r.Float64Open())
+}
+
+// Gumbel returns a variate from the standard Gumbel distribution scaled by
+// beta: CDF exp(-exp(-x/beta)). Adding independent Gumbel(beta) noise to
+// scores and taking the argmax samples exactly from the softmax with
+// temperature beta — the "Gumbel-max trick" used by the exponential
+// mechanism implementation. It panics if beta <= 0.
+func (r *Source) Gumbel(beta float64) float64 {
+	if !(beta > 0) {
+		panic("rng: Gumbel scale must be positive")
+	}
+	return -beta * math.Log(-math.Log(r.Float64Open()))
+}
+
+// Geometric returns a variate from the geometric distribution on
+// {0, 1, 2, ...} with success probability p: Pr[X = k] = (1-p)^k·p.
+// It is the discrete analogue of the exponential distribution and is used
+// by the discrete-noise tests. It panics unless 0 < p <= 1.
+func (r *Source) Geometric(p float64) int {
+	if !(p > 0 && p <= 1) {
+		panic("rng: Geometric probability must be in (0, 1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(ln U / ln(1-p)) is geometric on {0,1,...}.
+	return int(math.Log(r.Float64Open()) / math.Log1p(-p))
+}
+
+// LaplaceCDF returns the cumulative distribution function of the
+// Laplace(0, b) distribution evaluated at x. The audit package uses it to
+// compute the closed-form probabilities appearing in the paper's
+// counterexample integrals (Theorems 3, 6, 7 and Appendix 10.3).
+func LaplaceCDF(x, b float64) float64 {
+	if !(b > 0) {
+		panic("rng: LaplaceCDF scale must be positive")
+	}
+	if x < 0 {
+		return 0.5 * math.Exp(x/b)
+	}
+	return 1 - 0.5*math.Exp(-x/b)
+}
+
+// LaplaceSF returns the survival function 1 − CDF of Laplace(0, b) at x,
+// computed without cancellation: for large positive x the direct 1−CDF(x)
+// rounds to zero in float64 long before the true tail mass does, which
+// matters to the audit package's far-tail probability ratios.
+func LaplaceSF(x, b float64) float64 {
+	if !(b > 0) {
+		panic("rng: LaplaceSF scale must be positive")
+	}
+	if x > 0 {
+		return 0.5 * math.Exp(-x/b)
+	}
+	return 1 - 0.5*math.Exp(x/b)
+}
+
+// LaplacePDF returns the density of the Laplace(0, b) distribution at x.
+func LaplacePDF(x, b float64) float64 {
+	if !(b > 0) {
+		panic("rng: LaplacePDF scale must be positive")
+	}
+	return math.Exp(-math.Abs(x)/b) / (2 * b)
+}
+
+// LaplaceQuantile returns the quantile function (inverse CDF) of the
+// Laplace(0, b) distribution at probability p in (0, 1).
+func LaplaceQuantile(p, b float64) float64 {
+	if !(b > 0) {
+		panic("rng: LaplaceQuantile scale must be positive")
+	}
+	if !(p > 0 && p < 1) {
+		panic("rng: LaplaceQuantile probability must be in (0, 1)")
+	}
+	if p < 0.5 {
+		return b * math.Log(2*p)
+	}
+	return -b * math.Log(2*(1-p))
+}
+
+// LaplaceStdDev returns the standard deviation of Laplace(0, b), which is
+// b·√2. The retraversal optimization expresses its threshold boost in these
+// units ("1D" in the paper = one standard deviation of the query noise).
+func LaplaceStdDev(b float64) float64 { return b * math.Sqrt2 }
+
+// LaplaceDiffCDF returns Pr[X − Y ≤ t] for independent X ~ Laplace(0, bx)
+// and Y ~ Laplace(0, by).
+//
+// This is the law of SVT's comparison noise ν − ρ: the probability that a
+// single query with margin m = q(D) − T is reported above the threshold is
+// exactly 1 − LaplaceDiffCDF(−m, bν, bρ). The core tests use it as an
+// analytic oracle for the implemented algorithms, and §4.2's allocation
+// optimization minimizes this difference's variance.
+func LaplaceDiffCDF(t, bx, by float64) float64 {
+	if !(bx > 0) || !(by > 0) {
+		panic("rng: LaplaceDiffCDF scales must be positive")
+	}
+	// X − Y is the sum of Laplace(0, bx) and Laplace(0, by) (−Y has Y's
+	// law); for bx ≠ by the convolution has the even density
+	//   f(z) = (bx·e^{−|z|/bx} − by·e^{−|z|/by}) / (2(bx² − by²)),
+	// whose upper tail for t ≥ 0 integrates to
+	//   Pr[X−Y > t] = (bx²·e^{−t/bx} − by²·e^{−t/by}) / (2(bx² − by²)).
+	// At bx = by the limit is Pr[X−Y > t] = e^{−t/b}(2b + t)/(4b).
+	// Negative t reduces to the mirrored pair: Pr[X−Y ≤ t] = Pr[Y−X > −t].
+	if t < 0 {
+		return 1 - LaplaceDiffCDF(-t, by, bx)
+	}
+	if math.Abs(bx-by) < 1e-9*math.Max(bx, by) {
+		b := (bx + by) / 2
+		return 1 - math.Exp(-t/b)*(2*b+t)/(4*b)
+	}
+	tail := (bx*bx*math.Exp(-t/bx) - by*by*math.Exp(-t/by)) / (2 * (bx*bx - by*by))
+	return 1 - tail
+}

@@ -1,0 +1,316 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplaceMomentsAndSymmetry(t *testing.T) {
+	r := New(11)
+	const n = 300000
+	b := 2.5
+	var sum, sumAbs, sumSq float64
+	neg := 0
+	for i := 0; i < n; i++ {
+		v := r.Laplace(b)
+		sum += v
+		sumAbs += math.Abs(v)
+		sumSq += v * v
+		if v < 0 {
+			neg++
+		}
+	}
+	mean := sum / n
+	meanAbs := sumAbs / n // E|X| = b
+	variance := sumSq / n // E X^2 = 2 b^2 (mean ~ 0)
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("Laplace mean %v too far from 0", mean)
+	}
+	if math.Abs(meanAbs-b) > 0.03 {
+		t.Errorf("Laplace E|X| = %v, want ~%v", meanAbs, b)
+	}
+	if math.Abs(variance-2*b*b)/(2*b*b) > 0.03 {
+		t.Errorf("Laplace variance %v, want ~%v", variance, 2*b*b)
+	}
+	frac := float64(neg) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("Laplace negative fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestLaplacePanics(t *testing.T) {
+	r := New(1)
+	for _, b := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Laplace(%v) did not panic", b)
+				}
+			}()
+			r.Laplace(b)
+		}()
+	}
+}
+
+// The defining DP property of the Laplace distribution:
+// pdf(x)/pdf(x+Δ) <= exp(Δ/b) for all x, with equality when x, x+Δ >= 0.
+func TestQuickLaplacePDFRatioBound(t *testing.T) {
+	f := func(xRaw, dRaw uint16) bool {
+		x := float64(xRaw)/100 - 300 // [-300, 355]
+		d := float64(dRaw%400) / 100 // [0, 4)
+		b := 2.0
+		p1 := LaplacePDF(x, b)
+		p2 := LaplacePDF(x+d, b)
+		return p1 <= math.Exp(d/b)*p2*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplaceCDFMatchesEmpirical(t *testing.T) {
+	r := New(12)
+	const n = 200000
+	b := 1.5
+	points := []float64{-4, -2, -1, -0.5, 0, 0.5, 1, 2, 4}
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = r.Laplace(b)
+	}
+	sort.Float64s(samples)
+	for _, x := range points {
+		idx := sort.SearchFloat64s(samples, x)
+		emp := float64(idx) / n
+		want := LaplaceCDF(x, b)
+		if math.Abs(emp-want) > 0.005 {
+			t.Errorf("CDF(%v): empirical %v vs analytic %v", x, emp, want)
+		}
+	}
+}
+
+// Property: quantile is the inverse of the CDF.
+func TestQuickLaplaceQuantileInvertsCDF(t *testing.T) {
+	f := func(pRaw uint16, bRaw uint8) bool {
+		p := (float64(pRaw) + 1) / (math.MaxUint16 + 2) // (0,1)
+		b := float64(bRaw%50)/10 + 0.1                  // [0.1, 5.1)
+		x := LaplaceQuantile(p, b)
+		return math.Abs(LaplaceCDF(x, b)-p) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplaceCDFMonotoneAndLimits(t *testing.T) {
+	b := 0.7
+	prev := -1.0
+	for x := -20.0; x <= 20; x += 0.25 {
+		c := LaplaceCDF(x, b)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of [0,1] at %v: %v", x, c)
+		}
+		prev = c
+	}
+	if got := LaplaceCDF(0, b); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("CDF(0) = %v, want 0.5", got)
+	}
+}
+
+func TestLaplaceSF(t *testing.T) {
+	b := 1.5
+	// Complements the CDF in the well-conditioned region.
+	for _, x := range []float64{-3, -1, 0, 1, 3} {
+		if got, want := LaplaceSF(x, b), 1-LaplaceCDF(x, b); math.Abs(got-want) > 1e-15 {
+			t.Errorf("SF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Far tail must stay positive where 1-CDF underflows to 0.
+	if got := LaplaceSF(200, b); got <= 0 {
+		t.Errorf("far-tail SF = %v, want positive", got)
+	}
+	if got := 1 - LaplaceCDF(200, b); got != 0 {
+		t.Skipf("1-CDF(200) = %v unexpectedly nonzero on this platform", got)
+	}
+	// Exact closed form on the positive side.
+	if got, want := LaplaceSF(3, b), 0.5*math.Exp(-2); math.Abs(got-want) > 1e-16 {
+		t.Errorf("SF(3) = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad scale accepted")
+		}
+	}()
+	LaplaceSF(0, 0)
+}
+
+func TestLaplaceStdDev(t *testing.T) {
+	if got, want := LaplaceStdDev(3), 3*math.Sqrt2; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("LaplaceStdDev(3) = %v, want %v", got, want)
+	}
+}
+
+func TestLaplaceDiffCDFAgainstMonteCarlo(t *testing.T) {
+	r := New(17)
+	cases := []struct{ bx, by float64 }{
+		{1, 1}, {2, 0.5}, {0.5, 2}, {3, 3}, {1.5, 4},
+	}
+	const n = 200000
+	for _, c := range cases {
+		for _, tv := range []float64{-3, -1, 0, 0.5, 2, 5} {
+			count := 0
+			for i := 0; i < n/10; i++ {
+				if r.Laplace(c.bx)-r.Laplace(c.by) <= tv {
+					count++
+				}
+			}
+			emp := float64(count) / float64(n/10)
+			want := LaplaceDiffCDF(tv, c.bx, c.by)
+			if math.Abs(emp-want) > 0.02 {
+				t.Errorf("bx=%v by=%v t=%v: empirical %v vs analytic %v", c.bx, c.by, tv, emp, want)
+			}
+		}
+	}
+}
+
+func TestLaplaceDiffCDFProperties(t *testing.T) {
+	// Median at zero, monotone, symmetric: F(t; a, b) = 1 − F(−t; b, a).
+	if got := LaplaceDiffCDF(0, 2, 0.7); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(0) = %v, want 0.5", got)
+	}
+	prev := -1.0
+	for tv := -10.0; tv <= 10; tv += 0.25 {
+		f := LaplaceDiffCDF(tv, 1.3, 0.4)
+		if f < prev-1e-12 {
+			t.Fatalf("not monotone at %v", tv)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("out of [0,1] at %v: %v", tv, f)
+		}
+		mirror := 1 - LaplaceDiffCDF(-tv, 0.4, 1.3)
+		if math.Abs(f-mirror) > 1e-12 {
+			t.Fatalf("symmetry broken at %v: %v vs %v", tv, f, mirror)
+		}
+		prev = f
+	}
+	// Equal scales match the known closed form at a point: with b=1, t=1,
+	// tail = e^{-1}(2+1)/4 = 3/(4e).
+	want := 1 - 3/(4*math.E)
+	if got := LaplaceDiffCDF(1, 1, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("equal-scale CDF(1) = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad scale accepted")
+		}
+	}()
+	LaplaceDiffCDF(0, 0, 1)
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	m := 3.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exponential(m)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-m)/m > 0.02 {
+		t.Fatalf("exponential mean %v, want ~%v", mean, m)
+	}
+}
+
+func TestGumbelMaxEqualsSoftmax(t *testing.T) {
+	// Adding Gumbel(1) noise to scores and taking argmax must sample from
+	// softmax(scores). This is exactly how the exponential mechanism is
+	// implemented, so the property is load-bearing for privacy.
+	r := New(14)
+	scores := []float64{0, 1, 2}
+	var want [3]float64
+	z := 0.0
+	for _, s := range scores {
+		z += math.Exp(s)
+	}
+	for i, s := range scores {
+		want[i] = math.Exp(s) / z
+	}
+	const n = 200000
+	var counts [3]int
+	for trial := 0; trial < n; trial++ {
+		best, bestV := 0, math.Inf(-1)
+		for i, s := range scores {
+			if v := s + r.Gumbel(1); v > bestV {
+				best, bestV = i, v
+			}
+		}
+		counts[best]++
+	}
+	for i := range counts {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("softmax bucket %d: got %v want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(15)
+	const n = 200000
+	p := 0.3
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Geometric(p)
+		if v < 0 {
+			t.Fatalf("negative geometric variate %d", v)
+		}
+		sum += float64(v)
+	}
+	want := (1 - p) / p
+	if mean := sum / n; math.Abs(mean-want)/want > 0.03 {
+		t.Fatalf("geometric mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(16)
+	if v := r.Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Geometric(%v) did not panic", p)
+				}
+			}()
+			r.Geometric(p)
+		}()
+	}
+}
+
+func TestDistPanicsOnBadScale(t *testing.T) {
+	r := New(1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Exponential(0)", func() { r.Exponential(0) })
+	mustPanic("Gumbel(0)", func() { r.Gumbel(0) })
+	mustPanic("LaplaceCDF scale", func() { LaplaceCDF(0, 0) })
+	mustPanic("LaplacePDF scale", func() { LaplacePDF(0, -1) })
+	mustPanic("LaplaceQuantile scale", func() { LaplaceQuantile(0.5, 0) })
+	mustPanic("LaplaceQuantile p=0", func() { LaplaceQuantile(0, 1) })
+	mustPanic("LaplaceQuantile p=1", func() { LaplaceQuantile(1, 1) })
+}

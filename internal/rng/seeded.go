@@ -1,0 +1,29 @@
+package rng
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+)
+
+// NewSeeded returns a Source for the given seed; a zero seed draws a fresh
+// unpredictable seed from crypto/rand.
+//
+// This is the constructor the public mechanisms use: a zero seed gives
+// production behaviour (noise unpredictable to any adversary), a non-zero
+// seed gives the exact reproducibility experiments need.
+func NewSeeded(seed uint64) *Source {
+	if seed == 0 {
+		var buf [8]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			// crypto/rand failing means the platform entropy source is
+			// broken; there is no safe fallback for a privacy mechanism.
+			panic(fmt.Sprintf("rng: crypto/rand failed: %v", err))
+		}
+		seed = binary.LittleEndian.Uint64(buf[:])
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	return New(seed)
+}

@@ -1,0 +1,124 @@
+package rng
+
+import "math"
+
+// Zipf samples from a bounded Zipf distribution over ranks {1, ..., n}
+// with exponent s > 0: Pr[X = k] ∝ 1/k^s.
+//
+// The dataset generators use it to draw items for synthetic transactions
+// whose item-frequency profile follows a power law, which is how the paper
+// characterizes BMS-POS, Kosarak, AOL and its synthetic Zipf workload
+// (Figure 3 plots all four as near-lines on log-log axes).
+type Zipf struct {
+	n       int
+	s       float64
+	cdf     []float64 // cdf[k] = Pr[X <= k+1]; len n
+	weights []float64 // unnormalized 1/k^s; len n
+	total   float64
+}
+
+// NewZipf builds a bounded Zipf sampler over {1..n} with exponent s.
+// It panics if n <= 0 or s <= 0. Construction is O(n); sampling is
+// O(log n) via binary search over the precomputed CDF, which is the right
+// trade-off here because every generator draws millions of variates from a
+// single distribution.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf support size must be positive")
+	}
+	if !(s > 0) {
+		panic("rng: Zipf exponent must be positive")
+	}
+	z := &Zipf{n: n, s: s}
+	z.weights = make([]float64, n)
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		w := math.Exp(-s * math.Log(float64(k)))
+		z.weights[k-1] = w
+		sum += w
+		z.cdf[k-1] = sum
+	}
+	z.total = sum
+	return z
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return z.n }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Prob returns Pr[X = k] for rank k in {1..n}.
+func (z *Zipf) Prob(k int) float64 {
+	if k < 1 || k > z.n {
+		return 0
+	}
+	return z.weights[k-1] / z.total
+}
+
+// Sample draws a rank in {1..n} using src.
+func (z *Zipf) Sample(src *Source) int {
+	u := src.Float64() * z.total
+	// Binary search for the first index whose cumulative weight exceeds u.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Discrete samples from an arbitrary finite distribution given by
+// non-negative weights. It is the general-purpose workhorse behind the
+// calibrated dataset generators, which use empirical (non-Zipf) head
+// profiles for the first few hundred items.
+type Discrete struct {
+	cdf   []float64
+	total float64
+}
+
+// NewDiscrete builds a sampler over {0, ..., len(weights)-1} with
+// Pr[X = i] ∝ weights[i]. It panics if weights is empty, contains a
+// negative or non-finite value, or sums to zero.
+func NewDiscrete(weights []float64) *Discrete {
+	if len(weights) == 0 {
+		panic("rng: Discrete requires at least one weight")
+	}
+	d := &Discrete{cdf: make([]float64, len(weights))}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic("rng: Discrete weights must be finite and non-negative")
+		}
+		sum += w
+		d.cdf[i] = sum
+	}
+	if sum == 0 {
+		panic("rng: Discrete weights sum to zero")
+	}
+	d.total = sum
+	return d
+}
+
+// N returns the support size.
+func (d *Discrete) N() int { return len(d.cdf) }
+
+// Sample draws an index in [0, N) using src.
+func (d *Discrete) Sample(src *Source) int {
+	u := src.Float64() * d.total
+	lo, hi := 0, len(d.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,158 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfProbabilities(t *testing.T) {
+	z := NewZipf(4, 1.0)
+	// Weights 1, 1/2, 1/3, 1/4; total 25/12.
+	total := 1.0 + 0.5 + 1.0/3 + 0.25
+	for k := 1; k <= 4; k++ {
+		want := (1 / float64(k)) / total
+		if got := z.Prob(k); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Prob(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if z.Prob(0) != 0 || z.Prob(5) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfSampleDistribution(t *testing.T) {
+	src := New(21)
+	z := NewZipf(10, 1.2)
+	const n = 200000
+	counts := make([]int, z.N()+1)
+	for i := 0; i < n; i++ {
+		k := z.Sample(src)
+		if k < 1 || k > z.N() {
+			t.Fatalf("sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	for k := 1; k <= z.N(); k++ {
+		want := z.Prob(k)
+		got := float64(counts[k]) / n
+		se := math.Sqrt(want * (1 - want) / n)
+		if math.Abs(got-want) > 6*se+1e-4 {
+			t.Errorf("rank %d frequency %v, want %v", k, got, want)
+		}
+	}
+}
+
+// Property: Zipf probabilities are decreasing in rank and sum to 1.
+func TestQuickZipfMonotoneNormalized(t *testing.T) {
+	f := func(nRaw uint8, sRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		s := float64(sRaw%30)/10 + 0.1
+		z := NewZipf(n, s)
+		sum := 0.0
+		prev := math.Inf(1)
+		for k := 1; k <= n; k++ {
+			p := z.Prob(k)
+			if p > prev+1e-15 {
+				return false
+			}
+			prev = p
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {5, 0}, {5, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", c.n, c.s)
+				}
+			}()
+			NewZipf(c.n, c.s)
+		}()
+	}
+}
+
+func TestDiscreteSample(t *testing.T) {
+	src := New(22)
+	d := NewDiscrete([]float64{1, 0, 3})
+	const n = 100000
+	var counts [3]int
+	for i := 0; i < n; i++ {
+		counts[d.Sample(src)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bucket drawn %d times", counts[1])
+	}
+	if got := float64(counts[0]) / n; math.Abs(got-0.25) > 0.01 {
+		t.Errorf("bucket 0 frequency %v, want ~0.25", got)
+	}
+	if got := float64(counts[2]) / n; math.Abs(got-0.75) > 0.01 {
+		t.Errorf("bucket 2 frequency %v, want ~0.75", got)
+	}
+}
+
+func TestDiscretePanics(t *testing.T) {
+	bad := [][]float64{
+		{},
+		{1, -1},
+		{0, 0},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, w := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDiscrete(%v) did not panic", w)
+				}
+			}()
+			NewDiscrete(w)
+		}()
+	}
+}
+
+// Property: Discrete sampling always returns an in-range index with a
+// positive weight.
+func TestQuickDiscreteInRangePositiveWeight(t *testing.T) {
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		weights := make([]float64, len(raw))
+		any := false
+		for i, v := range raw {
+			weights[i] = float64(v)
+			if v > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return true // all-zero weights panic by contract; skip
+		}
+		d := NewDiscrete(weights)
+		src := New(seed)
+		for i := 0; i < 20; i++ {
+			idx := d.Sample(src)
+			if idx < 0 || idx >= len(weights) || weights[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

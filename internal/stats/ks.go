@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the one-sample Kolmogorov-Smirnov statistic
+// D_n = sup_x |F_n(x) − F(x)| of the sample against the reference CDF.
+// The sampler test suites use it to verify distributional correctness of
+// the noise generators beyond first moments. It panics on an empty sample
+// or a nil CDF.
+func KSStatistic(sample []float64, cdf func(float64) float64) float64 {
+	if len(sample) == 0 {
+		panic("stats: KSStatistic on empty sample")
+	}
+	if cdf == nil {
+		panic("stats: KSStatistic with nil CDF")
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	maxD := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		// Empirical CDF jumps from i/n to (i+1)/n at x; check both sides.
+		if d := math.Abs(f - float64(i)/n); d > maxD {
+			maxD = d
+		}
+		if d := math.Abs(f - float64(i+1)/n); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// KSCritical returns the large-sample critical value of the one-sample KS
+// statistic at significance alpha: c(α)/√n with c(α) = √(−ln(α/2)/2).
+// A sample whose KSStatistic exceeds this rejects the reference
+// distribution at level alpha. It panics unless n > 0 and alpha ∈ (0, 1).
+func KSCritical(n int, alpha float64) float64 {
+	if n <= 0 {
+		panic("stats: KSCritical with non-positive n")
+	}
+	if !(alpha > 0 && alpha < 1) {
+		panic("stats: KSCritical alpha out of (0,1)")
+	}
+	return math.Sqrt(-math.Log(alpha/2)/2) / math.Sqrt(float64(n))
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dpgo/svt/internal/rng"
+)
+
+func TestKSStatisticExactSmallCase(t *testing.T) {
+	// Sample {0.5} against Uniform(0,1): F(0.5)=0.5, ECDF jumps 0→1, so
+	// D = max(|0.5−0|, |0.5−1|) = 0.5.
+	d := KSStatistic([]float64{0.5}, func(x float64) float64 { return x })
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("D = %v, want 0.5", d)
+	}
+}
+
+func TestKSAcceptsMatchingDistribution(t *testing.T) {
+	src := rng.New(71)
+	const n = 20000
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = src.Laplace(2)
+	}
+	d := KSStatistic(sample, func(x float64) float64 { return rng.LaplaceCDF(x, 2) })
+	if crit := KSCritical(n, 0.001); d > crit {
+		t.Fatalf("KS rejected correct Laplace sampler: D=%v > crit=%v", d, crit)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	src := rng.New(72)
+	const n = 20000
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = src.Laplace(2)
+	}
+	// Test the Laplace(2) sample against a Laplace(3) reference.
+	d := KSStatistic(sample, func(x float64) float64 { return rng.LaplaceCDF(x, 3) })
+	if crit := KSCritical(n, 0.001); d <= crit {
+		t.Fatalf("KS failed to reject wrong scale: D=%v <= crit=%v", d, crit)
+	}
+}
+
+func TestKSGumbelAndExponentialSamplers(t *testing.T) {
+	src := rng.New(73)
+	const n = 20000
+	crit := KSCritical(n, 0.001)
+
+	gumbel := make([]float64, n)
+	for i := range gumbel {
+		gumbel[i] = src.Gumbel(1)
+	}
+	d := KSStatistic(gumbel, func(x float64) float64 { return math.Exp(-math.Exp(-x)) })
+	if d > crit {
+		t.Errorf("Gumbel sampler rejected: D=%v > %v", d, crit)
+	}
+
+	exp := make([]float64, n)
+	for i := range exp {
+		exp[i] = src.Exponential(3)
+	}
+	d = KSStatistic(exp, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/3)
+	})
+	if d > crit {
+		t.Errorf("Exponential sampler rejected: D=%v > %v", d, crit)
+	}
+}
+
+func TestKSPanics(t *testing.T) {
+	cases := map[string]func(){
+		"empty sample": func() { KSStatistic(nil, func(float64) float64 { return 0 }) },
+		"nil cdf":      func() { KSStatistic([]float64{1}, nil) },
+		"bad n":        func() { KSCritical(0, 0.05) },
+		"alpha zero":   func() { KSCritical(10, 0) },
+		"alpha one":    func() { KSCritical(10, 1) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

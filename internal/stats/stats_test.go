@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/dpgo/svt/internal/rng"
+)
+
+func TestAccumulatorAgainstDirect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, -3, 7.5}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if a.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", a.N(), len(xs))
+	}
+	mean := Mean(xs)
+	if math.Abs(a.Mean()-mean) > 1e-12 {
+		t.Errorf("mean %v vs %v", a.Mean(), mean)
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	wantVar := ss / float64(len(xs)-1)
+	if math.Abs(a.Variance()-wantVar) > 1e-12 {
+		t.Errorf("variance %v vs %v", a.Variance(), wantVar)
+	}
+	wantSE := math.Sqrt(wantVar / float64(len(xs)))
+	if math.Abs(a.StdErr()-wantSE) > 1e-12 {
+		t.Errorf("stderr %v vs %v", a.StdErr(), wantSE)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Variance()) || !math.IsNaN(a.StdErr()) {
+		t.Error("empty accumulator should report NaN moments")
+	}
+	a.Add(1)
+	if a.Mean() != 1 {
+		t.Errorf("single-value mean %v", a.Mean())
+	}
+	if !math.IsNaN(a.Variance()) {
+		t.Error("variance of one value should be NaN")
+	}
+}
+
+// Property: Welford matches the two-pass computation on arbitrary data.
+func TestQuickAccumulatorMatchesTwoPass(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 7
+		}
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(wantVar))
+		return math.Abs(a.Mean()-mean) < 1e-9 &&
+			math.Abs(a.Variance()-wantVar)/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(StdDev([]float64{1})) {
+		t.Error("StdDev of one value should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 3 {
+		t.Error("Quantile modified its input")
+	}
+	if got := Median([]float64{5}); got != 5 {
+		t.Errorf("Median single = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	cases := []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+		func() { Quantile([]float64{1}, math.NaN()) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: the quantile is monotone in p and bracketed by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []int8, p1Raw, p2Raw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = float64(v)
+			minV = math.Min(minV, xs[i])
+			maxV = math.Max(maxV, xs[i])
+		}
+		p1 := float64(p1Raw) / 255
+		p2 := float64(p2Raw) / 255
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		q1, q2 := Quantile(xs, p1), Quantile(xs, p2)
+		return q1 <= q2+1e-12 && q1 >= minV-1e-12 && q2 <= maxV+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	xs := []float64{0, math.Log(2), math.Log(3)}
+	if got, want := LogSumExp(xs), math.Log(6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogSumExp = %v, want %v", got, want)
+	}
+	// Stability: huge inputs must not overflow.
+	big := []float64{1000, 1000}
+	if got, want := LogSumExp(big), 1000+math.Log(2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LogSumExp big = %v, want %v", got, want)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) should be -Inf")
+	}
+	allNegInf := []float64{math.Inf(-1), math.Inf(-1)}
+	if !math.IsInf(LogSumExp(allNegInf), -1) {
+		t.Error("LogSumExp of -Inf inputs should be -Inf")
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.9999, 3.719016},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestWilsonIntervalCoversTruth(t *testing.T) {
+	// Simulate coin flips and verify coverage of the 95% interval.
+	src := rng.New(33)
+	const trials = 400
+	const n = 200
+	p := 0.3
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		k := 0
+		for i := 0; i < n; i++ {
+			if src.Float64() < p {
+				k++
+			}
+		}
+		lo, hi := WilsonInterval(k, n, 0.05)
+		if lo <= p && p <= hi {
+			covered++
+		}
+	}
+	// Expected coverage ~0.95; allow generous slack for 400 trials.
+	if frac := float64(covered) / trials; frac < 0.90 {
+		t.Fatalf("Wilson interval coverage %v too low", frac)
+	}
+}
+
+func TestWilsonIntervalBoundsAndPanics(t *testing.T) {
+	lo, hi := WilsonInterval(0, 10, 0.05)
+	if lo != 0 || hi <= 0 || hi > 1 {
+		t.Errorf("WilsonInterval(0,10) = (%v,%v)", lo, hi)
+	}
+	lo, hi = WilsonInterval(10, 10, 0.05)
+	if hi != 1 || lo >= 1 || lo < 0 {
+		t.Errorf("WilsonInterval(10,10) = (%v,%v)", lo, hi)
+	}
+	cases := []func(){
+		func() { WilsonInterval(0, 0, 0.05) },
+		func() { WilsonInterval(-1, 10, 0.05) },
+		func() { WilsonInterval(11, 10, 0.05) },
+		func() { WilsonInterval(5, 10, 0) },
+		func() { WilsonInterval(5, 10, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total %d", h.Total())
+	}
+	// Bins: [0,2) gets -1, 0, 1.9 => 3; [2,4) gets 2 => 1; [8,10) gets 9.99, 10, 100 => 3.
+	want := []int{3, 1, 0, 0, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if got := h.Fraction(0); math.Abs(got-3.0/7) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+		func() { NewHistogram(2, 1, 3) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	empty := NewHistogram(0, 1, 2)
+	if empty.Fraction(0) != 0 {
+		t.Error("Fraction on empty histogram should be 0")
+	}
+}

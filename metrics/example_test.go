@@ -1,0 +1,22 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"github.com/dpgo/svt/metrics"
+)
+
+// Scoring a private selection against the true top-c.
+func ExampleSER() {
+	scores := []float64{100, 90, 80, 10, 5}
+	trueTop := metrics.TopIndices(scores, 2) // [0 1], average score 95
+	selected := []int{0, 2}                  // picked the 3rd-best instead of the 2nd
+
+	fmt.Printf("true top: %v\n", trueTop)
+	fmt.Printf("FNR: %.2f\n", metrics.FNR(trueTop, selected))
+	fmt.Printf("SER: %.4f\n", metrics.SER(scores, trueTop, selected))
+	// Output:
+	// true top: [0 1]
+	// FNR: 0.50
+	// SER: 0.0526
+}

@@ -1,0 +1,86 @@
+// Package metrics implements the utility measures of the paper's
+// evaluation (§6): the False Negative Rate and the Score Error Rate.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TopIndices returns the indices of the c highest scores, ties broken by
+// lower index, in decreasing score order. It panics if c is not in
+// [1, len(scores)] — callers choose c against a known score vector.
+func TopIndices(scores []float64, c int) []int {
+	if c <= 0 || c > len(scores) {
+		panic(fmt.Sprintf("metrics: c = %d out of [1, %d]", c, len(scores)))
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:c]
+}
+
+// FNR is the False Negative Rate: the fraction of the true top-c queries
+// missing from the selection. When the selection has exactly c elements
+// this equals the false positive rate (§6, Utility Measures). It panics on
+// an empty truth set.
+func FNR(trueTop, selected []int) float64 {
+	if len(trueTop) == 0 {
+		panic("metrics: FNR with empty truth set")
+	}
+	sel := make(map[int]bool, len(selected))
+	for _, i := range selected {
+		sel[i] = true
+	}
+	missed := 0
+	for _, i := range trueTop {
+		if !sel[i] {
+			missed++
+		}
+	}
+	return float64(missed) / float64(len(trueTop))
+}
+
+// SER is the Score Error Rate: 1 − avgScore(selected)/avgScore(trueTop),
+// the paper's refinement of FNR that weights misses by how much score they
+// cost. A selection smaller than the truth set is averaged over the truth
+// set's size, so unfilled slots count as zero score — matching the paper's
+// accounting where selecting fewer than c queries wastes budget. It panics
+// on an empty truth set, an out-of-range index, or a zero/negative truth
+// average (scores are supports, hence non-negative, and a zero truth
+// average makes the ratio meaningless).
+func SER(scores []float64, trueTop, selected []int) float64 {
+	if len(trueTop) == 0 {
+		panic("metrics: SER with empty truth set")
+	}
+	sum := func(idx []int) float64 {
+		s := 0.0
+		for _, i := range idx {
+			if i < 0 || i >= len(scores) {
+				panic(fmt.Sprintf("metrics: index %d out of range [0,%d)", i, len(scores)))
+			}
+			s += scores[i]
+		}
+		return s
+	}
+	truthAvg := sum(trueTop) / float64(len(trueTop))
+	if !(truthAvg > 0) || math.IsNaN(truthAvg) {
+		panic(fmt.Sprintf("metrics: truth average score %v must be positive", truthAvg))
+	}
+	// Average the selection over the truth-set size: if fewer than c were
+	// selected, the missing slots contribute zero.
+	n := len(trueTop)
+	if len(selected) > n {
+		n = len(selected)
+	}
+	selAvg := sum(selected) / float64(n)
+	return 1 - selAvg/truthAvg
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopIndices(t *testing.T) {
+	scores := []float64{5, 9, 9, 1, 7}
+	got := TopIndices(scores, 3)
+	// 9s at indices 1 and 2 (tie → lower index first), then 7 at index 4.
+	want := []int{1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopIndices = %v, want %v", got, want)
+		}
+	}
+	if all := TopIndices(scores, 5); len(all) != 5 {
+		t.Errorf("full top = %v", all)
+	}
+}
+
+func TestTopIndicesPanics(t *testing.T) {
+	for _, c := range []int{0, -1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TopIndices(c=%d) did not panic", c)
+				}
+			}()
+			TopIndices([]float64{1, 2, 3}, c)
+		}()
+	}
+}
+
+func TestFNR(t *testing.T) {
+	trueTop := []int{0, 1, 2, 3}
+	cases := []struct {
+		sel  []int
+		want float64
+	}{
+		{[]int{0, 1, 2, 3}, 0},
+		{[]int{3, 2, 1, 0}, 0},
+		{[]int{0, 1, 7, 8}, 0.5},
+		{nil, 1},
+		{[]int{9}, 1},
+	}
+	for _, c := range cases {
+		if got := FNR(trueTop, c.sel); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FNR(%v) = %v, want %v", c.sel, got, c.want)
+		}
+	}
+}
+
+func TestFNRPanicsOnEmptyTruth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FNR(nil, []int{1})
+}
+
+func TestSER(t *testing.T) {
+	scores := []float64{100, 90, 80, 10, 5}
+	trueTop := []int{0, 1} // avg 95
+	cases := []struct {
+		sel  []int
+		want float64
+	}{
+		{[]int{0, 1}, 0},
+		{[]int{1, 0}, 0},
+		{[]int{0, 2}, 1 - 90.0/95}, // avg 90
+		{[]int{3, 4}, 1 - 7.5/95},  // avg 7.5
+		{[]int{0}, 1 - 50.0/95},    // short selection: missing slot scores 0
+		{nil, 1},                   // nothing selected
+	}
+	for _, c := range cases {
+		if got := SER(scores, trueTop, c.sel); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SER(%v) = %v, want %v", c.sel, got, c.want)
+		}
+	}
+}
+
+func TestSERPanics(t *testing.T) {
+	scores := []float64{1, 2, 3}
+	cases := map[string]func(){
+		"empty truth": func() { SER(scores, nil, []int{0}) },
+		"bad truth":   func() { SER(scores, []int{5}, []int{0}) },
+		"bad sel":     func() { SER(scores, []int{0}, []int{-1}) },
+		"zero truth":  func() { SER([]float64{0, 0}, []int{0, 1}, []int{0}) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Properties tying the two metrics together: selecting exactly the true
+// top gives 0 on both; any selection keeps both within [0, 1] when scores
+// are non-negative; and SER of a selection that swaps in strictly lower-
+// scored items is positive.
+func TestQuickMetricBounds(t *testing.T) {
+	f := func(raw []uint8, cRaw uint8, selRaw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		scores := make([]float64, len(raw))
+		positive := false
+		for i, v := range raw {
+			scores[i] = float64(v)
+			if v > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			return true
+		}
+		c := int(cRaw)%len(scores) + 1
+		trueTop := TopIndices(scores, c)
+		if avg := avgOf(scores, trueTop); avg <= 0 {
+			return true // zero truth average panics by contract
+		}
+		// Perfect selection scores zero on both metrics.
+		if FNR(trueTop, trueTop) != 0 || math.Abs(SER(scores, trueTop, trueTop)) > 1e-12 {
+			return false
+		}
+		// Arbitrary selection (distinct, in range) keeps metrics in [0,1].
+		sel := make([]int, 0, len(selRaw))
+		seen := map[int]bool{}
+		for _, v := range selRaw {
+			idx := int(v) % len(scores)
+			if !seen[idx] && len(sel) < c {
+				seen[idx] = true
+				sel = append(sel, idx)
+			}
+		}
+		fnr := FNR(trueTop, sel)
+		ser := SER(scores, trueTop, sel)
+		return fnr >= 0 && fnr <= 1 && ser >= -1e-12 && ser <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func avgOf(scores []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += scores[i]
+	}
+	return s / float64(len(idx))
+}

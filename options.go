@@ -1,0 +1,130 @@
+package svt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dpgo/svt/internal/core"
+)
+
+// Allocation selects how the indicator budget is split between threshold
+// perturbation (ε₁) and query perturbation (ε₂). The paper shows this
+// choice changes utility dramatically (Figure 4); AllocationAuto applies
+// the variance-minimizing split of §4.2 and is the right default.
+type Allocation int
+
+const (
+	// AllocationAuto uses ε₁:ε₂ = 1:(2c)^{2/3}, or 1:c^{2/3} when the
+	// queries are monotonic — the optimal splits derived in the paper.
+	AllocationAuto Allocation = iota
+	// Allocation1x1 is the conventional 1:1 split of most prior work.
+	Allocation1x1
+	// Allocation1x3 is the 1:3 split used by Lee and Clifton.
+	Allocation1x3
+	// Allocation1xC is the 1:c split.
+	Allocation1xC
+	// Allocation1xC23 forces 1:c^{2/3} regardless of monotonicity.
+	Allocation1xC23
+	// Allocation1x2C23 forces 1:(2c)^{2/3} regardless of monotonicity.
+	Allocation1x2C23
+)
+
+// String names the allocation as in the paper's plots.
+func (a Allocation) String() string {
+	switch a {
+	case AllocationAuto:
+		return "auto"
+	case Allocation1x1:
+		return "1:1"
+	case Allocation1x3:
+		return "1:3"
+	case Allocation1xC:
+		return "1:c"
+	case Allocation1xC23:
+		return "1:c^(2/3)"
+	case Allocation1x2C23:
+		return "1:(2c)^(2/3)"
+	default:
+		return fmt.Sprintf("Allocation(%d)", int(a))
+	}
+}
+
+// ratio maps the allocation to the internal ratio strategy.
+func (a Allocation) ratio(monotonic bool) (core.Ratio, error) {
+	switch a {
+	case AllocationAuto:
+		return core.OptimalRatio(monotonic), nil
+	case Allocation1x1:
+		return core.RatioOneOne, nil
+	case Allocation1x3:
+		return core.RatioOneThree, nil
+	case Allocation1xC:
+		return core.RatioOneC, nil
+	case Allocation1xC23:
+		return core.RatioCubeRootC, nil
+	case Allocation1x2C23:
+		return core.RatioCubeRoot2C, nil
+	default:
+		return 0, fmt.Errorf("svt: unknown allocation %d", int(a))
+	}
+}
+
+// Options configures a Sparse mechanism.
+type Options struct {
+	// Epsilon is the total privacy budget of the mechanism (ε₁+ε₂+ε₃).
+	// Required: must be positive and finite.
+	Epsilon float64
+
+	// Sensitivity is the global sensitivity Δ of every query fed to the
+	// mechanism. Required: must be positive and finite. For counting
+	// queries under add/remove-one neighbors, Δ = 1.
+	Sensitivity float64
+
+	// MaxPositives is the cutoff c: the mechanism halts after releasing
+	// this many positive outcomes. Required: must be positive.
+	MaxPositives int
+
+	// Monotonic declares that all queries move in the same direction
+	// between neighboring datasets (e.g. counting queries). This halves
+	// the query-noise scale (Theorem 5). Do not set it unless the
+	// property genuinely holds — it is a privacy claim, not a tuning knob.
+	Monotonic bool
+
+	// Allocation picks the ε₁:ε₂ split. The zero value (AllocationAuto)
+	// applies the paper's optimal allocation.
+	Allocation Allocation
+
+	// AnswerFraction is the fraction of Epsilon reserved as ε₃ for
+	// releasing Laplace-perturbed numeric answers for positive outcomes
+	// (Algorithm 7 lines 5-6). Zero (the default) releases indicators
+	// only. Must lie in [0, 1).
+	AnswerFraction float64
+
+	// Seed makes the mechanism's randomness reproducible. The zero value
+	// seeds from crypto/rand, which is what production use should do;
+	// fixed seeds are for tests and experiments.
+	Seed uint64
+}
+
+// validate checks the options and computes the three budget shares.
+func (o Options) validate() (eps1, eps2, eps3 float64, err error) {
+	if !(o.Epsilon > 0) || math.IsInf(o.Epsilon, 0) {
+		return 0, 0, 0, fmt.Errorf("svt: Epsilon must be positive and finite, got %v", o.Epsilon)
+	}
+	if !(o.Sensitivity > 0) || math.IsInf(o.Sensitivity, 0) {
+		return 0, 0, 0, fmt.Errorf("svt: Sensitivity must be positive and finite, got %v", o.Sensitivity)
+	}
+	if o.MaxPositives <= 0 {
+		return 0, 0, 0, fmt.Errorf("svt: MaxPositives must be positive, got %d", o.MaxPositives)
+	}
+	if o.AnswerFraction < 0 || o.AnswerFraction >= 1 || math.IsNaN(o.AnswerFraction) {
+		return 0, 0, 0, fmt.Errorf("svt: AnswerFraction must be in [0, 1), got %v", o.AnswerFraction)
+	}
+	ratio, err := o.Allocation.ratio(o.Monotonic)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	eps3 = o.Epsilon * o.AnswerFraction
+	eps1, eps2 = ratio.Split(o.Epsilon-eps3, o.MaxPositives)
+	return eps1, eps2, eps3, nil
+}

@@ -1,0 +1,43 @@
+package pmw_test
+
+import (
+	"fmt"
+
+	"github.com/dpgo/svt/pmw"
+)
+
+// An interactive session: easy queries are free, hard ones spend budget.
+func ExampleEngine() {
+	engine, err := pmw.New(pmw.Config{
+		Histogram:  []float64{100, 100, 700, 100}, // bucket 2 dominates
+		Epsilon:    4,
+		MaxUpdates: 3,
+		Threshold:  50,
+		Seed:       9,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Whole-domain query: the uniform synthetic prior already sums to the
+	// right total, so this is free.
+	res, err := engine.Answer([]int{0, 1, 2, 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("total: %.0f (free: %v)\n", res.Value, res.FromSynthetic)
+
+	// The dominant bucket: the uniform prior is way off, budget is spent.
+	res, err = engine.Answer([]int{2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("bucket 2 close to 700: %v (free: %v)\n", res.Value > 600 && res.Value < 800, res.FromSynthetic)
+	fmt.Println("updates spent:", engine.Updates())
+	// Output:
+	// total: 1000 (free: true)
+	// bucket 2 close to 700: true (free: false)
+	// updates spent: 1
+}

@@ -1,0 +1,137 @@
+package pmw
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Handler exposes an Engine over HTTP as a private query-answering
+// mediator — the interactive setting of the paper as an actual service.
+//
+//	POST /v1/query      {"buckets":[0,1,2]}
+//	  → {"value":123.4,"fromSynthetic":true,"exhausted":false}
+//	GET  /v1/status     → {"answered":3,"updates":1,"updatesLeft":5,"exhausted":false}
+//	GET  /v1/synthetic  → {"histogram":[...]}  (public by construction)
+//
+// The handler serializes access to the engine (the engine itself is not
+// concurrency-safe) so it can sit behind a standard HTTP server.
+type Handler struct {
+	mu     sync.Mutex
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewHandler wraps the engine. The engine must not be used directly while
+// the handler serves it.
+func NewHandler(engine *Engine) (*Handler, error) {
+	if engine == nil {
+		return nil, errors.New("pmw: nil engine")
+	}
+	h := &Handler{engine: engine, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/query", h.handleQuery)
+	h.mux.HandleFunc("/v1/status", h.handleStatus)
+	h.mux.HandleFunc("/v1/synthetic", h.handleSynthetic)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	Buckets []int `json:"buckets"`
+}
+
+// QueryResponse is the POST /v1/query response body.
+type QueryResponse struct {
+	Value         float64 `json:"value"`
+	FromSynthetic bool    `json:"fromSynthetic"`
+	// Exhausted reports that the update budget is spent; the value is an
+	// unchecked synthetic estimate.
+	Exhausted bool `json:"exhausted"`
+}
+
+// StatusResponse is the GET /v1/status response body.
+type StatusResponse struct {
+	Answered    int  `json:"answered"`
+	Updates     int  `json:"updates"`
+	UpdatesLeft int  `json:"updatesLeft"`
+	Exhausted   bool `json:"exhausted"`
+}
+
+// SyntheticResponse is the GET /v1/synthetic response body.
+type SyntheticResponse struct {
+	Histogram []float64 `json:"histogram"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures after the header is out can only be logged by the
+	// server; the encoder writing to a ResponseWriter cannot fail on the
+	// value shapes used here.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	h.mu.Lock()
+	res, err := h.engine.Answer(req.Buckets)
+	h.mu.Unlock()
+	switch {
+	case errors.Is(err, ErrExhausted):
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Value: res.Value, FromSynthetic: res.FromSynthetic, Exhausted: true,
+		})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Value: res.Value, FromSynthetic: res.FromSynthetic,
+		})
+	}
+}
+
+func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	h.mu.Lock()
+	resp := StatusResponse{
+		Answered:    h.engine.Answered(),
+		Updates:     h.engine.Updates(),
+		UpdatesLeft: h.engine.UpdatesLeft(),
+		Exhausted:   h.engine.Exhausted(),
+	}
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleSynthetic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	h.mu.Lock()
+	hist := h.engine.Synthetic()
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, SyntheticResponse{Histogram: hist})
+}

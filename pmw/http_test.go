@@ -1,0 +1,205 @@
+package pmw
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	engine, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHandler(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postQuery(t *testing.T, url string, buckets []int) (QueryResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(QueryRequest{Buckets: buckets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+func TestNewHandlerNilEngine(t *testing.T) {
+	if _, err := NewHandler(nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}
+
+func TestHTTPQueryFlow(t *testing.T) {
+	srv := newTestServer(t, baseConfig())
+	// Whole-domain query: synthetic estimate equals truth, always free.
+	res, code := postQuery(t, srv.URL, []int{0, 1, 2, 3, 4, 5})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !res.FromSynthetic || res.Exhausted {
+		t.Fatalf("unexpected response %+v", res)
+	}
+	if res.Value < 1000-1e-6 || res.Value > 1000+1e-6 {
+		t.Fatalf("value %v, want ~1000", res.Value)
+	}
+	// Heavily skewed bucket: must trigger a data access.
+	res, code = postQuery(t, srv.URL, []int{4})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if res.FromSynthetic {
+		t.Fatal("hard query answered from synthetic")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv := newTestServer(t, baseConfig())
+	if _, code := postQuery(t, srv.URL, nil); code != http.StatusBadRequest {
+		t.Errorf("empty query: status %d", code)
+	}
+	if _, code := postQuery(t, srv.URL, []int{99}); code != http.StatusBadRequest {
+		t.Errorf("out-of-range bucket: status %d", code)
+	}
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+	// Wrong methods.
+	resp, err = http.Get(srv.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET query: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/status", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatusAndSynthetic(t *testing.T) {
+	srv := newTestServer(t, baseConfig())
+	postQuery(t, srv.URL, []int{4}) // force one update
+
+	resp, err := http.Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Answered != 1 {
+		t.Errorf("answered %d, want 1", status.Answered)
+	}
+	if status.Updates+status.UpdatesLeft != 4 {
+		t.Errorf("updates %d + left %d != MaxUpdates 4", status.Updates, status.UpdatesLeft)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var synth SyntheticResponse
+	if err := json.NewDecoder(resp.Body).Decode(&synth); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(synth.Histogram) != 6 {
+		t.Fatalf("histogram length %d", len(synth.Histogram))
+	}
+	mass := 0.0
+	for _, v := range synth.Histogram {
+		mass += v
+	}
+	if mass < 999 || mass > 1001 {
+		t.Errorf("synthetic mass %v", mass)
+	}
+}
+
+func TestHTTPExhaustionFlag(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxUpdates = 1
+	cfg.Threshold = 1
+	srv := newTestServer(t, cfg)
+	sawExhausted := false
+	for i := 0; i < 30; i++ {
+		res, code := postQuery(t, srv.URL, []int{i % 6})
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if res.Exhausted {
+			sawExhausted = true
+			break
+		}
+	}
+	if !sawExhausted {
+		t.Fatal("exhaustion never signaled")
+	}
+}
+
+// The handler must serialize engine access: hammer it concurrently and
+// verify invariants afterwards. Run with -race in CI.
+func TestHTTPConcurrentQueries(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxUpdates = 5
+	srv := newTestServer(t, cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				postQuery(t, srv.URL, []int{(w + i) % 6})
+			}
+		}(w)
+	}
+	wg.Wait()
+	resp, err := http.Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Answered != 160 {
+		t.Errorf("answered %d, want 160", status.Answered)
+	}
+	if status.Updates > 5 {
+		t.Errorf("updates %d exceeded MaxUpdates", status.Updates)
+	}
+}

@@ -1,0 +1,184 @@
+package svt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dpgo/svt/internal/core"
+	"github.com/dpgo/svt/internal/rng"
+)
+
+// Method selects the mechanism used by TopC for non-interactive top-c
+// selection.
+type Method int
+
+const (
+	// MethodEM runs c rounds of the Exponential Mechanism — the paper's
+	// recommendation for the non-interactive setting (§5, Figure 5). It
+	// needs no threshold.
+	MethodEM Method = iota
+	// MethodSVT is a single pass of the standard SVT at Threshold
+	// ("SVT-S" in the paper).
+	MethodSVT
+	// MethodReTr is SVT with retraversal and an optional threshold boost
+	// ("SVT-ReTr"): unselected queries are re-tested until c are found.
+	MethodReTr
+)
+
+// String names the method as in the paper.
+func (m Method) String() string {
+	switch m {
+	case MethodEM:
+		return "EM"
+	case MethodSVT:
+		return "SVT-S"
+	case MethodReTr:
+		return "SVT-ReTr"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// SelectOptions configures TopC.
+type SelectOptions struct {
+	// Epsilon is the total privacy budget for the whole selection.
+	Epsilon float64
+	// Sensitivity is the score sensitivity Δ (1 for counting queries).
+	Sensitivity float64
+	// C is how many items to select.
+	C int
+	// Monotonic declares one-directional score changes between neighbors
+	// (true for supports/counts under add/remove-one); it halves the
+	// noise/exponent scale for all three methods.
+	Monotonic bool
+	// Method picks the mechanism; the zero value is MethodEM.
+	Method Method
+	// Threshold is the SVT comparison threshold (ignored by MethodEM).
+	// A natural choice is an estimate of the c-th highest score.
+	Threshold float64
+	// BoostSD raises the threshold by this many standard deviations of
+	// the query noise (MethodReTr only; the paper sweeps 1-5).
+	BoostSD float64
+	// MaxPasses bounds retraversal passes (MethodReTr only; 0 = default).
+	MaxPasses int
+	// Allocation picks the ε₁:ε₂ split for the SVT methods; the zero
+	// value applies the paper's optimal allocation.
+	Allocation Allocation
+	// Seed 0 means crypto-seeded; fixed seeds reproduce runs exactly.
+	Seed uint64
+}
+
+// TopC selects up to opts.C indices of scores with (approximately) the
+// highest values under ε-DP, where scores[i] is the true answer of query i
+// computed on the private data.
+//
+// The entire selection satisfies opts.Epsilon-DP for every method: EM by
+// sequential composition over c rounds, the SVT methods by Theorems 4-5
+// (retraversal only lengthens the query stream; it does not change the
+// privacy argument).
+func TopC(scores []float64, opts SelectOptions) ([]int, error) {
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("svt: TopC on empty score vector")
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("svt: scores[%d] must be finite, got %v", i, s)
+		}
+	}
+	if !(opts.Epsilon > 0) || math.IsInf(opts.Epsilon, 0) {
+		return nil, fmt.Errorf("svt: Epsilon must be positive and finite, got %v", opts.Epsilon)
+	}
+	if !(opts.Sensitivity > 0) || math.IsInf(opts.Sensitivity, 0) {
+		return nil, fmt.Errorf("svt: Sensitivity must be positive and finite, got %v", opts.Sensitivity)
+	}
+	if opts.C <= 0 {
+		return nil, fmt.Errorf("svt: C must be positive, got %d", opts.C)
+	}
+	if math.IsNaN(opts.Threshold) || math.IsInf(opts.Threshold, 0) {
+		return nil, fmt.Errorf("svt: Threshold must be finite, got %v", opts.Threshold)
+	}
+	if opts.BoostSD < 0 || math.IsNaN(opts.BoostSD) {
+		return nil, fmt.Errorf("svt: BoostSD must be non-negative, got %v", opts.BoostSD)
+	}
+	if opts.MaxPasses < 0 {
+		return nil, fmt.Errorf("svt: MaxPasses must be non-negative, got %d", opts.MaxPasses)
+	}
+	src := rng.NewSeeded(opts.Seed)
+	switch opts.Method {
+	case MethodEM:
+		return core.SelectEM(src, scores, opts.Epsilon, opts.Sensitivity, opts.C, opts.Monotonic), nil
+	case MethodSVT, MethodReTr:
+		ratio, err := opts.Allocation.ratio(opts.Monotonic)
+		if err != nil {
+			return nil, err
+		}
+		eps1, eps2 := ratio.Split(opts.Epsilon, opts.C)
+		cfg := core.ReTrConfig{
+			Eps1: eps1, Eps2: eps2,
+			Delta: opts.Sensitivity, C: opts.C,
+			Monotonic: opts.Monotonic,
+			BoostSD:   opts.BoostSD,
+			MaxPasses: opts.MaxPasses,
+		}
+		if opts.Method == MethodSVT {
+			return core.SelectSVT(src, scores, opts.Threshold, cfg), nil
+		}
+		return core.SelectReTr(src, scores, opts.Threshold, cfg), nil
+	default:
+		return nil, fmt.Errorf("svt: unknown method %d", int(opts.Method))
+	}
+}
+
+// Selected is one item of a TopCWithCounts result: an index together with
+// a privately released (noisy) score.
+type Selected struct {
+	// Index into the scores vector.
+	Index int
+	// NoisyScore is the Laplace release of scores[Index].
+	NoisyScore float64
+}
+
+// TopCWithCounts selects up to opts.C indices like TopC and additionally
+// releases a noisy score for each selected index — the non-interactive
+// counterpart of Algorithm 7's ε₃ phase (most applications need the counts,
+// not just the identities; Lee & Clifton report supports, Shokri &
+// Shmatikov upload gradient values).
+//
+// answerFraction in (0, 1) is the share of opts.Epsilon reserved for the
+// numeric releases; the remainder funds the selection. Each released count
+// gets (answerFraction·ε)/C of budget, so the total is still opts.Epsilon
+// by sequential composition.
+func TopCWithCounts(scores []float64, opts SelectOptions, answerFraction float64) ([]Selected, error) {
+	if !(answerFraction > 0 && answerFraction < 1) || math.IsNaN(answerFraction) {
+		return nil, fmt.Errorf("svt: answerFraction must be in (0, 1), got %v", answerFraction)
+	}
+	if !(opts.Epsilon > 0) || math.IsInf(opts.Epsilon, 0) {
+		return nil, fmt.Errorf("svt: Epsilon must be positive and finite, got %v", opts.Epsilon)
+	}
+	if opts.C <= 0 {
+		return nil, fmt.Errorf("svt: C must be positive, got %d", opts.C)
+	}
+	epsAnswers := opts.Epsilon * answerFraction
+	selOpts := opts
+	selOpts.Epsilon = opts.Epsilon - epsAnswers
+	indices, err := TopC(scores, selOpts)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.NewSeeded(deriveAnswerSeed(opts.Seed))
+	perAnswerScale := opts.Sensitivity / (epsAnswers / float64(opts.C))
+	out := make([]Selected, len(indices))
+	for i, idx := range indices {
+		out[i] = Selected{Index: idx, NoisyScore: scores[idx] + src.Laplace(perAnswerScale)}
+	}
+	return out, nil
+}
+
+// deriveAnswerSeed gives the numeric-release noise a stream independent of
+// the selection's; seed 0 stays 0 (crypto-seeded).
+func deriveAnswerSeed(seed uint64) uint64 {
+	if seed == 0 {
+		return 0
+	}
+	return rng.New(seed^0xa5a5a5a5a5a5a5a5).Uint64() | 1
+}

@@ -1,0 +1,457 @@
+package svt_test
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	svt "github.com/dpgo/svt"
+)
+
+func mustNew(t *testing.T, opts svt.Options) *svt.Sparse {
+	t.Helper()
+	s, err := svt.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func baseOptions() svt.Options {
+	return svt.Options{Epsilon: 1.0, Sensitivity: 1.0, MaxPositives: 3, Seed: 7}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		mut  func(*svt.Options)
+	}{
+		{"zero epsilon", func(o *svt.Options) { o.Epsilon = 0 }},
+		{"negative epsilon", func(o *svt.Options) { o.Epsilon = -1 }},
+		{"inf epsilon", func(o *svt.Options) { o.Epsilon = math.Inf(1) }},
+		{"NaN epsilon", func(o *svt.Options) { o.Epsilon = math.NaN() }},
+		{"zero sensitivity", func(o *svt.Options) { o.Sensitivity = 0 }},
+		{"inf sensitivity", func(o *svt.Options) { o.Sensitivity = math.Inf(1) }},
+		{"zero cutoff", func(o *svt.Options) { o.MaxPositives = 0 }},
+		{"negative cutoff", func(o *svt.Options) { o.MaxPositives = -5 }},
+		{"answer fraction 1", func(o *svt.Options) { o.AnswerFraction = 1 }},
+		{"answer fraction neg", func(o *svt.Options) { o.AnswerFraction = -0.1 }},
+		{"answer fraction NaN", func(o *svt.Options) { o.AnswerFraction = math.NaN() }},
+		{"bad allocation", func(o *svt.Options) { o.Allocation = svt.Allocation(99) }},
+	}
+	for _, c := range bad {
+		opts := baseOptions()
+		c.mut(&opts)
+		if _, err := svt.New(opts); err == nil {
+			t.Errorf("%s: New accepted invalid options", c.name)
+		}
+	}
+}
+
+func TestBudgetsSumToEpsilon(t *testing.T) {
+	for _, alloc := range []svt.Allocation{
+		svt.AllocationAuto, svt.Allocation1x1, svt.Allocation1x3,
+		svt.Allocation1xC, svt.Allocation1xC23, svt.Allocation1x2C23,
+	} {
+		for _, frac := range []float64{0, 0.25, 0.5} {
+			opts := baseOptions()
+			opts.Allocation = alloc
+			opts.AnswerFraction = frac
+			s := mustNew(t, opts)
+			e1, e2, e3 := s.Budgets()
+			if e1 <= 0 || e2 <= 0 || e3 < 0 {
+				t.Errorf("%v frac=%v: non-positive shares (%v,%v,%v)", alloc, frac, e1, e2, e3)
+			}
+			if math.Abs(e1+e2+e3-opts.Epsilon) > 1e-12 {
+				t.Errorf("%v frac=%v: shares sum to %v", alloc, frac, e1+e2+e3)
+			}
+			if math.Abs(e3-opts.Epsilon*frac) > 1e-12 {
+				t.Errorf("%v: eps3 = %v, want %v", alloc, e3, opts.Epsilon*frac)
+			}
+		}
+	}
+}
+
+func TestAllocationAutoMatchesMonotonicity(t *testing.T) {
+	// Auto must give the queries more budget in the general case than in
+	// the monotonic case (coefficient (2c)^{2/3} > c^{2/3}).
+	general := baseOptions()
+	s1 := mustNew(t, general)
+	mono := baseOptions()
+	mono.Monotonic = true
+	s2 := mustNew(t, mono)
+	g1, _, _ := s1.Budgets()
+	m1, _, _ := s2.Budgets()
+	if !(g1 < m1) {
+		t.Errorf("general eps1 %v should be smaller than monotonic eps1 %v", g1, m1)
+	}
+}
+
+func TestNextHaltsAfterMaxPositives(t *testing.T) {
+	s := mustNew(t, baseOptions())
+	positives := 0
+	for i := 0; i < 100; i++ {
+		res, err := s.Next(1e9, 0)
+		if errors.Is(err, svt.ErrHalted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Above {
+			positives++
+		}
+	}
+	if positives != 3 {
+		t.Fatalf("released %d positives, want 3", positives)
+	}
+	if !s.Halted() {
+		t.Fatal("not halted")
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	if _, err := s.Next(5, 0); !errors.Is(err, svt.ErrHalted) {
+		t.Fatalf("post-halt error = %v, want ErrHalted", err)
+	}
+}
+
+func TestNextRejectsNonFinite(t *testing.T) {
+	s := mustNew(t, baseOptions())
+	for _, q := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := s.Next(q, 0); err == nil {
+			t.Errorf("Next(%v, 0) accepted", q)
+		}
+		if _, err := s.Next(0, q); err == nil {
+			t.Errorf("Next(0, %v) accepted", q)
+		}
+	}
+	if s.Answered() != 0 {
+		t.Errorf("rejected queries counted as answered: %d", s.Answered())
+	}
+}
+
+func TestRunStopsAtHalt(t *testing.T) {
+	opts := baseOptions()
+	opts.MaxPositives = 2
+	s := mustNew(t, opts)
+	queries := []float64{1e9, -1e9, 1e9, 1e9, 1e9}
+	out, err := s.Run(queries, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ⊤ ⊥ ⊤ then halt.
+	if len(out) != 3 {
+		t.Fatalf("answered %d queries, want 3: %v", len(out), out)
+	}
+	if !out[0].Above || out[1].Above || !out[2].Above {
+		t.Fatalf("unexpected pattern %v", out)
+	}
+	if s.Answered() != 3 {
+		t.Fatalf("Answered = %d", s.Answered())
+	}
+}
+
+func TestRunThresholdValidation(t *testing.T) {
+	s := mustNew(t, baseOptions())
+	if _, err := s.Run([]float64{1, 2, 3}, []float64{0, 0}); err == nil {
+		t.Error("mismatched thresholds accepted")
+	}
+	// Per-query thresholds are applied positionally.
+	s2 := mustNew(t, baseOptions())
+	out, err := s2.Run([]float64{0, 0}, []float64{-1e9, 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Above || out[1].Above {
+		t.Fatalf("per-query thresholds misapplied: %v", out)
+	}
+}
+
+func TestRunPropagatesBadQuery(t *testing.T) {
+	s := mustNew(t, baseOptions())
+	out, err := s.Run([]float64{-1e9, math.NaN()}, []float64{0})
+	if err == nil {
+		t.Fatal("NaN query accepted")
+	}
+	if len(out) != 1 {
+		t.Fatalf("partial results length %d, want 1", len(out))
+	}
+}
+
+func TestNumericAnswers(t *testing.T) {
+	opts := baseOptions()
+	opts.AnswerFraction = 0.4
+	opts.MaxPositives = 20
+	s := mustNew(t, opts)
+	const truth = 1e6
+	sawNumeric := 0
+	var sum float64
+	for i := 0; i < 20; i++ {
+		res, err := s.Next(truth, 0)
+		if errors.Is(err, svt.ErrHalted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Above {
+			if !res.Numeric {
+				t.Fatal("positive outcome without numeric value despite AnswerFraction")
+			}
+			sawNumeric++
+			sum += res.Value
+		}
+	}
+	if sawNumeric == 0 {
+		t.Fatal("no numeric answers released")
+	}
+	if mean := sum / float64(sawNumeric); math.Abs(mean-truth) > truth*0.1 {
+		t.Fatalf("numeric answers mean %v far from truth %v", mean, truth)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() []svt.Result {
+		s := mustNew(t, baseOptions())
+		out, err := s.Run([]float64{3, -2, 8, 1, -5, 4}, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d", i)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if got := (svt.Result{}).String(); got != "⊥" {
+		t.Errorf("zero Result = %q", got)
+	}
+	if got := (svt.Result{Above: true}).String(); got != "⊤" {
+		t.Errorf("Above Result = %q", got)
+	}
+	if got := (svt.Result{Above: true, Numeric: true, Value: 1.5}).String(); got != "1.5" {
+		t.Errorf("numeric Result = %q", got)
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	want := map[svt.Allocation]string{
+		svt.AllocationAuto:   "auto",
+		svt.Allocation1x1:    "1:1",
+		svt.Allocation1x3:    "1:3",
+		svt.Allocation1xC:    "1:c",
+		svt.Allocation1xC23:  "1:c^(2/3)",
+		svt.Allocation1x2C23: "1:(2c)^(2/3)",
+		svt.Allocation(42):   "Allocation(42)",
+	}
+	for a, s := range want {
+		if got := a.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), got, s)
+		}
+	}
+}
+
+// Property: no matter the query stream, positives never exceed
+// MaxPositives, and Answered never exceeds the stream length.
+func TestQuickSparseInvariants(t *testing.T) {
+	f := func(seed uint64, raw []int8, cRaw uint8) bool {
+		opts := svt.Options{
+			Epsilon: 0.5, Sensitivity: 1,
+			MaxPositives: int(cRaw%4) + 1,
+			Seed:         seed | 1,
+		}
+		s, err := svt.New(opts)
+		if err != nil {
+			return false
+		}
+		positives := 0
+		for _, v := range raw {
+			res, err := s.Next(float64(v), 0)
+			if errors.Is(err, svt.ErrHalted) {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			if res.Above {
+				positives++
+			}
+		}
+		return positives <= opts.MaxPositives && s.Answered() <= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopCValidation(t *testing.T) {
+	good := svt.SelectOptions{Epsilon: 1, Sensitivity: 1, C: 2, Seed: 3}
+	if _, err := svt.TopC([]float64{1, 2, 3}, good); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	bad := []struct {
+		name   string
+		scores []float64
+		mut    func(*svt.SelectOptions)
+	}{
+		{"empty scores", nil, func(o *svt.SelectOptions) {}},
+		{"NaN score", []float64{1, math.NaN()}, func(o *svt.SelectOptions) {}},
+		{"inf score", []float64{math.Inf(1)}, func(o *svt.SelectOptions) {}},
+		{"zero epsilon", []float64{1}, func(o *svt.SelectOptions) { o.Epsilon = 0 }},
+		{"zero sensitivity", []float64{1}, func(o *svt.SelectOptions) { o.Sensitivity = 0 }},
+		{"zero c", []float64{1}, func(o *svt.SelectOptions) { o.C = 0 }},
+		{"NaN threshold", []float64{1}, func(o *svt.SelectOptions) { o.Threshold = math.NaN() }},
+		{"neg boost", []float64{1}, func(o *svt.SelectOptions) { o.BoostSD = -1 }},
+		{"neg passes", []float64{1}, func(o *svt.SelectOptions) { o.MaxPasses = -1 }},
+		{"bad method", []float64{1}, func(o *svt.SelectOptions) { o.Method = svt.Method(9) }},
+		{"bad allocation", []float64{1}, func(o *svt.SelectOptions) {
+			o.Method = svt.MethodSVT
+			o.Allocation = svt.Allocation(9)
+		}},
+	}
+	for _, c := range bad {
+		opts := good
+		c.mut(&opts)
+		if _, err := svt.TopC(c.scores, opts); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestTopCMethods(t *testing.T) {
+	scores := []float64{5, 100, 10, 90, 20, 80}
+	for _, method := range []svt.Method{svt.MethodEM, svt.MethodSVT, svt.MethodReTr} {
+		sel, err := svt.TopC(scores, svt.SelectOptions{
+			Epsilon: 50, Sensitivity: 1, C: 3,
+			Method: method, Threshold: 50, Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if len(sel) > 3 {
+			t.Fatalf("%v: selected %d > 3", method, len(sel))
+		}
+		seen := map[int]bool{}
+		for _, idx := range sel {
+			if idx < 0 || idx >= len(scores) || seen[idx] {
+				t.Fatalf("%v: bad selection %v", method, sel)
+			}
+			seen[idx] = true
+		}
+		// With huge epsilon all methods should find the true top three.
+		sort.Ints(sel)
+		if method != svt.MethodSVT && (len(sel) != 3 || sel[0] != 1 || sel[1] != 3 || sel[2] != 5) {
+			t.Errorf("%v: high-eps selection %v, want [1 3 5]", method, sel)
+		}
+	}
+}
+
+func TestTopCWithCounts(t *testing.T) {
+	scores := []float64{100000, 5, 90000, 3, 80000}
+	sel, err := svt.TopCWithCounts(scores, svt.SelectOptions{
+		Epsilon: 10, Sensitivity: 1, C: 3, Monotonic: true,
+		Method: svt.MethodEM, Seed: 21,
+	}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("selected %d, want 3", len(sel))
+	}
+	// Per-answer scale is 1/(5/3) = 0.6; releases must hug the truth.
+	for _, s := range sel {
+		if s.Index < 0 || s.Index >= len(scores) {
+			t.Fatalf("bad index %d", s.Index)
+		}
+		if math.Abs(s.NoisyScore-scores[s.Index]) > 50 {
+			t.Errorf("index %d: noisy score %v far from %v", s.Index, s.NoisyScore, scores[s.Index])
+		}
+	}
+	// With huge epsilon, the selected set is the true top-3.
+	seen := map[int]bool{}
+	for _, s := range sel {
+		seen[s.Index] = true
+	}
+	if !seen[0] || !seen[2] || !seen[4] {
+		t.Errorf("selection %v missed the true top", sel)
+	}
+}
+
+func TestTopCWithCountsValidation(t *testing.T) {
+	scores := []float64{1, 2}
+	good := svt.SelectOptions{Epsilon: 1, Sensitivity: 1, C: 1, Seed: 2}
+	for _, frac := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := svt.TopCWithCounts(scores, good, frac); err == nil {
+			t.Errorf("answerFraction %v accepted", frac)
+		}
+	}
+	bad := good
+	bad.Epsilon = 0
+	if _, err := svt.TopCWithCounts(scores, bad, 0.5); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	bad = good
+	bad.C = 0
+	if _, err := svt.TopCWithCounts(scores, bad, 0.5); err == nil {
+		t.Error("zero C accepted")
+	}
+	if _, err := svt.TopCWithCounts(nil, good, 0.5); err == nil {
+		t.Error("empty scores accepted")
+	}
+}
+
+func TestTopCWithCountsDeterministicAndIndependentStreams(t *testing.T) {
+	scores := []float64{10, 20, 30, 40}
+	opts := svt.SelectOptions{Epsilon: 2, Sensitivity: 1, C: 2, Method: svt.MethodEM, Seed: 77}
+	a, err := svt.TopCWithCounts(scores, opts, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svt.TopCWithCounts(scores, opts, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The selection with the same seed but indicator-only must match the
+	// indices: the answer noise must not perturb the selection stream.
+	selOpts := opts
+	selOpts.Epsilon = opts.Epsilon * 0.6
+	indices, err := svt.TopC(scores, selOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range indices {
+		if indices[i] != a[i].Index {
+			t.Fatalf("selection differs from indicator-only run: %v vs %+v", indices, a)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	want := map[svt.Method]string{
+		svt.MethodEM:   "EM",
+		svt.MethodSVT:  "SVT-S",
+		svt.MethodReTr: "SVT-ReTr",
+		svt.Method(7):  "Method(7)",
+	}
+	for m, s := range want {
+		if got := m.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, s)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package variants
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBrokenErrorGateValidation(t *testing.T) {
+	cases := map[string]func() (*BrokenErrorGate, error){
+		"zero threshold": func() (*BrokenErrorGate, error) { return NewBrokenErrorGate(0, 1, 1, 1, 1) },
+		"inf threshold":  func() (*BrokenErrorGate, error) { return NewBrokenErrorGate(math.Inf(1), 1, 1, 1, 1) },
+		"zero epsilon":   func() (*BrokenErrorGate, error) { return NewBrokenErrorGate(1, 0, 1, 1, 1) },
+		"zero delta":     func() (*BrokenErrorGate, error) { return NewBrokenErrorGate(1, 1, 0, 1, 1) },
+		"zero cutoff":    func() (*BrokenErrorGate, error) { return NewBrokenErrorGate(1, 1, 1, 0, 1) },
+	}
+	for name, build := range cases {
+		if _, err := build(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBrokenErrorGateBehaviour(t *testing.T) {
+	gate, err := NewBrokenErrorGate(10, 2.0, 1, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positives := 0
+	for i := 0; i < 50; i++ {
+		above, ok := gate.ExceedsThreshold(0, 1e9)
+		if !ok {
+			break
+		}
+		if above {
+			positives++
+		}
+	}
+	if positives != 3 {
+		t.Fatalf("positives = %d, want 3", positives)
+	}
+	if !gate.Halted() {
+		t.Fatal("not halted")
+	}
+	if _, ok := gate.ExceedsThreshold(0, 1e9); ok {
+		t.Fatal("answered after halt")
+	}
+}
+
+// The leak the paper describes in §3.4: the broken gate's compared value
+// |q̃ − q + ν| is non-negative, so with a noticeably negative noisy
+// threshold the broken gate reports ⊤ even for ZERO error — whereas the
+// corrected gate's comparison |q̃ − q| + ν can itself go negative. The
+// observable consequence: on zero-error streams the broken gate's ⊤ rate
+// conditional on (T + ρ) < 0 is 1, revealing sign information about ρ.
+func TestBrokenErrorGateLeaksThresholdSign(t *testing.T) {
+	const trials = 4000
+	leaked := 0
+	for i := 0; i < trials; i++ {
+		gate, err := NewBrokenErrorGate(1, 0.5, 1, 1, uint64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero-error query: estimate == truth.
+		above, _ := gate.ExceedsThreshold(42, 42)
+		if above && gate.rho < -1 {
+			// A ⊤ was issued while the noisy threshold was negative:
+			// the |·| >= negative test is vacuously true — pure leak.
+			leaked++
+		}
+	}
+	// With threshold 1 and rho ~ Lap(4), Pr[rho < -1] ≈ 0.39, and every
+	// such trial fires: expect a large leaked count.
+	if leaked < trials/10 {
+		t.Fatalf("leak not reproduced: %d/%d", leaked, trials)
+	}
+}
+
+// The corrected gate (svt.ErrorGate semantics) can output ⊥ even when the
+// noisy threshold is very negative, because its query noise is OUTSIDE the
+// absolute value and can be arbitrarily negative. The broken gate cannot:
+// conditioned on T + ρ <= 0 it answers ⊤ with probability 1. This pair of
+// facts is what makes ρ recoverable from the broken gate's outputs.
+func TestBrokenErrorGateDeterministicGivenNegativeThreshold(t *testing.T) {
+	found := false
+	for i := 0; i < 2000 && !found; i++ {
+		gate, err := NewBrokenErrorGate(1, 0.5, 1, 1000, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gate.rho <= -1 { // noisy threshold T + rho <= 0
+			found = true
+			for q := 0; q < 200; q++ {
+				above, ok := gate.ExceedsThreshold(0, 0)
+				if !ok {
+					break
+				}
+				if !above {
+					t.Fatal("broken gate answered ⊥ despite non-positive noisy threshold")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Skip("no negative noisy threshold drawn in 2000 seeds (improbable)")
+	}
+}
