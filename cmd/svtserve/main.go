@@ -1,0 +1,96 @@
+// Command svtserve runs the multi-tenant SVT session service: many
+// analysts each create an interactive session (the corrected SVT of the
+// paper's Algorithm 7, the Figure 1 private variants, or a PMW mediator)
+// and stream threshold queries against it over JSON HTTP.
+//
+//	svtserve -addr :8080 -shards 32 -ttl 10m
+//
+// Endpoints (see the server package for request/response shapes):
+//
+//	POST   /v1/sessions            create a session
+//	POST   /v1/sessions/{id}/query single or batched queries
+//	GET    /v1/sessions/{id}       status, remaining budget, (ε₁, ε₂, ε₃)
+//	DELETE /v1/sessions/{id}       end a session
+//	GET    /v1/stats               service-wide counters
+//	GET    /healthz                liveness
+//
+// The process drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/dpgo/svt/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		shards      = flag.Int("shards", server.DefaultShards, "session-table lock stripes")
+		ttl         = flag.Duration("ttl", server.DefaultTTL, "default idle session time-to-live")
+		maxTTL      = flag.Duration("max-ttl", server.DefaultMaxTTL, "cap on per-session TTL requests")
+		sweep       = flag.Duration("sweep", server.DefaultSweepInterval, "janitor sweep interval")
+		maxSessions = flag.Int("max-sessions", 0, "live-session cap (0 = unlimited)")
+		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body cap in bytes")
+		maxBatch    = flag.Int("max-batch", server.DefaultMaxBatch, "queries per batch cap")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *shards, *ttl, *maxTTL, *sweep, *maxSessions, *maxBody, *maxBatch, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "svtserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards int, ttl, maxTTL, sweep time.Duration, maxSessions int, maxBody int64, maxBatch int, drain time.Duration) error {
+	mgr := server.NewSessionManager(server.ManagerConfig{
+		Shards:        shards,
+		DefaultTTL:    ttl,
+		MaxTTL:        maxTTL,
+		SweepInterval: sweep,
+		MaxSessions:   maxSessions,
+	})
+	defer mgr.Close()
+	api := server.NewAPI(mgr, server.APIConfig{MaxBodyBytes: maxBody, MaxBatch: maxBatch})
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("svtserve: %d shards, ttl=%s, listening on %s", mgr.Shards(), ttl, addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("svtserve: shutting down (draining up to %s)", drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

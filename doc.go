@@ -24,7 +24,10 @@
 // The subpackage variants exposes the paper's six historical SVT variants
 // (including the broken, non-private ones) for research and auditing; the
 // packages dataset, fim, pmw, metrics, audit and experiments reproduce the
-// paper's evaluation end to end.
+// paper's evaluation end to end. The server subpackage turns the library
+// into a sharded, multi-tenant session service (JSON over HTTP, TTL-based
+// session expiry, per-session (ε₁, ε₂, ε₃) budget accounting) served by
+// cmd/svtserve.
 //
 // # Choosing between SVT and EM
 //

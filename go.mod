@@ -1,0 +1,3 @@
+module github.com/dpgo/svt
+
+go 1.24

@@ -17,12 +17,18 @@ import (
 //	GET  /v1/synthetic  → {"histogram":[...]}  (public by construction)
 //
 // The handler serializes access to the engine (the engine itself is not
-// concurrency-safe) so it can sit behind a standard HTTP server.
+// concurrency-safe) so it can sit behind a standard HTTP server. Every
+// response — including 404s for unknown paths, 405s for wrong methods and
+// 413s for oversized bodies — is JSON.
 type Handler struct {
 	mu     sync.Mutex
 	engine *Engine
 	mux    *http.ServeMux
 }
+
+// maxBodyBytes caps /v1/query request bodies; a bucket list big enough to
+// hit it is malformed, not a real query.
+const maxBodyBytes = 1 << 20
 
 // NewHandler wraps the engine. The engine must not be used directly while
 // the handler serves it.
@@ -34,6 +40,9 @@ func NewHandler(engine *Engine) (*Handler, error) {
 	h.mux.HandleFunc("/v1/query", h.handleQuery)
 	h.mux.HandleFunc("/v1/status", h.handleStatus)
 	h.mux.HandleFunc("/v1/synthetic", h.handleSynthetic)
+	h.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no such endpoint: " + r.URL.Path})
+	})
 	return h, nil
 }
 
@@ -84,11 +93,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
@@ -111,6 +128,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
 		return
 	}
@@ -127,6 +145,7 @@ func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
 		return
 	}

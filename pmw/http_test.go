@@ -170,6 +170,52 @@ func TestHTTPExhaustionFlag(t *testing.T) {
 	}
 }
 
+func TestHTTPJSONErrorHardening(t *testing.T) {
+	srv := newTestServer(t, baseConfig())
+	expectJSONError := func(resp *http.Response, wantStatus int, what string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("%s: status %d, want %d", what, resp.StatusCode, wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content-type %q, want application/json", what, ct)
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: body is not a JSON error (%v)", what, err)
+		}
+	}
+
+	// Unknown paths get a JSON 404, not the stdlib text page.
+	resp, err := http.Get(srv.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectJSONError(resp, http.StatusNotFound, "unknown path")
+
+	// Wrong methods get a JSON 405 with Allow set.
+	resp, err = http.Get(srv.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow %q, want POST", allow)
+	}
+	expectJSONError(resp, http.StatusMethodNotAllowed, "GET /v1/query")
+
+	// Oversized bodies get a JSON 413 instead of being read to the end.
+	big := append([]byte(`{"buckets":[`), bytes.Repeat([]byte("0,"), 1<<20)...)
+	big = append(big, []byte("0]}")...)
+	resp, err = http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectJSONError(resp, http.StatusRequestEntityTooLarge, "oversized body")
+}
+
 // The handler must serialize engine access: hammer it concurrently and
 // verify invariants afterwards. Run with -race in CI.
 func TestHTTPConcurrentQueries(t *testing.T) {
@@ -202,4 +248,39 @@ func TestHTTPConcurrentQueries(t *testing.T) {
 	if status.Updates > 5 {
 		t.Errorf("updates %d exceeded MaxUpdates", status.Updates)
 	}
+}
+
+// TestHTTPConcurrentMixedEndpoints races queries against status and
+// synthetic reads — the three handlers share one engine behind one mutex,
+// and -race must stay silent.
+func TestHTTPConcurrentMixedEndpoints(t *testing.T) {
+	srv := newTestServer(t, baseConfig())
+	var wg sync.WaitGroup
+	for w := 0; w < 9; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				switch w % 3 {
+				case 0:
+					postQuery(t, srv.URL, []int{(w + i) % 6})
+				case 1:
+					resp, err := http.Get(srv.URL + "/v1/status")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+				case 2:
+					resp, err := http.Get(srv.URL + "/v1/synthetic")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

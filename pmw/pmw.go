@@ -72,6 +72,7 @@ type Engine struct {
 	thresholdValue float64 // gate threshold T
 
 	updateScale float64 // Laplace scale per update release
+	epsUpdates  float64 // total budget of the Laplace update releases
 	updatesLeft int
 	answered    int
 	updates     int
@@ -143,6 +144,7 @@ func New(cfg Config) (*Engine, error) {
 		eta:            eta,
 		thresholdValue: cfg.Threshold,
 		updateScale:    1 / (epsUpdates / float64(cfg.MaxUpdates)), // Δ=1 per release
+		epsUpdates:     epsUpdates,
 		updatesLeft:    cfg.MaxUpdates,
 	}, nil
 }
@@ -256,3 +258,12 @@ func (e *Engine) UpdatesLeft() int { return e.updatesLeft }
 
 // Exhausted reports whether the engine can no longer access the real data.
 func (e *Engine) Exhausted() bool { return e.gate.Halted() }
+
+// Budgets returns the realized privacy-budget split of the whole
+// interaction: the SVT gate's threshold and query budgets (ε₁, ε₂) and the
+// total budget of the Laplace update releases as ε₃. The three sum to the
+// configured Epsilon under basic composition.
+func (e *Engine) Budgets() (gateEps1, gateEps2, epsUpdates float64) {
+	gateEps1, gateEps2, _ = e.gate.Budgets() // the gate reserves no ε₃ of its own
+	return gateEps1, gateEps2, e.epsUpdates
+}

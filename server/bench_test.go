@@ -1,0 +1,239 @@
+package server
+
+// Parallel-load benchmarks of the session service, the acceptance gauge
+// for the ISSUE 1 tentpole: ≥ 64 concurrent sessions must sustain well
+// over 10k queries/sec, and throughput must scale with the shard count.
+//
+// Set SVT_BENCH_JSON=BENCH_server.json to also write a machine-readable
+// summary (one {"benchmarks": [...]} document per run) so future PRs can
+// track server throughput as a trajectory:
+//
+//	SVT_BENCH_JSON=BENCH_server.json go test -bench . -run '^$' ./server/
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchEntry is one benchmark's summary line in the JSON trajectory.
+type benchEntry struct {
+	Name          string  `json:"name"`
+	QueriesPerSec float64 `json:"queriesPerSec"`
+	NsPerOp       float64 `json:"nsPerOp"`
+	Ops           int     `json:"ops"`
+	Sessions      int     `json:"sessions"`
+	Shards        int     `json:"shards"`
+}
+
+// benchSummary is the whole JSON document.
+type benchSummary struct {
+	Package    string       `json:"package"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	CPUs       int          `json:"cpus"`
+	Timestamp  string       `json:"timestamp"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchEntries []benchEntry
+)
+
+// recordBench stashes one benchmark result for the JSON summary. The
+// testing package re-runs each benchmark while calibrating b.N, so a
+// later call with the same name (always the larger, final run) replaces
+// the earlier one.
+func recordBench(b *testing.B, sessions, shards int) {
+	qps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "queries/sec")
+	record(benchEntry{
+		Name:          strings.TrimPrefix(b.Name(), "Benchmark"),
+		QueriesPerSec: qps,
+		NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Ops:           b.N,
+		Sessions:      sessions,
+		Shards:        shards,
+	})
+}
+
+func record(e benchEntry) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	for i := range benchEntries {
+		if benchEntries[i].Name == e.Name {
+			benchEntries[i] = e
+			return
+		}
+	}
+	benchEntries = append(benchEntries, e)
+}
+
+// TestMain writes the JSON summary after the run when SVT_BENCH_JSON
+// names a file.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("SVT_BENCH_JSON"); path != "" && len(benchEntries) > 0 {
+		doc := benchSummary{
+			Package:    "github.com/dpgo/svt/server",
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			Benchmarks: benchEntries,
+		}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(raw, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "server: writing bench summary:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// benchManager builds a manager with n never-halting sparse sessions.
+func benchManager(b *testing.B, shards, sessions int) (*SessionManager, []string) {
+	b.Helper()
+	m := NewSessionManager(ManagerConfig{Shards: shards, SweepInterval: time.Hour})
+	b.Cleanup(m.Close)
+	ids := make([]string, sessions)
+	for i := range ids {
+		s, err := m.Create(CreateParams{
+			Mechanism:    MechSparse,
+			Epsilon:      1,
+			MaxPositives: 1 << 30,
+			Threshold:    ptr(1e12), // queries stay far below: all ⊥, no halt
+			Seed:         uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = s.ID()
+	}
+	return m, ids
+}
+
+// BenchmarkManagerParallel drives 64 concurrent sessions through the
+// manager at several shard counts; queries/sec across the shard sweep is
+// the shard-scaling curve.
+func BenchmarkManagerParallel(b *testing.B) {
+	const sessions = 64
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m, ids := benchManager(b, shards, sessions)
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Each goroutine walks the session pool from its own
+				// offset so traffic spreads across shards.
+				i := int(next.Add(1)) * 7
+				item := []QueryItem{{Query: 1}}
+				for pb.Next() {
+					i++
+					if _, err := m.Query(ids[i%len(ids)], item); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			recordBench(b, sessions, shards)
+		})
+	}
+}
+
+// BenchmarkManagerSingleSession is the contention worst case: every
+// goroutine serializes on one session's mutex. The gap to
+// ManagerParallel/shards=16 is what multi-tenancy buys.
+func BenchmarkManagerSingleSession(b *testing.B) {
+	m, ids := benchManager(b, DefaultShards, 1)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		item := []QueryItem{{Query: 1}}
+		for pb.Next() {
+			if _, err := m.Query(ids[0], item); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	recordBench(b, 1, DefaultShards)
+}
+
+// BenchmarkManagerBatch64 amortizes the routing over 64-query batches —
+// the async-batching direction future PRs will push further.
+func BenchmarkManagerBatch64(b *testing.B) {
+	const sessions = 64
+	m, ids := benchManager(b, 16, sessions)
+	batch := make([]QueryItem, 64)
+	for i := range batch {
+		batch[i] = QueryItem{Query: float64(i)}
+	}
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) * 7
+		for pb.Next() {
+			i++
+			if _, err := m.Query(ids[i%len(ids)], batch); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	// One op is 64 queries; report per-query throughput.
+	qps := float64(b.N) * 64 / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "queries/sec")
+	record(benchEntry{
+		Name:          strings.TrimPrefix(b.Name(), "Benchmark"),
+		QueriesPerSec: qps,
+		NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Ops:           b.N,
+		Sessions:      sessions,
+		Shards:        16,
+	})
+}
+
+// BenchmarkHTTPQueryParallel exercises the whole stack — routing, JSON
+// decode, session query, JSON encode — via in-process handler dispatch
+// across 64 sessions.
+func BenchmarkHTTPQueryParallel(b *testing.B) {
+	const sessions = 64
+	m, ids := benchManager(b, 16, sessions)
+	api := NewAPI(m, APIConfig{})
+	body := []byte(`{"query":1}`)
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) * 7
+		for pb.Next() {
+			i++
+			req := httptest.NewRequest(http.MethodPost,
+				"/v1/sessions/"+ids[i%len(ids)]+"/query", strings.NewReader(string(body)))
+			rec := httptest.NewRecorder()
+			api.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Errorf("status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	recordBench(b, sessions, 16)
+}

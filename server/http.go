@@ -1,0 +1,237 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// APIConfig bounds what the HTTP layer accepts. The zero value applies
+// the defaults.
+type APIConfig struct {
+	// MaxBodyBytes caps request bodies; 0 means DefaultMaxBodyBytes.
+	// Oversized bodies get 413.
+	MaxBodyBytes int64
+	// MaxBatch caps the number of queries in one batch request; 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+}
+
+// Defaults for APIConfig zero values.
+const (
+	DefaultMaxBodyBytes = 1 << 20 // 1 MiB: a pmw histogram of ~65k buckets still fits
+	DefaultMaxBatch     = 1024
+)
+
+// API serves the session manager over JSON HTTP:
+//
+//	POST   /v1/sessions            create  {mechanism, epsilon, maxPositives, threshold, ...}
+//	GET    /v1/sessions/{id}       status: answered, positives, remaining, (ε₁, ε₂, ε₃)
+//	POST   /v1/sessions/{id}/query one query {query, threshold} / {buckets}
+//	                               or a batch {queries: [...]}
+//	DELETE /v1/sessions/{id}       end the session
+//	GET    /v1/stats               service-wide aggregate counters
+//	GET    /healthz                liveness
+//
+// Every response, including every error, is JSON. Errors carry a stable
+// machine-readable code alongside the human-readable message.
+type API struct {
+	mgr *SessionManager
+	cfg APIConfig
+	mux *http.ServeMux
+}
+
+// NewAPI wraps the manager. The manager must outlive the API.
+func NewAPI(mgr *SessionManager, cfg APIConfig) *API {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	a := &API{mgr: mgr, cfg: cfg, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/v1/sessions", a.handleSessions)
+	a.mux.HandleFunc("/v1/sessions/{id}", a.handleSession)
+	a.mux.HandleFunc("/v1/sessions/{id}/query", a.handleQuery)
+	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	a.mux.HandleFunc("/healthz", a.handleHealth)
+	a.mux.HandleFunc("/", a.handleNotFound)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+// ErrorBody is the uniform error response envelope.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a stable code plus a message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used by the API.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeTooLarge         = "too_large"
+	CodeTooManySessions  = "too_many_sessions"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding can only fail after the header is out; the shapes used
+	// here marshal unconditionally.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorBody{ErrorDetail{Code: code, Message: msg}})
+}
+
+// decodeBody decodes one JSON value, enforcing the body-size cap and
+// rejecting trailing garbage. It writes the error response itself and
+// reports success.
+func (a *API) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, a.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", a.cfg.MaxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+func (a *API) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
+}
+
+func methodNotAllowed(w http.ResponseWriter, want string) {
+	w.Header().Set("Allow", want)
+	writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, want+" required")
+}
+
+// CreateResponse is the POST /v1/sessions response body.
+type CreateResponse struct {
+	SessionStatus
+	// TTLSeconds is the resolved idle time-to-live.
+	TTLSeconds float64 `json:"ttlSeconds"`
+}
+
+func (a *API) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var params CreateParams
+	if !a.decodeBody(w, r, &params) {
+		return
+	}
+	s, err := a.mgr.Create(params)
+	switch {
+	case errors.Is(err, ErrTooManySessions):
+		writeError(w, http.StatusTooManyRequests, CodeTooManySessions, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusCreated, CreateResponse{
+			SessionStatus: s.Status(),
+			TTLSeconds:    s.ttl.Seconds(),
+		})
+	}
+}
+
+func (a *API) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		s, ok := a.mgr.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+id)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Status())
+	case http.MethodDelete:
+		if !a.mgr.Delete(id) {
+			writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+id)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		methodNotAllowed(w, "GET, DELETE")
+	}
+}
+
+// queryRequest accepts either a single inline query or a batch. A batch
+// is recognized by the presence of the "queries" key.
+type queryRequest struct {
+	QueryItem
+	Queries []QueryItem `json:"queries"`
+}
+
+func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req queryRequest
+	if !a.decodeBody(w, r, &req) {
+		return
+	}
+	items := req.Queries
+	if items == nil {
+		items = []QueryItem{req.QueryItem}
+	}
+	switch {
+	case len(items) == 0:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty query batch")
+		return
+	case len(items) > a.cfg.MaxBatch:
+		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Sprintf("batch of %d exceeds the cap of %d", len(items), a.cfg.MaxBatch))
+		return
+	}
+	res, err := a.mgr.Query(r.PathValue("id"), items)
+	switch {
+	case errors.Is(err, ErrSessionNotFound):
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+r.PathValue("id"))
+	case err != nil:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, a.mgr.Stats())
+}
+
+func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,332 @@
+// Package server turns the repo's single-caller SVT library types into a
+// sharded, multi-tenant session service: many analysts each hold an
+// interactive session (svt.Sparse, a variants algorithm, or a pmw
+// mediator) against private data, all behind one JSON-over-HTTP API with
+// per-session privacy-budget accounting.
+//
+// The SessionManager stripes sessions over N shards (hash of the session
+// ID → shard, one mutex and map per shard) so concurrent traffic on
+// different sessions never contends on a global lock; a background
+// janitor expires idle sessions after their TTL. Each session serializes
+// its own mechanism — the library types are not concurrency-safe — so
+// correctness of the paper's interaction model is preserved while
+// independent sessions scale across cores.
+//
+// Only differentially private mechanisms are servable. The broken
+// historical variants (Roth11, Stoddard, Chen, GPTT) exist in this repo
+// to be audited, not deployed, and the server refuses to instantiate
+// them.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ManagerConfig configures a SessionManager. The zero value is usable:
+// DefaultShards shards, DefaultTTL idle expiry, DefaultSweepInterval
+// janitor cadence, no session cap.
+type ManagerConfig struct {
+	// Shards is the number of lock stripes; 0 means DefaultShards. More
+	// shards means less cross-session lock contention.
+	Shards int
+	// DefaultTTL is the idle time-to-live applied to sessions that do not
+	// request one; 0 means DefaultTTL.
+	DefaultTTL time.Duration
+	// MaxTTL caps per-session TTL requests; 0 means 24h.
+	MaxTTL time.Duration
+	// SweepInterval is how often the janitor scans for expired sessions;
+	// 0 means DefaultSweepInterval. Expired sessions are also collected
+	// lazily on access, so the sweep only bounds memory of abandoned
+	// sessions.
+	SweepInterval time.Duration
+	// MaxSessions caps the number of live sessions; 0 means unlimited.
+	// Create returns ErrTooManySessions at the cap.
+	MaxSessions int
+}
+
+// Defaults for ManagerConfig zero values.
+const (
+	DefaultShards        = 16
+	DefaultTTL           = 10 * time.Minute
+	DefaultMaxTTL        = 24 * time.Hour
+	DefaultSweepInterval = 30 * time.Second
+)
+
+// ErrTooManySessions is returned by Create when MaxSessions live sessions
+// already exist.
+var ErrTooManySessions = fmt.Errorf("server: session cap reached")
+
+// shard is one lock stripe: a mutex-guarded slice of the session table
+// plus its share of the service counters. Counters are atomics so Stats
+// can aggregate without taking any shard lock.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+
+	created atomic.Uint64
+	deleted atomic.Uint64
+	expired atomic.Uint64
+	queries [len(mechanisms)]atomic.Uint64
+}
+
+// SessionManager owns all live sessions.
+type SessionManager struct {
+	shards     []*shard
+	defaultTTL time.Duration
+	maxTTL     time.Duration
+	maxLive    int
+	live       atomic.Int64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closeOnce   sync.Once
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// NewSessionManager builds the shard table and starts the janitor.
+// Callers must Close the manager to stop the janitor goroutine.
+func NewSessionManager(cfg ManagerConfig) *SessionManager {
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = DefaultShards
+	}
+	ttl := cfg.DefaultTTL
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	maxTTL := cfg.MaxTTL
+	if maxTTL <= 0 {
+		maxTTL = DefaultMaxTTL
+	}
+	if ttl > maxTTL {
+		ttl = maxTTL
+	}
+	sweep := cfg.SweepInterval
+	if sweep <= 0 {
+		sweep = DefaultSweepInterval
+	}
+	m := &SessionManager{
+		shards:      make([]*shard, nshards),
+		defaultTTL:  ttl,
+		maxTTL:      maxTTL,
+		maxLive:     cfg.MaxSessions,
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+		now:         time.Now,
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{sessions: make(map[string]*Session)}
+	}
+	go m.janitor(sweep)
+	return m
+}
+
+// Close stops the janitor. Live sessions stay queryable; Close exists so
+// tests and graceful shutdown do not leak the goroutine.
+func (m *SessionManager) Close() {
+	m.closeOnce.Do(func() {
+		close(m.janitorStop)
+		<-m.janitorDone
+	})
+}
+
+// janitor periodically sweeps expired sessions.
+func (m *SessionManager) janitor(interval time.Duration) {
+	defer close(m.janitorDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case <-ticker.C:
+			m.Sweep()
+		}
+	}
+}
+
+// Sweep removes every expired session and returns how many it removed.
+// The janitor calls it on its interval; it is exported so operators and
+// tests can force a pass.
+func (m *SessionManager) Sweep() int {
+	now := m.now()
+	removed := 0
+	for _, sh := range m.shards {
+		// Collect candidates under the read lock (expiry deadlines are
+		// atomics), then confirm under the write lock.
+		sh.mu.RLock()
+		var stale []*Session
+		for _, s := range sh.sessions {
+			if s.expired(now) {
+				stale = append(stale, s)
+			}
+		}
+		sh.mu.RUnlock()
+		if len(stale) == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		for _, s := range stale {
+			if cur, ok := sh.sessions[s.id]; ok && cur == s && s.expired(now) {
+				delete(sh.sessions, s.id)
+				sh.expired.Add(1)
+				m.live.Add(-1)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// shardFor maps a session ID to its stripe by FNV-1a hash.
+func (m *SessionManager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// newID returns a fresh 128-bit random session ID.
+func newID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: generating session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Create validates p, builds the mechanism and registers the session
+// under a fresh random ID.
+func (m *SessionManager) Create(p CreateParams) (*Session, error) {
+	// Reserve the slot first so concurrent Creates cannot overshoot the
+	// cap between a check and an increment.
+	if n := m.live.Add(1); m.maxLive > 0 && n > int64(m.maxLive) {
+		m.live.Add(-1)
+		return nil, ErrTooManySessions
+	}
+	s, sh, err := m.create(p)
+	if err != nil {
+		m.live.Add(-1)
+		return nil, err
+	}
+	sh.created.Add(1)
+	return s, nil
+}
+
+// create builds and registers the session; Create owns the live count.
+func (m *SessionManager) create(p CreateParams) (*Session, *shard, error) {
+	ttl := m.defaultTTL
+	if p.TTLSeconds < 0 || math.IsNaN(p.TTLSeconds) {
+		return nil, nil, fmt.Errorf("server: ttlSeconds must be non-negative, got %v", p.TTLSeconds)
+	}
+	if p.TTLSeconds > 0 {
+		// Compare in float seconds: converting huge or +Inf values to a
+		// Duration first would overflow int64 and wrap negative.
+		if p.TTLSeconds >= m.maxTTL.Seconds() {
+			ttl = m.maxTTL
+		} else {
+			ttl = time.Duration(p.TTLSeconds * float64(time.Second))
+		}
+	}
+	id, err := newID()
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := newSession(id, p, ttl, m.now())
+	if err != nil {
+		return nil, nil, err
+	}
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	if _, dup := sh.sessions[id]; dup {
+		sh.mu.Unlock()
+		// 128 random bits colliding means the RNG is broken, not unlucky.
+		return nil, nil, fmt.Errorf("server: session id collision")
+	}
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	return s, sh, nil
+}
+
+// Get returns the live session with the given ID, refreshing its idle
+// deadline. An expired session is collected on the spot and reported as
+// absent.
+func (m *SessionManager) Get(id string) (*Session, bool) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	now := m.now()
+	if s.expired(now) {
+		sh.mu.Lock()
+		if cur, stillThere := sh.sessions[id]; stillThere && cur == s && s.expired(now) {
+			delete(sh.sessions, id)
+			sh.expired.Add(1)
+			m.live.Add(-1)
+		}
+		sh.mu.Unlock()
+		return nil, false
+	}
+	s.touch(now)
+	return s, true
+}
+
+// Delete removes the session and reports whether it existed.
+func (m *SessionManager) Delete(id string) bool {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sh.deleted.Add(1)
+	m.live.Add(-1)
+	return true
+}
+
+// Len returns the number of live sessions (including expired ones the
+// janitor has not collected yet).
+func (m *SessionManager) Len() int { return int(m.live.Load()) }
+
+// Shards returns the number of lock stripes.
+func (m *SessionManager) Shards() int { return len(m.shards) }
+
+// countQuery charges n answered queries to the mechanism's counter on the
+// session's shard.
+func (m *SessionManager) countQuery(s *Session, n int) {
+	if idx := s.mech.index(); idx >= 0 && n > 0 {
+		m.shardFor(s.id).queries[idx].Add(uint64(n))
+	}
+}
+
+// Query routes a batch to the session and maintains the per-mechanism
+// counters. It is the call sites' single entry point so HTTP and direct
+// (in-process) users share the accounting.
+func (m *SessionManager) Query(id string, items []QueryItem) (BatchResult, error) {
+	s, ok := m.Get(id)
+	if !ok {
+		return BatchResult{}, ErrSessionNotFound
+	}
+	res, err := s.Query(items)
+	m.countQuery(s, len(res.Results))
+	return res, err
+}
+
+// ErrSessionNotFound is returned by Query for an unknown or expired ID.
+var ErrSessionNotFound = fmt.Errorf("server: session not found")

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	svt "github.com/dpgo/svt"
+	"github.com/dpgo/svt/dp"
+	"github.com/dpgo/svt/pmw"
+	"github.com/dpgo/svt/variants"
+)
+
+// Mechanism names one of the interactive mechanisms a session can run.
+// Only the differentially private variants are exposed: the broken
+// historical algorithms (Roth11, Stoddard, Chen, GPTT) stay confined to
+// the variants/audit packages and are deliberately not servable.
+type Mechanism string
+
+const (
+	// MechSparse is the paper's corrected, generalized SVT (Algorithm 7)
+	// via svt.Sparse: optimal budget allocation, optional monotonic
+	// refinement and optional ε₃ numeric releases.
+	MechSparse Mechanism = "sparse"
+	// MechProposed is the paper's Algorithm 1 (fixed ρ, ε₁=ε₂=ε/2).
+	MechProposed Mechanism = "proposed"
+	// MechDPBook is Algorithm 2, the Dwork-Roth book SVT (resampled ρ).
+	MechDPBook Mechanism = "dpbook"
+	// MechPMW is the Private-Multiplicative-Weights mediator with the
+	// corrected SVT as its gate (the pmw package).
+	MechPMW Mechanism = "pmw"
+)
+
+// mechanisms lists every servable mechanism in counter-index order.
+var mechanisms = [...]Mechanism{MechSparse, MechProposed, MechDPBook, MechPMW}
+
+// index returns the mechanism's position in mechanisms, or -1.
+func (m Mechanism) index() int {
+	for i, k := range mechanisms {
+		if k == m {
+			return i
+		}
+	}
+	return -1
+}
+
+// CreateParams configures a new session. JSON field names match the
+// POST /v1/sessions request body.
+type CreateParams struct {
+	// Mechanism selects the algorithm: "sparse", "proposed", "dpbook" or
+	// "pmw". Required.
+	Mechanism Mechanism `json:"mechanism"`
+	// Epsilon is the total privacy budget of the session. Required.
+	Epsilon float64 `json:"epsilon"`
+	// Sensitivity is the query sensitivity Δ; 0 defaults to 1.
+	Sensitivity float64 `json:"sensitivity,omitempty"`
+	// MaxPositives is the SVT cutoff c (for pmw: the update budget).
+	// Required.
+	MaxPositives int `json:"maxPositives"`
+	// Threshold is the default threshold for queries that do not carry
+	// their own. Required for pmw (the error threshold T); optional for
+	// the SVT mechanisms when every query supplies a threshold. A pointer
+	// so that an explicit default of 0 is distinguishable from "absent".
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Monotonic enables the Theorem 5 refinement (sparse only).
+	Monotonic bool `json:"monotonic,omitempty"`
+	// AnswerFraction reserves ε₃ for numeric releases (sparse only).
+	AnswerFraction float64 `json:"answerFraction,omitempty"`
+	// Seed makes the session reproducible; 0 means crypto-seeded.
+	Seed uint64 `json:"seed,omitempty"`
+	// TTLSeconds is the idle time-to-live; 0 uses the manager default.
+	TTLSeconds float64 `json:"ttlSeconds,omitempty"`
+	// Histogram is the private dataset for pmw sessions. Required for
+	// pmw, rejected otherwise.
+	Histogram []float64 `json:"histogram,omitempty"`
+	// UpdateFraction and LearningRate tune pmw; zero means its defaults.
+	UpdateFraction float64 `json:"updateFraction,omitempty"`
+	LearningRate   float64 `json:"learningRate,omitempty"`
+}
+
+// QueryItem is one threshold query (SVT mechanisms) or one linear
+// counting query (pmw).
+type QueryItem struct {
+	// Query is the true, unperturbed answer computed by the analyst's
+	// trusted side on the private data (SVT mechanisms).
+	Query float64 `json:"query"`
+	// Threshold overrides the session default for this query. NaN/absent
+	// means use the default.
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Buckets is the pmw linear query: distinct histogram indices.
+	Buckets []int `json:"buckets,omitempty"`
+}
+
+// QueryResult is one released answer.
+type QueryResult struct {
+	// Above is the SVT indicator outcome (⊤ = true).
+	Above bool `json:"above"`
+	// Numeric reports that Value carries an ε₃ numeric release (sparse)
+	// or a pmw answer.
+	Numeric bool `json:"numeric,omitempty"`
+	// Value is the released number when Numeric is set.
+	Value float64 `json:"value,omitempty"`
+	// FromSynthetic marks a free pmw answer (no budget spent).
+	FromSynthetic bool `json:"fromSynthetic,omitempty"`
+	// Exhausted marks a pmw answer released after the update budget was
+	// spent: an unchecked synthetic estimate.
+	Exhausted bool `json:"exhausted,omitempty"`
+}
+
+// BatchResult is the outcome of a (possibly single-item) query batch.
+type BatchResult struct {
+	// Results holds one entry per answered query, in order. It is shorter
+	// than the request when the mechanism halted mid-batch.
+	Results []QueryResult `json:"results"`
+	// Halted reports that the session's positive-outcome (or pmw update)
+	// budget is spent.
+	Halted bool `json:"halted"`
+	// Remaining is how many more positive outcomes / updates may be
+	// released.
+	Remaining int `json:"remaining"`
+}
+
+// Budget is the realized privacy-budget split of a session. For sparse
+// sessions the three parts are the paper's (ε₁, ε₂, ε₃); for proposed and
+// dpbook ε₃ = 0 and ε₁ = ε₂ = ε/2; for pmw ε₁/ε₂ are the SVT gate's split
+// and ε₃ is the Laplace update-release budget. Total is always their
+// basic-composition sum (dp.BasicComposition), which equals the configured
+// session Epsilon.
+type Budget struct {
+	Eps1  float64 `json:"eps1"`
+	Eps2  float64 `json:"eps2"`
+	Eps3  float64 `json:"eps3"`
+	Total float64 `json:"total"`
+}
+
+// SessionStatus is the GET /v1/sessions/{id} response body.
+type SessionStatus struct {
+	ID        string    `json:"id"`
+	Mechanism Mechanism `json:"mechanism"`
+	Answered  int       `json:"answered"`
+	Positives int       `json:"positives"`
+	Remaining int       `json:"remaining"`
+	Halted    bool      `json:"halted"`
+	Budget    Budget    `json:"budget"`
+	CreatedAt time.Time `json:"createdAt"`
+	ExpiresAt time.Time `json:"expiresAt"`
+}
+
+// Session is one live mechanism instance. All mechanism access is
+// serialized by the session's own mutex, so many sessions progress in
+// parallel while each individual interaction stays sequential — the
+// underlying library types are not concurrency-safe.
+type Session struct {
+	id   string
+	mech Mechanism
+	ttl  time.Duration
+
+	createdAt time.Time
+	// expiresAt is the idle deadline in unixnanos, advanced on every
+	// access; atomic so the janitor can read it without the session lock.
+	expiresAt atomic.Int64
+
+	mu           sync.Mutex
+	sparse       *svt.Sparse
+	stream       variants.Stream
+	engine       *pmw.Engine
+	threshold    float64 // default threshold; NaN when none was given
+	buckets      int     // pmw histogram size, for upfront validation
+	maxPositives int
+	answered     int
+	positives    int
+	budget       Budget
+}
+
+// newSession validates p and builds the mechanism. ttl is already
+// resolved (default applied, cap enforced) by the manager.
+func newSession(id string, p CreateParams, ttl time.Duration, now time.Time) (*Session, error) {
+	sens := p.Sensitivity
+	if sens == 0 {
+		sens = 1
+	}
+	s := &Session{
+		id:           id,
+		mech:         p.Mechanism,
+		ttl:          ttl,
+		createdAt:    now,
+		threshold:    math.NaN(),
+		maxPositives: p.MaxPositives,
+	}
+	if p.Mechanism == MechPMW && p.Threshold == nil {
+		return nil, fmt.Errorf("server: pmw sessions require a threshold")
+	}
+	if p.Threshold != nil {
+		if math.IsNaN(*p.Threshold) || math.IsInf(*p.Threshold, 0) {
+			return nil, fmt.Errorf("server: threshold must be finite, got %v", *p.Threshold)
+		}
+		s.threshold = *p.Threshold
+	}
+	if p.Mechanism != MechPMW && len(p.Histogram) > 0 {
+		return nil, fmt.Errorf("server: histogram is only valid for pmw sessions")
+	}
+
+	switch p.Mechanism {
+	case MechSparse:
+		mech, err := svt.New(svt.Options{
+			Epsilon:        p.Epsilon,
+			Sensitivity:    sens,
+			MaxPositives:   p.MaxPositives,
+			Monotonic:      p.Monotonic,
+			AnswerFraction: p.AnswerFraction,
+			Seed:           p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.sparse = mech
+		s.budget.Eps1, s.budget.Eps2, s.budget.Eps3 = mech.Budgets()
+
+	case MechProposed, MechDPBook:
+		build := variants.NewProposed
+		if p.Mechanism == MechDPBook {
+			build = variants.NewDPBook
+		}
+		mech, err := build(p.Epsilon, sens, p.MaxPositives, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.stream = mech
+		// Algorithms 1 and 2 both hard-code the ε₁ = ε₂ = ε/2 split and
+		// release indicators only.
+		s.budget.Eps1, s.budget.Eps2, s.budget.Eps3 = p.Epsilon/2, p.Epsilon/2, 0
+
+	case MechPMW:
+		engine, err := pmw.New(pmw.Config{
+			Histogram:      p.Histogram,
+			Epsilon:        p.Epsilon,
+			MaxUpdates:     p.MaxPositives,
+			Threshold:      *p.Threshold,
+			UpdateFraction: p.UpdateFraction,
+			LearningRate:   p.LearningRate,
+			Seed:           p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.engine = engine
+		s.buckets = len(p.Histogram)
+		s.budget.Eps1, s.budget.Eps2, s.budget.Eps3 = engine.Budgets()
+
+	default:
+		return nil, fmt.Errorf("server: unknown mechanism %q (want sparse, proposed, dpbook or pmw)", p.Mechanism)
+	}
+
+	parts := make([]float64, 0, 3)
+	for _, e := range []float64{s.budget.Eps1, s.budget.Eps2, s.budget.Eps3} {
+		if e > 0 {
+			parts = append(parts, e)
+		}
+	}
+	total, err := dp.BasicComposition(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("server: composing session budget: %w", err)
+	}
+	s.budget.Total = total
+	s.touch(now)
+	return s, nil
+}
+
+// touch pushes the idle deadline to now+ttl.
+func (s *Session) touch(now time.Time) {
+	s.expiresAt.Store(now.Add(s.ttl).UnixNano())
+}
+
+// expired reports whether the idle deadline has passed.
+func (s *Session) expired(now time.Time) bool {
+	return now.UnixNano() > s.expiresAt.Load()
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Mechanism returns the session's mechanism kind.
+func (s *Session) Mechanism() Mechanism { return s.mech }
+
+// Query answers a batch of queries (a single query is a batch of one).
+// The whole batch is validated before any item is answered: released DP
+// answers spend budget irrevocably, so a malformed item must not cost
+// the analyst the answers preceding it. The batch stops early — without
+// error — when the mechanism halts; the returned BatchResult reports how
+// far it got. A query on an already-halted SVT session returns an empty,
+// Halted result; a pmw session keeps answering from the synthetic
+// histogram with the Exhausted flag set.
+func (s *Session) Query(items []QueryItem) (BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, item := range items {
+		if err := s.validateItem(item); err != nil {
+			return BatchResult{}, fmt.Errorf("server: query %d: %w", i, err)
+		}
+	}
+	out := BatchResult{Results: make([]QueryResult, 0, len(items))}
+	for i, item := range items {
+		res, halted, err := s.answerOne(item)
+		if err != nil {
+			// Unreachable after validation; surface it rather than hide it.
+			return out, fmt.Errorf("server: query %d: %w", i, err)
+		}
+		if halted {
+			break
+		}
+		out.Results = append(out.Results, res)
+		s.answered++
+	}
+	out.Halted = s.haltedLocked()
+	out.Remaining = s.remainingLocked()
+	return out, nil
+}
+
+// validateItem rejects a query without touching the mechanism, so a bad
+// batch costs no budget. It mirrors every validation the answer path
+// performs.
+func (s *Session) validateItem(item QueryItem) error {
+	if s.mech == MechPMW {
+		if len(item.Buckets) == 0 {
+			return fmt.Errorf("server: pmw query needs buckets")
+		}
+		seen := make(map[int]bool, len(item.Buckets))
+		for _, b := range item.Buckets {
+			if b < 0 || b >= s.buckets {
+				return fmt.Errorf("server: bucket %d out of range [0,%d)", b, s.buckets)
+			}
+			if seen[b] {
+				return fmt.Errorf("server: duplicate bucket %d in query", b)
+			}
+			seen[b] = true
+		}
+		return nil
+	}
+	if len(item.Buckets) > 0 {
+		return fmt.Errorf("server: buckets are only valid for pmw sessions")
+	}
+	th := s.threshold
+	if item.Threshold != nil {
+		th = *item.Threshold
+	}
+	if math.IsNaN(th) {
+		return fmt.Errorf("server: no threshold: session has no default and the query carries none")
+	}
+	if math.IsNaN(item.Query) || math.IsInf(item.Query, 0) || math.IsInf(th, 0) {
+		return fmt.Errorf("server: query and threshold must be finite, got %v and %v", item.Query, th)
+	}
+	return nil
+}
+
+// answerOne dispatches one already-validated query to the session's
+// mechanism. halted reports that the mechanism refused the query because
+// its budget is already spent (SVT mechanisms only; pmw answers with
+// Exhausted set).
+func (s *Session) answerOne(item QueryItem) (res QueryResult, halted bool, err error) {
+	if s.mech == MechPMW {
+		ans, aerr := s.engine.Answer(item.Buckets)
+		if aerr != nil && aerr != pmw.ErrExhausted {
+			return res, false, aerr
+		}
+		if !ans.FromSynthetic {
+			s.positives++
+		}
+		return QueryResult{
+			Numeric:       true,
+			Value:         ans.Value,
+			FromSynthetic: ans.FromSynthetic,
+			Exhausted:     aerr == pmw.ErrExhausted,
+		}, false, nil
+	}
+
+	th := s.threshold
+	if item.Threshold != nil {
+		th = *item.Threshold
+	}
+
+	if s.sparse != nil {
+		r, nerr := s.sparse.Next(item.Query, th)
+		if nerr == svt.ErrHalted {
+			return res, true, nil
+		}
+		if nerr != nil {
+			return res, false, nerr
+		}
+		if r.Above {
+			s.positives++
+		}
+		return QueryResult{Above: r.Above, Numeric: r.Numeric, Value: r.Value}, false, nil
+	}
+
+	r, ok := s.stream.Next(item.Query, th)
+	if !ok {
+		return res, true, nil
+	}
+	if r.Above {
+		s.positives++
+	}
+	return QueryResult{Above: r.Above, Numeric: r.Numeric, Value: r.Value}, false, nil
+}
+
+// haltedLocked reports the mechanism's halt state; callers hold s.mu.
+func (s *Session) haltedLocked() bool {
+	switch {
+	case s.sparse != nil:
+		return s.sparse.Halted()
+	case s.engine != nil:
+		return s.engine.Exhausted()
+	default:
+		return s.stream.Halted()
+	}
+}
+
+// remainingLocked returns the positive-outcome / update budget left;
+// callers hold s.mu.
+func (s *Session) remainingLocked() int {
+	switch {
+	case s.sparse != nil:
+		return s.sparse.Remaining()
+	case s.engine != nil:
+		return s.engine.UpdatesLeft()
+	default:
+		return s.maxPositives - s.positives
+	}
+}
+
+// Status snapshots the session.
+func (s *Session) Status() SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStatus{
+		ID:        s.id,
+		Mechanism: s.mech,
+		Answered:  s.answered,
+		Positives: s.positives,
+		Remaining: s.remainingLocked(),
+		Halted:    s.haltedLocked(),
+		Budget:    s.budget,
+		CreatedAt: s.createdAt,
+		ExpiresAt: time.Unix(0, s.expiresAt.Load()),
+	}
+}
+
+// Budget returns the session's realized budget split.
+func (s *Session) Budget() Budget {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
+}
