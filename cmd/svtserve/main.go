@@ -4,6 +4,7 @@
 // and stream threshold queries against it over JSON HTTP.
 //
 //	svtserve -addr :8080 -shards 32 -ttl 10m
+//	svtserve -store wal -wal-dir /var/lib/svtserve -fsync always
 //
 // Endpoints (see the server package for request/response shapes):
 //
@@ -11,11 +12,23 @@
 //	POST   /v1/sessions/{id}/query single or batched queries
 //	GET    /v1/sessions/{id}       status, remaining budget, (ε₁, ε₂, ε₃)
 //	DELETE /v1/sessions/{id}       end a session
-//	GET    /v1/stats               service-wide counters
+//	GET    /v1/stats               service-wide counters + store health
 //	GET    /healthz                liveness
 //
-// The process drains in-flight requests and exits cleanly on SIGINT or
-// SIGTERM.
+// Persistence: with -store wal every budget-mutating event (session
+// create, answered queries, consumed positives, halt, delete, expiry) is
+// journaled to an append-only, CRC-checked write-ahead log before the
+// response is released, and the full session table — including realized
+// (ε₁, ε₂, ε₃) splits — is rebuilt on restart, so a crash can never
+// silently refresh spent privacy budget. -fsync picks the durability
+// level, -snapshot-interval the journal-compaction cadence.
+//
+// Rate limiting: -rate enables per-tenant token buckets on /v1/* keyed by
+// the X-Tenant header; rejected requests get a JSON 429 with Retry-After.
+//
+// The process drains in-flight requests on SIGINT or SIGTERM, stops the
+// janitor, takes a final snapshot and flushes the store before exiting, so
+// no acknowledged event is lost on a graceful shutdown.
 package main
 
 import (
@@ -31,6 +44,7 @@ import (
 	"time"
 
 	"github.com/dpgo/svt/server"
+	"github.com/dpgo/svt/store"
 )
 
 func main() {
@@ -44,28 +58,102 @@ func main() {
 		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body cap in bytes")
 		maxBatch    = flag.Int("max-batch", server.DefaultMaxBatch, "queries per batch cap")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+
+		backend  = flag.String("store", "mem", "session store backend: mem (no persistence) or wal")
+		walDir   = flag.String("wal-dir", "", "write-ahead-log directory (required with -store wal)")
+		fsync    = flag.String("fsync", "interval", "WAL fsync policy: always, interval or none")
+		fsyncInt = flag.Duration("fsync-interval", store.DefaultSyncInterval, "background fsync cadence for -fsync interval")
+		snapInt  = flag.Duration("snapshot-interval", server.DefaultSnapshotInterval, "journal-compaction snapshot cadence (<0 disables)")
+
+		rate  = flag.Float64("rate", 0, "per-tenant request rate limit in req/s on /v1/* (0 = disabled)")
+		burst = flag.Float64("burst", 0, "rate-limit burst depth (0 = max(rate, 1))")
 	)
 	flag.Parse()
-	if err := run(*addr, *shards, *ttl, *maxTTL, *sweep, *maxSessions, *maxBody, *maxBatch, *drain); err != nil {
+	if err := run(config{
+		addr: *addr, shards: *shards, ttl: *ttl, maxTTL: *maxTTL, sweep: *sweep,
+		maxSessions: *maxSessions, maxBody: *maxBody, maxBatch: *maxBatch, drain: *drain,
+		backend: *backend, walDir: *walDir, fsync: *fsync, fsyncInt: *fsyncInt, snapInt: *snapInt,
+		rate: *rate, burst: *burst,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "svtserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards int, ttl, maxTTL, sweep time.Duration, maxSessions int, maxBody int64, maxBatch int, drain time.Duration) error {
-	mgr := server.NewSessionManager(server.ManagerConfig{
-		Shards:        shards,
-		DefaultTTL:    ttl,
-		MaxTTL:        maxTTL,
-		SweepInterval: sweep,
-		MaxSessions:   maxSessions,
+// config carries the parsed flags.
+type config struct {
+	addr                   string
+	shards                 int
+	ttl, maxTTL, sweep     time.Duration
+	maxSessions            int
+	maxBody                int64
+	maxBatch               int
+	drain                  time.Duration
+	backend, walDir, fsync string
+	fsyncInt, snapInt      time.Duration
+	rate, burst            float64
+}
+
+// openStore builds the configured session store; nil means in-memory.
+func openStore(cfg config) (store.SessionStore, error) {
+	switch cfg.backend {
+	case "mem":
+		return nil, nil
+	case "wal":
+		if cfg.walDir == "" {
+			return nil, errors.New("-store wal requires -wal-dir")
+		}
+		policy, err := store.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return nil, err
+		}
+		return store.NewWAL(store.WALConfig{Dir: cfg.walDir, Sync: policy, SyncInterval: cfg.fsyncInt})
+	default:
+		return nil, fmt.Errorf("unknown -store backend %q (want mem or wal)", cfg.backend)
+	}
+}
+
+func run(cfg config) error {
+	st, err := openStore(cfg)
+	if err != nil {
+		return err
+	}
+	mgr, err := server.Open(server.ManagerConfig{
+		Shards:           cfg.shards,
+		DefaultTTL:       cfg.ttl,
+		MaxTTL:           cfg.maxTTL,
+		SweepInterval:    cfg.sweep,
+		MaxSessions:      cfg.maxSessions,
+		Store:            st,
+		SnapshotInterval: cfg.snapInt,
 	})
-	defer mgr.Close()
-	api := server.NewAPI(mgr, server.APIConfig{MaxBodyBytes: maxBody, MaxBatch: maxBatch})
+	if err != nil {
+		if st != nil {
+			_ = st.Close()
+		}
+		return err
+	}
+	if st != nil {
+		log.Printf("svtserve: wal store at %s (fsync=%s), recovered %d sessions", cfg.walDir, cfg.fsync, mgr.Recovered())
+	}
+
+	var handler http.Handler = server.NewAPI(mgr, server.APIConfig{MaxBodyBytes: cfg.maxBody, MaxBatch: cfg.maxBatch})
+	if cfg.rate > 0 {
+		rl, err := server.NewRateLimiter(server.RateLimitConfig{Rate: cfg.rate, Burst: cfg.burst})
+		if err != nil {
+			mgr.Close()
+			if st != nil {
+				_ = st.Close()
+			}
+			return err
+		}
+		handler = rl.Middleware(handler)
+		log.Printf("svtserve: per-tenant rate limit %g req/s", cfg.rate)
+	}
 
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           api,
+		Addr:              cfg.addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -74,20 +162,40 @@ func run(addr string, shards int, ttl, maxTTL, sweep time.Duration, maxSessions 
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("svtserve: %d shards, ttl=%s, listening on %s", mgr.Shards(), ttl, addr)
+		log.Printf("svtserve: %d shards, ttl=%s, store=%s, listening on %s", mgr.Shards(), cfg.ttl, cfg.backend, cfg.addr)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
+		mgr.Close()
+		if st != nil {
+			_ = st.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("svtserve: shutting down (draining up to %s)", drain)
-	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+
+	// Orderly teardown: drain in-flight HTTP (every response already
+	// journaled by the time it is released), then stop the janitor and
+	// snapshot loops so nothing appends anymore, take a final compacting
+	// snapshot for a fast next boot, and only then flush and close the
+	// store. An acknowledged event can no longer be lost past this line.
+	log.Printf("svtserve: shutting down (draining up to %s)", cfg.drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+	shutErr := srv.Shutdown(shutCtx)
+	mgr.Close()
+	if snapErr := mgr.SnapshotNow(); snapErr != nil {
+		log.Printf("svtserve: final snapshot failed (journal remains authoritative): %v", snapErr)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("closing store: %w", err)
+		}
+	}
+	if shutErr != nil {
+		return fmt.Errorf("shutdown: %w", shutErr)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

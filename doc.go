@@ -27,7 +27,9 @@
 // paper's evaluation end to end. The server subpackage turns the library
 // into a sharded, multi-tenant session service (JSON over HTTP, TTL-based
 // session expiry, per-session (ε₁, ε₂, ε₃) budget accounting) served by
-// cmd/svtserve.
+// cmd/svtserve; the store subpackage gives it durable, crash-recoverable
+// session persistence (a write-ahead log with snapshot compaction), so
+// spent privacy budget survives restarts.
 //
 // # Choosing between SVT and EM
 //

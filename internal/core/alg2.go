@@ -65,3 +65,13 @@ func (a *Alg2) Next(q, threshold float64) (Answer, bool) {
 
 // Halted implements Algorithm.
 func (a *Alg2) Halted() bool { return a.halted }
+
+// Restore fast-forwards the positive-outcome count to n for crash
+// recovery; see Alg7.Restore. It panics unless 0 ≤ n ≤ c.
+func (a *Alg2) Restore(n int) {
+	if n < 0 || n > a.c {
+		panic("core: Alg2.Restore count out of range")
+	}
+	a.count = n
+	a.halted = n >= a.c
+}

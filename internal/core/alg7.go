@@ -115,3 +115,18 @@ func (a *Alg7) Halted() bool { return a.halted }
 
 // Remaining returns how many more positive outcomes the machine may emit.
 func (a *Alg7) Remaining() int { return a.c - a.count }
+
+// Restore fast-forwards the positive-outcome count to n, re-arming the halt
+// flag when n ≥ c. It exists for crash recovery: a server that journaled n
+// consumed positives rebuilds the mechanism and restores the budget
+// accounting so the interaction cannot release more than c positives in
+// total across the restart. The noise stream is NOT restored — a recovered
+// mechanism draws fresh noise — so only the accounting moves forward.
+// It panics unless 0 ≤ n ≤ c, mirroring the package's precondition style.
+func (a *Alg7) Restore(n int) {
+	if n < 0 || n > a.c {
+		panic("core: Alg7.Restore count out of range")
+	}
+	a.count = n
+	a.halted = n >= a.c
+}

@@ -259,6 +259,35 @@ func (e *Engine) UpdatesLeft() int { return e.updatesLeft }
 // Exhausted reports whether the engine can no longer access the real data.
 func (e *Engine) Exhausted() bool { return e.gate.Halted() }
 
+// Restore fast-forwards a freshly constructed engine's budget accounting to
+// a state journaled before a crash: answered queries answered so far and
+// updates real-data accesses already consumed. The SVT gate is restored
+// alongside, so the interaction cannot access the real data more than
+// MaxUpdates times in total across the restart. Two things are deliberately
+// NOT restored: the noise streams (a recovered engine draws fresh noise)
+// and the learned synthetic histogram, which restarts from the uniform
+// prior — an accuracy regression, never a privacy one.
+func (e *Engine) Restore(answered, updates int) error {
+	if e.answered != 0 || e.updates != 0 {
+		return errors.New("pmw: Restore requires a freshly constructed engine")
+	}
+	if updates < 0 || updates > e.updatesLeft {
+		return fmt.Errorf("pmw: restored updates %d out of [0, %d]", updates, e.updatesLeft)
+	}
+	if answered < updates {
+		return fmt.Errorf("pmw: restored answered %d below updates %d", answered, updates)
+	}
+	// The gate answered at least updates queries pre-crash; only its
+	// positive count affects future behavior.
+	if err := e.gate.Restore(updates, updates); err != nil {
+		return fmt.Errorf("pmw: restoring gate: %w", err)
+	}
+	e.answered = answered
+	e.updates = updates
+	e.updatesLeft -= updates
+	return nil
+}
+
 // Budgets returns the realized privacy-budget split of the whole
 // interaction: the SVT gate's threshold and query budgets (ε₁, ε₂) and the
 // total budget of the Laplace update releases as ε₃. The three sum to the

@@ -22,6 +22,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/dpgo/svt/store"
 )
 
 // benchEntry is one benchmark's summary line in the JSON trajectory.
@@ -108,7 +110,27 @@ func TestMain(m *testing.M) {
 // benchManager builds a manager with n never-halting sparse sessions.
 func benchManager(b *testing.B, shards, sessions int) (*SessionManager, []string) {
 	b.Helper()
-	m := NewSessionManager(ManagerConfig{Shards: shards, SweepInterval: time.Hour})
+	return benchManagerStore(b, shards, sessions, nil)
+}
+
+// benchManagerWAL is benchManager journaling to a real write-ahead log in a
+// temp dir, with the production-default interval fsync policy.
+func benchManagerWAL(b *testing.B, shards, sessions int) (*SessionManager, []string) {
+	b.Helper()
+	st, err := store.NewWAL(store.WALConfig{Dir: b.TempDir(), Sync: store.SyncInterval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = st.Close() })
+	return benchManagerStore(b, shards, sessions, st)
+}
+
+func benchManagerStore(b *testing.B, shards, sessions int, st store.SessionStore) (*SessionManager, []string) {
+	b.Helper()
+	m, err := Open(ManagerConfig{Shards: shards, SweepInterval: time.Hour, SnapshotInterval: -1, Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Cleanup(m.Close)
 	ids := make([]string, sessions)
 	for i := range ids {
@@ -216,6 +238,43 @@ func BenchmarkManagerBatch64(b *testing.B) {
 func BenchmarkHTTPQueryParallel(b *testing.B) {
 	const sessions = 64
 	m, ids := benchManager(b, 16, sessions)
+	benchHTTP(b, m, ids, sessions)
+}
+
+// BenchmarkHTTPQueryParallelWAL is the same full-stack load with every
+// answered batch journaled to a write-ahead log (interval fsync) before the
+// response is released — the ISSUE 2 acceptance gauge: ≥ 50k queries/sec.
+func BenchmarkHTTPQueryParallelWAL(b *testing.B) {
+	const sessions = 64
+	m, ids := benchManagerWAL(b, 16, sessions)
+	benchHTTP(b, m, ids, sessions)
+}
+
+// BenchmarkManagerParallelWAL isolates the journaling overhead on the
+// manager fast path (no HTTP): compare with ManagerParallel/shards=16.
+func BenchmarkManagerParallelWAL(b *testing.B) {
+	const sessions = 64
+	m, ids := benchManagerWAL(b, 16, sessions)
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) * 7
+		item := []QueryItem{{Query: 1}}
+		for pb.Next() {
+			i++
+			if _, err := m.Query(ids[i%len(ids)], item); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	recordBench(b, sessions, 16)
+}
+
+// benchHTTP drives the handler with single-query POSTs across the pool.
+func benchHTTP(b *testing.B, m *SessionManager, ids []string, sessions int) {
+	b.Helper()
 	api := NewAPI(m, APIConfig{})
 	body := []byte(`{"query":1}`)
 	var next atomic.Uint64

@@ -83,6 +83,8 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeTooLarge         = "too_large"
 	CodeTooManySessions  = "too_many_sessions"
+	CodeStoreFailure     = "store_failure"
+	CodeRateLimited      = "rate_limited"
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -149,6 +151,8 @@ func (a *API) handleSessions(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrTooManySessions):
 		writeError(w, http.StatusTooManyRequests, CodeTooManySessions, err.Error())
+	case errors.Is(err, ErrStoreAppend):
+		writeError(w, http.StatusServiceUnavailable, CodeStoreFailure, err.Error())
 	case err != nil:
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	default:
@@ -213,6 +217,8 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrSessionNotFound):
 		writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+r.PathValue("id"))
+	case errors.Is(err, ErrStoreAppend):
+		writeError(w, http.StatusServiceUnavailable, CodeStoreFailure, err.Error())
 	case err != nil:
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	default:

@@ -9,16 +9,11 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time"
 )
 
 func newTestAPI(t *testing.T, mcfg ManagerConfig, acfg APIConfig) (*httptest.Server, *SessionManager) {
 	t.Helper()
-	if mcfg.SweepInterval == 0 {
-		mcfg.SweepInterval = time.Hour
-	}
-	mgr := NewSessionManager(mcfg)
-	t.Cleanup(mgr.Close)
+	mgr := newTestManager(t, mcfg)
 	srv := httptest.NewServer(NewAPI(mgr, acfg))
 	t.Cleanup(srv.Close)
 	return srv, mgr

@@ -1,0 +1,267 @@
+package server
+
+// Session-state journaling: the codec between the SessionManager and a
+// store.SessionStore, plus the replay that rebuilds the full sharded state
+// after a restart.
+//
+// The privacy contract drives the design: every budget-mutating transition
+// (session create, queries answered, positives consumed, halt, delete,
+// expiry) is appended to the store BEFORE the response acknowledging it is
+// released, so a crash can never forget spent budget that an analyst has
+// already observed. Replay restores each session's counters and
+// fast-forwards its mechanism (svt.Sparse.Restore and friends); the noise
+// streams themselves restart fresh, which preserves the privacy accounting
+// — never the other way around.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/dpgo/svt/store"
+)
+
+// Journaled event kinds. evCreate and evSnapshot both carry a full
+// sessionRecord (a snapshot entry is just a create with non-zero counters),
+// so replay treats them identically.
+const (
+	evCreate   byte = 1 // session created; Data = sessionRecord JSON
+	evProgress byte = 2 // batch answered; Data = uvarint Δanswered, Δpositives
+	evDelete   byte = 3 // session deleted by the analyst; no Data
+	evExpire   byte = 4 // session collected by the TTL janitor; no Data
+	evSnapshot byte = 5 // full-state baseline entry; Data = sessionRecord JSON
+)
+
+// ErrStoreAppend wraps a failed journal append. The response that would
+// have acknowledged the un-journaled transition is withheld (the HTTP layer
+// maps this to 503), because releasing it would hand the analyst a DP
+// answer the journal could forget after a crash.
+var ErrStoreAppend = errors.New("server: journaling to the session store failed")
+
+// sessionRecord is the JSON payload of evCreate and evSnapshot events:
+// everything needed to rebuild the session byte-for-byte — the create
+// parameters as realized (TTL resolved, so Params.TTLSeconds is the
+// session's actual TTL; the (ε₁, ε₂, ε₃) split recomputes
+// deterministically from them), plus the counters.
+type sessionRecord struct {
+	Params    CreateParams `json:"params"`
+	CreatedAt int64        `json:"createdAtUnixNano"`
+	Answered  int          `json:"answered"`
+	Positives int          `json:"positives"`
+}
+
+// persistRecord snapshots the session's durable state under its lock.
+func (s *Session) persistRecord() sessionRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := sessionRecord{
+		Params:    s.params,
+		CreatedAt: s.createdAt.UnixNano(),
+		Answered:  s.answered,
+		Positives: s.positives,
+	}
+	// Never persist the seed: rebuilding a seeded session would replay the
+	// SAME noise stream from position 0 (Restore advances counters, not
+	// the stream), handing the analyst deterministic repeats of pre-crash
+	// comparisons — enough to binary-search the realized noisy threshold
+	// for free. Seed 0 makes the recovered mechanism crypto-seeded, so the
+	// "fresh noise after recovery" guarantee actually holds; the cost is
+	// only that seeded sessions lose reproducibility across a restart.
+	rec.Params.Seed = 0
+	return rec
+}
+
+// sessionEvent encodes the session's full state as an event of the given
+// kind (evCreate or evSnapshot).
+func sessionEvent(kind byte, s *Session) (store.Event, error) {
+	data, err := json.Marshal(s.persistRecord())
+	if err != nil {
+		return store.Event{}, fmt.Errorf("server: encoding session record: %w", err)
+	}
+	return store.Event{Kind: kind, ID: s.id, Data: data}, nil
+}
+
+// progressEvent encodes a batch's deltas compactly — this is the hot-path
+// record, one per answered batch.
+func progressEvent(id string, dAnswered, dPositives int) store.Event {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64)
+	buf = binary.AppendUvarint(buf, uint64(dAnswered))
+	buf = binary.AppendUvarint(buf, uint64(dPositives))
+	return store.Event{Kind: evProgress, ID: id, Data: buf}
+}
+
+// decodeProgress is the inverse of progressEvent.
+func decodeProgress(data []byte) (dAnswered, dPositives int, err error) {
+	da, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("server: bad progress record")
+	}
+	dp, n2 := binary.Uvarint(data[n:])
+	if n2 <= 0 {
+		return 0, 0, fmt.Errorf("server: bad progress record")
+	}
+	return int(da), int(dp), nil
+}
+
+// batchDeltas derives the journal deltas from a batch result: how many
+// queries were answered and how many consumed positive-outcome (or pmw
+// update) budget.
+func (s *Session) batchDeltas(res BatchResult) (dAnswered, dPositives int) {
+	dAnswered = len(res.Results)
+	for _, r := range res.Results {
+		if s.mech == MechPMW {
+			if !r.FromSynthetic {
+				dPositives++
+			}
+		} else if r.Above {
+			dPositives++
+		}
+	}
+	return dAnswered, dPositives
+}
+
+// recoverSessions replays the store's event stream into the (still empty,
+// not yet serving) manager. Unknown session IDs in progress/delete/expire
+// events are tolerated — they are the benign signature of events whose
+// session was compacted away — but a session that cannot be rebuilt is a
+// hard error: silently dropping it would refresh spent privacy budget.
+func (m *SessionManager) recoverSessions() error {
+	events, err := m.store.Recover()
+	if err != nil {
+		return fmt.Errorf("server: recovering session store: %w", err)
+	}
+	staged := make(map[string]*sessionRecord, len(events))
+	var order []string // deterministic rebuild order: first appearance
+	for i, ev := range events {
+		switch ev.Kind {
+		case evCreate, evSnapshot:
+			var rec sessionRecord
+			if err := json.Unmarshal(ev.Data, &rec); err != nil {
+				return fmt.Errorf("server: replaying event %d: decoding session %s: %w", i, ev.ID, err)
+			}
+			if _, seen := staged[ev.ID]; !seen {
+				order = append(order, ev.ID)
+			}
+			staged[ev.ID] = &rec
+		case evProgress:
+			rec, ok := staged[ev.ID]
+			if !ok {
+				continue
+			}
+			da, dp, err := decodeProgress(ev.Data)
+			if err != nil {
+				return fmt.Errorf("server: replaying event %d for session %s: %w", i, ev.ID, err)
+			}
+			rec.Answered += da
+			rec.Positives += dp
+		case evDelete, evExpire:
+			delete(staged, ev.ID)
+		default:
+			return fmt.Errorf("server: replaying event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	now := m.now()
+	for _, id := range order {
+		rec, ok := staged[id]
+		if !ok {
+			continue // deleted or expired later in the stream
+		}
+		s, err := m.rebuildSession(id, rec, now)
+		if err != nil {
+			return err
+		}
+		sh := m.shardFor(id)
+		sh.sessions[id] = s
+		m.live.Add(1)
+		m.recoveredSessions++
+	}
+	return nil
+}
+
+// rebuildSession reconstructs one session from its journaled record: the
+// mechanism is rebuilt from the original parameters (same deterministic
+// budget split; fresh noise) and fast-forwarded to the journaled counters.
+// The idle TTL restarts at recovery time.
+func (m *SessionManager) rebuildSession(id string, rec *sessionRecord, now time.Time) (*Session, error) {
+	ttl := time.Duration(rec.Params.TTLSeconds * float64(time.Second))
+	if ttl <= 0 {
+		return nil, fmt.Errorf("server: recovering session %s: bad ttl %v", id, rec.Params.TTLSeconds)
+	}
+	s, err := newSession(id, rec.Params, ttl, time.Unix(0, rec.CreatedAt))
+	if err != nil {
+		return nil, fmt.Errorf("server: recovering session %s: %w", id, err)
+	}
+	if err := s.restore(rec.Answered, rec.Positives); err != nil {
+		return nil, fmt.Errorf("server: recovering session %s: %w", id, err)
+	}
+	s.touch(now)
+	return s, nil
+}
+
+// journalProgress appends the batch's deltas; callers hold m.journalMu
+// read-locked. Batches that changed nothing (empty results on an already
+// halted session) are not journaled.
+func (m *SessionManager) journalProgress(s *Session, res BatchResult) error {
+	dAnswered, dPositives := s.batchDeltas(res)
+	if dAnswered == 0 {
+		return nil
+	}
+	if err := m.store.Append(progressEvent(s.id, dAnswered, dPositives)); err != nil {
+		return fmt.Errorf("%w: %v", ErrStoreAppend, err)
+	}
+	return nil
+}
+
+// SnapshotNow writes a full-state snapshot to the store, compacting the
+// journal. It excludes appenders (the journal write lock) for the whole
+// collect-and-persist step, so the snapshot is a consistent cut: every
+// transition is either inside the snapshot or in the journal after it,
+// never lost between the two. The cost is a pause of query traffic for the
+// duration of one state serialization plus one snapshot write per
+// SnapshotInterval; splitting the segment switch from the baseline write
+// (so the file I/O happens outside the lock) needs multi-segment replay
+// and is noted in the ROADMAP as the store layer's next step. It is a
+// no-op without a store.
+func (m *SessionManager) SnapshotNow() error {
+	if m.store == nil {
+		return nil
+	}
+	m.journalMu.Lock()
+	defer m.journalMu.Unlock()
+	var state []store.Event
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			ev, err := sessionEvent(evSnapshot, s)
+			if err != nil {
+				sh.mu.RUnlock()
+				return err
+			}
+			state = append(state, ev)
+		}
+		sh.mu.RUnlock()
+	}
+	if err := m.store.Snapshot(state); err != nil {
+		return fmt.Errorf("server: writing store snapshot: %w", err)
+	}
+	return nil
+}
+
+// snapshotLoop periodically compacts the journal until the manager closes.
+func (m *SessionManager) snapshotLoop(interval time.Duration) {
+	defer close(m.snapshotDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case <-ticker.C:
+			// Sessions and queries keep flowing if a snapshot fails; the
+			// failure is visible in the store's Health counters.
+			_ = m.SnapshotNow()
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package server
+
+// Crash-recovery tests: kill a WAL-backed manager without any orderly
+// shutdown, reopen the directory, and require every live session's
+// observable status — answered, positives, remaining, halted and the
+// realized (ε₁, ε₂, ε₃) split — to come back identical, with consumed
+// positive-outcome budget still consumed.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dpgo/svt/store"
+)
+
+// openWALManager opens a manager journaling to dir with immediate fsync.
+// Periodic snapshots are disabled so tests control compaction explicitly.
+func openWALManager(t *testing.T, dir string) (*SessionManager, *store.WAL) {
+	t.Helper()
+	st, err := store.NewWAL(store.WALConfig{Dir: dir, Sync: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(ManagerConfig{
+		SweepInterval:    time.Hour,
+		SnapshotInterval: -1,
+		Store:            st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m, st
+}
+
+// mustCreate creates a session or fails the test.
+func mustCreate(t *testing.T, m *SessionManager, p CreateParams) *Session {
+	t.Helper()
+	s, err := m.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mustQuery runs one batch or fails the test.
+func mustQuery(t *testing.T, m *SessionManager, id string, items []QueryItem) BatchResult {
+	t.Helper()
+	res, err := m.Query(id, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// durableStatus strips the fields recovery legitimately refreshes (the idle
+// deadline, and the in-process monotonic clock reading that never crosses a
+// restart) from a status, leaving exactly what must survive a crash.
+func durableStatus(st SessionStatus) SessionStatus {
+	st.ExpiresAt = time.Time{}
+	st.CreatedAt = st.CreatedAt.Round(0)
+	return st
+}
+
+// surePositive is a query that lands above the threshold with probability
+// indistinguishable from 1 (the gap dwarfs any realistic Laplace draw).
+func surePositive() []QueryItem {
+	return []QueryItem{{Query: 0, Threshold: ptr(-1e12)}}
+}
+
+// sureNegative is the mirror-image certain ⊥.
+func sureNegative() []QueryItem {
+	return []QueryItem{{Query: 0, Threshold: ptr(1e12)}}
+}
+
+func TestRestartRecoveryAllMechanisms(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := openWALManager(t, dir)
+
+	sparse := mustCreate(t, m1, CreateParams{
+		Mechanism: MechSparse, Epsilon: 1, MaxPositives: 10, Threshold: ptr(0.5),
+		AnswerFraction: 0.2, Seed: 11,
+	})
+	proposed := mustCreate(t, m1, CreateParams{
+		Mechanism: MechProposed, Epsilon: 1, MaxPositives: 8, Threshold: ptr(0.5), Seed: 12,
+	})
+	dpbook := mustCreate(t, m1, CreateParams{
+		Mechanism: MechDPBook, Epsilon: 1, MaxPositives: 8, Threshold: ptr(0.5), Seed: 13,
+	})
+	pmws := mustCreate(t, m1, pmwParams())
+
+	// Drive a mixed workload: some certain positives, some certain
+	// negatives, so every counter (answered, positives, remaining) moves.
+	for i := 0; i < 3; i++ {
+		mustQuery(t, m1, sparse.ID(), surePositive())
+		mustQuery(t, m1, proposed.ID(), surePositive())
+	}
+	for i := 0; i < 4; i++ {
+		mustQuery(t, m1, sparse.ID(), sureNegative())
+		mustQuery(t, m1, dpbook.ID(), surePositive())
+	}
+	for i := 0; i < 5; i++ {
+		mustQuery(t, m1, pmws.ID(), []QueryItem{{Buckets: []int{i % 6}}})
+	}
+
+	ids := []string{sparse.ID(), proposed.ID(), dpbook.ID(), pmws.ID()}
+	want := make(map[string]SessionStatus, len(ids))
+	for _, id := range ids {
+		s, ok := m1.Get(id)
+		if !ok {
+			t.Fatalf("session %s vanished pre-crash", id)
+		}
+		want[id] = durableStatus(s.Status())
+	}
+
+	// Crash: no store.Close, no flush, just abandon the manager.
+	m1.Close()
+
+	m2, _ := openWALManager(t, dir)
+	if got := m2.Recovered(); got != len(ids) {
+		t.Fatalf("recovered %d sessions, want %d", got, len(ids))
+	}
+	for _, id := range ids {
+		s, ok := m2.Get(id)
+		if !ok {
+			t.Fatalf("session %s lost across restart", id)
+		}
+		if got := durableStatus(s.Status()); got != want[id] {
+			t.Errorf("session %s status diverged:\n got  %+v\n want %+v", id, got, want[id])
+		}
+	}
+
+	// Recovered sessions keep serving.
+	res := mustQuery(t, m2, sparse.ID(), sureNegative())
+	if len(res.Results) != 1 {
+		t.Fatalf("recovered sparse session refused a query: %+v", res)
+	}
+}
+
+func TestRestartRecoveryRejectsPositivesAfterHalt(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := openWALManager(t, dir)
+	s := mustCreate(t, m1, CreateParams{
+		Mechanism: MechSparse, Epsilon: 1, MaxPositives: 3, Threshold: ptr(0), Seed: 5,
+	})
+	// Exhaust the positive budget pre-crash.
+	for i := 0; i < 3; i++ {
+		res := mustQuery(t, m1, s.ID(), surePositive())
+		if len(res.Results) != 1 || !res.Results[0].Above {
+			t.Fatalf("setup query %d: %+v", i, res)
+		}
+	}
+	st := s.Status()
+	if !st.Halted || st.Remaining != 0 || st.Positives != 3 {
+		t.Fatalf("pre-crash status %+v, want halted with 0 remaining", st)
+	}
+	m1.Close() // crash
+
+	m2, _ := openWALManager(t, dir)
+	rec, ok := m2.Get(s.ID())
+	if !ok {
+		t.Fatal("halted session lost across restart")
+	}
+	got := rec.Status()
+	if !got.Halted || got.Remaining != 0 || got.Positives != 3 || got.Answered != st.Answered {
+		t.Fatalf("post-crash status %+v, want %+v", got, st)
+	}
+	// The restart must NOT refresh the spent budget: further sure-positives
+	// release nothing.
+	res := mustQuery(t, m2, s.ID(), surePositive())
+	if len(res.Results) != 0 || !res.Halted {
+		t.Fatalf("halted session released an answer after restart: %+v", res)
+	}
+}
+
+func TestRestartRecoveryPartialBudgetEnforced(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := openWALManager(t, dir)
+	s := mustCreate(t, m1, CreateParams{
+		Mechanism: MechProposed, Epsilon: 1, MaxPositives: 5, Threshold: ptr(0), Seed: 9,
+	})
+	for i := 0; i < 2; i++ {
+		mustQuery(t, m1, s.ID(), surePositive())
+	}
+	m1.Close() // crash with 2 of 5 positives consumed
+
+	m2, _ := openWALManager(t, dir)
+	released := 0
+	for i := 0; i < 10; i++ {
+		res := mustQuery(t, m2, s.ID(), surePositive())
+		released += len(res.Results)
+	}
+	if released != 3 {
+		t.Fatalf("recovered session released %d more positives, want exactly the 3 remaining", released)
+	}
+}
+
+func TestRecoveryAfterSnapshotPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := openWALManager(t, dir)
+	s := mustCreate(t, m1, sparseParams())
+	mustQuery(t, m1, s.ID(), surePositive())
+	if err := m1.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot events live only in the journal tail.
+	mustQuery(t, m1, s.ID(), surePositive())
+	mustQuery(t, m1, s.ID(), sureNegative())
+	want := durableStatus(mustStatus(t, m1, s.ID()))
+	m1.Close() // crash
+
+	m2, _ := openWALManager(t, dir)
+	got := durableStatus(mustStatus(t, m2, s.ID()))
+	if got != want {
+		t.Fatalf("snapshot+tail recovery diverged:\n got  %+v\n want %+v", got, want)
+	}
+	if got.Answered != 3 || got.Positives != 2 {
+		t.Fatalf("counters %+v, want answered=3 positives=2", got)
+	}
+}
+
+func TestDeletedAndExpiredSessionsStayGone(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := openWALManager(t, dir)
+	keep := mustCreate(t, m1, sparseParams())
+	gone := mustCreate(t, m1, sparseParams())
+	expired := mustCreate(t, m1, sparseParams())
+	if !m1.Delete(gone.ID()) {
+		t.Fatal("delete failed")
+	}
+	// Expire via the fake clock and a janitor pass.
+	now := time.Now()
+	m1.now = func() time.Time { return now.Add(48 * time.Hour) }
+	if removed := m1.Sweep(); removed != 2 {
+		t.Fatalf("sweep removed %d, want keep+expired = 2", removed)
+	}
+	m1.now = time.Now
+	keep2 := mustCreate(t, m1, sparseParams())
+	m1.Close() // crash
+
+	m2, _ := openWALManager(t, dir)
+	if _, ok := m2.Get(gone.ID()); ok {
+		t.Fatal("deleted session resurrected by recovery")
+	}
+	if _, ok := m2.Get(expired.ID()); ok {
+		t.Fatal("expired session resurrected by recovery")
+	}
+	if _, ok := m2.Get(keep2.ID()); !ok {
+		t.Fatal("live session lost")
+	}
+	if got := m2.Recovered(); got != 1 {
+		t.Fatalf("recovered %d sessions, want 1", got)
+	}
+	_ = keep
+}
+
+func TestLazyExpiryJournaledOnGet(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := openWALManager(t, dir)
+	s := mustCreate(t, m1, sparseParams())
+	now := time.Now()
+	m1.now = func() time.Time { return now.Add(48 * time.Hour) }
+	// Lazy collection via Get, not the janitor's Sweep.
+	if _, ok := m1.Get(s.ID()); ok {
+		t.Fatal("expired session still served")
+	}
+	m1.Close() // crash
+
+	m2, _ := openWALManager(t, dir)
+	if _, ok := m2.Get(s.ID()); ok {
+		t.Fatal("lazily expired session resurrected by recovery")
+	}
+	if got := m2.Recovered(); got != 0 {
+		t.Fatalf("recovered %d sessions, want 0", got)
+	}
+}
+
+func TestRecoveryToleratesTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := openWALManager(t, dir)
+	s := mustCreate(t, m1, sparseParams())
+	mustQuery(t, m1, s.ID(), surePositive())
+	want := durableStatus(mustStatus(t, m1, s.ID()))
+	mustQuery(t, m1, s.ID(), surePositive()) // this event gets torn
+	m1.Close()
+
+	// Tear the final record: cut three bytes off the journal.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var journal string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") {
+			journal = filepath.Join(dir, e.Name())
+		}
+	}
+	if journal == "" {
+		t.Fatal("no journal segment found")
+	}
+	info, err := os.Stat(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(journal, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, _ := openWALManager(t, dir)
+	got := durableStatus(mustStatus(t, m2, s.ID()))
+	if got != want {
+		t.Fatalf("torn-tail recovery:\n got  %+v\n want %+v (state before the torn event)", got, want)
+	}
+}
+
+// mustStatus fetches a session's status or fails the test.
+func mustStatus(t *testing.T, m *SessionManager, id string) SessionStatus {
+	t.Helper()
+	s, ok := m.Get(id)
+	if !ok {
+		t.Fatalf("session %s not found", id)
+	}
+	return s.Status()
+}
+
+// failingStore lets Create succeed, then fails every later append.
+type failingStore struct {
+	store.Mem
+	appends int
+}
+
+func (f *failingStore) Append(ev store.Event) error {
+	f.appends++
+	if f.appends > 1 {
+		return fmt.Errorf("disk on fire")
+	}
+	return f.Mem.Append(ev)
+}
+
+func TestQueryWithheldWhenJournalFails(t *testing.T) {
+	fs := &failingStore{}
+	m, err := Open(ManagerConfig{SweepInterval: time.Hour, SnapshotInterval: -1, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	s := mustCreate(t, m, sparseParams())
+	_, qerr := m.Query(s.ID(), surePositive())
+	if !errors.Is(qerr, ErrStoreAppend) {
+		t.Fatalf("query error %v, want ErrStoreAppend: an unjournaled release must be withheld", qerr)
+	}
+}
+
+func TestCreateRolledBackWhenJournalFails(t *testing.T) {
+	fs := &failingStore{appends: 1} // fail from the very first append
+	m, err := Open(ManagerConfig{SweepInterval: time.Hour, SnapshotInterval: -1, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	if _, cerr := m.Create(sparseParams()); !errors.Is(cerr, ErrStoreAppend) {
+		t.Fatalf("create error %v, want ErrStoreAppend", cerr)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("unjournaled session left registered: live=%d", m.Len())
+	}
+}
+
+func TestSeedNeverPersisted(t *testing.T) {
+	// Replaying a seeded noise stream from position 0 after a crash would
+	// let the analyst binary-search the realized noisy threshold for free;
+	// the journaled record must therefore carry seed 0 (crypto-seeded on
+	// rebuild) no matter what the session was created with.
+	p := sparseParams()
+	if p.Seed == 0 {
+		t.Fatal("test params must be seeded")
+	}
+	s, err := newSession("x", p, time.Minute, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := s.persistRecord(); rec.Params.Seed != 0 {
+		t.Fatalf("journaled record carries seed %d, want 0", rec.Params.Seed)
+	}
+}
+
+func TestStatsExposeStoreHealth(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openWALManager(t, dir)
+	s := mustCreate(t, m, sparseParams())
+	mustQuery(t, m, s.ID(), sureNegative())
+	st := m.Stats()
+	if st.Store == nil {
+		t.Fatal("stats missing store health")
+	}
+	if st.Store.Backend != "wal" || st.Store.Appends < 2 {
+		t.Fatalf("store health %+v, want wal backend with ≥2 appends (create+progress)", st.Store)
+	}
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TenantHeader names the HTTP header that identifies the calling tenant for
+// rate limiting. Requests without it share the default tenant's bucket.
+const TenantHeader = "X-Tenant"
+
+// DefaultMaxTenants caps how many distinct tenant buckets a RateLimiter
+// tracks before spillover tenants share one overflow bucket, bounding the
+// memory a hostile client can allocate by inventing tenant names.
+const DefaultMaxTenants = 16384
+
+// RateLimitConfig configures per-tenant token buckets.
+type RateLimitConfig struct {
+	// Rate is the sustained request budget per tenant in requests/second.
+	// Required, must be positive and finite.
+	Rate float64
+	// Burst is the bucket depth: how many requests a tenant may send
+	// back-to-back after being idle. 0 means max(Rate, 1).
+	Burst float64
+	// MaxTenants caps tracked tenants; 0 means DefaultMaxTenants.
+	MaxTenants int
+}
+
+// tokenBucket is one tenant's refillable budget.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// RateLimiter applies per-tenant token-bucket admission control to the
+// /v1/* API. Each tenant (the X-Tenant header; absent means the default
+// tenant) owns an independent bucket refilled continuously at Rate
+// requests/second up to Burst. Rejected requests get a JSON 429 with a
+// Retry-After header. Liveness endpoints outside /v1/ are never limited.
+type RateLimiter struct {
+	rate       float64
+	burst      float64
+	maxTenants int
+
+	mu       sync.Mutex
+	buckets  map[string]*tokenBucket
+	overflow tokenBucket
+	rejected uint64
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// NewRateLimiter validates cfg and returns a ready limiter.
+func NewRateLimiter(cfg RateLimitConfig) (*RateLimiter, error) {
+	if !(cfg.Rate > 0) || math.IsInf(cfg.Rate, 0) {
+		return nil, fmt.Errorf("server: rate limit must be positive and finite, got %v", cfg.Rate)
+	}
+	burst := cfg.Burst
+	if burst == 0 {
+		burst = math.Max(cfg.Rate, 1)
+	}
+	if !(burst >= 1) || math.IsInf(burst, 0) {
+		return nil, fmt.Errorf("server: rate-limit burst must be at least 1 request, got %v", cfg.Burst)
+	}
+	maxTenants := cfg.MaxTenants
+	if maxTenants <= 0 {
+		maxTenants = DefaultMaxTenants
+	}
+	return &RateLimiter{
+		rate:       cfg.Rate,
+		burst:      burst,
+		maxTenants: maxTenants,
+		buckets:    make(map[string]*tokenBucket),
+		now:        time.Now,
+	}, nil
+}
+
+// Allow consumes one token from the tenant's bucket, reporting whether the
+// request may proceed and, when it may not, how long until a token refills.
+func (rl *RateLimiter) Allow(tenant string) (bool, time.Duration) {
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[tenant]
+	if b == nil {
+		if len(rl.buckets) >= rl.maxTenants {
+			b = &rl.overflow
+		} else {
+			b = &tokenBucket{tokens: rl.burst, last: now}
+			rl.buckets[tenant] = b
+		}
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(rl.burst, b.tokens+rl.rate*elapsed)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	rl.rejected++
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}
+
+// Rejected returns how many requests the limiter has turned away.
+func (rl *RateLimiter) Rejected() uint64 {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.rejected
+}
+
+// Middleware wraps next with per-tenant admission control on /v1/* paths.
+func (rl *RateLimiter) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tenant := r.Header.Get(TenantHeader)
+		ok, wait := rl.Allow(tenant)
+		if !ok {
+			secs := int(math.Ceil(wait.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			label := tenant
+			if label == "" {
+				label = "default"
+			}
+			writeError(w, http.StatusTooManyRequests, CodeRateLimited,
+				fmt.Sprintf("tenant %q exceeded %g requests/sec", label, rl.rate))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

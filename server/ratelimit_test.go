@@ -1,0 +1,201 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic bucket math.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestLimiter(t *testing.T, cfg RateLimitConfig) (*RateLimiter, *fakeClock) {
+	t.Helper()
+	rl, err := NewRateLimiter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	rl.now = clk.now
+	return rl, clk
+}
+
+func TestRateLimiterBucketMath(t *testing.T) {
+	rl, clk := newTestLimiter(t, RateLimitConfig{Rate: 2, Burst: 4})
+
+	// The burst drains, then the bucket is empty.
+	for i := 0; i < 4; i++ {
+		if ok, _ := rl.Allow("a"); !ok {
+			t.Fatalf("request %d within burst rejected", i)
+		}
+	}
+	ok, wait := rl.Allow("a")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry hint %v, want within (0, 1s] at 2 req/s", wait)
+	}
+
+	// Half a second refills one token at 2 req/s.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := rl.Allow("a"); !ok {
+		t.Fatal("refilled token rejected")
+	}
+	if ok, _ := rl.Allow("a"); ok {
+		t.Fatal("second request admitted with only one token refilled")
+	}
+
+	// Long idle refills to the burst cap, not beyond.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := rl.Allow("a"); ok {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("admitted %d after long idle, want the burst of 4", admitted)
+	}
+	if got := rl.Rejected(); got == 0 {
+		t.Fatal("rejections not counted")
+	}
+}
+
+func TestRateLimiterTenantsAreIndependent(t *testing.T) {
+	rl, _ := newTestLimiter(t, RateLimitConfig{Rate: 1, Burst: 1})
+	if ok, _ := rl.Allow("a"); !ok {
+		t.Fatal("tenant a first request rejected")
+	}
+	if ok, _ := rl.Allow("a"); ok {
+		t.Fatal("tenant a second request admitted")
+	}
+	// Tenant b and the default tenant still have their own budgets.
+	if ok, _ := rl.Allow("b"); !ok {
+		t.Fatal("tenant b starved by tenant a")
+	}
+	if ok, _ := rl.Allow(""); !ok {
+		t.Fatal("default tenant starved by tenant a")
+	}
+}
+
+func TestRateLimiterOverflowSharedBucket(t *testing.T) {
+	rl, _ := newTestLimiter(t, RateLimitConfig{Rate: 1, Burst: 1, MaxTenants: 2})
+	rl.Allow("a")
+	rl.Allow("b")
+	// Tenants beyond the cap share the overflow bucket: c consumes it, d is
+	// rejected even though d never sent a request before.
+	if ok, _ := rl.Allow("c"); !ok {
+		t.Fatal("first overflow request rejected")
+	}
+	if ok, _ := rl.Allow("d"); ok {
+		t.Fatal("overflow tenants do not share a bucket")
+	}
+}
+
+func TestRateLimitMiddleware(t *testing.T) {
+	rl, err := NewRateLimiter(RateLimitConfig{Rate: 0.001, Burst: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := httptest.NewServer(rl.Middleware(newTestHandler(t)))
+	t.Cleanup(wrapped.Close)
+
+	get := func(path, tenant string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, wrapped.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Two burst tokens, then 429 with a JSON body and Retry-After.
+	for i := 0; i < 2; i++ {
+		resp := get("/v1/stats", "acme")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := get("/v1/stats", "acme")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("429 content type %q, want application/json", ct)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After %q, want an integer ≥ 1", resp.Header.Get("Retry-After"))
+	}
+	var body ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Code != CodeRateLimited {
+		t.Fatalf("error code %q, want %q", body.Error.Code, CodeRateLimited)
+	}
+
+	// Another tenant is unaffected.
+	other := get("/v1/stats", "globex")
+	other.Body.Close()
+	if other.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant: status %d", other.StatusCode)
+	}
+
+	// Liveness stays exempt even for the throttled tenant.
+	health := get("/healthz", "acme")
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d, want exempt 200", health.StatusCode)
+	}
+}
+
+// newTestHandler returns a fresh API handler backed by its own manager.
+func newTestHandler(t *testing.T) http.Handler {
+	t.Helper()
+	mgr := newTestManager(t, ManagerConfig{})
+	return NewAPI(mgr, APIConfig{})
+}
+
+func TestNewRateLimiterRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []RateLimitConfig{
+		{Rate: 0},
+		{Rate: -1},
+		{Rate: math.Inf(1)},
+		{Rate: 1, Burst: 0.5},
+		{Rate: 1, Burst: math.Inf(1)},
+	} {
+		if _, err := NewRateLimiter(cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}

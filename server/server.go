@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/dpgo/svt/store"
 )
 
 // ManagerConfig configures a SessionManager. The zero value is usable:
@@ -49,14 +51,24 @@ type ManagerConfig struct {
 	// MaxSessions caps the number of live sessions; 0 means unlimited.
 	// Create returns ErrTooManySessions at the cap.
 	MaxSessions int
+	// Store journals every budget-mutating session transition and replays
+	// it on restart, so spent privacy budget survives a crash. nil means no
+	// persistence (the historical purely-in-memory behavior, zero
+	// overhead). Use Open when a Store is configured: recovery can fail.
+	Store store.SessionStore
+	// SnapshotInterval is how often the manager compacts the journal with a
+	// full-state snapshot; 0 means DefaultSnapshotInterval, negative
+	// disables periodic snapshots. Ignored without a Store.
+	SnapshotInterval time.Duration
 }
 
 // Defaults for ManagerConfig zero values.
 const (
-	DefaultShards        = 16
-	DefaultTTL           = 10 * time.Minute
-	DefaultMaxTTL        = 24 * time.Hour
-	DefaultSweepInterval = 30 * time.Second
+	DefaultShards           = 16
+	DefaultTTL              = 10 * time.Minute
+	DefaultMaxTTL           = 24 * time.Hour
+	DefaultSweepInterval    = 30 * time.Second
+	DefaultSnapshotInterval = time.Minute
 )
 
 // ErrTooManySessions is returned by Create when MaxSessions live sessions
@@ -84,17 +96,30 @@ type SessionManager struct {
 	maxLive    int
 	live       atomic.Int64
 
-	janitorStop chan struct{}
-	janitorDone chan struct{}
-	closeOnce   sync.Once
+	// store is the persistence backend; nil means no journaling at all.
+	// journalMu orders journal appends against snapshot compaction: every
+	// mutate-then-append pair holds the read side, SnapshotNow holds the
+	// write side while it collects state and truncates the journal, so no
+	// acknowledged transition can fall between a snapshot and the journal.
+	store             store.SessionStore
+	journalMu         sync.RWMutex
+	recoveredSessions int
+
+	janitorStop  chan struct{}
+	janitorDone  chan struct{}
+	snapshotDone chan struct{}
+	closeOnce    sync.Once
 
 	// now is the clock, swappable in tests.
 	now func() time.Time
 }
 
-// NewSessionManager builds the shard table and starts the janitor.
-// Callers must Close the manager to stop the janitor goroutine.
-func NewSessionManager(cfg ManagerConfig) *SessionManager {
+// Open builds the shard table, recovers journaled sessions from cfg.Store
+// (when one is configured), starts the janitor and the periodic snapshot
+// loop, and returns the ready manager. Callers must Close it. Recovery is
+// strict: a session whose journaled state cannot be rebuilt fails Open
+// rather than silently refreshing its spent privacy budget.
+func Open(cfg ManagerConfig) (*SessionManager, error) {
 	nshards := cfg.Shards
 	if nshards <= 0 {
 		nshards = DefaultShards
@@ -119,6 +144,7 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 		defaultTTL:  ttl,
 		maxTTL:      maxTTL,
 		maxLive:     cfg.MaxSessions,
+		store:       cfg.Store,
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 		now:         time.Now,
@@ -126,18 +152,57 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 	for i := range m.shards {
 		m.shards[i] = &shard{sessions: make(map[string]*Session)}
 	}
+	if m.store != nil {
+		if err := m.recoverSessions(); err != nil {
+			return nil, err
+		}
+		// Collapse the replayed journal into a fresh snapshot immediately,
+		// so repeated crashes cannot grow the journal without bound.
+		if err := m.SnapshotNow(); err != nil {
+			return nil, err
+		}
+	}
 	go m.janitor(sweep)
+	if m.store != nil && cfg.SnapshotInterval >= 0 {
+		interval := cfg.SnapshotInterval
+		if interval == 0 {
+			interval = DefaultSnapshotInterval
+		}
+		m.snapshotDone = make(chan struct{})
+		go m.snapshotLoop(interval)
+	}
+	return m, nil
+}
+
+// NewSessionManager is the store-less constructor kept for in-memory
+// callers: it is Open with the guarantee that construction cannot fail.
+// It panics if recovery fails, which only a configured Store can cause —
+// prefer Open when cfg.Store is set.
+func NewSessionManager(cfg ManagerConfig) *SessionManager {
+	m, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return m
 }
 
-// Close stops the janitor. Live sessions stay queryable; Close exists so
-// tests and graceful shutdown do not leak the goroutine.
+// Close stops the janitor and the snapshot loop. Live sessions stay
+// queryable; Close exists so tests and graceful shutdown do not leak
+// goroutines. It does not close the store — the store's owner does that
+// after Close returns, so every journaled event is flushed exactly once.
 func (m *SessionManager) Close() {
 	m.closeOnce.Do(func() {
 		close(m.janitorStop)
 		<-m.janitorDone
+		if m.snapshotDone != nil {
+			<-m.snapshotDone
+		}
 	})
 }
+
+// Recovered returns how many sessions the manager rebuilt from its store at
+// Open time.
+func (m *SessionManager) Recovered() int { return m.recoveredSessions }
 
 // janitor periodically sweeps expired sessions.
 func (m *SessionManager) janitor(interval time.Duration) {
@@ -156,8 +221,14 @@ func (m *SessionManager) janitor(interval time.Duration) {
 
 // Sweep removes every expired session and returns how many it removed.
 // The janitor calls it on its interval; it is exported so operators and
-// tests can force a pass.
+// tests can force a pass. Expiries are journaled so recovery does not
+// resurrect collected sessions (a lost expire event is benign: the session
+// reappears with its budget accounting intact and re-expires by TTL).
 func (m *SessionManager) Sweep() int {
+	if m.store != nil {
+		m.journalMu.RLock()
+		defer m.journalMu.RUnlock()
+	}
 	now := m.now()
 	removed := 0
 	for _, sh := range m.shards {
@@ -175,15 +246,24 @@ func (m *SessionManager) Sweep() int {
 			continue
 		}
 		sh.mu.Lock()
+		var collected []string
 		for _, s := range stale {
 			if cur, ok := sh.sessions[s.id]; ok && cur == s && s.expired(now) {
 				delete(sh.sessions, s.id)
 				sh.expired.Add(1)
 				m.live.Add(-1)
 				removed++
+				collected = append(collected, s.id)
 			}
 		}
 		sh.mu.Unlock()
+		// Journal after releasing the shard lock: an append can fsync, and
+		// queries on this shard must not stall behind the janitor.
+		if m.store != nil {
+			for _, id := range collected {
+				_ = m.store.Append(store.Event{Kind: evExpire, ID: id})
+			}
+		}
 	}
 	return removed
 }
@@ -204,8 +284,9 @@ func newID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// Create validates p, builds the mechanism and registers the session
-// under a fresh random ID.
+// Create validates p, builds the mechanism, registers the session under a
+// fresh random ID and journals it. A session whose create event cannot be
+// journaled is rolled back and never exposed.
 func (m *SessionManager) Create(p CreateParams) (*Session, error) {
 	// Reserve the slot first so concurrent Creates cannot overshoot the
 	// cap between a check and an increment.
@@ -213,10 +294,27 @@ func (m *SessionManager) Create(p CreateParams) (*Session, error) {
 		m.live.Add(-1)
 		return nil, ErrTooManySessions
 	}
+	if m.store != nil {
+		m.journalMu.RLock()
+		defer m.journalMu.RUnlock()
+	}
 	s, sh, err := m.create(p)
 	if err != nil {
 		m.live.Add(-1)
 		return nil, err
+	}
+	if m.store != nil {
+		ev, err := sessionEvent(evCreate, s)
+		if err == nil {
+			err = m.store.Append(ev)
+		}
+		if err != nil {
+			sh.mu.Lock()
+			delete(sh.sessions, s.id)
+			sh.mu.Unlock()
+			m.live.Add(-1)
+			return nil, fmt.Errorf("%w: %v", ErrStoreAppend, err)
+		}
 	}
 	sh.created.Add(1)
 	return s, nil
@@ -271,20 +369,36 @@ func (m *SessionManager) Get(id string) (*Session, bool) {
 	now := m.now()
 	if s.expired(now) {
 		sh.mu.Lock()
+		collected := false
 		if cur, stillThere := sh.sessions[id]; stillThere && cur == s && s.expired(now) {
 			delete(sh.sessions, id)
 			sh.expired.Add(1)
 			m.live.Add(-1)
+			collected = true
 		}
 		sh.mu.Unlock()
+		if collected && m.store != nil {
+			// Best-effort, outside journalMu (Query already holds its read
+			// side, and RWMutex read locks must not nest). A lost expire
+			// event only resurrects the session on restart with its budget
+			// accounting intact; it then re-expires by TTL.
+			_ = m.store.Append(store.Event{Kind: evExpire, ID: id})
+		}
 		return nil, false
 	}
 	s.touch(now)
 	return s, true
 }
 
-// Delete removes the session and reports whether it existed.
+// Delete removes the session and reports whether it existed. A failed
+// delete-event append is tolerated: the worst case is a deleted session
+// resurrecting after a restart with its budget accounting intact, which the
+// TTL janitor then collects (the failure is visible in the store's Health).
 func (m *SessionManager) Delete(id string) bool {
+	if m.store != nil {
+		m.journalMu.RLock()
+		defer m.journalMu.RUnlock()
+	}
 	sh := m.shardFor(id)
 	sh.mu.Lock()
 	_, ok := sh.sessions[id]
@@ -294,6 +408,9 @@ func (m *SessionManager) Delete(id string) bool {
 	sh.mu.Unlock()
 	if !ok {
 		return false
+	}
+	if m.store != nil {
+		_ = m.store.Append(store.Event{Kind: evDelete, ID: id})
 	}
 	sh.deleted.Add(1)
 	m.live.Add(-1)
@@ -315,15 +432,29 @@ func (m *SessionManager) countQuery(s *Session, n int) {
 	}
 }
 
-// Query routes a batch to the session and maintains the per-mechanism
-// counters. It is the call sites' single entry point so HTTP and direct
-// (in-process) users share the accounting.
+// Query routes a batch to the session, journals the released progress and
+// maintains the per-mechanism counters. It is the call sites' single entry
+// point so HTTP and direct (in-process) users share the accounting. When
+// the journal append fails the whole response is withheld (ErrStoreAppend):
+// an analyst must never observe a DP release the store could forget.
 func (m *SessionManager) Query(id string, items []QueryItem) (BatchResult, error) {
 	s, ok := m.Get(id)
 	if !ok {
 		return BatchResult{}, ErrSessionNotFound
 	}
+	if m.store == nil {
+		res, err := s.Query(items)
+		m.countQuery(s, len(res.Results))
+		return res, err
+	}
+	m.journalMu.RLock()
 	res, err := s.Query(items)
+	if jerr := m.journalProgress(s, res); jerr != nil {
+		m.journalMu.RUnlock()
+		m.countQuery(s, len(res.Results))
+		return BatchResult{}, jerr
+	}
+	m.journalMu.RUnlock()
 	m.countQuery(s, len(res.Results))
 	return res, err
 }

@@ -2,10 +2,13 @@ package server
 
 import (
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/dpgo/svt/store"
 )
 
 // ptr returns a pointer to v, for the optional threshold fields.
@@ -13,12 +16,26 @@ func ptr(v float64) *float64 { return &v }
 
 // newTestManager builds a manager whose janitor effectively never fires,
 // so tests control expiry via the fake clock and explicit Sweep calls.
+// With SVT_TEST_STORE=wal in the environment the whole suite runs against
+// a real write-ahead-log store in a temp dir, so CI exercises every code
+// path — locking, journaling, snapshots — under the durable backend too.
 func newTestManager(t *testing.T, cfg ManagerConfig) *SessionManager {
 	t.Helper()
 	if cfg.SweepInterval == 0 {
 		cfg.SweepInterval = time.Hour
 	}
-	m := NewSessionManager(cfg)
+	if cfg.Store == nil && os.Getenv("SVT_TEST_STORE") == "wal" {
+		st, err := store.NewWAL(store.WALConfig{Dir: t.TempDir(), Sync: store.SyncInterval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = st.Close() })
+		cfg.Store = st
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(m.Close)
 	return m
 }
@@ -404,7 +421,7 @@ func TestMaxSessions(t *testing.T) {
 // TestConcurrentManager hammers every manager operation from many
 // goroutines with a real (short) TTL and live janitor; run with -race.
 func TestConcurrentManager(t *testing.T) {
-	m := NewSessionManager(ManagerConfig{
+	m := newTestManager(t, ManagerConfig{
 		Shards:        8,
 		DefaultTTL:    20 * time.Millisecond,
 		SweepInterval: 5 * time.Millisecond,

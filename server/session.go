@@ -162,6 +162,10 @@ type Session struct {
 	// access; atomic so the janitor can read it without the session lock.
 	expiresAt atomic.Int64
 
+	// params is the validated create request, retained verbatim so the
+	// session can be journaled and rebuilt after a restart (see persist.go).
+	params CreateParams
+
 	mu           sync.Mutex
 	sparse       *svt.Sparse
 	stream       variants.Stream
@@ -181,11 +185,16 @@ func newSession(id string, p CreateParams, ttl time.Duration, now time.Time) (*S
 	if sens == 0 {
 		sens = 1
 	}
+	// Retain the params as realized, not as requested: the TTL is already
+	// resolved (default applied, cap enforced), and a raw request like
+	// ttlSeconds=+Inf would not survive the JSON journal encoding.
+	p.TTLSeconds = ttl.Seconds()
 	s := &Session{
 		id:           id,
 		mech:         p.Mechanism,
 		ttl:          ttl,
 		createdAt:    now,
+		params:       p,
 		threshold:    math.NaN(),
 		maxPositives: p.MaxPositives,
 	}
@@ -451,4 +460,40 @@ func (s *Session) Budget() Budget {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.budget
+}
+
+// restore fast-forwards a freshly built session to journaled counters:
+// crash recovery's final step. The mechanism's own accounting is advanced
+// too, so a session that had consumed its whole positive budget pre-crash
+// stays halted after the restart.
+func (s *Session) restore(answered, positives int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if positives < 0 || answered < positives {
+		return fmt.Errorf("server: restored counters answered=%d positives=%d are inconsistent", answered, positives)
+	}
+	if s.maxPositives > 0 && positives > s.maxPositives {
+		return fmt.Errorf("server: restored positives %d exceed the session cutoff %d", positives, s.maxPositives)
+	}
+	switch {
+	case s.sparse != nil:
+		if err := s.sparse.Restore(answered, positives); err != nil {
+			return err
+		}
+	case s.engine != nil:
+		if err := s.engine.Restore(answered, positives); err != nil {
+			return err
+		}
+	default:
+		r, ok := s.stream.(variants.Restorer)
+		if !ok {
+			return fmt.Errorf("server: mechanism %q does not support restore", s.mech)
+		}
+		if err := r.Restore(positives); err != nil {
+			return err
+		}
+	}
+	s.answered = answered
+	s.positives = positives
+	return nil
 }

@@ -1,5 +1,7 @@
 package server
 
+import "github.com/dpgo/svt/store"
+
 // Stats is the GET /v1/stats response body: a service-wide aggregate
 // assembled from per-shard atomic counters, so taking a snapshot never
 // blocks query traffic and never takes a global lock.
@@ -14,12 +16,18 @@ type Stats struct {
 	Created uint64 `json:"created"`
 	Deleted uint64 `json:"deleted"`
 	Expired uint64 `json:"expired"`
+	// Recovered is how many sessions were rebuilt from the store when the
+	// manager opened.
+	Recovered int `json:"recovered,omitempty"`
 	// Queries counts answered queries by mechanism.
 	Queries map[Mechanism]uint64 `json:"queries"`
 	// TotalQueries is the sum over Queries.
 	TotalQueries uint64 `json:"totalQueries"`
 	// ShardLive is the live-session count per shard, for spotting skew.
 	ShardLive []int `json:"shardLive"`
+	// Store is the persistence backend's health, absent when the manager
+	// runs without one.
+	Store *store.Health `json:"store,omitempty"`
 }
 
 // Stats aggregates the per-shard counters. The snapshot is monotone but
@@ -46,6 +54,11 @@ func (m *SessionManager) Stats() Stats {
 	}
 	for _, n := range st.Queries {
 		st.TotalQueries += n
+	}
+	st.Recovered = m.recoveredSessions
+	if h, ok := m.store.(store.Healther); ok {
+		health := h.Health()
+		st.Store = &health
 	}
 	return st
 }

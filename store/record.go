@@ -1,0 +1,116 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk record format, shared by journal segments and snapshot files:
+//
+//	| length uint32 LE | crc uint32 LE | payload (length bytes) |
+//
+// where crc is the CRC-32C (Castagnoli) checksum of the payload and the
+// payload encodes one Event:
+//
+//	| kind byte | idLen uvarint | id (idLen bytes) | data (rest) |
+//
+// The length prefix lets recovery skip to the next record without parsing
+// the payload; the checksum detects torn or bit-rotted records. A record
+// whose prefix or payload extends past the end of the file is a truncated
+// tail — the expected artifact of a crash mid-write — and recovery drops it.
+
+const (
+	// recordHeaderSize is the fixed prefix: length + crc.
+	recordHeaderSize = 8
+	// MaxRecordSize caps a single record's payload, bounding what a hostile
+	// or corrupted length prefix can make recovery allocate.
+	MaxRecordSize = 16 << 20
+)
+
+// castagnoli is the CRC-32C table used for all record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record-decoding error sentinels. ErrTruncatedRecord means the buffer ends
+// mid-record (a torn tail); ErrCorruptRecord means the bytes are complete
+// but wrong (checksum mismatch, oversized length, malformed payload).
+var (
+	ErrTruncatedRecord = errors.New("store: truncated record")
+	ErrCorruptRecord   = errors.New("store: corrupt record")
+)
+
+// appendRecord encodes ev as one framed record appended to buf.
+func appendRecord(buf []byte, ev Event) ([]byte, error) {
+	payloadLen := 1 + binary.MaxVarintLen64 + len(ev.ID) + len(ev.Data)
+	if payloadLen > MaxRecordSize {
+		return buf, fmt.Errorf("store: event of %d bytes exceeds the record cap of %d", payloadLen, MaxRecordSize)
+	}
+	if ev.Kind == 0 {
+		return buf, fmt.Errorf("store: event kind 0 is reserved")
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	buf = append(buf, ev.Kind)
+	buf = binary.AppendUvarint(buf, uint64(len(ev.ID)))
+	buf = append(buf, ev.ID...)
+	buf = append(buf, ev.Data...)
+	payload := buf[start+recordHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+// decodeRecord decodes the first record in b, returning the event and the
+// number of bytes consumed. It returns ErrTruncatedRecord when b ends
+// mid-record and ErrCorruptRecord when the record is complete but invalid.
+func decodeRecord(b []byte) (Event, int, error) {
+	if len(b) < recordHeaderSize {
+		return Event{}, 0, ErrTruncatedRecord
+	}
+	length := binary.LittleEndian.Uint32(b)
+	if length > MaxRecordSize {
+		return Event{}, 0, fmt.Errorf("%w: length %d exceeds cap %d", ErrCorruptRecord, length, MaxRecordSize)
+	}
+	if uint64(len(b)) < recordHeaderSize+uint64(length) {
+		return Event{}, 0, ErrTruncatedRecord
+	}
+	payload := b[recordHeaderSize : recordHeaderSize+length]
+	if crc := crc32.Checksum(payload, castagnoli); crc != binary.LittleEndian.Uint32(b[4:]) {
+		return Event{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptRecord)
+	}
+	if len(payload) == 0 {
+		return Event{}, 0, fmt.Errorf("%w: empty payload", ErrCorruptRecord)
+	}
+	kind := payload[0]
+	if kind == 0 {
+		return Event{}, 0, fmt.Errorf("%w: reserved kind 0", ErrCorruptRecord)
+	}
+	idLen, n := binary.Uvarint(payload[1:])
+	if n <= 0 || idLen > uint64(len(payload)-1-n) {
+		return Event{}, 0, fmt.Errorf("%w: bad id length", ErrCorruptRecord)
+	}
+	rest := payload[1+n:]
+	ev := Event{Kind: kind, ID: string(rest[:idLen])}
+	if data := rest[idLen:]; len(data) > 0 {
+		ev.Data = append([]byte(nil), data...)
+	}
+	return ev, recordHeaderSize + int(length), nil
+}
+
+// decodeAll decodes consecutive records from b. It returns the events of
+// the valid prefix, the byte length of that prefix, and the error that
+// stopped the scan (nil when b was consumed exactly).
+func decodeAll(b []byte) ([]Event, int, error) {
+	var events []Event
+	off := 0
+	for off < len(b) {
+		ev, n, err := decodeRecord(b[off:])
+		if err != nil {
+			return events, off, err
+		}
+		events = append(events, ev)
+		off += n
+	}
+	return events, off, nil
+}

@@ -1,0 +1,103 @@
+// Package store provides durable persistence for the server's session
+// state. In SVT the privacy guarantee lives in mutable per-session state —
+// the realized (ε₁, ε₂, ε₃) budget split, the count of answered queries and
+// consumed positive outcomes, and the halt flag. A server that forgets this
+// state on a crash silently refreshes spent privacy budget, which is a
+// privacy bug, not merely an availability gap. This package is the
+// journaling layer that prevents it.
+//
+// The SessionStore interface is deliberately small and application-agnostic:
+// the server appends opaque Events (a kind tag, a session ID and a payload
+// it encodes itself), periodically hands the store a full-state snapshot for
+// compaction, and replays the event stream once at startup. Two backends
+// are provided:
+//
+//   - Mem: a no-op backend for purely in-memory serving (the historical
+//     behavior). Appends and snapshots are discarded; Recover returns
+//     nothing.
+//   - WAL: an append-only write-ahead log of length-prefixed, CRC-checked
+//     records with periodic snapshot compaction and truncated-tail-tolerant
+//     recovery. See NewWAL.
+//
+// New backends (e.g. a replicated log or a key-value store) implement
+// SessionStore and plug into server.ManagerConfig.Store without any change
+// to the serving layer.
+package store
+
+import "errors"
+
+// Event is one journaled state transition. The store treats it as opaque:
+// Kind and Data are defined by the application (the server package journals
+// session create/progress/delete/expire transitions), ID is the session the
+// event belongs to.
+type Event struct {
+	// Kind tags the event type; 0 is reserved as invalid.
+	Kind byte
+	// ID is the session identifier the event applies to.
+	ID string
+	// Data is the application-encoded payload; may be empty.
+	Data []byte
+}
+
+// SessionStore journals session state transitions and replays them after a
+// restart. Implementations must make Append, Snapshot and Close safe for
+// concurrent use; Recover is called once, before the first Append.
+type SessionStore interface {
+	// Append durably journals one event. The caller must not release the
+	// response that acknowledges the event's state transition until Append
+	// has returned nil (the store's sync policy decides how hard that
+	// durability promise is).
+	Append(ev Event) error
+	// Snapshot atomically replaces the store's recovery baseline with the
+	// given full-state events and discards the journal tail they subsume.
+	// After a crash, Recover yields the snapshot events first, then any
+	// events appended after the snapshot.
+	Snapshot(state []Event) error
+	// Recover returns the event stream to replay: the latest snapshot's
+	// events followed by every appended event that survived, in order. It is
+	// called once before the first Append.
+	Recover() ([]Event, error)
+	// Close flushes and releases the store. Append after Close fails.
+	Close() error
+}
+
+// Health is a point-in-time snapshot of a store's internal counters, for
+// surfacing in operational endpoints (the server exposes it in /v1/stats).
+type Health struct {
+	// Backend names the implementation: "mem" or "wal".
+	Backend string `json:"backend"`
+	// Appends counts successful Append calls since open.
+	Appends uint64 `json:"appends"`
+	// AppendedBytes counts record bytes written by Append since open.
+	AppendedBytes uint64 `json:"appendedBytes"`
+	// Syncs counts fsync calls since open.
+	Syncs uint64 `json:"syncs"`
+	// Failures counts Append/Snapshot/sync errors since open.
+	Failures uint64 `json:"failures"`
+	// LastError is the most recent failure, "" when none.
+	LastError string `json:"lastError,omitempty"`
+	// Snapshots counts successful Snapshot calls since open.
+	Snapshots uint64 `json:"snapshots"`
+	// SnapshotEvents is the event count of the latest snapshot.
+	SnapshotEvents uint64 `json:"snapshotEvents"`
+	// RecoveredEvents is how many events Recover replayed at open.
+	RecoveredEvents uint64 `json:"recoveredEvents"`
+	// TruncatedTail reports that recovery found and dropped a torn final
+	// record (the expected signature of a crash mid-append).
+	TruncatedTail bool `json:"truncatedTail,omitempty"`
+	// DroppedBytes is how many trailing journal bytes recovery discarded.
+	DroppedBytes uint64 `json:"droppedBytes,omitempty"`
+	// JournalBytes is the current size of the active journal segment.
+	JournalBytes uint64 `json:"journalBytes"`
+	// Generation is the current snapshot/journal generation number.
+	Generation uint64 `json:"generation"`
+}
+
+// Healther is the optional health-reporting side of a SessionStore. Both
+// built-in backends implement it.
+type Healther interface {
+	Health() Health
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")

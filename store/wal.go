@@ -1,0 +1,491 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when the WAL backend calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged event survives
+	// both a process crash and a machine crash. Slowest.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval writes every append to the kernel immediately (so a
+	// process crash loses nothing) and fsyncs on a background interval, so a
+	// machine crash loses at most one interval of events.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; the kernel flushes at its leisure.
+	// A process crash still loses nothing — appends are unbuffered writes —
+	// but a machine crash may lose recently acknowledged events.
+	SyncNone
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the flag spellings "always", "interval" and "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("store: unknown sync policy %q (want always, interval or none)", s)
+	}
+}
+
+// WALConfig configures a WAL store.
+type WALConfig struct {
+	// Dir is the journal directory, created if absent. Required.
+	Dir string
+	// Sync is the fsync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// SyncInterval is the background fsync cadence under SyncInterval;
+	// 0 means DefaultSyncInterval.
+	SyncInterval time.Duration
+}
+
+// DefaultSyncInterval is the background fsync cadence when WALConfig leaves
+// SyncInterval zero.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// File layout inside WALConfig.Dir. Each snapshot starts a new generation
+// g: "snap-<g>.log" holds the full-state baseline and "wal-<g>.log" the
+// events appended since. Snapshots are written to a ".tmp" file and
+// atomically renamed, so a visible snapshot is always complete; stale
+// generations and leftover temp files are removed on open.
+const (
+	snapPrefix = "snap-"
+	walPrefix  = "wal-"
+	segSuffix  = ".log"
+	tmpSuffix  = ".tmp"
+)
+
+func segName(prefix string, gen uint64) string {
+	return fmt.Sprintf("%s%016d%s", prefix, gen, segSuffix)
+}
+
+// parseSeg extracts the generation from a segment name with the given
+// prefix, reporting whether the name matched.
+func parseSeg(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), segSuffix), 10, 64)
+	return gen, err == nil
+}
+
+// WAL is the durable SessionStore: an append-only journal of CRC-checked,
+// length-prefixed records with snapshot compaction.
+//
+// Durability model: Append writes the record to the journal file with a
+// single unbuffered write — once Append returns, the event survives a
+// process crash regardless of sync policy; the policy only decides how much
+// a machine (power) crash can lose. Recovery tolerates a torn final record
+// (truncating the tail) but refuses corrupt snapshots: a snapshot is
+// rename-atomic, so damage there means disk trouble an operator must see.
+type WAL struct {
+	dir  string
+	sync SyncPolicy
+
+	mu        sync.Mutex
+	f         *os.File // active journal segment
+	gen       uint64
+	closed    bool
+	broken    bool // journal offset unknown after a failed rollback; all writes refused
+	scratch   []byte
+	walBytes  uint64
+	recovered []Event
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+
+	// Counters surfaced by Health; guarded by mu.
+	appends        uint64
+	appendedBytes  uint64
+	syncs          uint64
+	failures       uint64
+	lastErr        string
+	snapshots      uint64
+	snapshotEvents uint64
+	truncatedTail  bool
+	droppedBytes   uint64
+}
+
+var _ SessionStore = (*WAL)(nil)
+var _ Healther = (*WAL)(nil)
+
+// NewWAL opens (or initializes) the journal directory, replays the latest
+// snapshot plus journal into memory for Recover, truncates any torn tail so
+// new appends start from a clean record boundary, and removes stale
+// generations and temp files.
+func NewWAL(cfg WALConfig) (*WAL, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("store: WAL requires a directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating WAL dir: %w", err)
+	}
+	w := &WAL{dir: cfg.Dir, sync: cfg.Sync}
+	if err := w.open(); err != nil {
+		return nil, err
+	}
+	if w.sync == SyncInterval {
+		interval := cfg.SyncInterval
+		if interval <= 0 {
+			interval = DefaultSyncInterval
+		}
+		w.flushStop = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flusher(interval)
+	}
+	return w, nil
+}
+
+// open scans the directory, picks the newest complete generation, loads its
+// events and opens the journal segment for appending.
+func (w *WAL) open() error {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("store: reading WAL dir: %w", err)
+	}
+	var snaps, wals []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			// A temp file is an interrupted snapshot; the previous
+			// generation is still authoritative.
+			_ = os.Remove(filepath.Join(w.dir, name))
+			continue
+		}
+		if gen, ok := parseSeg(name, snapPrefix); ok {
+			snaps = append(snaps, gen)
+		}
+		if gen, ok := parseSeg(name, walPrefix); ok {
+			wals = append(wals, gen)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+
+	// The baseline is the newest snapshot. With no snapshot yet, it is the
+	// OLDEST journal segment (generation 1 on a fresh directory): a newer
+	// segment without a matching snapshot is the empty orphan of a first
+	// snapshot that crashed before its rename commit point, and picking it
+	// would discard every event in the real segment.
+	w.gen = 1
+	haveSnap := len(snaps) > 0
+	if haveSnap {
+		w.gen = snaps[len(snaps)-1]
+	} else if len(wals) > 0 {
+		w.gen = wals[0]
+	}
+
+	if haveSnap {
+		snapPath := filepath.Join(w.dir, segName(snapPrefix, w.gen))
+		raw, err := os.ReadFile(snapPath)
+		if err != nil {
+			return fmt.Errorf("store: reading snapshot: %w", err)
+		}
+		events, _, err := decodeAll(raw)
+		if err != nil {
+			// Snapshots are written whole and rename-atomic: damage here is
+			// disk corruption, and silently dropping sessions would forget
+			// spent privacy budget. Refuse to start.
+			return fmt.Errorf("store: snapshot %s is corrupt: %w", snapPath, err)
+		}
+		w.recovered = events
+	}
+
+	walPath := filepath.Join(w.dir, segName(walPrefix, w.gen))
+	raw, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: reading journal: %w", err)
+	}
+	if err == nil {
+		events, valid, derr := decodeAll(raw)
+		w.recovered = append(w.recovered, events...)
+		w.walBytes = uint64(valid)
+		if derr != nil {
+			// Torn tail (crash mid-append) or trailing corruption: keep the
+			// valid prefix, truncate the rest so appends resume on a record
+			// boundary, and surface the drop in Health.
+			w.truncatedTail = true
+			w.droppedBytes = uint64(len(raw) - valid)
+			if err := os.Truncate(walPath, int64(valid)); err != nil {
+				return fmt.Errorf("store: truncating torn journal tail: %w", err)
+			}
+		}
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening journal: %w", err)
+	}
+	w.f = f
+
+	// Drop stale generations now that the active one is decided.
+	for _, gen := range snaps {
+		if gen != w.gen {
+			_ = os.Remove(filepath.Join(w.dir, segName(snapPrefix, gen)))
+		}
+	}
+	for _, gen := range wals {
+		if gen != w.gen {
+			_ = os.Remove(filepath.Join(w.dir, segName(walPrefix, gen)))
+		}
+	}
+	return nil
+}
+
+// flusher fsyncs the active segment on the configured interval.
+func (w *WAL) flusher(interval time.Duration) {
+	defer close(w.flushDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-ticker.C:
+			w.mu.Lock()
+			if !w.closed {
+				if err := w.f.Sync(); err != nil {
+					w.fail(err)
+				} else {
+					w.syncs++
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// fail records an operational error for Health; callers hold w.mu.
+func (w *WAL) fail(err error) {
+	w.failures++
+	w.lastErr = err.Error()
+}
+
+// Append implements SessionStore.
+func (w *WAL) Append(ev Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.broken {
+		return fmt.Errorf("store: journal in failed state: %s", w.lastErr)
+	}
+	buf, err := appendRecord(w.scratch[:0], ev)
+	if err != nil {
+		w.fail(err)
+		return err
+	}
+	w.scratch = buf
+	if _, err := w.f.Write(buf); err != nil {
+		w.fail(err)
+		// A partial write leaves junk past the last record boundary; a
+		// LATER successful append would land after it, and recovery —
+		// which stops at the first bad record — would silently drop that
+		// acknowledged event. Roll the file back to the last good offset;
+		// if even that fails, refuse all further writes: the journal
+		// offset is unknown and appending blind would be worse.
+		if terr := w.f.Truncate(int64(w.walBytes)); terr != nil {
+			w.broken = true
+			w.fail(terr)
+		}
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	w.appends++
+	w.appendedBytes += uint64(len(buf))
+	w.walBytes += uint64(len(buf))
+	if w.sync == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.fail(err)
+			return fmt.Errorf("store: syncing journal: %w", err)
+		}
+		w.syncs++
+	}
+	return nil
+}
+
+// Snapshot implements SessionStore: it writes the full state to a temp
+// file, fsyncs it, atomically renames it into place, starts a fresh journal
+// segment and deletes the previous generation.
+func (w *WAL) Snapshot(state []Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.broken {
+		return fmt.Errorf("store: journal in failed state: %s", w.lastErr)
+	}
+	gen := w.gen + 1
+	final := filepath.Join(w.dir, segName(snapPrefix, gen))
+	tmp := final + tmpSuffix
+	if err := w.writeSnapshotFile(tmp, state); err != nil {
+		w.fail(err)
+		return err
+	}
+	// Create the new journal segment BEFORE publishing the snapshot: the
+	// rename is the commit point that makes generation gen authoritative,
+	// and once it lands, recovery deletes the old segment — so the new one
+	// must already exist or post-snapshot appends would be lost. Any
+	// failure before the rename aborts cleanly with the old generation
+	// intact (a leftover empty wal-gen is swept as stale on the next open).
+	newWalPath := filepath.Join(w.dir, segName(walPrefix, gen))
+	newWal, err := os.OpenFile(newWalPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		_ = os.Remove(tmp)
+		w.fail(err)
+		return fmt.Errorf("store: starting new journal segment: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = newWal.Close()
+		_ = os.Remove(newWalPath)
+		_ = os.Remove(tmp)
+		w.fail(err)
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	w.syncDir()
+	oldGen := w.gen
+	_ = w.f.Close()
+	w.f = newWal
+	w.gen = gen
+	w.walBytes = 0
+	w.snapshots++
+	w.snapshotEvents = uint64(len(state))
+	_ = os.Remove(filepath.Join(w.dir, segName(snapPrefix, oldGen)))
+	_ = os.Remove(filepath.Join(w.dir, segName(walPrefix, oldGen)))
+	return nil
+}
+
+// writeSnapshotFile writes state as framed records to path and fsyncs it.
+func (w *WAL) writeSnapshotFile(path string, state []Event) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	var buf []byte
+	for _, ev := range state {
+		buf, err = appendRecord(buf, ev)
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(path)
+			return err
+		}
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(path)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(path)
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	w.syncs++
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the journal directory so renames and creates are durable.
+// Best effort: some platforms reject directory fsync.
+func (w *WAL) syncDir() {
+	d, err := os.Open(w.dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Recover implements SessionStore, returning the events loaded at open.
+func (w *WAL) Recover() ([]Event, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
+	return w.recovered, nil
+}
+
+// Close implements SessionStore: it stops the background flusher, fsyncs
+// the journal and closes it.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	if w.flushStop != nil {
+		close(w.flushStop)
+		<-w.flushDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var firstErr error
+	if err := w.f.Sync(); err != nil {
+		firstErr = err
+	} else {
+		w.syncs++
+	}
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		w.fail(firstErr)
+		return fmt.Errorf("store: closing WAL: %w", firstErr)
+	}
+	return nil
+}
+
+// Health implements Healther.
+func (w *WAL) Health() Health {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Health{
+		Backend:         "wal",
+		Appends:         w.appends,
+		AppendedBytes:   w.appendedBytes,
+		Syncs:           w.syncs,
+		Failures:        w.failures,
+		LastError:       w.lastErr,
+		Snapshots:       w.snapshots,
+		SnapshotEvents:  w.snapshotEvents,
+		RecoveredEvents: uint64(len(w.recovered)),
+		TruncatedTail:   w.truncatedTail,
+		DroppedBytes:    w.droppedBytes,
+		JournalBytes:    w.walBytes,
+		Generation:      w.gen,
+	}
+}

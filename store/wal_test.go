@@ -1,0 +1,520 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ev builds a test event with a deterministic payload.
+func ev(kind byte, id string, data string) Event {
+	var d []byte
+	if data != "" {
+		d = []byte(data)
+	}
+	return Event{Kind: kind, ID: id, Data: d}
+}
+
+// eventsEqual compares two event slices structurally.
+func eventsEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].ID != b[i].ID || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// openWAL opens a WAL with SyncAlways in dir, failing the test on error.
+func openWAL(t *testing.T, dir string) *WAL {
+	t.Helper()
+	w, err := NewWAL(WALConfig{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// walPath returns the active journal segment's path.
+func walPath(t *testing.T, w *WAL) string {
+	t.Helper()
+	return filepath.Join(w.dir, segName(walPrefix, w.gen))
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	events := []Event{
+		ev(1, "abc", `{"x":1}`),
+		ev(2, "", ""),
+		ev(255, strings.Repeat("s", 300), string(make([]byte, 1000))),
+	}
+	var buf []byte
+	var err error
+	for _, e := range events {
+		buf, err = appendRecord(buf, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, n, err := decodeAll(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decodeAll: n=%d err=%v, want full clean decode of %d bytes", n, err, len(buf))
+	}
+	if !eventsEqual(got, events) {
+		t.Fatalf("round trip mismatch: got %+v", got)
+	}
+}
+
+func TestRecordRejectsKindZero(t *testing.T) {
+	if _, err := appendRecord(nil, Event{Kind: 0, ID: "x"}); err == nil {
+		t.Fatal("kind 0 encoded, want error")
+	}
+}
+
+func TestDecodeRecordTruncatedAndCorrupt(t *testing.T) {
+	full, err := appendRecord(nil, ev(7, "session", "payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any strict prefix is a truncated tail, not corruption.
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := decodeRecord(full[:cut])
+		if err != ErrTruncatedRecord {
+			t.Fatalf("cut at %d: err=%v, want ErrTruncatedRecord", cut, err)
+		}
+	}
+	// A flipped payload byte is corruption.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, err := decodeRecord(bad); err == nil || err == ErrTruncatedRecord {
+		t.Fatalf("corrupt record: err=%v, want ErrCorruptRecord", err)
+	}
+	// An absurd length prefix is corruption, not an allocation.
+	huge := append([]byte(nil), full...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, err := decodeRecord(huge); err == nil || err == ErrTruncatedRecord {
+		t.Fatalf("oversized length: err=%v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestWALAppendAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	want := []Event{ev(1, "a", "create-a"), ev(2, "a", "progress"), ev(1, "b", "create-b"), ev(3, "a", "")}
+	for _, e := range want {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(got, want) {
+		t.Fatalf("recovered %+v, want %+v", got, want)
+	}
+	h := w2.Health()
+	if h.RecoveredEvents != 4 || h.TruncatedTail {
+		t.Fatalf("health %+v, want 4 recovered events and no truncated tail", h)
+	}
+}
+
+func TestWALRecoverWithoutClose(t *testing.T) {
+	// A process crash leaves no Close behind; with SyncAlways everything
+	// appended must still be there.
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	want := []Event{ev(1, "a", "x"), ev(2, "a", "y")}
+	for _, e := range want {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No w.Close(): simulate the crash by just abandoning the handle.
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(got, want) {
+		t.Fatalf("recovered %+v, want %+v", got, want)
+	}
+}
+
+func TestWALTruncatedTailDropped(t *testing.T) {
+	for cut := 1; cut <= 5; cut++ {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			w := openWAL(t, dir)
+			keep := []Event{ev(1, "a", "first"), ev(2, "a", "second")}
+			for _, e := range keep {
+				if err := w.Append(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Append(ev(2, "a", "torn-away")); err != nil {
+				t.Fatal(err)
+			}
+			path := walPath(t, w)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Cut into the last record, simulating a crash mid-write.
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, info.Size()-int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+
+			w2 := openWAL(t, dir)
+			defer w2.Close()
+			got, err := w2.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eventsEqual(got, keep) {
+				t.Fatalf("recovered %+v, want the two intact events", got)
+			}
+			h := w2.Health()
+			if !h.TruncatedTail || h.DroppedBytes == 0 {
+				t.Fatalf("health %+v, want truncatedTail with dropped bytes", h)
+			}
+			// The torn bytes are physically gone: appends after recovery
+			// land on a clean boundary and a third open sees a clean log.
+			if err := w2.Append(ev(2, "a", "after-recovery")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			w3 := openWAL(t, dir)
+			defer w3.Close()
+			got3, err := w3.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want3 := append(append([]Event(nil), keep...), ev(2, "a", "after-recovery"))
+			if !eventsEqual(got3, want3) {
+				t.Fatalf("after re-append recovered %+v, want %+v", got3, want3)
+			}
+			if w3.Health().TruncatedTail {
+				t.Fatal("third open still sees a torn tail; truncation did not persist")
+			}
+		})
+	}
+}
+
+func TestWALCorruptTailRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	keep := ev(1, "a", "good")
+	if err := w.Append(keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(ev(2, "a", "rotted")); err != nil {
+		t.Fatal(err)
+	}
+	path := walPath(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the final record's payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(got, []Event{keep}) {
+		t.Fatalf("recovered %+v, want only the intact first event", got)
+	}
+	if h := w2.Health(); !h.TruncatedTail {
+		t.Fatalf("health %+v, want truncated tail reported", h)
+	}
+}
+
+func TestWALSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := w.Append(ev(2, "a", fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := []Event{ev(5, "a", "snap-a"), ev(5, "b", "snap-b")}
+	if err := w.Snapshot(state); err != nil {
+		t.Fatal(err)
+	}
+	post := ev(2, "a", "post")
+	if err := w.Append(post); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the new generation's files remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("dir holds %v, want exactly one snap + one wal", names)
+	}
+
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Event(nil), state...), post)
+	if !eventsEqual(got, want) {
+		t.Fatalf("recovered %+v, want snapshot baseline + post-snapshot appends", got)
+	}
+	if h := w2.Health(); h.Generation != 2 {
+		t.Fatalf("generation %d, want 2 after one snapshot", h.Generation)
+	}
+}
+
+func TestWALIgnoresLeftoverTempSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	good := ev(1, "a", "authoritative")
+	if err := w.Append(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-snapshot leaves a temp file; it must be ignored and
+	// removed, with the previous generation still authoritative.
+	tmp := filepath.Join(dir, segName(snapPrefix, 2)+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(got, []Event{good}) {
+		t.Fatalf("recovered %+v, want the pre-crash event", got)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("leftover temp snapshot not removed")
+	}
+}
+
+func TestWALOrphanNewerSegmentSwept(t *testing.T) {
+	// A crash between creating wal-(gen+1) and renaming snap-(gen+1) leaves
+	// an empty newer segment with no matching snapshot; the previous
+	// generation stays authoritative and the orphan is removed.
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	good := ev(1, "a", "authoritative")
+	if err := w.Append(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Snapshot([]Event{good}); err != nil { // now at gen 2
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, segName(walPrefix, 3))
+	if err := os.WriteFile(orphan, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(got, []Event{good}) {
+		t.Fatalf("recovered %+v, want the generation-2 baseline", got)
+	}
+	if h := w2.Health(); h.Generation != 2 {
+		t.Fatalf("generation %d, want 2 (orphan ignored)", h.Generation)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan newer segment not swept")
+	}
+}
+
+func TestWALOrphanSegmentBeforeFirstSnapshotSwept(t *testing.T) {
+	// Same crash window as above but before ANY snapshot exists: the
+	// baseline must be the oldest (real) segment, never the empty orphan.
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	good := ev(1, "a", "authoritative")
+	if err := w.Append(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, segName(walPrefix, 2))
+	if err := os.WriteFile(orphan, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(got, []Event{good}) {
+		t.Fatalf("recovered %+v, want the generation-1 events", got)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan segment not swept")
+	}
+}
+
+func TestWALCorruptSnapshotRefusesToOpen(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Append(ev(1, "a", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Snapshot([]Event{ev(5, "a", "baseline")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, segName(snapPrefix, 2))
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWAL(WALConfig{Dir: dir, Sync: SyncAlways}); err == nil {
+		t.Fatal("corrupt snapshot opened silently; spent budget could be forgotten")
+	}
+}
+
+func TestWALSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := NewWAL(WALConfig{Dir: dir, Sync: policy, SyncInterval: 10 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []Event{ev(1, "s", "a"), ev(2, "s", "b")}
+			for _, e := range want {
+				if err := w.Append(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if policy == SyncInterval {
+				time.Sleep(30 * time.Millisecond) // let the flusher tick
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			w2 := openWAL(t, dir)
+			defer w2.Close()
+			got, err := w2.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eventsEqual(got, want) {
+				t.Fatalf("recovered %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestWALClosedOperationsFail(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(ev(1, "a", "")); err != ErrClosed {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := w.Snapshot(nil); err != ErrClosed {
+		t.Fatalf("Snapshot after Close: %v, want ErrClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v, want nil", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"none", SyncNone}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	m := NewMem()
+	if err := m.Append(ev(1, "a", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Snapshot(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Recover()
+	if err != nil || got != nil {
+		t.Fatalf("Recover = %v, %v, want empty", got, err)
+	}
+	h := m.Health()
+	if h.Backend != "mem" || h.Appends != 1 || h.Snapshots != 1 {
+		t.Fatalf("health %+v", h)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(ev(1, "a", "x")); err != ErrClosed {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+}

@@ -127,3 +127,26 @@ func (s *Sparse) Answered() int { return s.answered }
 func (s *Sparse) Budgets() (eps1, eps2, eps3 float64) {
 	return s.eps1, s.eps2, s.eps3
 }
+
+// Restore fast-forwards a freshly constructed mechanism's accounting to a
+// state journaled before a crash: answered queries answered so far and
+// positives positive outcomes already released. After Restore the mechanism
+// can release at most MaxPositives−positives further positives, and is
+// halted when positives == MaxPositives — spent budget is never refreshed
+// by a restart. The noise stream is not restored: a recovered mechanism
+// draws fresh threshold and query noise, so Restore preserves the privacy
+// accounting, not the exact realized randomness.
+func (s *Sparse) Restore(answered, positives int) error {
+	if s.answered != 0 || s.alg.Remaining() != s.opts.MaxPositives {
+		return errors.New("svt: Restore requires a freshly constructed mechanism")
+	}
+	if positives < 0 || positives > s.opts.MaxPositives {
+		return fmt.Errorf("svt: restored positives %d out of [0, %d]", positives, s.opts.MaxPositives)
+	}
+	if answered < positives {
+		return fmt.Errorf("svt: restored answered %d below positives %d", answered, positives)
+	}
+	s.answered = answered
+	s.alg.Restore(positives)
+	return nil
+}

@@ -36,6 +36,31 @@ func (s stream) Next(query, threshold float64) (svt.Result, bool) {
 
 func (s stream) Halted() bool { return s.alg.Halted() }
 
+// Restorer is the optional crash-recovery side of a Stream: Restore
+// fast-forwards the positive-outcome count of a freshly constructed stream
+// to the value journaled before a crash, so spent budget is never refreshed
+// by a restart. The differentially private streams (NewProposed, NewDPBook)
+// support it; the broken historical variants do not need to.
+type Restorer interface {
+	Restore(positives int) error
+}
+
+// Restore implements Restorer when the wrapped algorithm supports it. The
+// caller is responsible for keeping positives within the stream's cutoff c
+// (the underlying algorithm panics outside [0, c], mirroring the paper
+// implementations' precondition style).
+func (s stream) Restore(positives int) error {
+	r, ok := s.alg.(interface{ Restore(n int) })
+	if !ok {
+		return fmt.Errorf("variants: %T does not support restore", s.alg)
+	}
+	if positives < 0 {
+		return fmt.Errorf("variants: restored positives must be non-negative, got %d", positives)
+	}
+	r.Restore(positives)
+	return nil
+}
+
 func check(epsilon, delta float64, c int, needC bool) error {
 	if !(epsilon > 0) || math.IsInf(epsilon, 0) {
 		return fmt.Errorf("variants: epsilon must be positive and finite, got %v", epsilon)
