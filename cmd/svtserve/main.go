@@ -181,12 +181,17 @@ func run(cfg config) error {
 	// snapshot loops so nothing appends anymore, take a final compacting
 	// snapshot for a fast next boot, and only then flush and close the
 	// store. An acknowledged event can no longer be lost past this line.
+	// A failed final snapshot does not lose data — the journal remains
+	// authoritative — but it IS a store malfunction the operator must see,
+	// so it is reported and the process exits non-zero rather than
+	// swallowing it into a clean-looking shutdown.
 	log.Printf("svtserve: shutting down (draining up to %s)", cfg.drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	shutErr := srv.Shutdown(shutCtx)
 	mgr.Close()
-	if snapErr := mgr.SnapshotNow(); snapErr != nil {
+	snapErr := mgr.SnapshotNow()
+	if snapErr != nil {
 		log.Printf("svtserve: final snapshot failed (journal remains authoritative): %v", snapErr)
 	}
 	if st != nil {
@@ -196,6 +201,9 @@ func run(cfg config) error {
 	}
 	if shutErr != nil {
 		return fmt.Errorf("shutdown: %w", shutErr)
+	}
+	if snapErr != nil {
+		return fmt.Errorf("final snapshot: %w", snapErr)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -70,3 +70,9 @@ func (a *Alg1) Restore(n int) {
 	a.count = n
 	a.halted = n >= a.c
 }
+
+// Draws returns the source's stream position; see Alg7.Draws.
+func (a *Alg1) Draws() uint64 { return a.src.Draws() }
+
+// Skip advances the source by n draws; see rng.Source.Skip.
+func (a *Alg1) Skip(n uint64) { a.src.Skip(n) }

@@ -75,3 +75,18 @@ func (a *Alg2) Restore(n int) {
 	a.count = n
 	a.halted = n >= a.c
 }
+
+// Draws returns the source's stream position; see Alg7.Draws.
+func (a *Alg2) Draws() uint64 { return a.src.Draws() }
+
+// Skip advances the source by n draws; see rng.Source.Skip.
+func (a *Alg2) Skip(n uint64) { a.src.Skip(n) }
+
+// Rho returns the current noisy-threshold offset ρ. Unlike Alg1 and Alg7,
+// Alg2 resamples ρ after every positive outcome (Line 6), so the current
+// value is not re-derivable by rebuilding from the seed — crash recovery
+// must journal it alongside the stream position.
+func (a *Alg2) Rho() float64 { return a.rho }
+
+// SetRho overwrites ρ for crash recovery; see Rho.
+func (a *Alg2) SetRho(v float64) { a.rho = v }

@@ -130,3 +130,12 @@ func (a *Alg7) Restore(n int) {
 	a.count = n
 	a.halted = n >= a.c
 }
+
+// Draws returns the source's stream position (Uint64 values consumed,
+// including the ones drawing ρ at construction). Crash recovery journals it
+// so a seeded mechanism can be fast-forwarded instead of replayed.
+func (a *Alg7) Draws() uint64 { return a.src.Draws() }
+
+// Skip advances the source by n draws without using their values; see
+// rng.Source.Skip.
+func (a *Alg7) Skip(n uint64) { a.src.Skip(n) }

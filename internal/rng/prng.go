@@ -19,8 +19,15 @@ import "math"
 // It implements xoshiro256++ by Blackman and Vigna (public domain), which
 // has a 2^256-1 period and passes BigCrush. The zero value is not a valid
 // source; use New or NewFromState.
+//
+// A Source counts every Uint64 it produces (Draws). Together with Skip this
+// makes a seeded stream resumable at an exact position: a crash-recovery
+// layer journals Draws, rebuilds the Source from the same seed, and skips
+// forward so the continuation is bit-identical to the uninterrupted stream
+// while never re-emitting a pre-crash draw.
 type Source struct {
-	s [4]uint64
+	s     [4]uint64
+	draws uint64
 }
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
@@ -72,7 +79,25 @@ func (r *Source) Uint64() uint64 {
 	r.s[0] ^= r.s[3]
 	r.s[2] ^= t
 	r.s[3] = rotl(r.s[3], 45)
+	r.draws++
 	return result
+}
+
+// Draws returns how many Uint64 values the source has produced since
+// construction. Every higher-level sampler (Float64, Laplace, Intn, ...)
+// consumes the stream exclusively through Uint64, so Draws is an exact
+// stream position regardless of which samplers ran.
+func (r *Source) Draws() uint64 { return r.draws }
+
+// Skip advances the stream by n draws, discarding their outputs. After
+// Skip(n) the source produces exactly the values a twin source would after
+// n extra Uint64 calls. Crash recovery uses it to fast-forward a re-seeded
+// source past every pre-crash draw, so recovered mechanisms continue the
+// stream instead of replaying it.
+func (r *Source) Skip(n uint64) {
+	for ; n > 0; n-- {
+		r.Uint64()
+	}
 }
 
 // Split returns a new Source whose stream is statistically independent of

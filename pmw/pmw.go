@@ -288,6 +288,57 @@ func (e *Engine) Restore(answered, updates int) error {
 	return nil
 }
 
+// Draws returns the positions of the engine's two noise streams: the SVT
+// gate's source and the Laplace update-release source. Crash recovery
+// journals both so a seeded engine can be resumed with FastForward.
+func (e *Engine) Draws() (gate, update uint64) {
+	return e.gate.Draws(), e.src.Draws()
+}
+
+// FastForward advances both noise streams to the absolute positions
+// previously reported by Draws, discarding the skipped values. For a seeded
+// engine rebuilt from its original seed — with the synthetic histogram
+// restored via RestoreSynthetic — the continuation is bit-identical to an
+// uninterrupted run, and no pre-crash draw is ever re-emitted. It returns an
+// error if either stream is already past its target.
+func (e *Engine) FastForward(gate, update uint64) error {
+	if err := e.gate.FastForward(gate); err != nil {
+		return fmt.Errorf("pmw: gate: %w", err)
+	}
+	cur := e.src.Draws()
+	if update < cur {
+		return fmt.Errorf("pmw: cannot fast-forward update stream to draw %d, already at %d", update, cur)
+	}
+	e.src.Skip(update - cur)
+	return nil
+}
+
+// RestoreSynthetic replaces the public synthetic histogram with a journaled
+// snapshot of it, so a recovered engine resumes from its learned
+// distribution instead of restarting at the uniform prior. The values are
+// copied verbatim — no renormalization — so a seeded, fast-forwarded engine
+// continues bit-identically to the uninterrupted run; the journaled mass
+// must agree with the engine's total up to floating-point renormalization
+// slack. The synthetic histogram is derived entirely from already-released
+// answers, so restoring it spends no privacy budget.
+func (e *Engine) RestoreSynthetic(synth []float64) error {
+	if len(synth) != len(e.synth) {
+		return fmt.Errorf("pmw: restored synthetic histogram has %d buckets, want %d", len(synth), len(e.synth))
+	}
+	mass := 0.0
+	for i, v := range synth {
+		if !(v >= 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("pmw: restored synthetic[%d] = %v must be a finite non-negative count", i, v)
+		}
+		mass += v
+	}
+	if !(mass > 0) || math.Abs(mass-e.total) > 1e-6*e.total {
+		return fmt.Errorf("pmw: restored synthetic mass %v does not match the engine total %v", mass, e.total)
+	}
+	copy(e.synth, synth)
+	return nil
+}
+
 // Budgets returns the realized privacy-budget split of the whole
 // interaction: the SVT gate's threshold and query budgets (ε₁, ε₂) and the
 // total budget of the Laplace update releases as ε₃. The three sum to the

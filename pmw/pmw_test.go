@@ -271,3 +271,104 @@ func TestQuickEngineInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEngineFastForwardResumesBitIdentical(t *testing.T) {
+	cfg := Config{
+		Histogram:  []float64{120, 40, 260, 10, 75, 95},
+		Epsilon:    2,
+		MaxUpdates: 6,
+		Threshold:  15,
+		Seed:       77,
+	}
+	queries := make([][]int, 40)
+	for i := range queries {
+		queries[i] = []int{i % 6, (i + 2) % 6}
+	}
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Result
+	for _, q := range queries {
+		res, err := full.Answer(q)
+		if err != nil && err != ErrExhausted {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	// Interrupted twin: crash after 15 queries, "journal" the engine state,
+	// rebuild from the seed, restore accounting + synthetic + positions.
+	crashed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const kill = 15
+	for _, q := range queries[:kill] {
+		if _, err := crashed.Answer(q); err != nil && err != ErrExhausted {
+			t.Fatal(err)
+		}
+	}
+	gate, update := crashed.Draws()
+	answered, updates := crashed.Answered(), crashed.Updates()
+	synth := crashed.Synthetic()
+	if updates == 0 {
+		t.Fatal("setup: no updates before the crash; the test would be vacuous")
+	}
+
+	rebuilt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Restore(answered, updates); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.RestoreSynthetic(synth); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.FastForward(gate, update); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries[kill:] {
+		res, err := rebuilt.Answer(q)
+		if err != nil && err != ErrExhausted {
+			t.Fatal(err)
+		}
+		if res != want[kill+i] {
+			t.Fatalf("answer %d diverged after fast-forward: got %+v, want %+v", kill+i, res, want[kill+i])
+		}
+	}
+}
+
+func TestEngineFastForwardRejectsRewind(t *testing.T) {
+	e, err := New(Config{Histogram: []float64{10, 20}, Epsilon: 1, MaxUpdates: 2, Threshold: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate, update := e.Draws()
+	if gate == 0 {
+		t.Fatal("gate construction consumed no draws")
+	}
+	if err := e.FastForward(gate-1, update); err == nil {
+		t.Fatal("rewinding the gate stream succeeded")
+	}
+}
+
+func TestRestoreSyntheticValidates(t *testing.T) {
+	e, err := New(Config{Histogram: []float64{10, 20, 30}, Epsilon: 1, MaxUpdates: 2, Threshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RestoreSynthetic([]float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := e.RestoreSynthetic([]float64{-1, 30, 31}); err == nil {
+		t.Fatal("negative bucket accepted")
+	}
+	if err := e.RestoreSynthetic([]float64{1, 1, 1}); err == nil {
+		t.Fatal("mass mismatch accepted")
+	}
+	if err := e.RestoreSynthetic([]float64{30, 10, 20}); err != nil {
+		t.Fatalf("valid synthetic rejected: %v", err)
+	}
+}

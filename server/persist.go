@@ -8,19 +8,32 @@ package server
 // (session create, queries answered, positives consumed, halt, delete,
 // expiry) is appended to the store BEFORE the response acknowledging it is
 // released, so a crash can never forget spent budget that an analyst has
-// already observed. Replay restores each session's counters and
-// fast-forwards its mechanism (svt.Sparse.Restore and friends); the noise
-// streams themselves restart fresh, which preserves the privacy accounting
-// — never the other way around.
+// already observed.
+//
+// Codec v2 additionally journals each seeded session's noise-stream
+// POSITION (the count of raw draws its sources have consumed), the current
+// noisy-threshold offset ρ for the dpbook mechanism (which resamples it),
+// and pmw's learned synthetic histogram. Replay rebuilds the mechanism from
+// its original seed and fast-forwards the re-seeded source by discarding
+// exactly the journaled number of draws: no pre-crash draw is ever
+// re-emitted — replaying noise from position 0 would hand the analyst
+// deterministic repeats of pre-crash comparisons, enough to binary-search
+// the realized noisy threshold — yet the post-restart answer stream is
+// bit-identical to an uninterrupted run, so the Seed reproducibility
+// contract survives a crash. Unseeded sessions keep the v1 behavior:
+// accounting is restored, noise is fresh. v1 records (no version tag, seed
+// scrubbed to zero) decode and replay exactly as before.
 
 import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/dpgo/svt/store"
+	"github.com/dpgo/svt/variants"
 )
 
 // Journaled event kinds. evCreate and evSnapshot both carry a full
@@ -28,11 +41,17 @@ import (
 // so replay treats them identically.
 const (
 	evCreate   byte = 1 // session created; Data = sessionRecord JSON
-	evProgress byte = 2 // batch answered; Data = uvarint Δanswered, Δpositives
+	evProgress byte = 2 // batch answered; Data = binary progressDelta
 	evDelete   byte = 3 // session deleted by the analyst; no Data
 	evExpire   byte = 4 // session collected by the TTL janitor; no Data
 	evSnapshot byte = 5 // full-state baseline entry; Data = sessionRecord JSON
 )
+
+// persistVersion tags sessionRecords written by this codec. Version 2 added
+// seed retention plus noise-stream positions; absent (zero) marks a v1
+// record, whose seed was always scrubbed and whose streams therefore
+// restart fresh on replay.
+const persistVersion = 2
 
 // ErrStoreAppend wraps a failed journal append. The response that would
 // have acknowledged the un-journaled transition is withheld (the HTTP layer
@@ -44,65 +63,213 @@ var ErrStoreAppend = errors.New("server: journaling to the session store failed"
 // everything needed to rebuild the session byte-for-byte — the create
 // parameters as realized (TTL resolved, so Params.TTLSeconds is the
 // session's actual TTL; the (ε₁, ε₂, ε₃) split recomputes
-// deterministically from them), plus the counters.
+// deterministically from them), the counters, and the noise-stream state.
 type sessionRecord struct {
+	// V is the codec version; absent means v1 (pre-stream-position).
+	V         int          `json:"v,omitempty"`
 	Params    CreateParams `json:"params"`
 	CreatedAt int64        `json:"createdAtUnixNano"`
 	Answered  int          `json:"answered"`
 	Positives int          `json:"positives"`
+	// Draws is the main noise stream's absolute position: raw 64-bit draws
+	// consumed, construction included (for pmw, the Laplace update-release
+	// stream). Meaningful only for seeded sessions.
+	Draws uint64 `json:"draws,omitempty"`
+	// GateDraws is the pmw SVT gate stream's absolute position.
+	GateDraws uint64 `json:"gateDraws,omitempty"`
+	// Rho is dpbook's current noisy-threshold offset, which is resampled on
+	// every positive outcome and therefore not re-derivable from the seed.
+	// It never leaves the server: the journal is exactly as private as the
+	// seed it is derived from.
+	Rho *float64 `json:"rho,omitempty"`
+	// Synth is pmw's learned synthetic histogram, so a restored session
+	// resumes from its learned distribution instead of the uniform prior.
+	Synth []float64 `json:"synth,omitempty"`
 }
 
-// persistRecord snapshots the session's durable state under its lock.
+// persistRecord snapshots the session's durable state under its lock. The
+// seed is retained (v2): rebuilding a seeded session re-derives the same
+// realized threshold noise, and replay FAST-FORWARDS the stream past every
+// journaled draw instead of replaying it from position 0 — so pre-crash
+// noise is never re-emitted while the post-restart stream stays
+// bit-identical to an uninterrupted run.
 func (s *Session) persistRecord() sessionRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec := sessionRecord{
+		V:         persistVersion,
 		Params:    s.params,
 		CreatedAt: s.createdAt.UnixNano(),
 		Answered:  s.answered,
 		Positives: s.positives,
 	}
-	// Never persist the seed: rebuilding a seeded session would replay the
-	// SAME noise stream from position 0 (Restore advances counters, not
-	// the stream), handing the analyst deterministic repeats of pre-crash
-	// comparisons — enough to binary-search the realized noisy threshold
-	// for free. Seed 0 makes the recovered mechanism crypto-seeded, so the
-	// "fresh noise after recovery" guarantee actually holds; the cost is
-	// only that seeded sessions lose reproducibility across a restart.
-	rec.Params.Seed = 0
+	rec.Draws, rec.GateDraws = s.drawsLocked()
+	if s.engine != nil {
+		rec.Synth = s.engine.Synthetic()
+	}
+	if rho, ok := s.rhoLocked(); ok {
+		rec.Rho = &rho
+	}
 	return rec
 }
 
 // sessionEvent encodes the session's full state as an event of the given
 // kind (evCreate or evSnapshot).
 func sessionEvent(kind byte, s *Session) (store.Event, error) {
-	data, err := json.Marshal(s.persistRecord())
+	return sessionRecordEvent(kind, s.id, s.persistRecord())
+}
+
+// sessionRecordEvent encodes an already-captured record.
+func sessionRecordEvent(kind byte, id string, rec sessionRecord) (store.Event, error) {
+	data, err := json.Marshal(rec)
 	if err != nil {
 		return store.Event{}, fmt.Errorf("server: encoding session record: %w", err)
 	}
-	return store.Event{Kind: kind, ID: s.id, Data: data}, nil
+	return store.Event{Kind: kind, ID: id, Data: data}, nil
+}
+
+// progressDelta is what one answered batch adds to a session's journaled
+// state: the counter deltas, the noise-stream draw deltas, and — only when
+// positives were consumed — the evolving mechanism state that cannot be
+// re-derived at replay (dpbook's resampled ρ, pmw's reweighted synthetic
+// histogram).
+type progressDelta struct {
+	answered  int
+	positives int
+	draws     uint64
+	gateDraws uint64
+	rho       *float64
+	synth     []float64
+}
+
+// progressFlags bits in the v2 binary encoding.
+const (
+	progressHasRho   = 1 << 0
+	progressHasSynth = 1 << 1
+)
+
+// takeProgress captures and claims the journal delta for a finished batch
+// under the session lock. The draw deltas are relative to the last claimed
+// position; claiming is optimistic — if the append then fails, the claimed
+// draws are simply never journaled, which is safe: the batch's response is
+// withheld, so skipping fewer draws at replay re-emits only noise the
+// analyst never observed, and the next snapshot record re-absolutizes the
+// position.
+func (s *Session) takeProgress(res BatchResult) progressDelta {
+	dAnswered, dPositives := s.batchDeltas(res)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	main, gate := s.drawsLocked()
+	d := progressDelta{
+		answered:  dAnswered,
+		positives: dPositives,
+		draws:     main - s.jDraws,
+		gateDraws: gate - s.jGate,
+	}
+	s.jDraws, s.jGate = main, gate
+	if dPositives > 0 {
+		if s.engine != nil {
+			d.synth = s.engine.Synthetic()
+		} else if rho, ok := s.rhoLocked(); ok {
+			d.rho = &rho
+		}
+	}
+	return d
 }
 
 // progressEvent encodes a batch's deltas compactly — this is the hot-path
-// record, one per answered batch.
-func progressEvent(id string, dAnswered, dPositives int) store.Event {
-	buf := make([]byte, 0, 2*binary.MaxVarintLen64)
-	buf = binary.AppendUvarint(buf, uint64(dAnswered))
-	buf = binary.AppendUvarint(buf, uint64(dPositives))
+// record, one per answered batch. Layout (all integers uvarint unless
+// noted): dAnswered, dPositives, dDraws, dGateDraws, a flags byte, then an
+// optional ρ (8 bytes, float64 LE bits) and an optional synthetic histogram
+// (uvarint length + 8 bytes per bucket). A v1 record is the first two
+// fields alone.
+func progressEvent(id string, d progressDelta) store.Event {
+	buf := make([]byte, 0, 4*binary.MaxVarintLen64+1)
+	buf = binary.AppendUvarint(buf, uint64(d.answered))
+	buf = binary.AppendUvarint(buf, uint64(d.positives))
+	buf = binary.AppendUvarint(buf, d.draws)
+	buf = binary.AppendUvarint(buf, d.gateDraws)
+	var flags byte
+	if d.rho != nil {
+		flags |= progressHasRho
+	}
+	if d.synth != nil {
+		flags |= progressHasSynth
+	}
+	buf = append(buf, flags)
+	if d.rho != nil {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(*d.rho))
+	}
+	if d.synth != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(d.synth)))
+		for _, v := range d.synth {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
 	return store.Event{Kind: evProgress, ID: id, Data: buf}
 }
 
-// decodeProgress is the inverse of progressEvent.
-func decodeProgress(data []byte) (dAnswered, dPositives int, err error) {
+// decodeProgress is the inverse of progressEvent, accepting both the v1
+// two-field layout and the v2 layout.
+func decodeProgress(data []byte) (progressDelta, error) {
+	var d progressDelta
+	bad := func() (progressDelta, error) {
+		return progressDelta{}, fmt.Errorf("server: bad progress record")
+	}
 	da, n := binary.Uvarint(data)
 	if n <= 0 {
-		return 0, 0, fmt.Errorf("server: bad progress record")
+		return bad()
 	}
-	dp, n2 := binary.Uvarint(data[n:])
-	if n2 <= 0 {
-		return 0, 0, fmt.Errorf("server: bad progress record")
+	data = data[n:]
+	dp, n := binary.Uvarint(data)
+	if n <= 0 {
+		return bad()
 	}
-	return int(da), int(dp), nil
+	data = data[n:]
+	d.answered, d.positives = int(da), int(dp)
+	if len(data) == 0 {
+		return d, nil // v1 record: counters only
+	}
+	if d.draws, n = binary.Uvarint(data); n <= 0 {
+		return bad()
+	}
+	data = data[n:]
+	if d.gateDraws, n = binary.Uvarint(data); n <= 0 {
+		return bad()
+	}
+	data = data[n:]
+	if len(data) == 0 {
+		return bad()
+	}
+	flags := data[0]
+	data = data[1:]
+	if flags&progressHasRho != 0 {
+		if len(data) < 8 {
+			return bad()
+		}
+		rho := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		d.rho = &rho
+		data = data[8:]
+	}
+	if flags&progressHasSynth != 0 {
+		ln, n := binary.Uvarint(data)
+		if n <= 0 {
+			return bad()
+		}
+		data = data[n:]
+		if uint64(len(data)) != 8*ln {
+			return bad()
+		}
+		d.synth = make([]float64, ln)
+		for i := range d.synth {
+			d.synth[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		data = data[8*ln:]
+	}
+	if len(data) != 0 {
+		return bad()
+	}
+	return d, nil
 }
 
 // batchDeltas derives the journal deltas from a batch result: how many
@@ -150,12 +317,20 @@ func (m *SessionManager) recoverSessions() error {
 			if !ok {
 				continue
 			}
-			da, dp, err := decodeProgress(ev.Data)
+			d, err := decodeProgress(ev.Data)
 			if err != nil {
 				return fmt.Errorf("server: replaying event %d for session %s: %w", i, ev.ID, err)
 			}
-			rec.Answered += da
-			rec.Positives += dp
+			rec.Answered += d.answered
+			rec.Positives += d.positives
+			rec.Draws += d.draws
+			rec.GateDraws += d.gateDraws
+			if d.rho != nil {
+				rec.Rho = d.rho
+			}
+			if d.synth != nil {
+				rec.Synth = d.synth
+			}
 		case evDelete, evExpire:
 			delete(staged, ev.ID)
 		default:
@@ -182,8 +357,11 @@ func (m *SessionManager) recoverSessions() error {
 
 // rebuildSession reconstructs one session from its journaled record: the
 // mechanism is rebuilt from the original parameters (same deterministic
-// budget split; fresh noise) and fast-forwarded to the journaled counters.
-// The idle TTL restarts at recovery time.
+// budget split) and fast-forwarded to the journaled counters. Seeded v2
+// sessions additionally fast-forward their noise streams to the journaled
+// positions, resuming the exact pre-crash stream without re-emitting any
+// draw; unseeded (and v1) sessions draw fresh noise. The idle TTL restarts
+// at recovery time.
 func (m *SessionManager) rebuildSession(id string, rec *sessionRecord, now time.Time) (*Session, error) {
 	ttl := time.Duration(rec.Params.TTLSeconds * float64(time.Second))
 	if ttl <= 0 {
@@ -196,60 +374,170 @@ func (m *SessionManager) rebuildSession(id string, rec *sessionRecord, now time.
 	if err := s.restore(rec.Answered, rec.Positives); err != nil {
 		return nil, fmt.Errorf("server: recovering session %s: %w", id, err)
 	}
+	if err := s.restoreStream(rec); err != nil {
+		return nil, fmt.Errorf("server: recovering session %s: %w", id, err)
+	}
 	s.touch(now)
 	return s, nil
+}
+
+// restoreStream is crash recovery's noise-stream step: restore pmw's
+// learned synthetic histogram, then — for seeded v2 records — fast-forward
+// the re-seeded sources to the journaled positions and reinstall dpbook's
+// resampled ρ.
+func (s *Session) restoreStream(rec *sessionRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.engine != nil && rec.Synth != nil {
+		if err := s.engine.RestoreSynthetic(rec.Synth); err != nil {
+			return err
+		}
+	}
+	if rec.V >= persistVersion && s.params.Seed != 0 {
+		switch {
+		case s.sparse != nil:
+			if err := s.sparse.FastForward(rec.Draws); err != nil {
+				return err
+			}
+		case s.engine != nil:
+			if err := s.engine.FastForward(rec.GateDraws, rec.Draws); err != nil {
+				return err
+			}
+		default:
+			ss, ok := s.stream.(variants.StreamState)
+			if !ok {
+				return fmt.Errorf("server: mechanism %q does not support stream fast-forward", s.mech)
+			}
+			if err := ss.FastForward(rec.Draws); err != nil {
+				return err
+			}
+			if rec.Rho != nil {
+				if rs, ok := s.stream.(variants.RhoState); ok {
+					rs.SetRho(*rec.Rho)
+				}
+			}
+		}
+	}
+	s.jDraws, s.jGate = s.drawsLocked()
+	return nil
 }
 
 // journalProgress appends the batch's deltas; callers hold m.journalMu
 // read-locked. Batches that changed nothing (empty results on an already
 // halted session) are not journaled.
 func (m *SessionManager) journalProgress(s *Session, res BatchResult) error {
-	dAnswered, dPositives := s.batchDeltas(res)
-	if dAnswered == 0 {
+	d := s.takeProgress(res)
+	if d.answered == 0 {
 		return nil
 	}
-	if err := m.store.Append(progressEvent(s.id, dAnswered, dPositives)); err != nil {
+	if err := m.store.Append(progressEvent(s.id, d)); err != nil {
 		return fmt.Errorf("%w: %v", ErrStoreAppend, err)
 	}
 	return nil
 }
 
+// collectedRecord pairs a session id with its captured durable state, so
+// the expensive JSON encoding can happen outside any lock.
+type collectedRecord struct {
+	id  string
+	rec sessionRecord
+}
+
+// collectRecords captures every live session's durable state. Callers hold
+// m.journalMu write-locked, so the capture is a consistent cut; the work per
+// session is a struct copy (plus a histogram copy for pmw), not an encode.
+func (m *SessionManager) collectRecords() []collectedRecord {
+	var recs []collectedRecord
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			recs = append(recs, collectedRecord{id: s.id, rec: s.persistRecord()})
+		}
+		sh.mu.RUnlock()
+	}
+	return recs
+}
+
+// encodeState turns collected records into snapshot events.
+func encodeState(recs []collectedRecord) ([]store.Event, error) {
+	state := make([]store.Event, 0, len(recs))
+	for _, cr := range recs {
+		ev, err := sessionRecordEvent(evSnapshot, cr.id, cr.rec)
+		if err != nil {
+			return nil, err
+		}
+		state = append(state, ev)
+	}
+	return state, nil
+}
+
 // SnapshotNow writes a full-state snapshot to the store, compacting the
-// journal. It excludes appenders (the journal write lock) for the whole
-// collect-and-persist step, so the snapshot is a consistent cut: every
-// transition is either inside the snapshot or in the journal after it,
-// never lost between the two. The cost is a pause of query traffic for the
-// duration of one state serialization plus one snapshot write per
-// SnapshotInterval; splitting the segment switch from the baseline write
-// (so the file I/O happens outside the lock) needs multi-segment replay
-// and is noted in the ROADMAP as the store layer's next step. It is a
-// no-op without a store.
+// journal. With a store that supports two-phase snapshots (store.Rotator —
+// the WAL), the journal write lock is held only to rotate to a fresh
+// segment and copy the per-session records: a consistent cut whose cost is
+// independent of any file I/O. The JSON encoding and the baseline file
+// write — the expensive, state-size-proportional part — happen outside the
+// lock, with query traffic flowing into the new segment; recovery replays
+// the committed baseline plus every newer segment, so nothing acknowledged
+// is ever lost even if the commit never lands. Stores without rotation
+// (Mem, external backends) fall back to the one-phase path under the lock.
+// It is a no-op without a store, and safe for concurrent use.
 func (m *SessionManager) SnapshotNow() error {
 	if m.store == nil {
 		return nil
 	}
-	m.journalMu.Lock()
-	defer m.journalMu.Unlock()
-	var state []store.Event
-	for _, sh := range m.shards {
-		sh.mu.RLock()
-		for _, s := range sh.sessions {
-			ev, err := sessionEvent(evSnapshot, s)
-			if err != nil {
-				sh.mu.RUnlock()
-				return err
-			}
-			state = append(state, ev)
-		}
-		sh.mu.RUnlock()
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	err := m.snapshotNow()
+	if err != nil {
+		m.snapFailures.Add(1)
+		m.snapLastErr.Store(err.Error())
+	} else {
+		// A success clears the last error so Stats reports only a CURRENT
+		// failure condition; the failure counter keeps the history.
+		m.snapLastErr.Store("")
 	}
-	if err := m.store.Snapshot(state); err != nil {
+	return err
+}
+
+// snapshotNow does the work; callers hold m.snapMu.
+func (m *SessionManager) snapshotNow() error {
+	rotator, ok := m.store.(store.Rotator)
+	if !ok {
+		m.journalMu.Lock()
+		defer m.journalMu.Unlock()
+		state, err := encodeState(m.collectRecords())
+		if err != nil {
+			return err
+		}
+		if err := m.store.Snapshot(state); err != nil {
+			return fmt.Errorf("server: writing store snapshot: %w", err)
+		}
+		return nil
+	}
+	m.journalMu.Lock()
+	rot, err := rotator.Rotate()
+	if err != nil {
+		m.journalMu.Unlock()
+		return fmt.Errorf("server: rotating store segment: %w", err)
+	}
+	recs := m.collectRecords()
+	m.journalMu.Unlock()
+	state, err := encodeState(recs)
+	if err != nil {
+		rot.Abort()
+		return err
+	}
+	if err := rot.Commit(state); err != nil {
 		return fmt.Errorf("server: writing store snapshot: %w", err)
 	}
 	return nil
 }
 
 // snapshotLoop periodically compacts the journal until the manager closes.
+// Sessions and queries keep flowing if a snapshot fails; the failure is
+// counted, surfaced in Stats (and thus GET /v1/stats) and logged, because a
+// store that can no longer compact will eventually exhaust its disk.
 func (m *SessionManager) snapshotLoop(interval time.Duration) {
 	defer close(m.snapshotDone)
 	ticker := time.NewTicker(interval)
@@ -259,9 +547,9 @@ func (m *SessionManager) snapshotLoop(interval time.Duration) {
 		case <-m.janitorStop:
 			return
 		case <-ticker.C:
-			// Sessions and queries keep flowing if a snapshot fails; the
-			// failure is visible in the store's Health counters.
-			_ = m.SnapshotNow()
+			if err := m.SnapshotNow(); err != nil {
+				m.logf("server: periodic snapshot failed (journal remains authoritative): %v", err)
+			}
 		}
 	}
 }

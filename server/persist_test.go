@@ -7,6 +7,7 @@ package server
 // positive-outcome budget still consumed.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -17,6 +18,11 @@ import (
 
 	"github.com/dpgo/svt/store"
 )
+
+// appendUvarintForTest builds raw v1 progress payloads.
+func appendUvarintForTest(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
 
 // openWALManager opens a manager journaling to dir with immediate fsync.
 // Periodic snapshots are disabled so tests control compaction explicitly.
@@ -371,11 +377,13 @@ func TestCreateRolledBackWhenJournalFails(t *testing.T) {
 	}
 }
 
-func TestSeedNeverPersisted(t *testing.T) {
+func TestSeedPersistedWithStreamPosition(t *testing.T) {
 	// Replaying a seeded noise stream from position 0 after a crash would
-	// let the analyst binary-search the realized noisy threshold for free;
-	// the journaled record must therefore carry seed 0 (crypto-seeded on
-	// rebuild) no matter what the session was created with.
+	// let the analyst binary-search the realized noisy threshold for free.
+	// Codec v2 therefore journals the seed TOGETHER with the stream
+	// position: replay rebuilds from the seed and fast-forwards past every
+	// journaled draw, so pre-crash noise is never re-emitted while seeded
+	// sessions keep their reproducibility contract across a restart.
 	p := sparseParams()
 	if p.Seed == 0 {
 		t.Fatal("test params must be seeded")
@@ -384,8 +392,57 @@ func TestSeedNeverPersisted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec := s.persistRecord(); rec.Params.Seed != 0 {
-		t.Fatalf("journaled record carries seed %d, want 0", rec.Params.Seed)
+	rec := s.persistRecord()
+	if rec.V < persistVersion {
+		t.Fatalf("journaled record version %d, want ≥ %d", rec.V, persistVersion)
+	}
+	if rec.Params.Seed != p.Seed {
+		t.Fatalf("journaled record carries seed %d, want %d", rec.Params.Seed, p.Seed)
+	}
+	if rec.Draws == 0 {
+		t.Fatal("journaled record carries no stream position; replay would restart the stream at 0")
+	}
+}
+
+func TestProgressRecordRoundTrip(t *testing.T) {
+	rho := -1.25
+	cases := []progressDelta{
+		{answered: 3, positives: 1, draws: 7, gateDraws: 0},
+		{answered: 1, positives: 1, draws: 2, gateDraws: 5, synth: []float64{1, 2.5, 3}},
+		{answered: 2, positives: 1, draws: 4, gateDraws: 0, rho: &rho},
+	}
+	for i, want := range cases {
+		ev := progressEvent("s", want)
+		got, err := decodeProgress(ev.Data)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.answered != want.answered || got.positives != want.positives ||
+			got.draws != want.draws || got.gateDraws != want.gateDraws {
+			t.Fatalf("case %d: got %+v, want %+v", i, got, want)
+		}
+		if (got.rho == nil) != (want.rho == nil) || (got.rho != nil && *got.rho != *want.rho) {
+			t.Fatalf("case %d: rho mismatch", i)
+		}
+		if len(got.synth) != len(want.synth) {
+			t.Fatalf("case %d: synth mismatch", i)
+		}
+		for j := range got.synth {
+			if got.synth[j] != want.synth[j] {
+				t.Fatalf("case %d: synth[%d] = %v, want %v", i, j, got.synth[j], want.synth[j])
+			}
+		}
+	}
+	// A v1 record — counters only — still decodes, with zero stream deltas.
+	v1 := []byte{}
+	v1 = appendUvarintForTest(v1, 5)
+	v1 = appendUvarintForTest(v1, 2)
+	got, err := decodeProgress(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.answered != 5 || got.positives != 2 || got.draws != 0 || got.gateDraws != 0 || got.rho != nil || got.synth != nil {
+		t.Fatalf("v1 decode: %+v", got)
 	}
 }
 

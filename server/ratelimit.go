@@ -47,10 +47,12 @@ type RateLimiter struct {
 	burst      float64
 	maxTenants int
 
-	mu       sync.Mutex
-	buckets  map[string]*tokenBucket
-	overflow tokenBucket
-	rejected uint64
+	mu        sync.Mutex
+	buckets   map[string]*tokenBucket
+	overflow  tokenBucket
+	rejected  uint64
+	evicted   uint64
+	lastSweep time.Time
 
 	// now is the clock, swappable in tests.
 	now func() time.Time
@@ -81,14 +83,55 @@ func NewRateLimiter(cfg RateLimitConfig) (*RateLimiter, error) {
 	}, nil
 }
 
+// idlePeriod is how long a bucket must sit untouched before eviction: one
+// refill-to-full period. An idle-for-that-long bucket has refilled to Burst
+// and is indistinguishable from a fresh one, so evicting it changes no
+// admission decision — it only returns the tenant slot.
+func (rl *RateLimiter) idlePeriod() time.Duration {
+	return time.Duration(rl.burst / rl.rate * float64(time.Second))
+}
+
+// evictIdle removes buckets idle for at least one refill-to-full period;
+// callers hold rl.mu. Without this, MaxTenants distinct tenant names ever
+// seen would permanently exhaust the slots and force every NEW tenant into
+// the shared overflow bucket.
+func (rl *RateLimiter) evictIdle(now time.Time) {
+	idle := rl.idlePeriod()
+	for tenant, b := range rl.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(rl.buckets, tenant)
+			rl.evicted++
+		}
+	}
+	rl.lastSweep = now
+}
+
 // Allow consumes one token from the tenant's bucket, reporting whether the
 // request may proceed and, when it may not, how long until a token refills.
 func (rl *RateLimiter) Allow(tenant string) (bool, time.Duration) {
 	now := rl.now()
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
+	// Amortized idle-tenant eviction. The cadence is floored at one second:
+	// with Burst < Rate the refill-to-full period can be sub-millisecond,
+	// and sweeping the whole map under the mutex on every request would
+	// serialize the /v1/* hot path. Eviction only needs to happen at LEAST
+	// one idle period apart, not that often.
+	sweepEvery := rl.idlePeriod()
+	if sweepEvery < time.Second {
+		sweepEvery = time.Second
+	}
+	if now.Sub(rl.lastSweep) >= sweepEvery {
+		rl.evictIdle(now)
+	}
 	b := rl.buckets[tenant]
 	if b == nil {
+		if len(rl.buckets) >= rl.maxTenants {
+			// Slots full: sweep immediately — the table may be stuffed with
+			// idle tenants — and only fall back to the shared overflow
+			// bucket if every slot is genuinely active.
+			rl.evictIdle(now)
+		}
 		if len(rl.buckets) >= rl.maxTenants {
 			b = &rl.overflow
 		} else {
@@ -114,6 +157,20 @@ func (rl *RateLimiter) Rejected() uint64 {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	return rl.rejected
+}
+
+// Evicted returns how many idle tenant buckets the limiter has reclaimed.
+func (rl *RateLimiter) Evicted() uint64 {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.evicted
+}
+
+// Tenants returns how many tenant buckets are currently tracked.
+func (rl *RateLimiter) Tenants() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return len(rl.buckets)
 }
 
 // Middleware wraps next with per-tenant admission control on /v1/* paths.

@@ -113,6 +113,64 @@ func TestRateLimiterOverflowSharedBucket(t *testing.T) {
 	}
 }
 
+func TestRateLimiterEvictsIdleTenants(t *testing.T) {
+	// Rate 2, Burst 4 → refill-to-full is 2s: a bucket idle that long has
+	// refilled to Burst and is indistinguishable from a fresh one.
+	rl, clk := newTestLimiter(t, RateLimitConfig{Rate: 2, Burst: 4, MaxTenants: 2})
+	rl.Allow("a")
+	rl.Allow("b")
+	if got := rl.Tenants(); got != 2 {
+		t.Fatalf("tracked tenants = %d, want 2", got)
+	}
+
+	// Both slots taken and both tenants active: c lands in overflow.
+	rl.Allow("c")
+	if got := rl.Tenants(); got != 2 {
+		t.Fatalf("overflow tenant got a slot: tracked = %d", got)
+	}
+
+	// Keep b active while a goes idle past the refill-to-full period; a new
+	// tenant must then reclaim a's slot instead of sharing overflow forever.
+	clk.advance(1500 * time.Millisecond)
+	rl.Allow("b")
+	clk.advance(600 * time.Millisecond) // a idle 2.1s, b idle 0.6s
+	if ok, _ := rl.Allow("d"); !ok {
+		t.Fatal("new tenant rejected")
+	}
+	if got := rl.Evicted(); got != 1 {
+		t.Fatalf("evicted = %d, want exactly the idle tenant a", got)
+	}
+	// d owns a real bucket now: it can burst, which the shared overflow
+	// bucket (already drained by c) would not allow.
+	for i := 0; i < 3; i++ {
+		if ok, _ := rl.Allow("d"); !ok {
+			t.Fatalf("burst request %d of slot-owning tenant d rejected", i)
+		}
+	}
+	// The active tenant b kept its bucket through the sweeps.
+	if ok, _ := rl.Allow("b"); !ok {
+		t.Fatal("active tenant b was evicted")
+	}
+}
+
+func TestRateLimiterEvictionPreservesBucketState(t *testing.T) {
+	// A tenant idle for LESS than refill-to-full keeps its partial bucket:
+	// eviction must never grant tokens early by recreating a fresh bucket.
+	rl, clk := newTestLimiter(t, RateLimitConfig{Rate: 1, Burst: 2, MaxTenants: 8})
+	rl.Allow("a")
+	rl.Allow("a")
+	if ok, _ := rl.Allow("a"); ok {
+		t.Fatal("burst exceeded")
+	}
+	clk.advance(1100 * time.Millisecond) // refills 1 of 2 tokens; idle < 2s
+	if ok, _ := rl.Allow("a"); !ok {
+		t.Fatal("refilled token rejected")
+	}
+	if ok, _ := rl.Allow("a"); ok {
+		t.Fatal("second token granted early: idle bucket was reset, not preserved")
+	}
+}
+
 func TestRateLimitMiddleware(t *testing.T) {
 	rl, err := NewRateLimiter(RateLimitConfig{Rate: 0.001, Burst: 2})
 	if err != nil {

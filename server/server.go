@@ -23,6 +23,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -98,12 +99,25 @@ type SessionManager struct {
 
 	// store is the persistence backend; nil means no journaling at all.
 	// journalMu orders journal appends against snapshot compaction: every
-	// mutate-then-append pair holds the read side, SnapshotNow holds the
-	// write side while it collects state and truncates the journal, so no
-	// acknowledged transition can fall between a snapshot and the journal.
+	// mutate-then-append pair holds the read side; SnapshotNow holds the
+	// write side only while it rotates the journal segment and copies the
+	// per-session records — the baseline encode and file write happen
+	// outside it, concurrent with query traffic. snapMu serializes whole
+	// snapshots against each other (the periodic loop vs. an explicit
+	// SnapshotNow at shutdown).
 	store             store.SessionStore
 	journalMu         sync.RWMutex
+	snapMu            sync.Mutex
 	recoveredSessions int
+
+	// Snapshot failure accounting, surfaced in Stats: a store that can no
+	// longer compact will eventually exhaust its disk, so the operator must
+	// see it even though serving continues.
+	snapFailures atomic.Uint64
+	snapLastErr  atomic.Value // string
+
+	// logf emits operational warnings; swappable in tests.
+	logf func(format string, args ...any)
 
 	janitorStop  chan struct{}
 	janitorDone  chan struct{}
@@ -148,6 +162,7 @@ func Open(cfg ManagerConfig) (*SessionManager, error) {
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 		now:         time.Now,
+		logf:        log.Printf,
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{sessions: make(map[string]*Session)}

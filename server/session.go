@@ -176,6 +176,12 @@ type Session struct {
 	answered     int
 	positives    int
 	budget       Budget
+
+	// jDraws/jGate are the noise streams' positions at the last
+	// successfully journaled progress event, so each event carries exact
+	// draw deltas (see persist.go).
+	jDraws uint64
+	jGate  uint64
 }
 
 // newSession validates p and builds the mechanism. ttl is already
@@ -273,8 +279,42 @@ func newSession(id string, p CreateParams, ttl time.Duration, now time.Time) (*S
 		return nil, fmt.Errorf("server: composing session budget: %w", err)
 	}
 	s.budget.Total = total
+	s.jDraws, s.jGate = s.drawsLocked() // construction draws are in the create record
 	s.touch(now)
 	return s, nil
+}
+
+// drawsLocked returns the mechanism's noise-stream positions: the main
+// stream (for pmw, the Laplace update-release stream) and the pmw gate
+// stream (0 otherwise). Callers hold s.mu (or own the session exclusively).
+func (s *Session) drawsLocked() (main, gate uint64) {
+	switch {
+	case s.sparse != nil:
+		return s.sparse.Draws(), 0
+	case s.engine != nil:
+		g, u := s.engine.Draws()
+		return u, g
+	default:
+		if d, ok := s.stream.(variants.StreamState); ok {
+			return d.Draws(), 0
+		}
+		return 0, 0
+	}
+}
+
+// rhoLocked returns the mechanism's evolving noisy-threshold offset when it
+// has one that must be journaled: only seeded dpbook streams, whose ρ is
+// resampled after every positive outcome. Callers hold s.mu.
+func (s *Session) rhoLocked() (float64, bool) {
+	if s.params.Seed == 0 || s.stream == nil {
+		return 0, false
+	}
+	rs, ok := s.stream.(variants.RhoState)
+	if !ok {
+		return 0, false
+	}
+	rho, evolving := rs.Rho()
+	return rho, evolving
 }
 
 // touch pushes the idle deadline to now+ttl.

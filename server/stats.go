@@ -28,6 +28,14 @@ type Stats struct {
 	// Store is the persistence backend's health, absent when the manager
 	// runs without one.
 	Store *store.Health `json:"store,omitempty"`
+	// SnapshotFailures counts failed journal-compaction snapshots since the
+	// manager opened; serving continues through them, but a store that can
+	// no longer compact will eventually exhaust its disk.
+	SnapshotFailures uint64 `json:"snapshotFailures,omitempty"`
+	// LastSnapshotError is the most recent snapshot failure; "" when no
+	// snapshot has failed since the last success (the failure condition is
+	// current, not historical — SnapshotFailures keeps the history).
+	LastSnapshotError string `json:"lastSnapshotError,omitempty"`
 }
 
 // Stats aggregates the per-shard counters. The snapshot is monotone but
@@ -59,6 +67,10 @@ func (m *SessionManager) Stats() Stats {
 	if h, ok := m.store.(store.Healther); ok {
 		health := h.Health()
 		st.Store = &health
+	}
+	st.SnapshotFailures = m.snapFailures.Load()
+	if msg, ok := m.snapLastErr.Load().(string); ok {
+		st.LastSnapshotError = msg
 	}
 	return st
 }

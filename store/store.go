@@ -61,6 +61,32 @@ type SessionStore interface {
 	Close() error
 }
 
+// Rotation is an in-progress two-phase snapshot, started by Rotator.Rotate.
+// Exactly one of Commit or Abort must be called on every Rotation.
+type Rotation interface {
+	// Commit writes the full-state baseline for the rotation's generation and
+	// publishes it, making it the new recovery baseline and discarding the
+	// journal segments it subsumes. It runs outside the store's append path:
+	// appends proceed concurrently into the segment the rotation opened.
+	Commit(state []Event) error
+	// Abort abandons the snapshot. The rotated segment stays in place — the
+	// events appended to it are replayed after the previous baseline — and a
+	// later snapshot simply rotates again.
+	Abort()
+}
+
+// Rotator is the optional two-phase snapshot side of a SessionStore. The
+// point of the split is lock scope: Rotate is cheap (open a fresh journal
+// segment) and is called inside the caller's exclusive section that
+// guarantees a consistent cut, while Commit does the expensive
+// serialize-and-persist work outside it, so query traffic is never stalled
+// behind a full-state file write. Callers must not run two rotations
+// concurrently. Stores without natural segment support (Mem) simply do not
+// implement Rotator; callers fall back to the one-phase Snapshot.
+type Rotator interface {
+	Rotate() (Rotation, error)
+}
+
 // Health is a point-in-time snapshot of a store's internal counters, for
 // surfacing in operational endpoints (the server exposes it in /v1/stats).
 type Health struct {
@@ -89,8 +115,17 @@ type Health struct {
 	DroppedBytes uint64 `json:"droppedBytes,omitempty"`
 	// JournalBytes is the current size of the active journal segment.
 	JournalBytes uint64 `json:"journalBytes"`
-	// Generation is the current snapshot/journal generation number.
+	// Generation is the active journal segment's generation number.
 	Generation uint64 `json:"generation"`
+	// SnapshotGeneration is the latest published snapshot's generation, 0
+	// when none exists yet. It trails Generation while a two-phase snapshot
+	// is between rotation and commit, or after a failed commit.
+	SnapshotGeneration uint64 `json:"snapshotGeneration,omitempty"`
+	// Segments is the number of live journal segments. More than one means
+	// recovery will replay a multi-segment chain (the expected state between
+	// a rotation and its commit; persistent growth means snapshots are
+	// failing).
+	Segments int `json:"segments,omitempty"`
 }
 
 // Healther is the optional health-reporting side of a SessionStore. Both

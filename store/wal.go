@@ -73,9 +73,14 @@ const DefaultSyncInterval = 100 * time.Millisecond
 
 // File layout inside WALConfig.Dir. Each snapshot starts a new generation
 // g: "snap-<g>.log" holds the full-state baseline and "wal-<g>.log" the
-// events appended since. Snapshots are written to a ".tmp" file and
-// atomically renamed, so a visible snapshot is always complete; stale
-// generations and leftover temp files are removed on open.
+// events appended since. Snapshots are two-phase: rotation opens wal-<g>
+// first (appends continue there immediately), then the baseline snap-<g> is
+// written to a ".tmp" file and atomically renamed — so a visible snapshot is
+// always complete, and a crash (or commit failure) between the two phases
+// leaves a multi-segment chain: the previous snapshot plus every newer
+// wal segment, which recovery replays in generation order. Generations
+// older than the newest snapshot and leftover temp files are removed on
+// open.
 const (
 	snapPrefix = "snap-"
 	walPrefix  = "wal-"
@@ -110,14 +115,17 @@ type WAL struct {
 	dir  string
 	sync SyncPolicy
 
-	mu        sync.Mutex
-	f         *os.File // active journal segment
-	gen       uint64
-	closed    bool
-	broken    bool // journal offset unknown after a failed rollback; all writes refused
-	scratch   []byte
-	walBytes  uint64
-	recovered []Event
+	mu          sync.Mutex
+	f           *os.File // active journal segment
+	gen         uint64   // active journal segment generation
+	snapGen     uint64   // latest published snapshot generation; 0 = none
+	segments    int      // live journal segments (gen chain since snapGen)
+	snapPending bool     // a rotation is between Rotate and Commit/Abort
+	closed      bool
+	broken      bool // journal offset unknown after a failed rollback; all writes refused
+	scratch     []byte
+	walBytes    uint64
+	recovered   []Event
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -136,6 +144,7 @@ type WAL struct {
 
 var _ SessionStore = (*WAL)(nil)
 var _ Healther = (*WAL)(nil)
+var _ Rotator = (*WAL)(nil)
 
 // NewWAL opens (or initializes) the journal directory, replays the latest
 // snapshot plus journal into memory for Recover, truncates any torn tail so
@@ -164,8 +173,15 @@ func NewWAL(cfg WALConfig) (*WAL, error) {
 	return w, nil
 }
 
-// open scans the directory, picks the newest complete generation, loads its
-// events and opens the journal segment for appending.
+// open scans the directory, picks the newest complete snapshot as the
+// baseline, replays it plus every newer journal segment in generation
+// order, and opens the newest segment for appending.
+//
+// More than one journal segment is the expected signature of a crash (or a
+// persistent write failure) between a two-phase snapshot's rotation and its
+// commit: wal-<g+1> exists but snap-<g+1> does not, so the previous
+// generation's snapshot stays authoritative and both segments replay after
+// it. Nothing acknowledged is lost in that window.
 func (w *WAL) open() error {
 	entries, err := os.ReadDir(w.dir)
 	if err != nil {
@@ -175,8 +191,8 @@ func (w *WAL) open() error {
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasSuffix(name, tmpSuffix) {
-			// A temp file is an interrupted snapshot; the previous
-			// generation is still authoritative.
+			// A temp file is an interrupted snapshot baseline write; the
+			// previous generation is still authoritative.
 			_ = os.Remove(filepath.Join(w.dir, name))
 			continue
 		}
@@ -190,21 +206,12 @@ func (w *WAL) open() error {
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
 	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
 
-	// The baseline is the newest snapshot. With no snapshot yet, it is the
-	// OLDEST journal segment (generation 1 on a fresh directory): a newer
-	// segment without a matching snapshot is the empty orphan of a first
-	// snapshot that crashed before its rename commit point, and picking it
-	// would discard every event in the real segment.
-	w.gen = 1
-	haveSnap := len(snaps) > 0
-	if haveSnap {
-		w.gen = snaps[len(snaps)-1]
-	} else if len(wals) > 0 {
-		w.gen = wals[0]
-	}
-
-	if haveSnap {
-		snapPath := filepath.Join(w.dir, segName(snapPrefix, w.gen))
+	// The baseline is the newest snapshot; its generation and every newer
+	// journal segment replay. With no snapshot yet the chain starts at the
+	// oldest journal segment (generation 1 on a fresh directory).
+	if len(snaps) > 0 {
+		w.snapGen = snaps[len(snaps)-1]
+		snapPath := filepath.Join(w.dir, segName(snapPrefix, w.snapGen))
 		raw, err := os.ReadFile(snapPath)
 		if err != nil {
 			return fmt.Errorf("store: reading snapshot: %w", err)
@@ -219,16 +226,63 @@ func (w *WAL) open() error {
 		w.recovered = events
 	}
 
-	walPath := filepath.Join(w.dir, segName(walPrefix, w.gen))
-	raw, err := os.ReadFile(walPath)
-	if err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("store: reading journal: %w", err)
+	// Collect the replay chain: every journal segment at or after the
+	// baseline, ascending. Generation gaps mean a segment of acknowledged
+	// events was deleted out from under us — replaying across the hole would
+	// silently under-count spent budget, so refuse.
+	var chain []uint64
+	for _, gen := range wals {
+		if len(snaps) == 0 || gen >= w.snapGen {
+			chain = append(chain, gen)
+		}
 	}
-	if err == nil {
+	switch {
+	case len(chain) == 0:
+		w.gen = w.snapGen
+		if w.gen == 0 {
+			w.gen = 1
+		}
+		chain = []uint64{w.gen}
+	default:
+		if w.snapGen > 0 && chain[0] != w.snapGen {
+			return fmt.Errorf("store: journal segment %d missing (oldest present is %d)", w.snapGen, chain[0])
+		}
+		for i := 1; i < len(chain); i++ {
+			if chain[i] != chain[i-1]+1 {
+				return fmt.Errorf("store: journal segments %d..%d missing between %s and %s",
+					chain[i-1]+1, chain[i]-1, segName(walPrefix, chain[i-1]), segName(walPrefix, chain[i]))
+			}
+		}
+		w.gen = chain[len(chain)-1]
+	}
+	w.segments = len(chain)
+
+	for i, gen := range chain {
+		walPath := filepath.Join(w.dir, segName(walPrefix, gen))
+		raw, err := os.ReadFile(walPath)
+		if err != nil {
+			if os.IsNotExist(err) && len(chain) == 1 && w.snapGen == 0 {
+				break // fresh directory: the segment is created below
+			}
+			// A snapshot's journal segment is created (and its directory
+			// entry synced) BEFORE the snapshot can exist, so a missing
+			// wal-<snapGen> means acknowledged post-snapshot events are
+			// gone. Refuse, like any other gap.
+			return fmt.Errorf("store: reading journal: %w", err)
+		}
 		events, valid, derr := decodeAll(raw)
 		w.recovered = append(w.recovered, events...)
-		w.walBytes = uint64(valid)
+		if gen == w.gen {
+			w.walBytes = uint64(valid)
+		}
 		if derr != nil {
+			if i != len(chain)-1 {
+				// A torn or corrupt tail is only benign in the FINAL segment
+				// (crash mid-append). In an earlier segment the events after
+				// the damage are gone while later segments still replay, so
+				// acknowledged budget would silently vanish mid-stream.
+				return fmt.Errorf("store: journal segment %s is corrupt but newer segments exist: %w", walPath, derr)
+			}
 			// Torn tail (crash mid-append) or trailing corruption: keep the
 			// valid prefix, truncate the rest so appends resume on a record
 			// boundary, and surface the drop in Health.
@@ -240,20 +294,20 @@ func (w *WAL) open() error {
 		}
 	}
 
-	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(walPrefix, w.gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: opening journal: %w", err)
 	}
 	w.f = f
 
-	// Drop stale generations now that the active one is decided.
+	// Drop generations older than the baseline now that the chain is decided.
 	for _, gen := range snaps {
-		if gen != w.gen {
+		if gen != w.snapGen {
 			_ = os.Remove(filepath.Join(w.dir, segName(snapPrefix, gen)))
 		}
 	}
 	for _, gen := range wals {
-		if gen != w.gen {
+		if w.snapGen > 0 && gen < w.snapGen {
 			_ = os.Remove(filepath.Join(w.dir, segName(walPrefix, gen)))
 		}
 	}
@@ -332,59 +386,143 @@ func (w *WAL) Append(ev Event) error {
 	return nil
 }
 
-// Snapshot implements SessionStore: it writes the full state to a temp
-// file, fsyncs it, atomically renames it into place, starts a fresh journal
-// segment and deletes the previous generation.
-func (w *WAL) Snapshot(state []Event) error {
+// Rotate implements Rotator: under the store lock it seals the active
+// journal segment and opens wal-<gen+1> as the new append target, then
+// returns a Rotation whose Commit writes and publishes the snap-<gen+1>
+// baseline outside the lock. Rotation is the only part of a snapshot that
+// excludes appenders, and it does no state serialization — its cost is one
+// file create plus (under relaxed sync policies) one fsync of the sealed
+// segment, independent of state size.
+func (w *WAL) Rotate() (Rotation, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	if w.broken {
-		return fmt.Errorf("store: journal in failed state: %s", w.lastErr)
+		return nil, fmt.Errorf("store: journal in failed state: %s", w.lastErr)
+	}
+	if w.snapPending {
+		return nil, fmt.Errorf("store: a snapshot rotation is already in progress")
 	}
 	gen := w.gen + 1
-	final := filepath.Join(w.dir, segName(snapPrefix, gen))
-	tmp := final + tmpSuffix
-	if err := w.writeSnapshotFile(tmp, state); err != nil {
-		w.fail(err)
-		return err
-	}
-	// Create the new journal segment BEFORE publishing the snapshot: the
-	// rename is the commit point that makes generation gen authoritative,
-	// and once it lands, recovery deletes the old segment — so the new one
-	// must already exist or post-snapshot appends would be lost. Any
-	// failure before the rename aborts cleanly with the old generation
-	// intact (a leftover empty wal-gen is swept as stale on the next open).
-	newWalPath := filepath.Join(w.dir, segName(walPrefix, gen))
-	newWal, err := os.OpenFile(newWalPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	newWal, err := os.OpenFile(filepath.Join(w.dir, segName(walPrefix, gen)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		_ = os.Remove(tmp)
 		w.fail(err)
-		return fmt.Errorf("store: starting new journal segment: %w", err)
+		return nil, fmt.Errorf("store: starting new journal segment: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		_ = newWal.Close()
-		_ = os.Remove(newWalPath)
-		_ = os.Remove(tmp)
-		w.fail(err)
-		return fmt.Errorf("store: publishing snapshot: %w", err)
-	}
+	// Make the new segment's directory entry durable NOW, not at commit
+	// time: acknowledged events start landing in it immediately, and a
+	// power crash during the (long, out-of-lock) baseline write must not be
+	// able to lose the file that holds them.
 	w.syncDir()
-	oldGen := w.gen
+	// Seal the old segment: sync it so the baseline's cut is at least as
+	// durable as the events it subsumes, then stop writing to it. Appends
+	// from here on land in the new segment and are replayed after the
+	// baseline regardless of whether the commit ever happens.
+	if err := w.f.Sync(); err != nil {
+		_ = newWal.Close()
+		_ = os.Remove(filepath.Join(w.dir, segName(walPrefix, gen)))
+		w.fail(err)
+		return nil, fmt.Errorf("store: syncing sealed segment: %w", err)
+	}
+	w.syncs++
 	_ = w.f.Close()
 	w.f = newWal
 	w.gen = gen
 	w.walBytes = 0
+	w.segments++
+	w.snapPending = true
+	return &walRotation{w: w, gen: gen}, nil
+}
+
+// walRotation is WAL's Rotation: the handle between a segment rotation and
+// the baseline write that completes it.
+type walRotation struct {
+	w    *WAL
+	gen  uint64
+	done bool
+}
+
+// Commit implements Rotation: it writes the baseline to a temp file, fsyncs
+// it, atomically renames it into place and deletes the generations it
+// subsumes. Only the rename is the commit point — a crash or failure before
+// it leaves the previous snapshot plus the segment chain authoritative, so
+// nothing acknowledged is ever lost. No store lock is held during the file
+// write; concurrent appends proceed.
+func (r *walRotation) Commit(state []Event) error {
+	w := r.w
+	if r.done {
+		return fmt.Errorf("store: rotation already completed")
+	}
+	r.done = true
+	final := filepath.Join(w.dir, segName(snapPrefix, r.gen))
+	tmp := final + tmpSuffix
+	err := w.writeSnapshotFile(tmp, state)
+	if err == nil {
+		if rerr := os.Rename(tmp, final); rerr != nil {
+			_ = os.Remove(tmp)
+			err = fmt.Errorf("store: publishing snapshot: %w", rerr)
+		}
+	}
+	w.mu.Lock()
+	w.snapPending = false
+	if err != nil {
+		w.fail(err)
+		w.mu.Unlock()
+		return err
+	}
+	oldSnap := w.snapGen
+	w.snapGen = r.gen
+	subsumed := w.segments - int(w.gen-r.gen) - 1
+	w.segments -= subsumed
 	w.snapshots++
 	w.snapshotEvents = uint64(len(state))
-	_ = os.Remove(filepath.Join(w.dir, segName(snapPrefix, oldGen)))
-	_ = os.Remove(filepath.Join(w.dir, segName(walPrefix, oldGen)))
+	w.syncs++ // the baseline fsync inside writeSnapshotFile
+	w.mu.Unlock()
+	w.syncDir()
+	// Best-effort cleanup of everything the new baseline subsumes.
+	if oldSnap > 0 {
+		_ = os.Remove(filepath.Join(w.dir, segName(snapPrefix, oldSnap)))
+	}
+	start := oldSnap
+	if start == 0 {
+		start = 1
+	}
+	for gen := start; gen < r.gen; gen++ {
+		_ = os.Remove(filepath.Join(w.dir, segName(walPrefix, gen)))
+	}
 	return nil
 }
 
+// Abort implements Rotation: the snapshot is abandoned, the rotated segment
+// stays (its events replay after the previous baseline), and a later
+// snapshot rotates again.
+func (r *walRotation) Abort() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.w.mu.Lock()
+	r.w.snapPending = false
+	r.w.mu.Unlock()
+}
+
+// Snapshot implements SessionStore as a one-phase convenience: rotate, then
+// immediately write and publish the baseline. Callers that need appends to
+// proceed during the baseline write use Rotate/Commit directly and collect
+// their state between the two.
+func (w *WAL) Snapshot(state []Event) error {
+	rot, err := w.Rotate()
+	if err != nil {
+		return err
+	}
+	return rot.Commit(state)
+}
+
 // writeSnapshotFile writes state as framed records to path and fsyncs it.
+// It runs outside w.mu (Commit's baseline write is concurrent with appends)
+// and therefore touches no shared counters; the caller accounts the fsync.
 func (w *WAL) writeSnapshotFile(path string, state []Event) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -409,7 +547,6 @@ func (w *WAL) writeSnapshotFile(path string, state []Event) error {
 		_ = os.Remove(path)
 		return fmt.Errorf("store: syncing snapshot: %w", err)
 	}
-	w.syncs++
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: closing snapshot: %w", err)
 	}
@@ -474,18 +611,20 @@ func (w *WAL) Health() Health {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return Health{
-		Backend:         "wal",
-		Appends:         w.appends,
-		AppendedBytes:   w.appendedBytes,
-		Syncs:           w.syncs,
-		Failures:        w.failures,
-		LastError:       w.lastErr,
-		Snapshots:       w.snapshots,
-		SnapshotEvents:  w.snapshotEvents,
-		RecoveredEvents: uint64(len(w.recovered)),
-		TruncatedTail:   w.truncatedTail,
-		DroppedBytes:    w.droppedBytes,
-		JournalBytes:    w.walBytes,
-		Generation:      w.gen,
+		Backend:            "wal",
+		Appends:            w.appends,
+		AppendedBytes:      w.appendedBytes,
+		Syncs:              w.syncs,
+		Failures:           w.failures,
+		LastError:          w.lastErr,
+		Snapshots:          w.snapshots,
+		SnapshotEvents:     w.snapshotEvents,
+		RecoveredEvents:    uint64(len(w.recovered)),
+		TruncatedTail:      w.truncatedTail,
+		DroppedBytes:       w.droppedBytes,
+		JournalBytes:       w.walBytes,
+		Generation:         w.gen,
+		SnapshotGeneration: w.snapGen,
+		Segments:           w.segments,
 	}
 }

@@ -337,10 +337,12 @@ func TestWALIgnoresLeftoverTempSnapshot(t *testing.T) {
 	}
 }
 
-func TestWALOrphanNewerSegmentSwept(t *testing.T) {
-	// A crash between creating wal-(gen+1) and renaming snap-(gen+1) leaves
-	// an empty newer segment with no matching snapshot; the previous
-	// generation stays authoritative and the orphan is removed.
+func TestWALTornGenerationReplaysNewerSegment(t *testing.T) {
+	// A crash between a rotation and its baseline commit leaves wal-3 with
+	// no matching snap-3: the generation-2 snapshot stays the baseline and
+	// BOTH segments replay after it, so events appended during the doomed
+	// snapshot's baseline write are never lost. The newer segment becomes
+	// the active one.
 	dir := t.TempDir()
 	w := openWAL(t, dir)
 	good := ev(1, "a", "authoritative")
@@ -350,44 +352,62 @@ func TestWALOrphanNewerSegmentSwept(t *testing.T) {
 	if err := w.Snapshot([]Event{good}); err != nil { // now at gen 2
 		t.Fatal(err)
 	}
+	tail := ev(2, "a", "post-snapshot")
+	if err := w.Append(tail); err != nil {
+		t.Fatal(err)
+	}
+	rot, err := w.Rotate() // now at gen 3, snap-3 never written
+	if err != nil {
+		t.Fatal(err)
+	}
+	during := ev(2, "a", "during-baseline-write")
+	if err := w.Append(during); err != nil {
+		t.Fatal(err)
+	}
+	_ = rot // crash before Commit: abandon the rotation and the handle
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	orphan := filepath.Join(dir, segName(walPrefix, 3))
-	if err := os.WriteFile(orphan, nil, 0o644); err != nil {
-		t.Fatal(err)
-	}
+
 	w2 := openWAL(t, dir)
 	defer w2.Close()
 	got, err := w2.Recover()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !eventsEqual(got, []Event{good}) {
-		t.Fatalf("recovered %+v, want the generation-2 baseline", got)
+	if want := []Event{good, tail, during}; !eventsEqual(got, want) {
+		t.Fatalf("recovered %+v, want %+v (baseline + both segments)", got, want)
 	}
-	if h := w2.Health(); h.Generation != 2 {
-		t.Fatalf("generation %d, want 2 (orphan ignored)", h.Generation)
+	h := w2.Health()
+	if h.Generation != 3 || h.SnapshotGeneration != 2 || h.Segments != 2 {
+		t.Fatalf("health %+v, want generation 3 on snapshot 2 with a 2-segment chain", h)
 	}
-	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
-		t.Fatal("orphan newer segment not swept")
+	// The next snapshot collapses the chain back to one generation.
+	if err := w2.Snapshot(got); err != nil {
+		t.Fatal(err)
+	}
+	if h := w2.Health(); h.Generation != 4 || h.SnapshotGeneration != 4 || h.Segments != 1 {
+		t.Fatalf("post-compaction health %+v, want a single generation-4 chain", h)
 	}
 }
 
-func TestWALOrphanSegmentBeforeFirstSnapshotSwept(t *testing.T) {
-	// Same crash window as above but before ANY snapshot exists: the
-	// baseline must be the oldest (real) segment, never the empty orphan.
+func TestWALMultiSegmentChainBeforeFirstSnapshot(t *testing.T) {
+	// The same crash window before ANY snapshot exists: every segment from
+	// the oldest onward replays in order.
 	dir := t.TempDir()
 	w := openWAL(t, dir)
-	good := ev(1, "a", "authoritative")
-	if err := w.Append(good); err != nil {
+	first := ev(1, "a", "first-segment")
+	if err := w.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Rotate(); err != nil { // snap-2 never committed
+		t.Fatal(err)
+	}
+	second := ev(2, "a", "second-segment")
+	if err := w.Append(second); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
-		t.Fatal(err)
-	}
-	orphan := filepath.Join(dir, segName(walPrefix, 2))
-	if err := os.WriteFile(orphan, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	w2 := openWAL(t, dir)
@@ -396,11 +416,142 @@ func TestWALOrphanSegmentBeforeFirstSnapshotSwept(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !eventsEqual(got, []Event{good}) {
-		t.Fatalf("recovered %+v, want the generation-1 events", got)
+	if want := []Event{first, second}; !eventsEqual(got, want) {
+		t.Fatalf("recovered %+v, want %+v", got, want)
 	}
-	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
-		t.Fatal("orphan segment not swept")
+	if h := w2.Health(); h.Segments != 2 || h.SnapshotGeneration != 0 {
+		t.Fatalf("health %+v, want a 2-segment chain with no snapshot", h)
+	}
+}
+
+func TestWALSegmentGapRefusesToOpen(t *testing.T) {
+	// A deleted middle segment means acknowledged events are gone while
+	// newer ones would still replay; recovery must refuse rather than
+	// silently under-count spent budget.
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Append(ev(1, "a", "x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rot, err := w.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rot.Abort() // failed snapshot: the segment chain keeps growing
+		if err := w.Append(ev(2, "a", fmt.Sprintf("seg-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, segName(walPrefix, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWAL(WALConfig{Dir: dir, Sync: SyncAlways}); err == nil {
+		t.Fatal("gapped segment chain opened silently; events in the hole would be forgotten")
+	}
+}
+
+func TestWALMissingSnapshotSegmentRefusesToOpen(t *testing.T) {
+	// Rotate creates (and dir-syncs) wal-<g> BEFORE snap-<g> can exist, so
+	// a present snapshot with a missing journal segment means acknowledged
+	// post-snapshot events are gone: refuse, like any interior gap.
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Append(ev(1, "a", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Snapshot([]Event{ev(5, "a", "baseline")}); err != nil { // gen 2
+		t.Fatal(err)
+	}
+	if err := w.Append(ev(2, "a", "post-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, segName(walPrefix, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWAL(WALConfig{Dir: dir, Sync: SyncAlways}); err == nil {
+		t.Fatal("missing journal segment for the live snapshot opened silently; its events would be forgotten")
+	}
+}
+
+func TestWALTornMiddleSegmentRefusesToOpen(t *testing.T) {
+	// A torn tail is only benign in the FINAL segment; damage in an earlier
+	// segment with newer segments present drops events mid-stream.
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Append(ev(1, "a", "kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(ev(2, "a", "will-be-torn")); err != nil {
+		t.Fatal(err)
+	}
+	middle := walPath(t, w)
+	if _, err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(ev(2, "a", "newer-segment")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(middle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(middle, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWAL(WALConfig{Dir: dir, Sync: SyncAlways}); err == nil {
+		t.Fatal("torn middle segment opened silently")
+	}
+}
+
+func TestWALRotateAbortAndOverlap(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir)
+	if err := w.Append(ev(1, "a", "x")); err != nil {
+		t.Fatal(err)
+	}
+	rot, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Rotate(); err == nil {
+		t.Fatal("overlapping rotation allowed")
+	}
+	rot.Abort()
+	// After an abort the rotated segment stays and a new snapshot works.
+	if err := w.Append(ev(2, "a", "post-abort")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Snapshot([]Event{ev(5, "a", "baseline")}); err != nil {
+		t.Fatal(err)
+	}
+	post := ev(2, "a", "post-snap")
+	if err := w.Append(post); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir)
+	defer w2.Close()
+	got, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Event{ev(5, "a", "baseline"), post}; !eventsEqual(got, want) {
+		t.Fatalf("recovered %+v, want %+v", got, want)
+	}
+	if h := w2.Health(); h.Segments != 1 {
+		t.Fatalf("health %+v, want the chain collapsed to one segment", h)
 	}
 }
 

@@ -150,3 +150,26 @@ func (s *Sparse) Restore(answered, positives int) error {
 	s.alg.Restore(positives)
 	return nil
 }
+
+// Draws returns the noise stream's position: how many raw 64-bit draws the
+// mechanism's source has consumed, including the ones spent drawing the
+// threshold noise at construction. A crash-recovery layer journals it so a
+// seeded mechanism can be resumed with FastForward.
+func (s *Sparse) Draws() uint64 { return s.alg.Draws() }
+
+// FastForward advances the noise stream to the absolute position draws
+// (as previously reported by Draws), discarding the skipped values. For a
+// seeded mechanism rebuilt from its original seed this makes the
+// continuation bit-identical to the uninterrupted run while never
+// re-emitting a pre-crash draw — replaying noise from position 0 would hand
+// the analyst deterministic repeats of pre-crash comparisons, enough to
+// binary-search the realized noisy threshold. It returns an error if the
+// stream is already past draws.
+func (s *Sparse) FastForward(draws uint64) error {
+	cur := s.alg.Draws()
+	if draws < cur {
+		return fmt.Errorf("svt: cannot fast-forward to draw %d, stream already at %d", draws, cur)
+	}
+	s.alg.Skip(draws - cur)
+	return nil
+}

@@ -455,3 +455,81 @@ func TestMethodString(t *testing.T) {
 		}
 	}
 }
+
+func TestSparseFastForwardResumesBitIdentical(t *testing.T) {
+	opts := svt.Options{Epsilon: 1, Sensitivity: 1, MaxPositives: 30, AnswerFraction: 0.25, Seed: 31}
+	full, err := svt.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]float64, 60)
+	for i := range queries {
+		queries[i] = float64(i%3) - 1
+	}
+	// Uninterrupted run, recording the answer stream and the journal point.
+	var want []svt.Result
+	var draws uint64
+	var answered, positives int
+	for i, q := range queries {
+		res, err := full.Next(q, 0)
+		if errors.Is(err, svt.ErrHalted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+		if i == 9 { // the "crash point"
+			draws = full.Draws()
+			answered = full.Answered()
+			positives = opts.MaxPositives - full.Remaining()
+		}
+	}
+	if draws == 0 {
+		t.Fatal("setup: mechanism halted before the crash point")
+	}
+	// Rebuild from the same seed, restore the accounting, fast-forward the
+	// stream, and require the continuation to match bit-for-bit.
+	rebuilt, err := svt.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Restore(answered, positives); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.FastForward(draws); err != nil {
+		t.Fatal(err)
+	}
+	got := want[:10:10]
+	for _, q := range queries[10:] {
+		res, err := rebuilt.Next(q, 0)
+		if errors.Is(err, svt.ErrHalted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed run released %d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answer %d diverged after fast-forward: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSparseFastForwardRejectsRewind(t *testing.T) {
+	s, err := svt.New(svt.Options{Epsilon: 1, Sensitivity: 1, MaxPositives: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FastForward(0); err == nil {
+		t.Fatal("fast-forward to a PAST position succeeded; that would replay emitted noise")
+	}
+}
