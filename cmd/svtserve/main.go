@@ -1,13 +1,15 @@
 // Command svtserve runs the multi-tenant SVT session service: many
-// analysts each create an interactive session (the corrected SVT of the
-// paper's Algorithm 7, the Figure 1 private variants, or a PMW mediator)
-// and stream threshold queries against it over JSON HTTP.
+// analysts each create an interactive session against any mechanism in
+// the mech registry — the corrected SVT of the paper's Algorithm 7, the
+// exponential-noise esvt of Liu et al., the Figure 1 private variants, or
+// a PMW mediator — and stream threshold queries against it over JSON HTTP.
 //
 //	svtserve -addr :8080 -shards 32 -ttl 10m
 //	svtserve -store wal -wal-dir /var/lib/svtserve -fsync always
 //
 // Endpoints (see the server package for request/response shapes):
 //
+//	GET    /v1/mechanisms          registry-driven mechanism discovery
 //	POST   /v1/sessions            create a session
 //	POST   /v1/sessions/{id}/query single or batched queries
 //	GET    /v1/sessions/{id}       status, remaining budget, (ε₁, ε₂, ε₃)
@@ -40,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -160,9 +163,14 @@ func run(cfg config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	mechs := make([]string, 0, 8)
+	for _, mi := range mgr.Mechanisms() {
+		mechs = append(mechs, mi.Name)
+	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("svtserve: %d shards, ttl=%s, store=%s, listening on %s", mgr.Shards(), cfg.ttl, cfg.backend, cfg.addr)
+		log.Printf("svtserve: %d shards, ttl=%s, store=%s, mechanisms=[%s], listening on %s",
+			mgr.Shards(), cfg.ttl, cfg.backend, strings.Join(mechs, " "), cfg.addr)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -24,8 +24,22 @@
 // The subpackage variants exposes the paper's six historical SVT variants
 // (including the broken, non-private ones) for research and auditing; the
 // packages dataset, fim, pmw, metrics, audit and experiments reproduce the
-// paper's evaluation end to end. The server subpackage turns the library
-// into a sharded, multi-tenant session service (JSON over HTTP, TTL-based
+// paper's evaluation end to end.
+//
+// The mech subpackage is the pluggable mechanism layer: every servable
+// mechanism implements mech.Instance and registers a factory, so the
+// serving stack never dispatches on mechanism kind. The registered family:
+//
+//	sparse    the corrected SVT (Algorithm 7), optimal ε₁:ε₂ split,
+//	          monotonic refinement, optional ε₃ numeric releases
+//	esvt      the accuracy-enhanced exponential-noise SVT of Liu et al.
+//	          (arXiv 2407.20068): half the comparison variance at equal ε
+//	proposed  Algorithm 1 (fixed ρ, ε₁ = ε₂ = ε/2)
+//	dpbook    Algorithm 2, the Dwork-Roth book SVT (resampled ρ)
+//	pmw       Private Multiplicative Weights with the corrected SVT gate
+//
+// The server subpackage turns that registry into a sharded, multi-tenant
+// session service (JSON over HTTP, GET /v1/mechanisms discovery, TTL-based
 // session expiry, per-session (ε₁, ε₂, ε₃) budget accounting) served by
 // cmd/svtserve; the store subpackage gives it durable, crash-recoverable
 // session persistence (a write-ahead log with snapshot compaction), so

@@ -1,0 +1,123 @@
+package mech
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Capabilities are the static, discovery-relevant properties of a
+// mechanism, surfaced by the server's GET /v1/mechanisms endpoint so an
+// analyst can pick a mechanism without reading Go source.
+type Capabilities struct {
+	// NumericReleases reports that the mechanism can release numbers
+	// (ε₃-budgeted answers, or mediator estimates), not just ⊤/⊥.
+	NumericReleases bool
+	// MonotonicRefinement reports that the mechanism supports the
+	// Theorem-5 monotonic-query noise reduction.
+	MonotonicRefinement bool
+	// Seedable reports that a non-zero Seed makes the answer stream
+	// deterministic (and crash-replayable bit-identically).
+	Seedable bool
+	// NeedsHistogram reports that creation requires the private dataset as
+	// a histogram (mediator mechanisms).
+	NeedsHistogram bool
+}
+
+// Factory builds instances of one registered mechanism. New must validate
+// every Params field it consumes and reject the ones it does not.
+type Factory struct {
+	// Name is the registry key and the wire name analysts use.
+	Name string
+	// Summary is a one-line human-readable description.
+	Summary string
+	// Caps are the mechanism's static capability flags.
+	Caps Capabilities
+	// New validates p and builds a ready instance.
+	New func(p Params) (Instance, error)
+}
+
+// Registry maps mechanism names to factories. The zero value is not
+// usable; use NewRegistry. A Registry is safe for concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds a factory. Names must be non-empty, lowercase tokens and
+// unique within the registry.
+func (r *Registry) Register(f Factory) error {
+	if f.Name == "" || f.Name != strings.ToLower(f.Name) || strings.ContainsAny(f.Name, " \t\n/") {
+		return fmt.Errorf("mech: invalid mechanism name %q", f.Name)
+	}
+	if f.New == nil {
+		return fmt.Errorf("mech: mechanism %q has no constructor", f.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[f.Name]; dup {
+		return fmt.Errorf("mech: mechanism %q already registered", f.Name)
+	}
+	r.factories[f.Name] = f
+	return nil
+}
+
+// MustRegister is Register for package-init wiring, panicking on error.
+func (r *Registry) MustRegister(f Factory) {
+	if err := r.Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the factory registered under name.
+func (r *Registry) Lookup(name string) (Factory, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.factories[name]
+	return f, ok
+}
+
+// Names returns every registered mechanism name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Factories returns every registered factory, sorted by name.
+func (r *Registry) Factories() []Factory {
+	names := r.Names()
+	out := make([]Factory, 0, len(names))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range names {
+		out = append(out, r.factories[name])
+	}
+	return out
+}
+
+// New builds an instance of the named mechanism, delegating parameter
+// validation to its factory.
+func (r *Registry) New(name string, p Params) (Instance, error) {
+	f, ok := r.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("mech: unknown mechanism %q (registered: %s)", name, strings.Join(r.Names(), ", "))
+	}
+	return f.New(p)
+}
+
+// Default is the process-wide registry every built-in mechanism registers
+// itself with at init time; the server uses it unless configured with its
+// own.
+var Default = NewRegistry()

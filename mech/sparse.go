@@ -1,0 +1,86 @@
+package mech
+
+import (
+	"errors"
+	"fmt"
+
+	svt "github.com/dpgo/svt"
+)
+
+func init() {
+	Default.MustRegister(Factory{
+		Name:    "sparse",
+		Summary: "the paper's corrected, generalized SVT (Algorithm 7): optimal ε₁:ε₂ allocation, optional monotonic refinement and ε₃ numeric releases",
+		Caps: Capabilities{
+			NumericReleases:     true,
+			MonotonicRefinement: true,
+			Seedable:            true,
+		},
+		New: newSparse,
+	})
+}
+
+// sparseInstance adapts svt.Sparse to the Instance seam.
+type sparseInstance struct {
+	m *svt.Sparse
+}
+
+func newSparse(p Params) (Instance, error) {
+	if err := rejectHistogramParams("sparse", p); err != nil {
+		return nil, err
+	}
+	m, err := svt.New(svt.Options{
+		Epsilon:        p.Epsilon,
+		Sensitivity:    p.delta(),
+		MaxPositives:   p.MaxPositives,
+		Monotonic:      p.Monotonic,
+		AnswerFraction: p.AnswerFraction,
+		Seed:           p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &sparseInstance{m: m}, nil
+}
+
+func (s *sparseInstance) Validate(q Query) error { return validateThresholdQuery(q) }
+
+func (s *sparseInstance) Answer(q Query) (Result, bool, error) {
+	r, err := s.m.Next(q.Value, q.Threshold)
+	if errors.Is(err, svt.ErrHalted) {
+		return Result{}, true, nil
+	}
+	if err != nil {
+		return Result{}, false, err
+	}
+	return Result{Above: r.Above, Numeric: r.Numeric, Value: r.Value, SpentPositive: r.Above}, false, nil
+}
+
+func (s *sparseInstance) Halted() bool   { return s.m.Halted() }
+func (s *sparseInstance) Remaining() int { return s.m.Remaining() }
+func (s *sparseInstance) Answered() int  { return s.m.Answered() }
+func (s *sparseInstance) Budgets() (float64, float64, float64) {
+	return s.m.Budgets()
+}
+
+func (s *sparseInstance) Draws() (uint64, uint64) { return s.m.Draws(), 0 }
+
+func (s *sparseInstance) FastForward(main, aux uint64) error {
+	if err := singleStreamAux("sparse", aux); err != nil {
+		return err
+	}
+	return s.m.FastForward(main)
+}
+
+func (s *sparseInstance) Restore(answered, positives int) error {
+	return s.m.Restore(answered, positives)
+}
+
+func (s *sparseInstance) MarshalState() []byte { return nil }
+
+func (s *sparseInstance) UnmarshalState(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("mech: sparse journals no evolving state, got a %d-byte blob", len(data))
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package mech
+
+import (
+	"fmt"
+
+	"github.com/dpgo/svt/variants"
+)
+
+func init() {
+	Default.MustRegister(Factory{
+		Name:    "proposed",
+		Summary: "the paper's Algorithm 1: fixed noisy threshold, hard-coded ε₁ = ε₂ = ε/2 split, indicator releases only",
+		Caps:    Capabilities{Seedable: true},
+		New: func(p Params) (Instance, error) {
+			return newVariant("proposed", variants.NewProposed, p)
+		},
+	})
+	Default.MustRegister(Factory{
+		Name:    "dpbook",
+		Summary: "Algorithm 2, the Dwork-Roth book SVT: threshold noise scales with c and is resampled after every positive outcome",
+		Caps:    Capabilities{Seedable: true},
+		New: func(p Params) (Instance, error) {
+			return newVariant("dpbook", variants.NewDPBook, p)
+		},
+	})
+}
+
+// variantInstance adapts a variants.Stream (Algorithms 1 and 2) to the
+// Instance seam. The stream types expose no query counter of their own, so
+// the adapter owns the answered/positives accounting — which is what makes
+// Restore advance BOTH counts on the mechanism side (the historical
+// session-layer restore only forwarded positives for these mechanisms).
+type variantInstance struct {
+	s         variants.Stream
+	eps       float64
+	c         int
+	seeded    bool
+	answered  int
+	positives int
+}
+
+func newVariant(name string, build func(epsilon, delta float64, c int, seed uint64) (variants.Stream, error), p Params) (Instance, error) {
+	if err := rejectHistogramParams(name, p); err != nil {
+		return nil, err
+	}
+	// Algorithms 1 and 2 hard-code their split and release indicators
+	// only; accepting the sparse-only knobs silently would let an analyst
+	// believe they got a refinement they did not.
+	if p.Monotonic {
+		return nil, fmt.Errorf("mech: %s does not support the monotonic refinement (use sparse)", name)
+	}
+	if p.AnswerFraction != 0 {
+		return nil, fmt.Errorf("mech: %s does not support ε₃ numeric releases (use sparse)", name)
+	}
+	s, err := build(p.Epsilon, p.delta(), p.MaxPositives, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &variantInstance{s: s, eps: p.Epsilon, c: p.MaxPositives, seeded: p.Seed != 0}, nil
+}
+
+func (v *variantInstance) Validate(q Query) error { return validateThresholdQuery(q) }
+
+func (v *variantInstance) Answer(q Query) (Result, bool, error) {
+	r, ok := v.s.Next(q.Value, q.Threshold)
+	if !ok {
+		return Result{}, true, nil
+	}
+	v.answered++
+	if r.Above {
+		v.positives++
+	}
+	return Result{Above: r.Above, Numeric: r.Numeric, Value: r.Value, SpentPositive: r.Above}, false, nil
+}
+
+func (v *variantInstance) Halted() bool   { return v.s.Halted() }
+func (v *variantInstance) Remaining() int { return v.c - v.positives }
+func (v *variantInstance) Answered() int  { return v.answered }
+
+func (v *variantInstance) Budgets() (float64, float64, float64) {
+	// Both algorithms hard-code ε₁ = ε₂ = ε/2 and release indicators only.
+	return v.eps / 2, v.eps / 2, 0
+}
+
+func (v *variantInstance) Draws() (uint64, uint64) {
+	if d, ok := v.s.(variants.StreamState); ok {
+		return d.Draws(), 0
+	}
+	return 0, 0
+}
+
+func (v *variantInstance) FastForward(main, aux uint64) error {
+	if err := singleStreamAux("variant", aux); err != nil {
+		return err
+	}
+	d, ok := v.s.(variants.StreamState)
+	if !ok {
+		return fmt.Errorf("mech: %T does not support stream fast-forward", v.s)
+	}
+	return d.FastForward(main)
+}
+
+func (v *variantInstance) Restore(answered, positives int) error {
+	if err := restoreChecks(answered, positives, v.c); err != nil {
+		return err
+	}
+	r, ok := v.s.(variants.Restorer)
+	if !ok {
+		return fmt.Errorf("mech: %T does not support restore", v.s)
+	}
+	if err := r.Restore(positives); err != nil {
+		return err
+	}
+	v.answered = answered
+	v.positives = positives
+	return nil
+}
+
+// MarshalState journals the evolving noisy-threshold offset ρ of seeded
+// streams that resample it (dpbook): the current value cannot be re-derived
+// from seed + position alone. Fixed-ρ streams and unseeded sessions (whose
+// recovery draws fresh noise anyway) have nothing to journal.
+func (v *variantInstance) MarshalState() []byte {
+	if !v.seeded {
+		return nil
+	}
+	rs, ok := v.s.(variants.RhoState)
+	if !ok {
+		return nil
+	}
+	rho, evolving := rs.Rho()
+	if !evolving {
+		return nil
+	}
+	return RhoStateBlob(rho)
+}
+
+func (v *variantInstance) UnmarshalState(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	rho, err := rhoFromState(data)
+	if err != nil {
+		return err
+	}
+	rs, ok := v.s.(variants.RhoState)
+	if !ok {
+		return fmt.Errorf("mech: %T journals no evolving state", v.s)
+	}
+	rs.SetRho(rho)
+	return nil
+}

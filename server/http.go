@@ -26,6 +26,8 @@ const (
 
 // API serves the session manager over JSON HTTP:
 //
+//	GET    /v1/mechanisms          registry-driven mechanism discovery with
+//	                               capability flags
 //	POST   /v1/sessions            create  {mechanism, epsilon, maxPositives, threshold, ...}
 //	GET    /v1/sessions/{id}       status: answered, positives, remaining, (ε₁, ε₂, ε₃)
 //	POST   /v1/sessions/{id}/query one query {query, threshold} / {buckets}
@@ -51,6 +53,7 @@ func NewAPI(mgr *SessionManager, cfg APIConfig) *API {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	a := &API{mgr: mgr, cfg: cfg, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/v1/mechanisms", a.handleMechanisms)
 	a.mux.HandleFunc("/v1/sessions", a.handleSessions)
 	a.mux.HandleFunc("/v1/sessions/{id}", a.handleSession)
 	a.mux.HandleFunc("/v1/sessions/{id}/query", a.handleQuery)
@@ -224,6 +227,19 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, res)
 	}
+}
+
+// MechanismsResponse is the GET /v1/mechanisms response body.
+type MechanismsResponse struct {
+	Mechanisms []MechanismInfo `json:"mechanisms"`
+}
+
+func (a *API) handleMechanisms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, MechanismsResponse{Mechanisms: a.mgr.Mechanisms()})
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -319,3 +319,78 @@ func TestHTTPConcurrentSessions(t *testing.T) {
 		t.Errorf("created %d, want %d", st.Created, workers)
 	}
 }
+
+// TestHTTPMechanismsDiscovery pins the registry-driven GET /v1/mechanisms
+// endpoint: every registered mechanism appears, sorted, with its
+// capability flags, and the endpoint is read-only.
+func TestHTTPMechanismsDiscovery(t *testing.T) {
+	srv, mgr := newTestAPI(t, ManagerConfig{}, APIConfig{})
+	var resp MechanismsResponse
+	if code := doJSON(t, http.MethodGet, srv.URL+"/v1/mechanisms", nil, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Mechanisms) != len(mgr.Mechanisms()) || len(resp.Mechanisms) < 5 {
+		t.Fatalf("got %d mechanisms, want the registry's %d (≥5 built-ins)", len(resp.Mechanisms), len(mgr.Mechanisms()))
+	}
+	byName := make(map[string]MechanismInfo, len(resp.Mechanisms))
+	for i, mi := range resp.Mechanisms {
+		byName[mi.Name] = mi
+		if i > 0 && resp.Mechanisms[i-1].Name >= mi.Name {
+			t.Errorf("mechanism list not sorted: %q before %q", resp.Mechanisms[i-1].Name, mi.Name)
+		}
+		if mi.Summary == "" || !mi.Seedable {
+			t.Errorf("mechanism %q: missing summary or seedable flag: %+v", mi.Name, mi)
+		}
+	}
+	checks := map[string]MechanismInfo{
+		"sparse": {NumericReleases: true, MonotonicRefinement: true, Seedable: true},
+		"esvt":   {MonotonicRefinement: true, Seedable: true},
+		"pmw":    {NumericReleases: true, Seedable: true, NeedsHistogram: true},
+		"dpbook": {Seedable: true},
+	}
+	for name, want := range checks {
+		got, ok := byName[name]
+		if !ok {
+			t.Errorf("mechanism %q missing from discovery", name)
+			continue
+		}
+		got.Summary = ""
+		got.Name = ""
+		if got != want {
+			t.Errorf("%s capabilities %+v, want %+v", name, got, want)
+		}
+	}
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/mechanisms", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/mechanisms: status %d, want 405", code)
+	}
+}
+
+// TestStatsQueriesKeyedByRegistry pins the registry-driven per-mechanism
+// counters: the key set of stats.queries is exactly the registered
+// mechanism list, zero counts included.
+func TestStatsQueriesKeyedByRegistry(t *testing.T) {
+	srv, mgr := newTestAPI(t, ManagerConfig{}, APIConfig{})
+	created := createSession(t, srv.URL, CreateParams{
+		Mechanism: Mechanism("esvt"), Epsilon: 1, MaxPositives: 5, Threshold: ptr(0.5), Seed: 3,
+	})
+	var batch BatchResult
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/sessions/"+created.ID+"/query",
+		map[string]any{"queries": []map[string]any{{"query": -1e12}, {"query": -1e12}}}, &batch); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	var st Stats
+	if code := doJSON(t, http.MethodGet, srv.URL+"/v1/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if len(st.Queries) != len(mgr.Mechanisms()) {
+		t.Fatalf("stats has %d query counters, want one per registered mechanism (%d)", len(st.Queries), len(mgr.Mechanisms()))
+	}
+	for _, mi := range mgr.Mechanisms() {
+		if _, ok := st.Queries[Mechanism(mi.Name)]; !ok {
+			t.Errorf("stats missing counter for registered mechanism %q", mi.Name)
+		}
+	}
+	if st.Queries[Mechanism("esvt")] != 2 || st.TotalQueries != 2 {
+		t.Errorf("queries %+v totalQueries %d, want esvt=2 total=2", st.Queries, st.TotalQueries)
+	}
+}

@@ -1,0 +1,54 @@
+package server
+
+// MechanismInfo is one entry of the GET /v1/mechanisms response: the
+// registry-driven discovery surface analysts use to pick a mechanism
+// without reading Go source. The capability flags mirror
+// mech.Capabilities.
+type MechanismInfo struct {
+	// Name is the registry name used in POST /v1/sessions.
+	Name string `json:"name"`
+	// Summary is a one-line human-readable description.
+	Summary string `json:"summary,omitempty"`
+	// NumericReleases reports that the mechanism can release numbers, not
+	// just ⊤/⊥ indicators.
+	NumericReleases bool `json:"numericReleases"`
+	// MonotonicRefinement reports support for the Theorem-5
+	// monotonic-query noise reduction.
+	MonotonicRefinement bool `json:"monotonicRefinement"`
+	// Seedable reports that a non-zero seed makes the answer stream
+	// deterministic and crash-replayable bit-identically.
+	Seedable bool `json:"seedable"`
+	// NeedsHistogram reports that creation requires the private dataset
+	// as a histogram.
+	NeedsHistogram bool `json:"needsHistogram"`
+}
+
+// Mechanisms lists every mechanism this manager serves, sorted by name.
+// The list is the snapshot captured at Open time — the same frozen set the
+// per-mechanism counters and session creation use — so discovery, stats
+// and create can never disagree about what is servable.
+func (m *SessionManager) Mechanisms() []MechanismInfo {
+	out := make([]MechanismInfo, len(m.mechInfos))
+	copy(out, m.mechInfos)
+	return out
+}
+
+// captureMechanisms freezes the registry's factory set; called once by Open.
+func (m *SessionManager) captureMechanisms() {
+	factories := m.registry.Factories()
+	m.mechInfos = make([]MechanismInfo, 0, len(factories))
+	m.mechNames = make([]Mechanism, 0, len(factories))
+	m.mechIndex = make(map[Mechanism]int, len(factories))
+	for i, f := range factories {
+		m.mechInfos = append(m.mechInfos, MechanismInfo{
+			Name:                f.Name,
+			Summary:             f.Summary,
+			NumericReleases:     f.Caps.NumericReleases,
+			MonotonicRefinement: f.Caps.MonotonicRefinement,
+			Seedable:            f.Caps.Seedable,
+			NeedsHistogram:      f.Caps.NeedsHistogram,
+		})
+		m.mechNames = append(m.mechNames, Mechanism(f.Name))
+		m.mechIndex[Mechanism(f.Name)] = i
+	}
+}

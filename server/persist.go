@@ -10,19 +10,28 @@ package server
 // released, so a crash can never forget spent budget that an analyst has
 // already observed.
 //
-// Codec v2 additionally journals each seeded session's noise-stream
-// POSITION (the count of raw draws its sources have consumed), the current
-// noisy-threshold offset ρ for the dpbook mechanism (which resamples it),
-// and pmw's learned synthetic histogram. Replay rebuilds the mechanism from
-// its original seed and fast-forwards the re-seeded source by discarding
-// exactly the journaled number of draws: no pre-crash draw is ever
-// re-emitted — replaying noise from position 0 would hand the analyst
-// deterministic repeats of pre-crash comparisons, enough to binary-search
-// the realized noisy threshold — yet the post-restart answer stream is
-// bit-identical to an uninterrupted run, so the Seed reproducibility
-// contract survives a crash. Unseeded sessions keep the v1 behavior:
-// accounting is restored, noise is fresh. v1 records (no version tag, seed
-// scrubbed to zero) decode and replay exactly as before.
+// Codec v3 makes the journal mechanism-agnostic: progress and snapshot
+// records carry the mechanism's OPAQUE evolving-state blob
+// (mech.Instance.MarshalState — dpbook's resampled ρ, pmw's learned
+// synthetic histogram, nothing for mechanisms fully re-derivable from seed
+// + stream position) instead of the special-cased rho/synth fields of
+// codec v2. The encode path never names a mechanism; the ONLY
+// mechanism-aware special case left in this file is the legacy decode
+// mapping that turns v1/v2 records' rho/synth fields into the blobs the
+// corresponding mechanisms expect today, so existing WALs recover
+// unchanged.
+//
+// Codec v2 (retained on decode) journals each seeded session's noise-stream
+// POSITION (the count of raw draws its sources have consumed). Replay
+// rebuilds the mechanism from its original seed and fast-forwards the
+// re-seeded source by discarding exactly the journaled number of draws: no
+// pre-crash draw is ever re-emitted — replaying noise from position 0 would
+// hand the analyst deterministic repeats of pre-crash comparisons, enough
+// to binary-search the realized noisy threshold — yet the post-restart
+// answer stream is bit-identical to an uninterrupted run, so the Seed
+// reproducibility contract survives a crash. Unseeded sessions keep the v1
+// behavior: accounting is restored, noise is fresh. v1 records (no version
+// tag, seed scrubbed to zero) decode and replay exactly as before.
 
 import (
 	"encoding/binary"
@@ -32,8 +41,8 @@ import (
 	"math"
 	"time"
 
+	"github.com/dpgo/svt/mech"
 	"github.com/dpgo/svt/store"
-	"github.com/dpgo/svt/variants"
 )
 
 // Journaled event kinds. evCreate and evSnapshot both carry a full
@@ -48,10 +57,16 @@ const (
 )
 
 // persistVersion tags sessionRecords written by this codec. Version 2 added
-// seed retention plus noise-stream positions; absent (zero) marks a v1
-// record, whose seed was always scrubbed and whose streams therefore
-// restart fresh on replay.
-const persistVersion = 2
+// seed retention plus noise-stream positions; version 3 replaced the
+// special-cased rho/synth fields with the mechanism's opaque state blob.
+// Absent (zero) marks a v1 record, whose seed was always scrubbed and whose
+// streams therefore restart fresh on replay.
+const persistVersion = 3
+
+// streamedVersion is the first codec version whose records carry
+// noise-stream positions; seeded sessions journaled at or after it
+// fast-forward on replay instead of drawing fresh noise.
+const streamedVersion = 2
 
 // ErrStoreAppend wraps a failed journal append. The response that would
 // have acknowledged the un-journaled transition is withheld (the HTTP layer
@@ -63,7 +78,8 @@ var ErrStoreAppend = errors.New("server: journaling to the session store failed"
 // everything needed to rebuild the session byte-for-byte — the create
 // parameters as realized (TTL resolved, so Params.TTLSeconds is the
 // session's actual TTL; the (ε₁, ε₂, ε₃) split recomputes
-// deterministically from them), the counters, and the noise-stream state.
+// deterministically from them), the counters, the noise-stream positions
+// and the mechanism's opaque evolving state.
 type sessionRecord struct {
 	// V is the codec version; absent means v1 (pre-stream-position).
 	V         int          `json:"v,omitempty"`
@@ -71,27 +87,50 @@ type sessionRecord struct {
 	CreatedAt int64        `json:"createdAtUnixNano"`
 	Answered  int          `json:"answered"`
 	Positives int          `json:"positives"`
-	// Draws is the main noise stream's absolute position: raw 64-bit draws
-	// consumed, construction included (for pmw, the Laplace update-release
-	// stream). Meaningful only for seeded sessions.
+	// Draws is the primary noise stream's absolute position: raw 64-bit
+	// draws consumed, construction included. Meaningful only for seeded
+	// sessions.
 	Draws uint64 `json:"draws,omitempty"`
-	// GateDraws is the pmw SVT gate stream's absolute position.
-	GateDraws uint64 `json:"gateDraws,omitempty"`
-	// Rho is dpbook's current noisy-threshold offset, which is resampled on
-	// every positive outcome and therefore not re-derivable from the seed.
-	// It never leaves the server: the journal is exactly as private as the
-	// seed it is derived from.
-	Rho *float64 `json:"rho,omitempty"`
-	// Synth is pmw's learned synthetic histogram, so a restored session
-	// resumes from its learned distribution instead of the uniform prior.
+	// AuxDraws is the auxiliary noise stream's absolute position (0 for
+	// single-stream mechanisms). The JSON name keeps the v2 wire spelling,
+	// where the only two-stream mechanism was pmw and the auxiliary stream
+	// was its SVT gate.
+	AuxDraws uint64 `json:"gateDraws,omitempty"`
+	// State is the mechanism's opaque evolving-state blob
+	// (mech.Instance.MarshalState); absent when the mechanism journals
+	// none. It never leaves the server: the journal is exactly as private
+	// as the mechanism state it is derived from.
+	State []byte `json:"state,omitempty"`
+	// Rho and Synth are the LEGACY (v1/v2) special-cased evolving state:
+	// dpbook's resampled noisy-threshold offset and pmw's learned
+	// synthetic histogram. Decode-only — the encode path never sets them;
+	// legacyState maps them onto State so old WALs recover unchanged.
+	Rho   *float64  `json:"rho,omitempty"`
 	Synth []float64 `json:"synth,omitempty"`
 }
 
+// legacyState maps a v1/v2 record's special-cased fields onto the opaque
+// state blob the corresponding mechanism expects today. This is the only
+// mechanism-aware special case the codec retains, and it runs on decode
+// paths only.
+func (rec *sessionRecord) legacyState() {
+	if len(rec.State) > 0 {
+		return
+	}
+	switch {
+	case rec.Synth != nil:
+		rec.State = mech.SyntheticStateBlob(rec.Synth)
+	case rec.Rho != nil:
+		rec.State = mech.RhoStateBlob(*rec.Rho)
+	}
+	rec.Rho, rec.Synth = nil, nil
+}
+
 // persistRecord snapshots the session's durable state under its lock. The
-// seed is retained (v2): rebuilding a seeded session re-derives the same
-// realized threshold noise, and replay FAST-FORWARDS the stream past every
-// journaled draw instead of replaying it from position 0 — so pre-crash
-// noise is never re-emitted while the post-restart stream stays
+// seed is retained (since v2): rebuilding a seeded session re-derives the
+// same realized threshold noise, and replay FAST-FORWARDS the stream past
+// every journaled draw instead of replaying it from position 0 — so
+// pre-crash noise is never re-emitted while the post-restart stream stays
 // bit-identical to an uninterrupted run.
 func (s *Session) persistRecord() sessionRecord {
 	s.mu.Lock()
@@ -102,14 +141,9 @@ func (s *Session) persistRecord() sessionRecord {
 		CreatedAt: s.createdAt.UnixNano(),
 		Answered:  s.answered,
 		Positives: s.positives,
+		State:     s.inst.MarshalState(),
 	}
-	rec.Draws, rec.GateDraws = s.drawsLocked()
-	if s.engine != nil {
-		rec.Synth = s.engine.Synthetic()
-	}
-	if rho, ok := s.rhoLocked(); ok {
-		rec.Rho = &rho
-	}
+	rec.Draws, rec.AuxDraws = s.inst.Draws()
 	return rec
 }
 
@@ -130,87 +164,78 @@ func sessionRecordEvent(kind byte, id string, rec sessionRecord) (store.Event, e
 
 // progressDelta is what one answered batch adds to a session's journaled
 // state: the counter deltas, the noise-stream draw deltas, and — only when
-// positives were consumed — the evolving mechanism state that cannot be
-// re-derived at replay (dpbook's resampled ρ, pmw's reweighted synthetic
-// histogram).
+// positives were consumed — the mechanism's opaque evolving state that
+// cannot be re-derived at replay.
 type progressDelta struct {
 	answered  int
 	positives int
 	draws     uint64
-	gateDraws uint64
-	rho       *float64
-	synth     []float64
+	aux       uint64
+	state     []byte
 }
 
-// progressFlags bits in the v2 binary encoding.
+// progressFlags bits in the binary encoding. The rho/synth bits are legacy
+// (written by codec v2, decoded forever); v3 writes only the state bit.
 const (
-	progressHasRho   = 1 << 0
-	progressHasSynth = 1 << 1
+	progressHasRho   = 1 << 0 // legacy v2: 8-byte float64 ρ follows
+	progressHasSynth = 1 << 1 // legacy v2: uvarint count + 8 bytes/bucket
+	progressHasState = 1 << 2 // v3: uvarint length + opaque state blob
 )
 
-// takeProgress captures and claims the journal delta for a finished batch
-// under the session lock. The draw deltas are relative to the last claimed
-// position; claiming is optimistic — if the append then fails, the claimed
-// draws are simply never journaled, which is safe: the batch's response is
-// withheld, so skipping fewer draws at replay re-emits only noise the
-// analyst never observed, and the next snapshot record re-absolutizes the
-// position.
-func (s *Session) takeProgress(res BatchResult) progressDelta {
-	dAnswered, dPositives := s.batchDeltas(res)
+// takeProgress captures and claims the journal delta accumulated since the
+// last claimed position, under the session lock. Claiming is optimistic —
+// if the append then fails, the claimed counters and draws are simply never
+// journaled, which is safe: the batch's response is withheld, so replaying
+// less progress re-emits only answers and noise the analyst never observed,
+// and the next snapshot record re-absolutizes everything.
+func (s *Session) takeProgress() progressDelta {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	main, gate := s.drawsLocked()
+	main, aux := s.inst.Draws()
 	d := progressDelta{
-		answered:  dAnswered,
-		positives: dPositives,
+		answered:  s.answered - s.jAnswered,
+		positives: s.positives - s.jPositives,
 		draws:     main - s.jDraws,
-		gateDraws: gate - s.jGate,
+		aux:       aux - s.jAux,
 	}
-	s.jDraws, s.jGate = main, gate
-	if dPositives > 0 {
-		if s.engine != nil {
-			d.synth = s.engine.Synthetic()
-		} else if rho, ok := s.rhoLocked(); ok {
-			d.rho = &rho
-		}
+	s.jAnswered, s.jPositives = s.answered, s.positives
+	s.jDraws, s.jAux = main, aux
+	if d.positives > 0 {
+		// Evolving mechanism state only changes when positive/update budget
+		// is consumed; journaling it on every batch would bloat the log.
+		d.state = s.inst.MarshalState()
 	}
 	return d
 }
 
 // progressEvent encodes a batch's deltas compactly — this is the hot-path
 // record, one per answered batch. Layout (all integers uvarint unless
-// noted): dAnswered, dPositives, dDraws, dGateDraws, a flags byte, then an
-// optional ρ (8 bytes, float64 LE bits) and an optional synthetic histogram
-// (uvarint length + 8 bytes per bucket). A v1 record is the first two
-// fields alone.
+// noted): dAnswered, dPositives, dDraws, dAuxDraws, a flags byte, then an
+// optional opaque state blob (uvarint length + bytes). A v1 record is the
+// first two fields alone; v2 records carried ρ/synthetic-histogram fields
+// behind their own flag bits, which decodeProgress still accepts.
 func progressEvent(id string, d progressDelta) store.Event {
-	buf := make([]byte, 0, 4*binary.MaxVarintLen64+1)
+	buf := make([]byte, 0, 5*binary.MaxVarintLen64+1+len(d.state))
 	buf = binary.AppendUvarint(buf, uint64(d.answered))
 	buf = binary.AppendUvarint(buf, uint64(d.positives))
 	buf = binary.AppendUvarint(buf, d.draws)
-	buf = binary.AppendUvarint(buf, d.gateDraws)
+	buf = binary.AppendUvarint(buf, d.aux)
 	var flags byte
-	if d.rho != nil {
-		flags |= progressHasRho
-	}
-	if d.synth != nil {
-		flags |= progressHasSynth
+	if d.state != nil {
+		flags |= progressHasState
 	}
 	buf = append(buf, flags)
-	if d.rho != nil {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(*d.rho))
-	}
-	if d.synth != nil {
-		buf = binary.AppendUvarint(buf, uint64(len(d.synth)))
-		for _, v := range d.synth {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
-		}
+	if d.state != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(d.state)))
+		buf = append(buf, d.state...)
 	}
 	return store.Event{Kind: evProgress, ID: id, Data: buf}
 }
 
-// decodeProgress is the inverse of progressEvent, accepting both the v1
-// two-field layout and the v2 layout.
+// decodeProgress is the inverse of progressEvent, accepting the v1
+// two-field layout, the v2 layout (ρ/synth flag bits, mapped onto the
+// equivalent opaque blobs exactly like sessionRecord.legacyState) and the
+// v3 layout.
 func decodeProgress(data []byte) (progressDelta, error) {
 	var d progressDelta
 	bad := func() (progressDelta, error) {
@@ -226,6 +251,13 @@ func decodeProgress(data []byte) (progressDelta, error) {
 		return bad()
 	}
 	data = data[n:]
+	// Counter deltas must survive the cast to int: a corrupt uvarint near
+	// 2^64 would wrap NEGATIVE and subtract from the replayed counters —
+	// the one corruption shape that refreshes spent privacy budget instead
+	// of failing recovery.
+	if da > math.MaxInt32 || dp > math.MaxInt32 {
+		return bad()
+	}
 	d.answered, d.positives = int(da), int(dp)
 	if len(data) == 0 {
 		return d, nil // v1 record: counters only
@@ -234,7 +266,7 @@ func decodeProgress(data []byte) (progressDelta, error) {
 		return bad()
 	}
 	data = data[n:]
-	if d.gateDraws, n = binary.Uvarint(data); n <= 0 {
+	if d.aux, n = binary.Uvarint(data); n <= 0 {
 		return bad()
 	}
 	data = data[n:]
@@ -243,12 +275,15 @@ func decodeProgress(data []byte) (progressDelta, error) {
 	}
 	flags := data[0]
 	data = data[1:]
+	if flags&^(progressHasRho|progressHasSynth|progressHasState) != 0 {
+		return bad()
+	}
 	if flags&progressHasRho != 0 {
 		if len(data) < 8 {
 			return bad()
 		}
 		rho := math.Float64frombits(binary.LittleEndian.Uint64(data))
-		d.rho = &rho
+		d.state = mech.RhoStateBlob(rho)
 		data = data[8:]
 	}
 	if flags&progressHasSynth != 0 {
@@ -257,36 +292,32 @@ func decodeProgress(data []byte) (progressDelta, error) {
 			return bad()
 		}
 		data = data[n:]
-		if uint64(len(data)) != 8*ln {
+		if ln > uint64(len(data))/8 {
 			return bad()
 		}
-		d.synth = make([]float64, ln)
-		for i := range d.synth {
-			d.synth[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		synth := make([]float64, ln)
+		for i := range synth {
+			synth[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
 		}
+		d.state = mech.SyntheticStateBlob(synth)
 		data = data[8*ln:]
+	}
+	if flags&progressHasState != 0 {
+		ln, n := binary.Uvarint(data)
+		if n <= 0 {
+			return bad()
+		}
+		data = data[n:]
+		if uint64(len(data)) < ln {
+			return bad()
+		}
+		d.state = append([]byte(nil), data[:ln]...)
+		data = data[ln:]
 	}
 	if len(data) != 0 {
 		return bad()
 	}
 	return d, nil
-}
-
-// batchDeltas derives the journal deltas from a batch result: how many
-// queries were answered and how many consumed positive-outcome (or pmw
-// update) budget.
-func (s *Session) batchDeltas(res BatchResult) (dAnswered, dPositives int) {
-	dAnswered = len(res.Results)
-	for _, r := range res.Results {
-		if s.mech == MechPMW {
-			if !r.FromSynthetic {
-				dPositives++
-			}
-		} else if r.Above {
-			dPositives++
-		}
-	}
-	return dAnswered, dPositives
 }
 
 // recoverSessions replays the store's event stream into the (still empty,
@@ -308,6 +339,7 @@ func (m *SessionManager) recoverSessions() error {
 			if err := json.Unmarshal(ev.Data, &rec); err != nil {
 				return fmt.Errorf("server: replaying event %d: decoding session %s: %w", i, ev.ID, err)
 			}
+			rec.legacyState()
 			if _, seen := staged[ev.ID]; !seen {
 				order = append(order, ev.ID)
 			}
@@ -324,12 +356,9 @@ func (m *SessionManager) recoverSessions() error {
 			rec.Answered += d.answered
 			rec.Positives += d.positives
 			rec.Draws += d.draws
-			rec.GateDraws += d.gateDraws
-			if d.rho != nil {
-				rec.Rho = d.rho
-			}
-			if d.synth != nil {
-				rec.Synth = d.synth
+			rec.AuxDraws += d.aux
+			if d.state != nil {
+				rec.State = d.state
 			}
 		case evDelete, evExpire:
 			delete(staged, ev.ID)
@@ -357,76 +386,59 @@ func (m *SessionManager) recoverSessions() error {
 
 // rebuildSession reconstructs one session from its journaled record: the
 // mechanism is rebuilt from the original parameters (same deterministic
-// budget split) and fast-forwarded to the journaled counters. Seeded v2
-// sessions additionally fast-forward their noise streams to the journaled
-// positions, resuming the exact pre-crash stream without re-emitting any
-// draw; unseeded (and v1) sessions draw fresh noise. The idle TTL restarts
-// at recovery time.
+// budget split) and fast-forwarded to the journaled counters. Seeded
+// stream-position-carrying records (v2+) additionally fast-forward their
+// noise streams to the journaled positions, resuming the exact pre-crash
+// stream without re-emitting any draw; unseeded (and v1) sessions draw
+// fresh noise. The idle TTL restarts at recovery time.
 func (m *SessionManager) rebuildSession(id string, rec *sessionRecord, now time.Time) (*Session, error) {
 	ttl := time.Duration(rec.Params.TTLSeconds * float64(time.Second))
 	if ttl <= 0 {
 		return nil, fmt.Errorf("server: recovering session %s: bad ttl %v", id, rec.Params.TTLSeconds)
 	}
-	s, err := newSession(id, rec.Params, ttl, time.Unix(0, rec.CreatedAt))
+	s, err := newSession(m.registry, id, rec.Params, ttl, time.Unix(0, rec.CreatedAt))
 	if err != nil {
 		return nil, fmt.Errorf("server: recovering session %s: %w", id, err)
+	}
+	if idx, ok := m.mechIndex[s.mech]; ok {
+		s.mechIdx = idx
 	}
 	if err := s.restore(rec.Answered, rec.Positives); err != nil {
 		return nil, fmt.Errorf("server: recovering session %s: %w", id, err)
 	}
-	if err := s.restoreStream(rec); err != nil {
+	if err := s.restoreState(rec); err != nil {
 		return nil, fmt.Errorf("server: recovering session %s: %w", id, err)
 	}
 	s.touch(now)
 	return s, nil
 }
 
-// restoreStream is crash recovery's noise-stream step: restore pmw's
-// learned synthetic histogram, then — for seeded v2 records — fast-forward
-// the re-seeded sources to the journaled positions and reinstall dpbook's
-// resampled ρ.
-func (s *Session) restoreStream(rec *sessionRecord) error {
+// restoreState is crash recovery's mechanism-state step: reinstall the
+// journaled opaque evolving state (pmw's learned synthetic histogram,
+// dpbook's resampled ρ), then — for seeded records that carry stream
+// positions — fast-forward the re-seeded sources past every journaled draw.
+func (s *Session) restoreState(rec *sessionRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.engine != nil && rec.Synth != nil {
-		if err := s.engine.RestoreSynthetic(rec.Synth); err != nil {
+	if len(rec.State) > 0 {
+		if err := s.inst.UnmarshalState(rec.State); err != nil {
 			return err
 		}
 	}
-	if rec.V >= persistVersion && s.params.Seed != 0 {
-		switch {
-		case s.sparse != nil:
-			if err := s.sparse.FastForward(rec.Draws); err != nil {
-				return err
-			}
-		case s.engine != nil:
-			if err := s.engine.FastForward(rec.GateDraws, rec.Draws); err != nil {
-				return err
-			}
-		default:
-			ss, ok := s.stream.(variants.StreamState)
-			if !ok {
-				return fmt.Errorf("server: mechanism %q does not support stream fast-forward", s.mech)
-			}
-			if err := ss.FastForward(rec.Draws); err != nil {
-				return err
-			}
-			if rec.Rho != nil {
-				if rs, ok := s.stream.(variants.RhoState); ok {
-					rs.SetRho(*rec.Rho)
-				}
-			}
+	if rec.V >= streamedVersion && s.params.Seed != 0 {
+		if err := s.inst.FastForward(rec.Draws, rec.AuxDraws); err != nil {
+			return err
 		}
 	}
-	s.jDraws, s.jGate = s.drawsLocked()
+	s.jDraws, s.jAux = s.inst.Draws()
 	return nil
 }
 
 // journalProgress appends the batch's deltas; callers hold m.journalMu
 // read-locked. Batches that changed nothing (empty results on an already
 // halted session) are not journaled.
-func (m *SessionManager) journalProgress(s *Session, res BatchResult) error {
-	d := s.takeProgress(res)
+func (m *SessionManager) journalProgress(s *Session) error {
+	d := s.takeProgress()
 	if d.answered == 0 {
 		return nil
 	}
@@ -445,7 +457,8 @@ type collectedRecord struct {
 
 // collectRecords captures every live session's durable state. Callers hold
 // m.journalMu write-locked, so the capture is a consistent cut; the work per
-// session is a struct copy (plus a histogram copy for pmw), not an encode.
+// session is a struct copy (plus the mechanism's state-blob copy), not an
+// encode.
 func (m *SessionManager) collectRecords() []collectedRecord {
 	var recs []collectedRecord
 	for _, sh := range m.shards {

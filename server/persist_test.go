@@ -7,15 +7,18 @@ package server
 // positive-outcome budget still consumed.
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/dpgo/svt/mech"
 	"github.com/dpgo/svt/store"
 )
 
@@ -388,7 +391,7 @@ func TestSeedPersistedWithStreamPosition(t *testing.T) {
 	if p.Seed == 0 {
 		t.Fatal("test params must be seeded")
 	}
-	s, err := newSession("x", p, time.Minute, time.Now())
+	s, err := newSession(mech.Default, "x", p, time.Minute, time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,11 +408,10 @@ func TestSeedPersistedWithStreamPosition(t *testing.T) {
 }
 
 func TestProgressRecordRoundTrip(t *testing.T) {
-	rho := -1.25
 	cases := []progressDelta{
-		{answered: 3, positives: 1, draws: 7, gateDraws: 0},
-		{answered: 1, positives: 1, draws: 2, gateDraws: 5, synth: []float64{1, 2.5, 3}},
-		{answered: 2, positives: 1, draws: 4, gateDraws: 0, rho: &rho},
+		{answered: 3, positives: 1, draws: 7, aux: 0},
+		{answered: 1, positives: 1, draws: 2, aux: 5, state: mech.SyntheticStateBlob([]float64{1, 2.5, 3})},
+		{answered: 2, positives: 1, draws: 4, aux: 0, state: mech.RhoStateBlob(-1.25)},
 	}
 	for i, want := range cases {
 		ev := progressEvent("s", want)
@@ -418,19 +420,11 @@ func TestProgressRecordRoundTrip(t *testing.T) {
 			t.Fatalf("case %d: %v", i, err)
 		}
 		if got.answered != want.answered || got.positives != want.positives ||
-			got.draws != want.draws || got.gateDraws != want.gateDraws {
+			got.draws != want.draws || got.aux != want.aux {
 			t.Fatalf("case %d: got %+v, want %+v", i, got, want)
 		}
-		if (got.rho == nil) != (want.rho == nil) || (got.rho != nil && *got.rho != *want.rho) {
-			t.Fatalf("case %d: rho mismatch", i)
-		}
-		if len(got.synth) != len(want.synth) {
-			t.Fatalf("case %d: synth mismatch", i)
-		}
-		for j := range got.synth {
-			if got.synth[j] != want.synth[j] {
-				t.Fatalf("case %d: synth[%d] = %v, want %v", i, j, got.synth[j], want.synth[j])
-			}
+		if !bytes.Equal(got.state, want.state) {
+			t.Fatalf("case %d: state blob mismatch:\n got  %x\n want %x", i, got.state, want.state)
 		}
 	}
 	// A v1 record — counters only — still decodes, with zero stream deltas.
@@ -441,8 +435,86 @@ func TestProgressRecordRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.answered != 5 || got.positives != 2 || got.draws != 0 || got.gateDraws != 0 || got.rho != nil || got.synth != nil {
+	if got.answered != 5 || got.positives != 2 || got.draws != 0 || got.aux != 0 || got.state != nil {
 		t.Fatalf("v1 decode: %+v", got)
+	}
+}
+
+// legacyV2Progress hand-encodes the codec-v2 progress layout (special-cased
+// ρ/synth flag bits), which this codec no longer writes but must decode
+// forever: existing WALs recover through this path.
+func legacyV2Progress(answered, positives int, draws, aux uint64, rho *float64, synth []float64) []byte {
+	buf := []byte{}
+	buf = appendUvarintForTest(buf, uint64(answered))
+	buf = appendUvarintForTest(buf, uint64(positives))
+	buf = appendUvarintForTest(buf, draws)
+	buf = appendUvarintForTest(buf, aux)
+	var flags byte
+	if rho != nil {
+		flags |= progressHasRho
+	}
+	if synth != nil {
+		flags |= progressHasSynth
+	}
+	buf = append(buf, flags)
+	if rho != nil {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(*rho))
+	}
+	if synth != nil {
+		buf = appendUvarintForTest(buf, uint64(len(synth)))
+		for _, v := range synth {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// TestLegacyProgressDecodeMapsToStateBlobs pins the v2→v3 decode mapping:
+// a v2 record's ρ or synthetic histogram must come back as exactly the
+// opaque blob the corresponding mechanism's UnmarshalState expects.
+func TestLegacyProgressDecodeMapsToStateBlobs(t *testing.T) {
+	rho := -0.75
+	d, err := decodeProgress(legacyV2Progress(2, 1, 9, 0, &rho, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d.state, mech.RhoStateBlob(rho)) {
+		t.Fatalf("v2 rho record decoded to state %x, want RhoStateBlob(%v)", d.state, rho)
+	}
+	synth := []float64{4, 1.5, 2, 0.5}
+	d, err = decodeProgress(legacyV2Progress(3, 1, 4, 7, nil, synth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d.state, mech.SyntheticStateBlob(synth)) {
+		t.Fatalf("v2 synth record decoded to state %x, want SyntheticStateBlob", d.state)
+	}
+	if d.answered != 3 || d.positives != 1 || d.draws != 4 || d.aux != 7 {
+		t.Fatalf("v2 counters lost in decode: %+v", d)
+	}
+}
+
+// TestLegacySessionRecordDecodeMapsToStateBlobs does the same for the JSON
+// session records of evCreate/evSnapshot events.
+func TestLegacySessionRecordDecodeMapsToStateBlobs(t *testing.T) {
+	rho := 2.5
+	rec := sessionRecord{V: 2, Rho: &rho}
+	rec.legacyState()
+	if !bytes.Equal(rec.State, mech.RhoStateBlob(rho)) || rec.Rho != nil {
+		t.Fatalf("v2 rho session record mapped to %x (rho=%v)", rec.State, rec.Rho)
+	}
+	synth := []float64{1, 2, 3}
+	rec = sessionRecord{V: 2, Synth: synth}
+	rec.legacyState()
+	if !bytes.Equal(rec.State, mech.SyntheticStateBlob(synth)) || rec.Synth != nil {
+		t.Fatalf("v2 synth session record mapped to %x", rec.State)
+	}
+	// A v3 record's blob wins over any (impossible) legacy leftovers.
+	blob := mech.RhoStateBlob(9)
+	rec = sessionRecord{V: 3, State: blob, Rho: &rho}
+	rec.legacyState()
+	if !bytes.Equal(rec.State, blob) {
+		t.Fatalf("v3 state blob overwritten by legacy mapping")
 	}
 }
 
@@ -457,5 +529,76 @@ func TestStatsExposeStoreHealth(t *testing.T) {
 	}
 	if st.Store.Backend != "wal" || st.Store.Appends < 2 {
 		t.Fatalf("store health %+v, want wal backend with ≥2 appends (create+progress)", st.Store)
+	}
+}
+
+// TestLegacyV2WALRecovers replays a hand-encoded codec-v2 journal — the
+// exact shapes a PR 3 server wrote, special-cased rho/synth fields and all
+// — through today's v3 decoder. Existing WALs must recover unchanged: the
+// counters come back, dpbook's journaled ρ is reinstalled, pmw resumes from
+// its journaled synthetic histogram.
+func TestLegacyV2WALRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.NewWAL(store.WALConfig{Dir: dir, Sync: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+	rho := -0.625
+	dpbookRec := fmt.Sprintf(`{"v":2,"params":{"mechanism":"dpbook","epsilon":1,"maxPositives":8,"threshold":0.5,"seed":13,"ttlSeconds":600},"createdAtUnixNano":%d,"answered":2,"positives":1,"draws":5,"rho":%v}`, now, rho)
+	pmwRec := fmt.Sprintf(`{"v":2,"params":{"mechanism":"pmw","epsilon":2,"maxPositives":3,"threshold":50,"seed":1,"ttlSeconds":600,"histogram":[2,2,2]},"createdAtUnixNano":%d,"answered":1,"positives":1,"draws":1,"gateDraws":3,"synth":[1,2,3]}`, now)
+	for _, ev := range []store.Event{
+		{Kind: evCreate, ID: "dpbook-legacy", Data: []byte(dpbookRec)},
+		{Kind: evCreate, ID: "pmw-legacy", Data: []byte(pmwRec)},
+		// v2 progress on the dpbook session: +2 answered, +1 positive,
+		// +4 draws, flags=rho carrying an updated ρ of 2.5.
+		{Kind: evProgress, ID: "dpbook-legacy", Data: legacyV2Progress(2, 1, 4, 0, ptr(2.5), nil)},
+		// v1 progress (counters only) must still stack on top.
+		{Kind: evProgress, ID: "dpbook-legacy", Data: legacyV1Progress(1, 0)},
+	} {
+		if err := st.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := openWALManager(t, dir)
+	if m.Recovered() != 2 {
+		t.Fatalf("recovered %d sessions from the v2 journal, want 2", m.Recovered())
+	}
+	db := mustStatus(t, m, "dpbook-legacy")
+	if db.Answered != 5 || db.Positives != 2 || db.Remaining != 6 {
+		t.Fatalf("dpbook legacy counters %+v, want answered=5 positives=2 remaining=6", db)
+	}
+	s, _ := m.Get("dpbook-legacy")
+	if got := s.inst.MarshalState(); !bytes.Equal(got, mech.RhoStateBlob(2.5)) {
+		t.Fatalf("dpbook legacy ρ not reinstalled: state %x, want RhoStateBlob(2.5)", got)
+	}
+	pm, _ := m.Get("pmw-legacy")
+	if got := pmwSynthetic(t, pm); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("pmw legacy synthetic %v, want the journaled [1 2 3]", got)
+	}
+	// Recovered legacy sessions keep serving and re-journal as v3.
+	mustQuery(t, m, "dpbook-legacy", sureNegative())
+	if err := m.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgressDecodeRejectsOverflowingCounters: a corrupt uvarint near
+// 2^64 must be refused, not cast to a negative int that would SUBTRACT
+// from the replayed counters and refresh spent privacy budget.
+func TestProgressDecodeRejectsOverflowingCounters(t *testing.T) {
+	huge := appendUvarintForTest(nil, math.MaxUint64-2)
+	huge = appendUvarintForTest(huge, 1)
+	if _, err := decodeProgress(huge); err == nil {
+		t.Fatal("counter delta above MaxInt32 accepted; it would wrap negative at replay")
+	}
+	ok := appendUvarintForTest(nil, 3)
+	ok = appendUvarintForTest(ok, math.MaxUint64)
+	if _, err := decodeProgress(ok); err == nil {
+		t.Fatal("positives delta above MaxInt32 accepted")
 	}
 }

@@ -11,8 +11,21 @@ package server
 import (
 	"testing"
 
+	"github.com/dpgo/svt/mech"
 	"github.com/dpgo/svt/store"
 )
+
+// replayMechanisms is every servable mechanism, taken from the default
+// registry so a newly registered mechanism is automatically covered by the
+// crash-replay matrix (esvt rides in exactly this way — no session.go or
+// hand-maintained list involved).
+func replayMechanisms() []Mechanism {
+	var out []Mechanism
+	for _, name := range mech.Default.Names() {
+		out = append(out, Mechanism(name))
+	}
+	return out
+}
 
 // replayScript builds a deterministic, mechanism-appropriate query script
 // whose outcomes genuinely depend on the noise: thresholds sit on top of
@@ -82,7 +95,7 @@ func resultsEqual(a, b []QueryResult) bool {
 
 func TestSeededSessionReplayBitIdentical(t *testing.T) {
 	const n, kill = 40, 13
-	for _, mech := range mechanisms {
+	for _, mech := range replayMechanisms() {
 		for _, snapshotBeforeKill := range []bool{false, true} {
 			name := string(mech)
 			if snapshotBeforeKill {
@@ -213,6 +226,26 @@ func TestSnapshotFailureSurfacedInStats(t *testing.T) {
 	}
 }
 
+// pmwSynthetic reaches through the mechanism seam for the mediator's
+// public synthetic histogram; pmwUpdates for its real-data access count.
+func pmwSynthetic(t *testing.T, s *Session) []float64 {
+	t.Helper()
+	m, ok := s.inst.(interface{ Synthetic() []float64 })
+	if !ok {
+		t.Fatalf("session mechanism %T exposes no synthetic histogram", s.inst)
+	}
+	return m.Synthetic()
+}
+
+func pmwUpdates(t *testing.T, s *Session) int {
+	t.Helper()
+	m, ok := s.inst.(interface{ Updates() int })
+	if !ok {
+		t.Fatalf("session mechanism %T exposes no update count", s.inst)
+	}
+	return m.Updates()
+}
+
 // TestPMWRecoveryKeepsLearnedSynthetic requires a recovered pmw session to
 // resume from its learned synthetic histogram rather than the uniform
 // prior, whether the state came from a snapshot baseline or only from
@@ -231,10 +264,10 @@ func TestPMWRecoveryKeepsLearnedSynthetic(t *testing.T) {
 			for i := 0; i < 8; i++ {
 				mustQuery(t, m1, s.ID(), []QueryItem{{Buckets: []int{4}}})
 			}
-			if s.engine.Updates() == 0 {
+			if pmwUpdates(t, s) == 0 {
 				t.Fatal("setup: no pmw updates happened; the test would be vacuous")
 			}
-			learned := s.engine.Synthetic()
+			learned := pmwSynthetic(t, s)
 			if snapshot {
 				if err := m1.SnapshotNow(); err != nil {
 					t.Fatal(err)
@@ -247,7 +280,7 @@ func TestPMWRecoveryKeepsLearnedSynthetic(t *testing.T) {
 			if !ok {
 				t.Fatal("pmw session lost across restart")
 			}
-			got := rec.engine.Synthetic()
+			got := pmwSynthetic(t, rec)
 			for i := range learned {
 				if got[i] != learned[i] {
 					t.Fatalf("synthetic[%d] = %v after recovery, want learned value %v (uniform restart?)", i, got[i], learned[i])

@@ -25,10 +25,12 @@ import (
 	"hash/fnv"
 	"log"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/dpgo/svt/mech"
 	"github.com/dpgo/svt/store"
 )
 
@@ -61,6 +63,11 @@ type ManagerConfig struct {
 	// full-state snapshot; 0 means DefaultSnapshotInterval, negative
 	// disables periodic snapshots. Ignored without a Store.
 	SnapshotInterval time.Duration
+	// Registry is the mechanism registry sessions are built from; nil
+	// means mech.Default (every built-in mechanism). The manager captures
+	// the registered set at Open time for its per-mechanism counters, so
+	// register custom mechanisms before opening.
+	Registry *mech.Registry
 }
 
 // Defaults for ManagerConfig zero values.
@@ -86,7 +93,9 @@ type shard struct {
 	created atomic.Uint64
 	deleted atomic.Uint64
 	expired atomic.Uint64
-	queries [len(mechanisms)]atomic.Uint64
+	// queries counts answered queries per mechanism, indexed by the
+	// manager's registry-derived mechIndex (fixed at Open time).
+	queries []atomic.Uint64
 }
 
 // SessionManager owns all live sessions.
@@ -96,6 +105,15 @@ type SessionManager struct {
 	maxTTL     time.Duration
 	maxLive    int
 	live       atomic.Int64
+
+	// registry is the mechanism registry sessions are built from;
+	// mechInfos/mechNames/mechIndex freeze the registered set at Open time
+	// so the per-shard query counters stay a lock-free flat array and
+	// discovery, stats and create agree on one servable set.
+	registry  *mech.Registry
+	mechInfos []MechanismInfo
+	mechNames []Mechanism
+	mechIndex map[Mechanism]int
 
 	// store is the persistence backend; nil means no journaling at all.
 	// journalMu orders journal appends against snapshot compaction: every
@@ -153,19 +171,28 @@ func Open(cfg ManagerConfig) (*SessionManager, error) {
 	if sweep <= 0 {
 		sweep = DefaultSweepInterval
 	}
+	registry := cfg.Registry
+	if registry == nil {
+		registry = mech.Default
+	}
 	m := &SessionManager{
 		shards:      make([]*shard, nshards),
 		defaultTTL:  ttl,
 		maxTTL:      maxTTL,
 		maxLive:     cfg.MaxSessions,
+		registry:    registry,
 		store:       cfg.Store,
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 		now:         time.Now,
 		logf:        log.Printf,
 	}
+	m.captureMechanisms()
 	for i := range m.shards {
-		m.shards[i] = &shard{sessions: make(map[string]*Session)}
+		m.shards[i] = &shard{
+			sessions: make(map[string]*Session),
+			queries:  make([]atomic.Uint64, len(m.mechNames)),
+		}
 	}
 	if m.store != nil {
 		if err := m.recoverSessions(); err != nil {
@@ -283,6 +310,15 @@ func (m *SessionManager) Sweep() int {
 	return removed
 }
 
+// servedNames renders the frozen mechanism set for error messages.
+func (m *SessionManager) servedNames() string {
+	names := make([]string, len(m.mechNames))
+	for i, n := range m.mechNames {
+		names[i] = string(n)
+	}
+	return strings.Join(names, ", ")
+}
+
 // shardFor maps a session ID to its stripe by FNV-1a hash.
 func (m *SessionManager) shardFor(id string) *shard {
 	h := fnv.New32a()
@@ -354,10 +390,18 @@ func (m *SessionManager) create(p CreateParams) (*Session, *shard, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	s, err := newSession(id, p, ttl, m.now())
+	// Serve only the mechanism set frozen at Open: a factory registered
+	// later would be buildable via the live registry but invisible to the
+	// per-mechanism counters and the discovery endpoint.
+	idx, served := m.mechIndex[p.Mechanism]
+	if !served {
+		return nil, nil, fmt.Errorf("server: unknown mechanism %q (serving: %s)", p.Mechanism, m.servedNames())
+	}
+	s, err := newSession(m.registry, id, p, ttl, m.now())
 	if err != nil {
 		return nil, nil, err
 	}
+	s.mechIdx = idx
 	sh := m.shardFor(id)
 	sh.mu.Lock()
 	if _, dup := sh.sessions[id]; dup {
@@ -440,10 +484,11 @@ func (m *SessionManager) Len() int { return int(m.live.Load()) }
 func (m *SessionManager) Shards() int { return len(m.shards) }
 
 // countQuery charges n answered queries to the mechanism's counter on the
-// session's shard.
+// session's shard. The index was resolved when the session registered, so
+// the hot path touches no map.
 func (m *SessionManager) countQuery(s *Session, n int) {
-	if idx := s.mech.index(); idx >= 0 && n > 0 {
-		m.shardFor(s.id).queries[idx].Add(uint64(n))
+	if s.mechIdx >= 0 && n > 0 {
+		m.shardFor(s.id).queries[s.mechIdx].Add(uint64(n))
 	}
 }
 
@@ -464,7 +509,7 @@ func (m *SessionManager) Query(id string, items []QueryItem) (BatchResult, error
 	}
 	m.journalMu.RLock()
 	res, err := s.Query(items)
-	if jerr := m.journalProgress(s, res); jerr != nil {
+	if jerr := m.journalProgress(s); jerr != nil {
 		m.journalMu.RUnlock()
 		m.countQuery(s, len(res.Results))
 		return BatchResult{}, jerr

@@ -7,16 +7,17 @@ import (
 	"sync/atomic"
 	"time"
 
-	svt "github.com/dpgo/svt"
 	"github.com/dpgo/svt/dp"
-	"github.com/dpgo/svt/pmw"
-	"github.com/dpgo/svt/variants"
+	"github.com/dpgo/svt/mech"
 )
 
-// Mechanism names one of the interactive mechanisms a session can run.
-// Only the differentially private variants are exposed: the broken
-// historical algorithms (Roth11, Stoddard, Chen, GPTT) stay confined to
-// the variants/audit packages and are deliberately not servable.
+// Mechanism names one of the interactive mechanisms a session can run. The
+// set of servable mechanisms is whatever the manager's mech.Registry holds
+// (GET /v1/mechanisms lists them with capability flags); the constants
+// below name the built-ins for compile-time convenience. Only
+// differentially private mechanisms are registered: the broken historical
+// algorithms (Roth11, Stoddard, Chen, GPTT) stay confined to the
+// variants/audit packages and are deliberately not servable.
 type Mechanism string
 
 const (
@@ -33,55 +34,61 @@ const (
 	MechPMW Mechanism = "pmw"
 )
 
-// mechanisms lists every servable mechanism in counter-index order.
-var mechanisms = [...]Mechanism{MechSparse, MechProposed, MechDPBook, MechPMW}
-
-// index returns the mechanism's position in mechanisms, or -1.
-func (m Mechanism) index() int {
-	for i, k := range mechanisms {
-		if k == m {
-			return i
-		}
-	}
-	return -1
-}
-
 // CreateParams configures a new session. JSON field names match the
 // POST /v1/sessions request body.
 type CreateParams struct {
-	// Mechanism selects the algorithm: "sparse", "proposed", "dpbook" or
-	// "pmw". Required.
+	// Mechanism selects the algorithm by its registry name (GET
+	// /v1/mechanisms lists what this server offers). Required.
 	Mechanism Mechanism `json:"mechanism"`
 	// Epsilon is the total privacy budget of the session. Required.
 	Epsilon float64 `json:"epsilon"`
 	// Sensitivity is the query sensitivity Δ; 0 defaults to 1.
 	Sensitivity float64 `json:"sensitivity,omitempty"`
-	// MaxPositives is the SVT cutoff c (for pmw: the update budget).
+	// MaxPositives is the SVT cutoff c (for mediators: the update budget).
 	// Required.
 	MaxPositives int `json:"maxPositives"`
 	// Threshold is the default threshold for queries that do not carry
-	// their own. Required for pmw (the error threshold T); optional for
-	// the SVT mechanisms when every query supplies a threshold. A pointer
-	// so that an explicit default of 0 is distinguishable from "absent".
+	// their own. Required for mechanisms flagged needsHistogram (the error
+	// threshold T); optional for the SVT mechanisms when every query
+	// supplies a threshold. A pointer so that an explicit default of 0 is
+	// distinguishable from "absent".
 	Threshold *float64 `json:"threshold,omitempty"`
-	// Monotonic enables the Theorem 5 refinement (sparse only).
+	// Monotonic enables the Theorem 5 refinement where the mechanism's
+	// capabilities advertise it.
 	Monotonic bool `json:"monotonic,omitempty"`
-	// AnswerFraction reserves ε₃ for numeric releases (sparse only).
+	// AnswerFraction reserves ε₃ for numeric releases where supported.
 	AnswerFraction float64 `json:"answerFraction,omitempty"`
 	// Seed makes the session reproducible; 0 means crypto-seeded.
 	Seed uint64 `json:"seed,omitempty"`
 	// TTLSeconds is the idle time-to-live; 0 uses the manager default.
 	TTLSeconds float64 `json:"ttlSeconds,omitempty"`
-	// Histogram is the private dataset for pmw sessions. Required for
-	// pmw, rejected otherwise.
+	// Histogram is the private dataset for mechanisms that need one.
 	Histogram []float64 `json:"histogram,omitempty"`
-	// UpdateFraction and LearningRate tune pmw; zero means its defaults.
+	// UpdateFraction and LearningRate tune histogram mediators; zero means
+	// their defaults.
 	UpdateFraction float64 `json:"updateFraction,omitempty"`
 	LearningRate   float64 `json:"learningRate,omitempty"`
 }
 
+// mechParams maps the wire-level create request onto the mechanism layer's
+// parameter set; each factory validates the fields it consumes.
+func (p CreateParams) mechParams() mech.Params {
+	return mech.Params{
+		Epsilon:        p.Epsilon,
+		Sensitivity:    p.Sensitivity,
+		MaxPositives:   p.MaxPositives,
+		Threshold:      p.Threshold,
+		Monotonic:      p.Monotonic,
+		AnswerFraction: p.AnswerFraction,
+		Seed:           p.Seed,
+		Histogram:      p.Histogram,
+		UpdateFraction: p.UpdateFraction,
+		LearningRate:   p.LearningRate,
+	}
+}
+
 // QueryItem is one threshold query (SVT mechanisms) or one linear
-// counting query (pmw).
+// counting query (histogram mediators).
 type QueryItem struct {
 	// Query is the true, unperturbed answer computed by the analyst's
 	// trusted side on the private data (SVT mechanisms).
@@ -89,7 +96,7 @@ type QueryItem struct {
 	// Threshold overrides the session default for this query. NaN/absent
 	// means use the default.
 	Threshold *float64 `json:"threshold,omitempty"`
-	// Buckets is the pmw linear query: distinct histogram indices.
+	// Buckets is a linear counting query: distinct histogram indices.
 	Buckets []int `json:"buckets,omitempty"`
 }
 
@@ -97,15 +104,15 @@ type QueryItem struct {
 type QueryResult struct {
 	// Above is the SVT indicator outcome (⊤ = true).
 	Above bool `json:"above"`
-	// Numeric reports that Value carries an ε₃ numeric release (sparse)
-	// or a pmw answer.
+	// Numeric reports that Value carries a released number (an ε₃ numeric
+	// release, or a mediator answer).
 	Numeric bool `json:"numeric,omitempty"`
 	// Value is the released number when Numeric is set.
 	Value float64 `json:"value,omitempty"`
-	// FromSynthetic marks a free pmw answer (no budget spent).
+	// FromSynthetic marks a free mediator answer (no budget spent).
 	FromSynthetic bool `json:"fromSynthetic,omitempty"`
-	// Exhausted marks a pmw answer released after the update budget was
-	// spent: an unchecked synthetic estimate.
+	// Exhausted marks a mediator answer released after the update budget
+	// was spent: an unchecked synthetic estimate.
 	Exhausted bool `json:"exhausted,omitempty"`
 }
 
@@ -114,7 +121,7 @@ type BatchResult struct {
 	// Results holds one entry per answered query, in order. It is shorter
 	// than the request when the mechanism halted mid-batch.
 	Results []QueryResult `json:"results"`
-	// Halted reports that the session's positive-outcome (or pmw update)
+	// Halted reports that the session's positive-outcome (or update)
 	// budget is spent.
 	Halted bool `json:"halted"`
 	// Remaining is how many more positive outcomes / updates may be
@@ -122,12 +129,11 @@ type BatchResult struct {
 	Remaining int `json:"remaining"`
 }
 
-// Budget is the realized privacy-budget split of a session. For sparse
-// sessions the three parts are the paper's (ε₁, ε₂, ε₃); for proposed and
-// dpbook ε₃ = 0 and ε₁ = ε₂ = ε/2; for pmw ε₁/ε₂ are the SVT gate's split
-// and ε₃ is the Laplace update-release budget. Total is always their
-// basic-composition sum (dp.BasicComposition), which equals the configured
-// session Epsilon.
+// Budget is the realized privacy-budget split of a session, as reported by
+// the mechanism itself: the paper's (ε₁, ε₂, ε₃) for SVT-family
+// mechanisms, the gate split plus the Laplace update-release budget for
+// mediators. Total is always their basic-composition sum
+// (dp.BasicComposition), which equals the configured session Epsilon.
 type Budget struct {
 	Eps1  float64 `json:"eps1"`
 	Eps2  float64 `json:"eps2"`
@@ -151,11 +157,15 @@ type SessionStatus struct {
 // Session is one live mechanism instance. All mechanism access is
 // serialized by the session's own mutex, so many sessions progress in
 // parallel while each individual interaction stays sequential — the
-// underlying library types are not concurrency-safe.
+// underlying mechanism types are not concurrency-safe.
 type Session struct {
 	id   string
 	mech Mechanism
-	ttl  time.Duration
+	// mechIdx is the mechanism's position in the manager's registry-derived
+	// counter array, resolved once at registration so the per-batch counter
+	// bump is an array index, not a map lookup (-1 outside a manager).
+	mechIdx int
+	ttl     time.Duration
 
 	createdAt time.Time
 	// expiresAt is the idle deadline in unixnanos, advanced on every
@@ -166,46 +176,37 @@ type Session struct {
 	// session can be journaled and rebuilt after a restart (see persist.go).
 	params CreateParams
 
-	mu           sync.Mutex
-	sparse       *svt.Sparse
-	stream       variants.Stream
-	engine       *pmw.Engine
-	threshold    float64 // default threshold; NaN when none was given
-	buckets      int     // pmw histogram size, for upfront validation
-	maxPositives int
-	answered     int
-	positives    int
-	budget       Budget
+	mu        sync.Mutex
+	inst      mech.Instance
+	threshold float64 // default threshold; NaN when none was given
+	answered  int
+	positives int
+	budget    Budget
 
-	// jDraws/jGate are the noise streams' positions at the last
-	// successfully journaled progress event, so each event carries exact
-	// draw deltas (see persist.go).
-	jDraws uint64
-	jGate  uint64
+	// jAnswered/jPositives/jDraws/jAux are the counters and noise-stream
+	// positions at the last successfully journaled progress event, so each
+	// event carries exact deltas (see persist.go).
+	jAnswered  int
+	jPositives int
+	jDraws     uint64
+	jAux       uint64
 }
 
-// newSession validates p and builds the mechanism. ttl is already
-// resolved (default applied, cap enforced) by the manager.
-func newSession(id string, p CreateParams, ttl time.Duration, now time.Time) (*Session, error) {
-	sens := p.Sensitivity
-	if sens == 0 {
-		sens = 1
-	}
+// newSession validates p against the registry and builds the mechanism.
+// ttl is already resolved (default applied, cap enforced) by the manager.
+func newSession(reg *mech.Registry, id string, p CreateParams, ttl time.Duration, now time.Time) (*Session, error) {
 	// Retain the params as realized, not as requested: the TTL is already
 	// resolved (default applied, cap enforced), and a raw request like
 	// ttlSeconds=+Inf would not survive the JSON journal encoding.
 	p.TTLSeconds = ttl.Seconds()
 	s := &Session{
-		id:           id,
-		mech:         p.Mechanism,
-		ttl:          ttl,
-		createdAt:    now,
-		params:       p,
-		threshold:    math.NaN(),
-		maxPositives: p.MaxPositives,
-	}
-	if p.Mechanism == MechPMW && p.Threshold == nil {
-		return nil, fmt.Errorf("server: pmw sessions require a threshold")
+		id:        id,
+		mech:      p.Mechanism,
+		mechIdx:   -1,
+		ttl:       ttl,
+		createdAt: now,
+		params:    p,
+		threshold: math.NaN(),
 	}
 	if p.Threshold != nil {
 		if math.IsNaN(*p.Threshold) || math.IsInf(*p.Threshold, 0) {
@@ -213,60 +214,12 @@ func newSession(id string, p CreateParams, ttl time.Duration, now time.Time) (*S
 		}
 		s.threshold = *p.Threshold
 	}
-	if p.Mechanism != MechPMW && len(p.Histogram) > 0 {
-		return nil, fmt.Errorf("server: histogram is only valid for pmw sessions")
+	inst, err := reg.New(string(p.Mechanism), p.mechParams())
+	if err != nil {
+		return nil, err
 	}
-
-	switch p.Mechanism {
-	case MechSparse:
-		mech, err := svt.New(svt.Options{
-			Epsilon:        p.Epsilon,
-			Sensitivity:    sens,
-			MaxPositives:   p.MaxPositives,
-			Monotonic:      p.Monotonic,
-			AnswerFraction: p.AnswerFraction,
-			Seed:           p.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.sparse = mech
-		s.budget.Eps1, s.budget.Eps2, s.budget.Eps3 = mech.Budgets()
-
-	case MechProposed, MechDPBook:
-		build := variants.NewProposed
-		if p.Mechanism == MechDPBook {
-			build = variants.NewDPBook
-		}
-		mech, err := build(p.Epsilon, sens, p.MaxPositives, p.Seed)
-		if err != nil {
-			return nil, err
-		}
-		s.stream = mech
-		// Algorithms 1 and 2 both hard-code the ε₁ = ε₂ = ε/2 split and
-		// release indicators only.
-		s.budget.Eps1, s.budget.Eps2, s.budget.Eps3 = p.Epsilon/2, p.Epsilon/2, 0
-
-	case MechPMW:
-		engine, err := pmw.New(pmw.Config{
-			Histogram:      p.Histogram,
-			Epsilon:        p.Epsilon,
-			MaxUpdates:     p.MaxPositives,
-			Threshold:      *p.Threshold,
-			UpdateFraction: p.UpdateFraction,
-			LearningRate:   p.LearningRate,
-			Seed:           p.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.engine = engine
-		s.buckets = len(p.Histogram)
-		s.budget.Eps1, s.budget.Eps2, s.budget.Eps3 = engine.Budgets()
-
-	default:
-		return nil, fmt.Errorf("server: unknown mechanism %q (want sparse, proposed, dpbook or pmw)", p.Mechanism)
-	}
+	s.inst = inst
+	s.budget.Eps1, s.budget.Eps2, s.budget.Eps3 = inst.Budgets()
 
 	parts := make([]float64, 0, 3)
 	for _, e := range []float64{s.budget.Eps1, s.budget.Eps2, s.budget.Eps3} {
@@ -279,42 +232,19 @@ func newSession(id string, p CreateParams, ttl time.Duration, now time.Time) (*S
 		return nil, fmt.Errorf("server: composing session budget: %w", err)
 	}
 	s.budget.Total = total
-	s.jDraws, s.jGate = s.drawsLocked() // construction draws are in the create record
+	s.jDraws, s.jAux = inst.Draws() // construction draws are in the create record
 	s.touch(now)
 	return s, nil
 }
 
-// drawsLocked returns the mechanism's noise-stream positions: the main
-// stream (for pmw, the Laplace update-release stream) and the pmw gate
-// stream (0 otherwise). Callers hold s.mu (or own the session exclusively).
-func (s *Session) drawsLocked() (main, gate uint64) {
-	switch {
-	case s.sparse != nil:
-		return s.sparse.Draws(), 0
-	case s.engine != nil:
-		g, u := s.engine.Draws()
-		return u, g
-	default:
-		if d, ok := s.stream.(variants.StreamState); ok {
-			return d.Draws(), 0
-		}
-		return 0, 0
+// resolve builds the mechanism-layer query: the session's default threshold
+// is applied to items that carry none.
+func (s *Session) resolve(item QueryItem) mech.Query {
+	th := s.threshold
+	if item.Threshold != nil {
+		th = *item.Threshold
 	}
-}
-
-// rhoLocked returns the mechanism's evolving noisy-threshold offset when it
-// has one that must be journaled: only seeded dpbook streams, whose ρ is
-// resampled after every positive outcome. Callers hold s.mu.
-func (s *Session) rhoLocked() (float64, bool) {
-	if s.params.Seed == 0 || s.stream == nil {
-		return 0, false
-	}
-	rs, ok := s.stream.(variants.RhoState)
-	if !ok {
-		return 0, false
-	}
-	rho, evolving := rs.Rho()
-	return rho, evolving
+	return mech.Query{Value: item.Query, Threshold: th, Buckets: item.Buckets}
 }
 
 // touch pushes the idle deadline to now+ttl.
@@ -330,7 +260,7 @@ func (s *Session) expired(now time.Time) bool {
 // ID returns the session identifier.
 func (s *Session) ID() string { return s.id }
 
-// Mechanism returns the session's mechanism kind.
+// Mechanism returns the session's mechanism name.
 func (s *Session) Mechanism() Mechanism { return s.mech }
 
 // Query answers a batch of queries (a single query is a batch of one).
@@ -339,143 +269,41 @@ func (s *Session) Mechanism() Mechanism { return s.mech }
 // the analyst the answers preceding it. The batch stops early — without
 // error — when the mechanism halts; the returned BatchResult reports how
 // far it got. A query on an already-halted SVT session returns an empty,
-// Halted result; a pmw session keeps answering from the synthetic
+// Halted result; a mediator session keeps answering from the synthetic
 // histogram with the Exhausted flag set.
 func (s *Session) Query(items []QueryItem) (BatchResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, item := range items {
-		if err := s.validateItem(item); err != nil {
+		if err := s.inst.Validate(s.resolve(item)); err != nil {
 			return BatchResult{}, fmt.Errorf("server: query %d: %w", i, err)
 		}
 	}
 	out := BatchResult{Results: make([]QueryResult, 0, len(items))}
 	for i, item := range items {
-		res, halted, err := s.answerOne(item)
+		res, refused, err := s.inst.Answer(s.resolve(item))
 		if err != nil {
 			// Unreachable after validation; surface it rather than hide it.
 			return out, fmt.Errorf("server: query %d: %w", i, err)
 		}
-		if halted {
+		if refused {
 			break
 		}
-		out.Results = append(out.Results, res)
+		out.Results = append(out.Results, QueryResult{
+			Above:         res.Above,
+			Numeric:       res.Numeric,
+			Value:         res.Value,
+			FromSynthetic: res.FromSynthetic,
+			Exhausted:     res.Exhausted,
+		})
 		s.answered++
+		if res.SpentPositive {
+			s.positives++
+		}
 	}
-	out.Halted = s.haltedLocked()
-	out.Remaining = s.remainingLocked()
+	out.Halted = s.inst.Halted()
+	out.Remaining = s.inst.Remaining()
 	return out, nil
-}
-
-// validateItem rejects a query without touching the mechanism, so a bad
-// batch costs no budget. It mirrors every validation the answer path
-// performs.
-func (s *Session) validateItem(item QueryItem) error {
-	if s.mech == MechPMW {
-		if len(item.Buckets) == 0 {
-			return fmt.Errorf("server: pmw query needs buckets")
-		}
-		seen := make(map[int]bool, len(item.Buckets))
-		for _, b := range item.Buckets {
-			if b < 0 || b >= s.buckets {
-				return fmt.Errorf("server: bucket %d out of range [0,%d)", b, s.buckets)
-			}
-			if seen[b] {
-				return fmt.Errorf("server: duplicate bucket %d in query", b)
-			}
-			seen[b] = true
-		}
-		return nil
-	}
-	if len(item.Buckets) > 0 {
-		return fmt.Errorf("server: buckets are only valid for pmw sessions")
-	}
-	th := s.threshold
-	if item.Threshold != nil {
-		th = *item.Threshold
-	}
-	if math.IsNaN(th) {
-		return fmt.Errorf("server: no threshold: session has no default and the query carries none")
-	}
-	if math.IsNaN(item.Query) || math.IsInf(item.Query, 0) || math.IsInf(th, 0) {
-		return fmt.Errorf("server: query and threshold must be finite, got %v and %v", item.Query, th)
-	}
-	return nil
-}
-
-// answerOne dispatches one already-validated query to the session's
-// mechanism. halted reports that the mechanism refused the query because
-// its budget is already spent (SVT mechanisms only; pmw answers with
-// Exhausted set).
-func (s *Session) answerOne(item QueryItem) (res QueryResult, halted bool, err error) {
-	if s.mech == MechPMW {
-		ans, aerr := s.engine.Answer(item.Buckets)
-		if aerr != nil && aerr != pmw.ErrExhausted {
-			return res, false, aerr
-		}
-		if !ans.FromSynthetic {
-			s.positives++
-		}
-		return QueryResult{
-			Numeric:       true,
-			Value:         ans.Value,
-			FromSynthetic: ans.FromSynthetic,
-			Exhausted:     aerr == pmw.ErrExhausted,
-		}, false, nil
-	}
-
-	th := s.threshold
-	if item.Threshold != nil {
-		th = *item.Threshold
-	}
-
-	if s.sparse != nil {
-		r, nerr := s.sparse.Next(item.Query, th)
-		if nerr == svt.ErrHalted {
-			return res, true, nil
-		}
-		if nerr != nil {
-			return res, false, nerr
-		}
-		if r.Above {
-			s.positives++
-		}
-		return QueryResult{Above: r.Above, Numeric: r.Numeric, Value: r.Value}, false, nil
-	}
-
-	r, ok := s.stream.Next(item.Query, th)
-	if !ok {
-		return res, true, nil
-	}
-	if r.Above {
-		s.positives++
-	}
-	return QueryResult{Above: r.Above, Numeric: r.Numeric, Value: r.Value}, false, nil
-}
-
-// haltedLocked reports the mechanism's halt state; callers hold s.mu.
-func (s *Session) haltedLocked() bool {
-	switch {
-	case s.sparse != nil:
-		return s.sparse.Halted()
-	case s.engine != nil:
-		return s.engine.Exhausted()
-	default:
-		return s.stream.Halted()
-	}
-}
-
-// remainingLocked returns the positive-outcome / update budget left;
-// callers hold s.mu.
-func (s *Session) remainingLocked() int {
-	switch {
-	case s.sparse != nil:
-		return s.sparse.Remaining()
-	case s.engine != nil:
-		return s.engine.UpdatesLeft()
-	default:
-		return s.maxPositives - s.positives
-	}
 }
 
 // Status snapshots the session.
@@ -487,8 +315,8 @@ func (s *Session) Status() SessionStatus {
 		Mechanism: s.mech,
 		Answered:  s.answered,
 		Positives: s.positives,
-		Remaining: s.remainingLocked(),
-		Halted:    s.haltedLocked(),
+		Remaining: s.inst.Remaining(),
+		Halted:    s.inst.Halted(),
 		Budget:    s.budget,
 		CreatedAt: s.createdAt,
 		ExpiresAt: time.Unix(0, s.expiresAt.Load()),
@@ -503,37 +331,21 @@ func (s *Session) Budget() Budget {
 }
 
 // restore fast-forwards a freshly built session to journaled counters:
-// crash recovery's final step. The mechanism's own accounting is advanced
-// too, so a session that had consumed its whole positive budget pre-crash
-// stays halted after the restart.
+// crash recovery's final step. The mechanism's own accounting — both the
+// answered and the positive count — is advanced too, so a session that had
+// consumed its whole positive budget pre-crash stays halted after the
+// restart.
 func (s *Session) restore(answered, positives int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if positives < 0 || answered < positives {
 		return fmt.Errorf("server: restored counters answered=%d positives=%d are inconsistent", answered, positives)
 	}
-	if s.maxPositives > 0 && positives > s.maxPositives {
-		return fmt.Errorf("server: restored positives %d exceed the session cutoff %d", positives, s.maxPositives)
-	}
-	switch {
-	case s.sparse != nil:
-		if err := s.sparse.Restore(answered, positives); err != nil {
-			return err
-		}
-	case s.engine != nil:
-		if err := s.engine.Restore(answered, positives); err != nil {
-			return err
-		}
-	default:
-		r, ok := s.stream.(variants.Restorer)
-		if !ok {
-			return fmt.Errorf("server: mechanism %q does not support restore", s.mech)
-		}
-		if err := r.Restore(positives); err != nil {
-			return err
-		}
+	if err := s.inst.Restore(answered, positives); err != nil {
+		return err
 	}
 	s.answered = answered
 	s.positives = positives
+	s.jAnswered, s.jPositives = answered, positives
 	return nil
 }

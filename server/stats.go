@@ -19,7 +19,9 @@ type Stats struct {
 	// Recovered is how many sessions were rebuilt from the store when the
 	// manager opened.
 	Recovered int `json:"recovered,omitempty"`
-	// Queries counts answered queries by mechanism.
+	// Queries counts answered queries by mechanism. The key set is exactly
+	// the manager's registered mechanisms (GET /v1/mechanisms), zero
+	// counts included.
 	Queries map[Mechanism]uint64 `json:"queries"`
 	// TotalQueries is the sum over Queries.
 	TotalQueries uint64 `json:"totalQueries"`
@@ -46,15 +48,15 @@ func (m *SessionManager) Stats() Stats {
 	st := Stats{
 		Live:      m.Len(),
 		Shards:    len(m.shards),
-		Queries:   make(map[Mechanism]uint64, len(mechanisms)),
+		Queries:   make(map[Mechanism]uint64, len(m.mechNames)),
 		ShardLive: make([]int, len(m.shards)),
 	}
 	for i, sh := range m.shards {
 		st.Created += sh.created.Load()
 		st.Deleted += sh.deleted.Load()
 		st.Expired += sh.expired.Load()
-		for j := range mechanisms {
-			st.Queries[mechanisms[j]] += sh.queries[j].Load()
+		for j, name := range m.mechNames {
+			st.Queries[name] += sh.queries[j].Load()
 		}
 		sh.mu.RLock()
 		st.ShardLive[i] = len(sh.sessions)

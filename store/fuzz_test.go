@@ -22,6 +22,22 @@ func FuzzDecodeRecord(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3]) // torn tail
 	f.Add(seed(Event{Kind: 255, ID: "", Data: nil}))
+	// Payloads spanning the server codec's generations, kept green so
+	// legacy WAL decode can never regress at the record layer: a v1
+	// counters-only progress delta, a v2 delta with the special-cased
+	// ρ/synth flag bits, a v3 delta carrying an opaque mechanism state
+	// blob, and a v3 session record with a base64 state blob.
+	f.Add(seed(Event{Kind: 2, ID: "s", Data: []byte{5, 2}}))
+	f.Add(seed(Event{Kind: 2, ID: "s", Data: []byte{
+		2, 1, 9, 0, 0x01, // counters, draws, flags=rho
+		0, 0, 0, 0, 0, 0, 0xf4, 0xbf, // ρ = -1.25 LE float64
+	}}))
+	f.Add(seed(Event{Kind: 2, ID: "s", Data: []byte{
+		1, 1, 3, 2, 0x04, // counters, draws, flags=state
+		8, 0, 0, 0, 0, 0, 0, 0xe0, 0x3f, // 8-byte blob: ρ = 0.5
+	}}))
+	f.Add(seed(Event{Kind: 5, ID: "0123456789abcdef0123456789abcdef",
+		Data: []byte(`{"v":3,"params":{"mechanism":"esvt","epsilon":1,"maxPositives":3,"seed":17},"answered":2,"positives":1,"draws":4,"state":"AAAAAAAA4D8="}`)}))
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
