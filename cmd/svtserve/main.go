@@ -23,7 +23,13 @@
 // response is released, and the full session table — including realized
 // (ε₁, ε₂, ε₃) splits — is rebuilt on restart, so a crash can never
 // silently refresh spent privacy budget. -fsync picks the durability
-// level, -snapshot-interval the journal-compaction cadence.
+// level, -snapshot-interval the journal-compaction cadence, and
+// -commit-window optionally stretches group commit so more concurrent
+// appends share each flush (mainly useful with -fsync always).
+//
+// Diagnostics: -pprof-addr serves net/http/pprof on a separate listener,
+// so hot-path regressions are profilable in production without exposing
+// profiling endpoints to analyst traffic.
 //
 // Rate limiting: -rate enables per-tenant token buckets on /v1/* keyed by
 // the X-Tenant header; rejected requests get a JSON 429 with Retry-After.
@@ -40,6 +46,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -62,21 +69,24 @@ func main() {
 		maxBatch    = flag.Int("max-batch", server.DefaultMaxBatch, "queries per batch cap")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 
-		backend  = flag.String("store", "mem", "session store backend: mem (no persistence) or wal")
-		walDir   = flag.String("wal-dir", "", "write-ahead-log directory (required with -store wal)")
-		fsync    = flag.String("fsync", "interval", "WAL fsync policy: always, interval or none")
-		fsyncInt = flag.Duration("fsync-interval", store.DefaultSyncInterval, "background fsync cadence for -fsync interval")
-		snapInt  = flag.Duration("snapshot-interval", server.DefaultSnapshotInterval, "journal-compaction snapshot cadence (<0 disables)")
+		backend      = flag.String("store", "mem", "session store backend: mem (no persistence) or wal")
+		walDir       = flag.String("wal-dir", "", "write-ahead-log directory (required with -store wal)")
+		fsync        = flag.String("fsync", "interval", "WAL fsync policy: always, interval or none")
+		fsyncInt     = flag.Duration("fsync-interval", store.DefaultSyncInterval, "background fsync cadence for -fsync interval")
+		snapInt      = flag.Duration("snapshot-interval", server.DefaultSnapshotInterval, "journal-compaction snapshot cadence (<0 disables)")
+		commitWindow = flag.Duration("commit-window", 0, "group-commit gather window: the WAL flush leader waits this long so more concurrent appends share one flush/fsync (0 = flush immediately)")
 
 		rate  = flag.Float64("rate", 0, "per-tenant request rate limit in req/s on /v1/* (0 = disabled)")
 		burst = flag.Float64("burst", 0, "rate-limit burst depth (0 = max(rate, 1))")
+
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 	if err := run(config{
 		addr: *addr, shards: *shards, ttl: *ttl, maxTTL: *maxTTL, sweep: *sweep,
 		maxSessions: *maxSessions, maxBody: *maxBody, maxBatch: *maxBatch, drain: *drain,
 		backend: *backend, walDir: *walDir, fsync: *fsync, fsyncInt: *fsyncInt, snapInt: *snapInt,
-		rate: *rate, burst: *burst,
+		commitWindow: *commitWindow, rate: *rate, burst: *burst, pprofAddr: *pprofAddr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "svtserve:", err)
 		os.Exit(1)
@@ -85,16 +95,17 @@ func main() {
 
 // config carries the parsed flags.
 type config struct {
-	addr                   string
-	shards                 int
-	ttl, maxTTL, sweep     time.Duration
-	maxSessions            int
-	maxBody                int64
-	maxBatch               int
-	drain                  time.Duration
-	backend, walDir, fsync string
-	fsyncInt, snapInt      time.Duration
-	rate, burst            float64
+	addr                            string
+	shards                          int
+	ttl, maxTTL, sweep              time.Duration
+	maxSessions                     int
+	maxBody                         int64
+	maxBatch                        int
+	drain                           time.Duration
+	backend, walDir, fsync          string
+	fsyncInt, snapInt, commitWindow time.Duration
+	rate, burst                     float64
+	pprofAddr                       string
 }
 
 // openStore builds the configured session store; nil means in-memory.
@@ -110,13 +121,31 @@ func openStore(cfg config) (store.SessionStore, error) {
 		if err != nil {
 			return nil, err
 		}
-		return store.NewWAL(store.WALConfig{Dir: cfg.walDir, Sync: policy, SyncInterval: cfg.fsyncInt})
+		return store.NewWAL(store.WALConfig{Dir: cfg.walDir, Sync: policy, SyncInterval: cfg.fsyncInt, CommitWindow: cfg.commitWindow})
 	default:
 		return nil, fmt.Errorf("unknown -store backend %q (want mem or wal)", cfg.backend)
 	}
 }
 
 func run(cfg config) error {
+	if cfg.pprofAddr != "" {
+		// Diagnostics sidecar: pprof on its own listener so profiling a
+		// production hot-path regression never mixes with (or is rate
+		// limited like) analyst traffic. Failure to serve is logged, not
+		// fatal — profiling is never worth refusing to serve.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("svtserve: pprof listening on %s", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, mux); err != nil {
+				log.Printf("svtserve: pprof server failed: %v", err)
+			}
+		}()
+	}
 	st, err := openStore(cfg)
 	if err != nil {
 		return err

@@ -42,8 +42,11 @@
 // session service (JSON over HTTP, GET /v1/mechanisms discovery, TTL-based
 // session expiry, per-session (ε₁, ε₂, ε₃) budget accounting) served by
 // cmd/svtserve; the store subpackage gives it durable, crash-recoverable
-// session persistence (a write-ahead log with snapshot compaction), so
-// spent privacy budget survives restarts.
+// session persistence (a write-ahead log with snapshot compaction,
+// mmap-backed appends and group commit — store.BatchAppender journals a
+// multi-event transition as one crash-atomic unit), so spent privacy
+// budget survives restarts at a per-query cost small enough for
+// million-query-per-second serving.
 //
 // # Choosing between SVT and EM
 //

@@ -1,0 +1,125 @@
+package mech
+
+// Response caching middleware over Instance — the caching direction the
+// serving layer reserved when it was built (ROADMAP, PR 1).
+//
+// The privacy argument: once an SVT mechanism has released the answer to a
+// query, re-releasing THAT SAME answer for the identical (value, threshold)
+// pair is post-processing of an already-published output — it touches no
+// private data, draws no noise and consumes no budget, so it is
+// differentially private for free. What a cache hit gives up is the fresh,
+// independent noisy comparison a repeat would otherwise get; an analyst
+// who wants resampling semantics simply does not opt in. Only negative
+// (⊥, nothing-spent) answers are cached: a positive consumes cutoff budget
+// and advances the mechanism toward halting, so replaying it as a free hit
+// would misrepresent the session's accounting.
+//
+// Streams of repeated identical queries are exactly the workload
+// monotonic-refinement mechanisms serve (Theorem 5's refinement is about
+// correlated query sets), which is why the serving layer gates the cache
+// on that capability.
+
+// Cached wraps an Instance with a bounded FIFO memo of negative answers.
+// Like every Instance it is not safe for concurrent use; the session layer
+// serializes access. The cache is deliberately NOT part of MarshalState:
+// it is derived entirely from released outputs, so journaling it would
+// waste journal bytes — but that also means a crash-recovered session
+// restarts with a cold cache, re-drawing noise where a hit would have
+// answered. Seedable sessions that promise bit-identical replay therefore
+// must not be cached (the server enforces this at create time).
+type Cached struct {
+	inner Instance
+	cap   int
+	m     map[cacheKey]Result
+	order []cacheKey // FIFO eviction ring, len == len(m)
+	next  int        // ring slot the next eviction replaces
+	hits  uint64
+	// extraAnswered counts cache hits so Answered() stays the number of
+	// queries the SESSION answered, not just the ones that reached the
+	// inner mechanism.
+	extraAnswered int
+}
+
+type cacheKey struct {
+	value     float64
+	threshold float64
+}
+
+var _ Instance = (*Cached)(nil)
+
+// NewCached wraps inner with a cache of at most size negative answers.
+// size must be positive.
+func NewCached(inner Instance, size int) *Cached {
+	return &Cached{inner: inner, cap: size, m: make(map[cacheKey]Result, size)}
+}
+
+// Validate implements Instance.
+func (c *Cached) Validate(q Query) error { return c.inner.Validate(q) }
+
+// Answer implements Instance: a repeated identical threshold query whose
+// first answer was a free negative replays that answer without touching
+// the mechanism; everything else — histogram queries, halted sessions,
+// first sights — delegates.
+func (c *Cached) Answer(q Query) (Result, bool, error) {
+	if len(q.Buckets) > 0 || c.inner.Halted() {
+		return c.inner.Answer(q)
+	}
+	k := cacheKey{value: q.Value, threshold: q.Threshold}
+	if res, ok := c.m[k]; ok {
+		c.hits++
+		c.extraAnswered++
+		return res, false, nil
+	}
+	res, refused, err := c.inner.Answer(q)
+	if err == nil && !refused && !res.SpentPositive && !res.Numeric &&
+		!res.FromSynthetic && !res.Exhausted {
+		c.insert(k, res)
+	}
+	return res, refused, err
+}
+
+// insert adds a freshly released negative, evicting FIFO at capacity.
+func (c *Cached) insert(k cacheKey, res Result) {
+	if len(c.m) >= c.cap {
+		delete(c.m, c.order[c.next])
+		c.order[c.next] = k
+		c.next = (c.next + 1) % c.cap
+	} else {
+		c.order = append(c.order, k)
+	}
+	c.m[k] = res
+}
+
+// Hits reports how many answers were served from the cache.
+func (c *Cached) Hits() uint64 { return c.hits }
+
+// Halted implements Instance.
+func (c *Cached) Halted() bool { return c.inner.Halted() }
+
+// Remaining implements Instance.
+func (c *Cached) Remaining() int { return c.inner.Remaining() }
+
+// Answered implements Instance, counting cache hits as answered queries.
+func (c *Cached) Answered() int { return c.inner.Answered() + c.extraAnswered }
+
+// Budgets implements Instance.
+func (c *Cached) Budgets() (eps1, eps2, eps3 float64) { return c.inner.Budgets() }
+
+// Draws implements Instance. Cache hits draw nothing, so the positions
+// advance only when the inner mechanism actually answers.
+func (c *Cached) Draws() (main, aux uint64) { return c.inner.Draws() }
+
+// FastForward implements Instance.
+func (c *Cached) FastForward(main, aux uint64) error { return c.inner.FastForward(main, aux) }
+
+// Restore implements Instance: the journaled counters include cache hits,
+// and the inner mechanism absorbs them all — over-counting answered on the
+// mechanism side is harmless (only positives gate halting), while the
+// session-visible totals come back exact.
+func (c *Cached) Restore(answered, positives int) error { return c.inner.Restore(answered, positives) }
+
+// MarshalState implements Instance; the cache itself is never journaled.
+func (c *Cached) MarshalState() []byte { return c.inner.MarshalState() }
+
+// UnmarshalState implements Instance.
+func (c *Cached) UnmarshalState(data []byte) error { return c.inner.UnmarshalState(data) }

@@ -1,0 +1,121 @@
+package mech
+
+import "testing"
+
+// cacheParams is a sparse instance that cannot halt within a test and
+// answers ⊥ (or ⊤) with certainty via extreme thresholds.
+func cacheParams() Params {
+	return Params{Epsilon: 1, MaxPositives: 2, Seed: 7}
+}
+
+func mustSparse(t *testing.T, p Params) Instance {
+	t.Helper()
+	inst, err := Default.New("sparse", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func negQ() Query  { return Query{Value: 0, Threshold: 1e12} }  // certain ⊥
+func posQ() Query  { return Query{Value: 0, Threshold: -1e12} } // certain ⊤
+func negQ2() Query { return Query{Value: 1, Threshold: 1e12} }
+
+// TestCachedHitDrawsNothing: a repeated identical negative query is served
+// from the cache — same result, no noise consumed, answered still counted.
+func TestCachedHitDrawsNothing(t *testing.T) {
+	c := NewCached(mustSparse(t, cacheParams()), 8)
+	first, refused, err := c.Answer(negQ())
+	if err != nil || refused || first.Above {
+		t.Fatalf("first answer: %+v refused=%v err=%v", first, refused, err)
+	}
+	mainBefore, auxBefore := c.Draws()
+	answeredBefore := c.Answered()
+	second, refused, err := c.Answer(negQ())
+	if err != nil || refused {
+		t.Fatalf("cached answer: refused=%v err=%v", refused, err)
+	}
+	if second != first {
+		t.Fatalf("cache hit changed the answer: %+v vs %+v", second, first)
+	}
+	mainAfter, auxAfter := c.Draws()
+	if mainAfter != mainBefore || auxAfter != auxBefore {
+		t.Fatalf("cache hit consumed noise: draws %d/%d -> %d/%d", mainBefore, auxBefore, mainAfter, auxAfter)
+	}
+	if c.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", c.Hits())
+	}
+	if c.Answered() != answeredBefore+1 {
+		t.Fatalf("answered %d -> %d, want +1 on a hit", answeredBefore, c.Answered())
+	}
+}
+
+// TestCachedDoesNotCachePositives: a ⊤ spends budget; repeating it must go
+// back to the mechanism (and eventually halt it), never replay for free.
+func TestCachedDoesNotCachePositives(t *testing.T) {
+	c := NewCached(mustSparse(t, cacheParams()), 8)
+	res, refused, err := c.Answer(posQ())
+	if err != nil || refused || !res.Above || !res.SpentPositive {
+		t.Fatalf("positive answer: %+v refused=%v err=%v", res, refused, err)
+	}
+	res, refused, err = c.Answer(posQ())
+	if err != nil || refused || !res.SpentPositive {
+		t.Fatalf("repeated positive must spend again: %+v refused=%v err=%v", res, refused, err)
+	}
+	if !c.Halted() {
+		t.Fatal("two positives at cutoff 2 must halt")
+	}
+	// Halted instances delegate: refused, even for a previously-cached key.
+	if _, refused, _ := c.Answer(posQ()); !refused {
+		t.Fatal("halted instance answered")
+	}
+}
+
+// TestCachedEviction: the FIFO ring caps the memo; an evicted key misses
+// again (draws advance), a retained key still hits.
+func TestCachedEviction(t *testing.T) {
+	c := NewCached(mustSparse(t, cacheParams()), 2)
+	queries := []Query{negQ(), negQ2(), {Value: 2, Threshold: 1e12}}
+	for _, q := range queries {
+		if _, _, err := c.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// negQ was evicted by the third insert; negQ2 and the third remain.
+	before, _ := c.Draws()
+	if _, _, err := c.Answer(queries[2]); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := c.Draws(); after != before {
+		t.Fatal("retained key missed the cache")
+	}
+	if _, _, err := c.Answer(negQ()); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := c.Draws(); after == before {
+		t.Fatal("evicted key hit the cache")
+	}
+	if len(c.m) > 2 {
+		t.Fatalf("cache grew past its cap: %d entries", len(c.m))
+	}
+}
+
+// TestCachedStateRoundTrip: the wrapper is transparent to the journal
+// surface — state blobs, restore and budgets delegate.
+func TestCachedStateRoundTrip(t *testing.T) {
+	c := NewCached(mustSparse(t, cacheParams()), 4)
+	if got := c.MarshalState(); got != nil {
+		t.Fatalf("sparse journals no state, got %x", got)
+	}
+	e1, e2, e3 := c.Budgets()
+	i1, i2, i3 := c.inner.Budgets()
+	if e1 != i1 || e2 != i2 || e3 != i3 {
+		t.Fatal("budgets not delegated")
+	}
+	if err := c.Restore(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Answered() != 3 || c.Remaining() != 1 {
+		t.Fatalf("restore: answered=%d remaining=%d, want 3 and 1", c.Answered(), c.Remaining())
+	}
+}

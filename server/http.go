@@ -4,7 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
+	"math"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // APIConfig bounds what the HTTP layer accepts. The zero value applies
@@ -42,6 +48,15 @@ type API struct {
 	mgr *SessionManager
 	cfg APIConfig
 	mux *http.ServeMux
+
+	// encodeFailures counts responses whose JSON encode or write failed
+	// after the status header was already out (the client usually went
+	// away mid-response). Surfaced in GET /v1/stats: a silently truncated
+	// response is otherwise invisible.
+	encodeFailures atomic.Uint64
+
+	// logf emits operational warnings; swappable in tests.
+	logf func(format string, args ...any)
 }
 
 // NewAPI wraps the manager. The manager must outlive the API.
@@ -52,7 +67,7 @@ func NewAPI(mgr *SessionManager, cfg APIConfig) *API {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	a := &API{mgr: mgr, cfg: cfg, mux: http.NewServeMux()}
+	a := &API{mgr: mgr, cfg: cfg, mux: http.NewServeMux(), logf: log.Printf}
 	a.mux.HandleFunc("/v1/mechanisms", a.handleMechanisms)
 	a.mux.HandleFunc("/v1/sessions", a.handleSessions)
 	a.mux.HandleFunc("/v1/sessions/{id}", a.handleSession)
@@ -90,16 +105,33 @@ const (
 	CodeRateLimited      = "rate_limited"
 )
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func writeJSON(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding can only fail after the header is out; the shapes used
-	// here marshal unconditionally.
-	_ = json.NewEncoder(w).Encode(v)
+	return json.NewEncoder(w).Encode(v)
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, ErrorBody{ErrorDetail{Code: code, Message: msg}})
+	_ = writeJSON(w, status, ErrorBody{ErrorDetail{Code: code, Message: msg}})
+}
+
+// writeJSON is the API's counting variant: an encode or write failure can
+// only happen after the status header is out, so the response is silently
+// truncated from the client's point of view — count it and log it rather
+// than swallowing it.
+func (a *API) writeJSON(w http.ResponseWriter, status int, v any) {
+	if err := writeJSON(w, status, v); err != nil {
+		a.countEncodeFailure(err)
+	}
+}
+
+func (a *API) writeError(w http.ResponseWriter, status int, code, msg string) {
+	a.writeJSON(w, status, ErrorBody{ErrorDetail{Code: code, Message: msg}})
+}
+
+func (a *API) countEncodeFailure(err error) {
+	a.encodeFailures.Add(1)
+	a.logf("server: response encode/write failed (response truncated): %v", err)
 }
 
 // decodeBody decodes one JSON value, enforcing the body-size cap and
@@ -111,27 +143,27 @@ func (a *API) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			a.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", a.cfg.MaxBodyBytes))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
+		a.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
 		return false
 	}
 	if dec.More() {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
+		a.writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
 		return false
 	}
 	return true
 }
 
 func (a *API) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
+	a.writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
 }
 
-func methodNotAllowed(w http.ResponseWriter, want string) {
+func (a *API) methodNotAllowed(w http.ResponseWriter, want string) {
 	w.Header().Set("Allow", want)
-	writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, want+" required")
+	a.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, want+" required")
 }
 
 // CreateResponse is the POST /v1/sessions response body.
@@ -143,7 +175,7 @@ type CreateResponse struct {
 
 func (a *API) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		methodNotAllowed(w, http.MethodPost)
+		a.methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var params CreateParams
@@ -153,13 +185,13 @@ func (a *API) handleSessions(w http.ResponseWriter, r *http.Request) {
 	s, err := a.mgr.Create(params)
 	switch {
 	case errors.Is(err, ErrTooManySessions):
-		writeError(w, http.StatusTooManyRequests, CodeTooManySessions, err.Error())
+		a.writeError(w, http.StatusTooManyRequests, CodeTooManySessions, err.Error())
 	case errors.Is(err, ErrStoreAppend):
-		writeError(w, http.StatusServiceUnavailable, CodeStoreFailure, err.Error())
+		a.writeError(w, http.StatusServiceUnavailable, CodeStoreFailure, err.Error())
 	case err != nil:
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		a.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	default:
-		writeJSON(w, http.StatusCreated, CreateResponse{
+		a.writeJSON(w, http.StatusCreated, CreateResponse{
 			SessionStatus: s.Status(),
 			TTLSeconds:    s.ttl.Seconds(),
 		})
@@ -172,18 +204,18 @@ func (a *API) handleSession(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		s, ok := a.mgr.Get(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+id)
+			a.writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+id)
 			return
 		}
-		writeJSON(w, http.StatusOK, s.Status())
+		a.writeJSON(w, http.StatusOK, s.Status())
 	case http.MethodDelete:
 		if !a.mgr.Delete(id) {
-			writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+id)
+			a.writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+id)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	default:
-		methodNotAllowed(w, "GET, DELETE")
+		a.methodNotAllowed(w, "GET, DELETE")
 	}
 }
 
@@ -194,39 +226,169 @@ type queryRequest struct {
 	Queries []QueryItem `json:"queries"`
 }
 
+// queryScratch is the per-request working set of the /query hot path,
+// recycled through queryPool so the steady state allocates neither request
+// buffers, decoded requests, result slices nor response buffers.
+type queryScratch struct {
+	req     queryRequest
+	one     [1]QueryItem
+	results []QueryResult
+	buf     []byte // body read, then reused for the response encode
+}
+
+var queryPool = sync.Pool{New: func() any {
+	return &queryScratch{buf: make([]byte, 0, 512)}
+}}
+
+// readBody slurps the request body into buf's backing array, growing it as
+// needed (the MaxBytesReader wrapper bounds the total).
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// handleQuery is the serving hot path: pooled scratch in, one
+// json.Unmarshal of the raw body (no Decoder allocation; Unmarshal rejects
+// trailing garbage by itself), results appended into a recycled slice, and
+// a hand-rolled response encode into a recycled buffer.
 func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		methodNotAllowed(w, http.MethodPost)
+		a.methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	var req queryRequest
-	if !a.decodeBody(w, r, &req) {
+	sc := queryPool.Get().(*queryScratch)
+	defer func() {
+		sc.req = queryRequest{} // drop decoded pointers; keeps nothing alive
+		queryPool.Put(sc)
+	}()
+	r.Body = http.MaxBytesReader(w, r.Body, a.cfg.MaxBodyBytes)
+	body, err := readBody(r.Body, sc.buf[:0])
+	sc.buf = body[:0]
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			a.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", a.cfg.MaxBodyBytes))
+			return
+		}
+		a.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	items := req.Queries
+	if err := json.Unmarshal(body, &sc.req); err != nil {
+		a.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	items := sc.req.Queries
 	if items == nil {
-		items = []QueryItem{req.QueryItem}
+		sc.one[0] = sc.req.QueryItem
+		items = sc.one[:]
 	}
 	switch {
 	case len(items) == 0:
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty query batch")
+		a.writeError(w, http.StatusBadRequest, CodeBadRequest, "empty query batch")
 		return
 	case len(items) > a.cfg.MaxBatch:
-		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+		a.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
 			fmt.Sprintf("batch of %d exceeds the cap of %d", len(items), a.cfg.MaxBatch))
 		return
 	}
-	res, err := a.mgr.Query(r.PathValue("id"), items)
+	res, err := a.mgr.QueryInto(r.PathValue("id"), items, sc.results[:0])
+	if cap(res.Results) > cap(sc.results) {
+		sc.results = res.Results[:0]
+	}
 	switch {
 	case errors.Is(err, ErrSessionNotFound):
-		writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+r.PathValue("id"))
+		a.writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+r.PathValue("id"))
 	case errors.Is(err, ErrStoreAppend):
-		writeError(w, http.StatusServiceUnavailable, CodeStoreFailure, err.Error())
+		a.writeError(w, http.StatusServiceUnavailable, CodeStoreFailure, err.Error())
 	case err != nil:
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		a.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	default:
-		writeJSON(w, http.StatusOK, res)
+		out, ok := appendBatchResultJSON(sc.buf[:0], &res)
+		sc.buf = out[:0]
+		if !ok {
+			// A non-finite released value cannot be represented in JSON;
+			// fall back to the stdlib path so the failure is accounted the
+			// same way it always was.
+			a.writeJSON(w, http.StatusOK, res)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if _, werr := w.Write(out); werr != nil {
+			a.countEncodeFailure(werr)
+		}
 	}
+}
+
+// appendBatchResultJSON encodes a BatchResult exactly as encoding/json
+// would (field order, omitempty semantics, trailing newline) without
+// reflection or allocation. It reports ok=false on non-finite floats,
+// which JSON cannot carry; callers fall back to the stdlib encoder.
+func appendBatchResultJSON(buf []byte, res *BatchResult) ([]byte, bool) {
+	buf = append(buf, `{"results":[`...)
+	for i := range res.Results {
+		r := &res.Results[i]
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"above":`...)
+		buf = strconv.AppendBool(buf, r.Above)
+		if r.Numeric {
+			buf = append(buf, `,"numeric":true`...)
+		}
+		if r.Value != 0 {
+			if math.IsNaN(r.Value) || math.IsInf(r.Value, 0) {
+				return buf, false
+			}
+			buf = append(buf, `,"value":`...)
+			buf = appendJSONFloat(buf, r.Value)
+		}
+		if r.FromSynthetic {
+			buf = append(buf, `,"fromSynthetic":true`...)
+		}
+		if r.Exhausted {
+			buf = append(buf, `,"exhausted":true`...)
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, `],"halted":`...)
+	buf = strconv.AppendBool(buf, res.Halted)
+	buf = append(buf, `,"remaining":`...)
+	buf = strconv.AppendInt(buf, int64(res.Remaining), 10)
+	buf = append(buf, '}', '\n')
+	return buf, true
+}
+
+// appendJSONFloat formats a finite float64 with encoding/json's exact
+// rules: shortest round-trip form, 'f' notation in the human range, 'e'
+// notation outside it with the exponent's leading zero trimmed.
+func appendJSONFloat(buf []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims "e-09" to "e-9" (negative exponents only).
+		if n := len(buf); n >= 4 && buf[n-4] == 'e' && buf[n-3] == '-' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf
 }
 
 // MechanismsResponse is the GET /v1/mechanisms response body.
@@ -236,24 +398,26 @@ type MechanismsResponse struct {
 
 func (a *API) handleMechanisms(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		methodNotAllowed(w, http.MethodGet)
+		a.methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	writeJSON(w, http.StatusOK, MechanismsResponse{Mechanisms: a.mgr.Mechanisms()})
+	a.writeJSON(w, http.StatusOK, MechanismsResponse{Mechanisms: a.mgr.Mechanisms()})
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		methodNotAllowed(w, http.MethodGet)
+		a.methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	writeJSON(w, http.StatusOK, a.mgr.Stats())
+	st := a.mgr.Stats()
+	st.EncodeFailures = a.encodeFailures.Load()
+	a.writeJSON(w, http.StatusOK, st)
 }
 
 func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		methodNotAllowed(w, http.MethodGet)
+		a.methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	a.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

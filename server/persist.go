@@ -10,7 +10,15 @@ package server
 // released, so a crash can never forget spent budget that an analyst has
 // already observed.
 //
-// Codec v3 makes the journal mechanism-agnostic: progress and snapshot
+// Codec v4 is the hot-path cost fix: session records (create/snapshot
+// events) are encoded with a compact hand-rolled binary layout instead of
+// json.Marshal, and both the session-record and the progress-record
+// encoders write into pooled scratch buffers, so journaling a query batch
+// allocates nothing. v1–v3 records — which are JSON and therefore start
+// with '{', unambiguously distinct from the v4 version-byte prefix —
+// decode forever; a v4 reader recovers any older WAL unchanged.
+//
+// Codec v3 made the journal mechanism-agnostic: progress and snapshot
 // records carry the mechanism's OPAQUE evolving-state blob
 // (mech.Instance.MarshalState — dpbook's resampled ρ, pmw's learned
 // synthetic histogram, nothing for mechanisms fully re-derivable from seed
@@ -39,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/dpgo/svt/mech"
@@ -58,10 +67,12 @@ const (
 
 // persistVersion tags sessionRecords written by this codec. Version 2 added
 // seed retention plus noise-stream positions; version 3 replaced the
-// special-cased rho/synth fields with the mechanism's opaque state blob.
-// Absent (zero) marks a v1 record, whose seed was always scrubbed and whose
-// streams therefore restart fresh on replay.
-const persistVersion = 3
+// special-cased rho/synth fields with the mechanism's opaque state blob;
+// version 4 switched the wire encoding from JSON to the compact binary
+// layout (same logical fields). Absent (zero) marks a v1 record, whose
+// seed was always scrubbed and whose streams therefore restart fresh on
+// replay.
+const persistVersion = 4
 
 // streamedVersion is the first codec version whose records carry
 // noise-stream positions; seeded sessions journaled at or after it
@@ -126,6 +137,221 @@ func (rec *sessionRecord) legacyState() {
 	rec.Rho, rec.Synth = nil, nil
 }
 
+// recBinaryV4 is the first byte of a binary (v4) session record. JSON
+// records — every earlier generation — start with '{' (0x7b), so one byte
+// disambiguates the generations forever.
+const recBinaryV4 byte = 4
+
+// sessionRecord flags byte bits in the v4 binary encoding.
+const (
+	recHasThreshold = 1 << 0 // Params.Threshold present: 8-byte float64 follows the fixed fields
+	recMonotonic    = 1 << 1 // Params.Monotonic
+	recHasState     = 1 << 2 // opaque mechanism state blob present
+	recHasHistogram = 1 << 3 // Params.Histogram present
+)
+
+// appendSessionRecord encodes rec in the v4 binary layout:
+//
+//	version byte (4), flags byte,
+//	mechanism (uvarint length + bytes),
+//	epsilon, sensitivity, answerFraction, updateFraction, learningRate,
+//	ttlSeconds (6 × float64 LE),
+//	maxPositives, seed, cacheSize (uvarints),
+//	[threshold float64 LE]  [histogram: uvarint count + count × float64 LE]
+//	createdAt (zig-zag varint), answered, positives, draws, auxDraws
+//	(uvarints), [state: uvarint length + bytes]
+//
+// Varints keep the common record tens of bytes; the encode allocates
+// nothing when buf has capacity.
+func appendSessionRecord(buf []byte, rec *sessionRecord) []byte {
+	var flags byte
+	if rec.Params.Threshold != nil {
+		flags |= recHasThreshold
+	}
+	if rec.Params.Monotonic {
+		flags |= recMonotonic
+	}
+	if len(rec.State) > 0 {
+		flags |= recHasState
+	}
+	if len(rec.Params.Histogram) > 0 {
+		flags |= recHasHistogram
+	}
+	buf = append(buf, recBinaryV4, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Params.Mechanism)))
+	buf = append(buf, rec.Params.Mechanism...)
+	for _, f := range [...]float64{
+		rec.Params.Epsilon, rec.Params.Sensitivity, rec.Params.AnswerFraction,
+		rec.Params.UpdateFraction, rec.Params.LearningRate, rec.Params.TTLSeconds,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	buf = binary.AppendUvarint(buf, uint64(rec.Params.MaxPositives))
+	buf = binary.AppendUvarint(buf, rec.Params.Seed)
+	buf = binary.AppendUvarint(buf, uint64(rec.Params.CacheSize))
+	if rec.Params.Threshold != nil {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(*rec.Params.Threshold))
+	}
+	if len(rec.Params.Histogram) > 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Params.Histogram)))
+		for _, v := range rec.Params.Histogram {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	buf = binary.AppendVarint(buf, rec.CreatedAt)
+	buf = binary.AppendUvarint(buf, uint64(rec.Answered))
+	buf = binary.AppendUvarint(buf, uint64(rec.Positives))
+	buf = binary.AppendUvarint(buf, rec.Draws)
+	buf = binary.AppendUvarint(buf, rec.AuxDraws)
+	if len(rec.State) > 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.State)))
+		buf = append(buf, rec.State...)
+	}
+	return buf
+}
+
+// recDecoder walks a v4 binary session record, remembering the first
+// failure so field reads chain without per-field error plumbing.
+type recDecoder struct {
+	data []byte
+	bad  bool
+}
+
+func (d *recDecoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *recDecoder) varint() int64 {
+	v, n := binary.Varint(d.data)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *recDecoder) float() float64 {
+	if len(d.data) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data))
+	d.data = d.data[8:]
+	return v
+}
+
+func (d *recDecoder) bytes(n uint64) []byte {
+	if n > uint64(len(d.data)) {
+		d.bad = true
+		return nil
+	}
+	out := d.data[:n]
+	d.data = d.data[n:]
+	return out
+}
+
+// count reads a uvarint that must survive the cast to int: like the
+// progress decoder, a corrupt length near 2^64 must fail recovery, not
+// wrap negative and refresh spent budget.
+func (d *recDecoder) count() int {
+	v := d.uvarint()
+	if v > math.MaxInt32 {
+		d.bad = true
+		return 0
+	}
+	return int(v)
+}
+
+// decodeSessionRecordV4 is the inverse of appendSessionRecord.
+func decodeSessionRecordV4(data []byte) (*sessionRecord, error) {
+	bad := func() (*sessionRecord, error) {
+		return nil, fmt.Errorf("server: bad v4 session record")
+	}
+	if len(data) < 2 || data[0] != recBinaryV4 {
+		return bad()
+	}
+	flags := data[1]
+	if flags&^byte(recHasThreshold|recMonotonic|recHasState|recHasHistogram) != 0 {
+		return bad()
+	}
+	d := recDecoder{data: data[2:]}
+	rec := &sessionRecord{V: persistVersion}
+	rec.Params.Mechanism = Mechanism(d.bytes(d.uvarint()))
+	rec.Params.Epsilon = d.float()
+	rec.Params.Sensitivity = d.float()
+	rec.Params.AnswerFraction = d.float()
+	rec.Params.UpdateFraction = d.float()
+	rec.Params.LearningRate = d.float()
+	rec.Params.TTLSeconds = d.float()
+	rec.Params.MaxPositives = d.count()
+	rec.Params.Seed = d.uvarint()
+	rec.Params.CacheSize = d.count()
+	if flags&recHasThreshold != 0 {
+		th := d.float()
+		rec.Params.Threshold = &th
+	}
+	rec.Params.Monotonic = flags&recMonotonic != 0
+	if flags&recHasHistogram != 0 {
+		n := d.count()
+		if n == 0 || uint64(n) > uint64(len(d.data))/8 {
+			return bad()
+		}
+		rec.Params.Histogram = make([]float64, n)
+		for i := range rec.Params.Histogram {
+			rec.Params.Histogram[i] = d.float()
+		}
+	}
+	rec.CreatedAt = d.varint()
+	rec.Answered = d.count()
+	rec.Positives = d.count()
+	rec.Draws = d.uvarint()
+	rec.AuxDraws = d.uvarint()
+	if flags&recHasState != 0 {
+		n := d.uvarint()
+		if n == 0 {
+			return bad()
+		}
+		rec.State = append([]byte(nil), d.bytes(n)...)
+	}
+	if d.bad || len(d.data) != 0 {
+		return bad()
+	}
+	return rec, nil
+}
+
+// decodeSessionRecord decodes any generation of a create/snapshot event's
+// payload: the v4 binary layout by its version byte, everything older as
+// JSON (with the legacy rho/synth fields mapped onto state blobs).
+func decodeSessionRecord(data []byte) (*sessionRecord, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("server: empty session record")
+	}
+	if data[0] == recBinaryV4 {
+		return decodeSessionRecordV4(data)
+	}
+	var rec sessionRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	// Counter sanity, mirroring the binary decoder: a negative or absurd
+	// counter in a JSON record is corruption, and letting it through would
+	// understate replayed budget.
+	for _, n := range [...]int{rec.Answered, rec.Positives, rec.Params.MaxPositives, rec.Params.CacheSize} {
+		if n < 0 || n > math.MaxInt32 {
+			return nil, fmt.Errorf("server: session record counter %d out of range", n)
+		}
+	}
+	rec.legacyState()
+	return &rec, nil
+}
+
 // persistRecord snapshots the session's durable state under its lock. The
 // seed is retained (since v2): rebuilding a seeded session re-derives the
 // same realized threshold noise, and replay FAST-FORWARDS the stream past
@@ -147,19 +373,27 @@ func (s *Session) persistRecord() sessionRecord {
 	return rec
 }
 
-// sessionEvent encodes the session's full state as an event of the given
-// kind (evCreate or evSnapshot).
-func sessionEvent(kind byte, s *Session) (store.Event, error) {
-	return sessionRecordEvent(kind, s.id, s.persistRecord())
+// recBufPool recycles journal encode buffers across appends: the store
+// contract forbids retaining Event.Data past Append's return, so a buffer
+// can go straight back into the pool, and the steady-state journaling path
+// allocates nothing.
+var recBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// appendStoreEvent encodes one event of the given kind through a pooled
+// buffer and appends it to the store.
+func (m *SessionManager) appendStoreEvent(kind byte, id string, rec *sessionRecord) error {
+	bp := recBufPool.Get().(*[]byte)
+	data := appendSessionRecord((*bp)[:0], rec)
+	err := m.store.Append(store.Event{Kind: kind, ID: id, Data: data})
+	*bp = data[:0]
+	recBufPool.Put(bp)
+	return err
 }
 
-// sessionRecordEvent encodes an already-captured record.
-func sessionRecordEvent(kind byte, id string, rec sessionRecord) (store.Event, error) {
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return store.Event{}, fmt.Errorf("server: encoding session record: %w", err)
-	}
-	return store.Event{Kind: kind, ID: id, Data: data}, nil
+// journalCreate appends the session's create record.
+func (m *SessionManager) journalCreate(s *Session) error {
+	rec := s.persistRecord()
+	return m.appendStoreEvent(evCreate, s.id, &rec)
 }
 
 // progressDelta is what one answered batch adds to a session's journaled
@@ -191,6 +425,13 @@ const (
 func (s *Session) takeProgress() progressDelta {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.takeProgressLocked()
+}
+
+// takeProgressLocked is takeProgress for callers already holding s.mu (the
+// query path captures the delta in the same critical section it answered
+// under).
+func (s *Session) takeProgressLocked() progressDelta {
 	main, aux := s.inst.Draws()
 	d := progressDelta{
 		answered:  s.answered - s.jAnswered,
@@ -208,14 +449,14 @@ func (s *Session) takeProgress() progressDelta {
 	return d
 }
 
-// progressEvent encodes a batch's deltas compactly — this is the hot-path
-// record, one per answered batch. Layout (all integers uvarint unless
-// noted): dAnswered, dPositives, dDraws, dAuxDraws, a flags byte, then an
-// optional opaque state blob (uvarint length + bytes). A v1 record is the
-// first two fields alone; v2 records carried ρ/synthetic-histogram fields
-// behind their own flag bits, which decodeProgress still accepts.
-func progressEvent(id string, d progressDelta) store.Event {
-	buf := make([]byte, 0, 5*binary.MaxVarintLen64+1+len(d.state))
+// appendProgressDelta encodes a batch's deltas compactly into buf — this is
+// the hot-path record, one per answered batch, written into a pooled
+// buffer. Layout (all integers uvarint unless noted): dAnswered,
+// dPositives, dDraws, dAuxDraws, a flags byte, then an optional opaque
+// state blob (uvarint length + bytes). A v1 record is the first two fields
+// alone; v2 records carried ρ/synthetic-histogram fields behind their own
+// flag bits, which decodeProgress still accepts.
+func appendProgressDelta(buf []byte, d progressDelta) []byte {
 	buf = binary.AppendUvarint(buf, uint64(d.answered))
 	buf = binary.AppendUvarint(buf, uint64(d.positives))
 	buf = binary.AppendUvarint(buf, d.draws)
@@ -229,7 +470,13 @@ func progressEvent(id string, d progressDelta) store.Event {
 		buf = binary.AppendUvarint(buf, uint64(len(d.state)))
 		buf = append(buf, d.state...)
 	}
-	return store.Event{Kind: evProgress, ID: id, Data: buf}
+	return buf
+}
+
+// progressEvent wraps appendProgressDelta for callers (and tests) that want
+// a standalone event.
+func progressEvent(id string, d progressDelta) store.Event {
+	return store.Event{Kind: evProgress, ID: id, Data: appendProgressDelta(nil, d)}
 }
 
 // decodeProgress is the inverse of progressEvent, accepting the v1
@@ -335,15 +582,14 @@ func (m *SessionManager) recoverSessions() error {
 	for i, ev := range events {
 		switch ev.Kind {
 		case evCreate, evSnapshot:
-			var rec sessionRecord
-			if err := json.Unmarshal(ev.Data, &rec); err != nil {
+			rec, err := decodeSessionRecord(ev.Data)
+			if err != nil {
 				return fmt.Errorf("server: replaying event %d: decoding session %s: %w", i, ev.ID, err)
 			}
-			rec.legacyState()
 			if _, seen := staged[ev.ID]; !seen {
 				order = append(order, ev.ID)
 			}
-			staged[ev.ID] = &rec
+			staged[ev.ID] = rec
 		case evProgress:
 			rec, ok := staged[ev.ID]
 			if !ok {
@@ -377,6 +623,7 @@ func (m *SessionManager) recoverSessions() error {
 			return err
 		}
 		sh := m.shardFor(id)
+		s.home = sh
 		sh.sessions[id] = s
 		m.live.Add(1)
 		m.recoveredSessions++
@@ -434,15 +681,19 @@ func (s *Session) restoreState(rec *sessionRecord) error {
 	return nil
 }
 
-// journalProgress appends the batch's deltas; callers hold m.journalMu
-// read-locked. Batches that changed nothing (empty results on an already
-// halted session) are not journaled.
-func (m *SessionManager) journalProgress(s *Session) error {
-	d := s.takeProgress()
+// journalProgress appends a batch's already-captured deltas; callers hold
+// m.journalMu read-locked. Batches that changed nothing (empty results on
+// an already halted session) are not journaled.
+func (m *SessionManager) journalProgress(s *Session, d progressDelta) error {
 	if d.answered == 0 {
 		return nil
 	}
-	if err := m.store.Append(progressEvent(s.id, d)); err != nil {
+	bp := recBufPool.Get().(*[]byte)
+	data := appendProgressDelta((*bp)[:0], d)
+	err := m.store.Append(store.Event{Kind: evProgress, ID: s.id, Data: data})
+	*bp = data[:0]
+	recBufPool.Put(bp)
+	if err != nil {
 		return fmt.Errorf("%w: %v", ErrStoreAppend, err)
 	}
 	return nil
@@ -471,17 +722,19 @@ func (m *SessionManager) collectRecords() []collectedRecord {
 	return recs
 }
 
-// encodeState turns collected records into snapshot events.
-func encodeState(recs []collectedRecord) ([]store.Event, error) {
+// encodeState turns collected records into snapshot events. The buffers
+// are not pooled here: a two-phase snapshot holds them until Commit's file
+// write, and snapshots are off the hot path.
+func encodeState(recs []collectedRecord) []store.Event {
 	state := make([]store.Event, 0, len(recs))
-	for _, cr := range recs {
-		ev, err := sessionRecordEvent(evSnapshot, cr.id, cr.rec)
-		if err != nil {
-			return nil, err
-		}
-		state = append(state, ev)
+	for i := range recs {
+		state = append(state, store.Event{
+			Kind: evSnapshot,
+			ID:   recs[i].id,
+			Data: appendSessionRecord(nil, &recs[i].rec),
+		})
 	}
-	return state, nil
+	return state
 }
 
 // SnapshotNow writes a full-state snapshot to the store, compacting the
@@ -519,11 +772,7 @@ func (m *SessionManager) snapshotNow() error {
 	if !ok {
 		m.journalMu.Lock()
 		defer m.journalMu.Unlock()
-		state, err := encodeState(m.collectRecords())
-		if err != nil {
-			return err
-		}
-		if err := m.store.Snapshot(state); err != nil {
+		if err := m.store.Snapshot(encodeState(m.collectRecords())); err != nil {
 			return fmt.Errorf("server: writing store snapshot: %w", err)
 		}
 		return nil
@@ -536,12 +785,7 @@ func (m *SessionManager) snapshotNow() error {
 	}
 	recs := m.collectRecords()
 	m.journalMu.Unlock()
-	state, err := encodeState(recs)
-	if err != nil {
-		rot.Abort()
-		return err
-	}
-	if err := rot.Commit(state); err != nil {
+	if err := rot.Commit(encodeState(recs)); err != nil {
 		return fmt.Errorf("server: writing store snapshot: %w", err)
 	}
 	return nil

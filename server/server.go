@@ -22,7 +22,6 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
-	"hash/fnv"
 	"log"
 	"math"
 	"strings"
@@ -300,11 +299,15 @@ func (m *SessionManager) Sweep() int {
 		}
 		sh.mu.Unlock()
 		// Journal after releasing the shard lock: an append can fsync, and
-		// queries on this shard must not stall behind the janitor.
-		if m.store != nil {
-			for _, id := range collected {
-				_ = m.store.Append(store.Event{Kind: evExpire, ID: id})
+		// queries on this shard must not stall behind the janitor. The
+		// shard's expiries go down as one atomic batch — one durability
+		// round-trip instead of one per session.
+		if m.store != nil && len(collected) > 0 {
+			evs := make([]store.Event, len(collected))
+			for i, id := range collected {
+				evs[i] = store.Event{Kind: evExpire, ID: id}
 			}
+			_ = store.AppendAll(m.store, evs)
 		}
 	}
 	return removed
@@ -319,11 +322,26 @@ func (m *SessionManager) servedNames() string {
 	return strings.Join(names, ", ")
 }
 
-// shardFor maps a session ID to its stripe by FNV-1a hash.
+// shardFor maps a session ID to its stripe by FNV-1a hash, inlined so the
+// per-request routing allocates nothing (hash.Hash32 escapes; this loop
+// does not). Only the first 16 bytes feed the hash: server-issued IDs are
+// random hex, whose prefix alone carries far more entropy than any shard
+// count needs, and shard placement is purely an in-process concern.
 func (m *SessionManager) shardFor(id string) *shard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(id))
-	return m.shards[h.Sum32()%uint32(len(m.shards))]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	n := len(id)
+	if n > 16 {
+		n = 16
+	}
+	h := uint32(offset32)
+	for i := 0; i < n; i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return m.shards[h%uint32(len(m.shards))]
 }
 
 // newID returns a fresh 128-bit random session ID.
@@ -355,11 +373,7 @@ func (m *SessionManager) Create(p CreateParams) (*Session, error) {
 		return nil, err
 	}
 	if m.store != nil {
-		ev, err := sessionEvent(evCreate, s)
-		if err == nil {
-			err = m.store.Append(ev)
-		}
-		if err != nil {
+		if err := m.journalCreate(s); err != nil {
 			sh.mu.Lock()
 			delete(sh.sessions, s.id)
 			sh.mu.Unlock()
@@ -403,6 +417,7 @@ func (m *SessionManager) create(p CreateParams) (*Session, *shard, error) {
 	}
 	s.mechIdx = idx
 	sh := m.shardFor(id)
+	s.home = sh
 	sh.mu.Lock()
 	if _, dup := sh.sessions[id]; dup {
 		sh.mu.Unlock()
@@ -484,11 +499,11 @@ func (m *SessionManager) Len() int { return int(m.live.Load()) }
 func (m *SessionManager) Shards() int { return len(m.shards) }
 
 // countQuery charges n answered queries to the mechanism's counter on the
-// session's shard. The index was resolved when the session registered, so
-// the hot path touches no map.
+// session's home shard. Both the shard and the index were resolved when the
+// session registered, so the hot path touches no map and hashes nothing.
 func (m *SessionManager) countQuery(s *Session, n int) {
-	if s.mechIdx >= 0 && n > 0 {
-		m.shardFor(s.id).queries[s.mechIdx].Add(uint64(n))
+	if s.mechIdx >= 0 && s.home != nil && n > 0 {
+		s.home.queries[s.mechIdx].Add(uint64(n))
 	}
 }
 
@@ -498,18 +513,25 @@ func (m *SessionManager) countQuery(s *Session, n int) {
 // the journal append fails the whole response is withheld (ErrStoreAppend):
 // an analyst must never observe a DP release the store could forget.
 func (m *SessionManager) Query(id string, items []QueryItem) (BatchResult, error) {
+	return m.QueryInto(id, items, nil)
+}
+
+// QueryInto is Query writing its results into dst's backing array (dst may
+// be nil): the HTTP layer recycles result slices across requests through
+// it. Callers that retain the results must pass nil.
+func (m *SessionManager) QueryInto(id string, items []QueryItem, dst []QueryResult) (BatchResult, error) {
 	s, ok := m.Get(id)
 	if !ok {
 		return BatchResult{}, ErrSessionNotFound
 	}
 	if m.store == nil {
-		res, err := s.Query(items)
+		res, err := s.queryInto(items, dst)
 		m.countQuery(s, len(res.Results))
 		return res, err
 	}
 	m.journalMu.RLock()
-	res, err := s.Query(items)
-	if jerr := m.journalProgress(s); jerr != nil {
+	res, d, err := s.queryTake(items, dst, true)
+	if jerr := m.journalProgress(s, d); jerr != nil {
 		m.journalMu.RUnlock()
 		m.countQuery(s, len(res.Results))
 		return BatchResult{}, jerr

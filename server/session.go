@@ -60,6 +60,17 @@ type CreateParams struct {
 	AnswerFraction float64 `json:"answerFraction,omitempty"`
 	// Seed makes the session reproducible; 0 means crypto-seeded.
 	Seed uint64 `json:"seed,omitempty"`
+	// CacheSize opts the session into a bounded response cache for repeated
+	// identical threshold queries (entries; 0 — the default — disables it).
+	// A cache hit replays the prior released answer without touching the
+	// mechanism, which is differentially private for free (post-processing
+	// of an already-released output) and spends no budget — but it changes
+	// the interaction model: repeats no longer get independent noisy
+	// comparisons. Only mechanisms with the monotonicRefinement capability
+	// accept it, and it cannot be combined with a non-zero Seed: the cache
+	// is not journaled, so a crash-recovered session would diverge from the
+	// seeded stream's bit-identical replay contract.
+	CacheSize int `json:"cacheSize,omitempty"`
 	// TTLSeconds is the idle time-to-live; 0 uses the manager default.
 	TTLSeconds float64 `json:"ttlSeconds,omitempty"`
 	// Histogram is the private dataset for mechanisms that need one.
@@ -165,7 +176,11 @@ type Session struct {
 	// counter array, resolved once at registration so the per-batch counter
 	// bump is an array index, not a map lookup (-1 outside a manager).
 	mechIdx int
-	ttl     time.Duration
+	// home is the manager shard the session lives on, resolved once at
+	// registration so the per-batch counter bump re-hashes nothing (nil
+	// outside a manager).
+	home *shard
+	ttl  time.Duration
 
 	createdAt time.Time
 	// expiresAt is the idle deadline in unixnanos, advanced on every
@@ -218,6 +233,11 @@ func newSession(reg *mech.Registry, id string, p CreateParams, ttl time.Duration
 	if err != nil {
 		return nil, err
 	}
+	if p.CacheSize != 0 {
+		if inst, err = wrapCache(reg, p, inst); err != nil {
+			return nil, err
+		}
+	}
 	s.inst = inst
 	s.budget.Eps1, s.budget.Eps2, s.budget.Eps3 = inst.Budgets()
 
@@ -235,6 +255,31 @@ func newSession(reg *mech.Registry, id string, p CreateParams, ttl time.Duration
 	s.jDraws, s.jAux = inst.Draws() // construction draws are in the create record
 	s.touch(now)
 	return s, nil
+}
+
+// MaxCacheSize caps the per-session response cache: entries are tiny, but
+// an unbounded request-controlled allocation is a memory DoS.
+const MaxCacheSize = 1 << 16
+
+// wrapCache validates the cacheSize opt-in and wraps the instance in the
+// response-cache middleware. The gate is capability-driven: repeated
+// identical queries are the monotonic-refinement workload, and only
+// mechanisms advertising it accept the cache. Seeded sessions are refused —
+// the cache is not journaled, so a crash-recovered session would re-draw
+// noise where the uninterrupted run had a hit, breaking the seeded
+// bit-identical replay contract.
+func wrapCache(reg *mech.Registry, p CreateParams, inst mech.Instance) (mech.Instance, error) {
+	if p.CacheSize < 0 || p.CacheSize > MaxCacheSize {
+		return nil, fmt.Errorf("server: cacheSize must be in [1, %d], got %d", MaxCacheSize, p.CacheSize)
+	}
+	f, ok := reg.Lookup(string(p.Mechanism))
+	if !ok || !f.Caps.MonotonicRefinement {
+		return nil, fmt.Errorf("server: cacheSize requires a mechanism with the monotonicRefinement capability; %q does not advertise it", p.Mechanism)
+	}
+	if p.Seed != 0 {
+		return nil, fmt.Errorf("server: cacheSize cannot be combined with a seed: the response cache is not journaled, so crash recovery could not replay the stream bit-identically")
+	}
+	return mech.NewCached(inst, p.CacheSize), nil
 }
 
 // resolve builds the mechanism-layer query: the session's default threshold
@@ -272,19 +317,38 @@ func (s *Session) Mechanism() Mechanism { return s.mech }
 // Halted result; a mediator session keeps answering from the synthetic
 // histogram with the Exhausted flag set.
 func (s *Session) Query(items []QueryItem) (BatchResult, error) {
+	return s.queryInto(items, nil)
+}
+
+// queryInto is Query writing its results into dst's backing array (dst may
+// be nil), so the HTTP hot path can recycle result slices across requests.
+// The returned BatchResult.Results aliases dst when capacity sufficed;
+// callers that retain results across calls must pass nil.
+func (s *Session) queryInto(items []QueryItem, dst []QueryResult) (BatchResult, error) {
+	res, _, err := s.queryTake(items, dst, false)
+	return res, err
+}
+
+// queryTake is queryInto optionally capturing the journal progress delta
+// in the SAME critical section, so the journaling path locks the session
+// mutex once per batch instead of twice.
+func (s *Session) queryTake(items []QueryItem, dst []QueryResult, take bool) (BatchResult, progressDelta, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, item := range items {
 		if err := s.inst.Validate(s.resolve(item)); err != nil {
-			return BatchResult{}, fmt.Errorf("server: query %d: %w", i, err)
+			return BatchResult{}, progressDelta{}, fmt.Errorf("server: query %d: %w", i, err)
 		}
 	}
-	out := BatchResult{Results: make([]QueryResult, 0, len(items))}
+	if dst == nil {
+		dst = make([]QueryResult, 0, len(items))
+	}
+	out := BatchResult{Results: dst[:0]}
 	for i, item := range items {
 		res, refused, err := s.inst.Answer(s.resolve(item))
 		if err != nil {
 			// Unreachable after validation; surface it rather than hide it.
-			return out, fmt.Errorf("server: query %d: %w", i, err)
+			return out, progressDelta{}, fmt.Errorf("server: query %d: %w", i, err)
 		}
 		if refused {
 			break
@@ -303,7 +367,11 @@ func (s *Session) Query(items []QueryItem) (BatchResult, error) {
 	}
 	out.Halted = s.inst.Halted()
 	out.Remaining = s.inst.Remaining()
-	return out, nil
+	var d progressDelta
+	if take {
+		d = s.takeProgressLocked()
+	}
+	return out, d, nil
 }
 
 // Status snapshots the session.

@@ -38,6 +38,11 @@ type Stats struct {
 	// snapshot has failed since the last success (the failure condition is
 	// current, not historical — SnapshotFailures keeps the history).
 	LastSnapshotError string `json:"lastSnapshotError,omitempty"`
+	// EncodeFailures counts HTTP responses whose JSON encode or write
+	// failed after the status header was out (silently truncated from the
+	// client's point of view). Filled by the HTTP layer; always zero when
+	// Stats is read directly off the manager.
+	EncodeFailures uint64 `json:"encodeFailures,omitempty"`
 }
 
 // Stats aggregates the per-shard counters. The snapshot is monotone but

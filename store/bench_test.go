@@ -24,9 +24,28 @@ type benchEntry struct {
 	Name          string  `json:"name"`
 	AppendsPerSec float64 `json:"appendsPerSec"`
 	NsPerOp       float64 `json:"nsPerOp"`
+	AllocsPerOp   float64 `json:"allocsPerOp"`
+	BytesPerOp    float64 `json:"bytesPerOp"`
 	P99Ns         float64 `json:"p99Ns,omitempty"`
 	Ops           int     `json:"ops"`
 	Sync          string  `json:"sync,omitempty"`
+}
+
+// memTrack measures the allocation trajectory of a benchmark's timed
+// section from runtime.MemStats deltas. Call startMem just before
+// ResetTimer and hand it to recordBench after StopTimer.
+type memTrack struct{ m0 runtime.MemStats }
+
+func startMem() *memTrack {
+	t := new(memTrack)
+	runtime.ReadMemStats(&t.m0)
+	return t
+}
+
+func (t *memTrack) perOp(n int) (allocs, bytes float64) {
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-t.m0.Mallocs) / float64(n), float64(m1.TotalAlloc-t.m0.TotalAlloc) / float64(n)
 }
 
 // benchSummary is the whole JSON document.
@@ -47,17 +66,20 @@ var (
 // recordBench stashes one benchmark result for the JSON summary; a re-run
 // under the same name (the larger, final calibration pass) replaces the
 // earlier entry.
-func recordBench(b *testing.B, sync string) { recordBenchP99(b, sync, 0) }
+func recordBench(b *testing.B, mt *memTrack, sync string) { recordBenchP99(b, mt, sync, 0) }
 
 // recordBenchP99 also records a tail-latency metric when the benchmark
 // measured one.
-func recordBenchP99(b *testing.B, sync string, p99Ns float64) {
+func recordBenchP99(b *testing.B, mt *memTrack, sync string, p99Ns float64) {
 	ops := float64(b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(ops, "appends/sec")
+	allocs, bytes := mt.perOp(b.N)
 	e := benchEntry{
 		Name:          strings.TrimPrefix(b.Name(), "Benchmark"),
 		AppendsPerSec: ops,
 		NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp:   allocs,
+		BytesPerOp:    bytes,
 		P99Ns:         p99Ns,
 		Ops:           b.N,
 		Sync:          sync,
@@ -118,6 +140,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			}
 			b.Cleanup(func() { _ = w.Close() })
 			ev := benchEvent()
+			mt := startMem()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := w.Append(ev); err != nil {
@@ -125,7 +148,7 @@ func BenchmarkWALAppend(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			recordBench(b, policy.String())
+			recordBench(b, mt, policy.String())
 		})
 	}
 }
@@ -140,6 +163,8 @@ func BenchmarkWALAppendParallel(b *testing.B) {
 	}
 	b.Cleanup(func() { _ = w.Close() })
 	ev := benchEvent()
+	b.SetParallelism(16)
+	mt := startMem()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -150,7 +175,7 @@ func BenchmarkWALAppendParallel(b *testing.B) {
 		}
 	})
 	b.StopTimer()
-	recordBench(b, SyncInterval.String())
+	recordBench(b, mt, SyncInterval.String())
 }
 
 // BenchmarkWALSnapshot measures compacting a 1k-session state.
@@ -164,6 +189,7 @@ func BenchmarkWALSnapshot(b *testing.B) {
 	for i := range state {
 		state[i] = Event{Kind: 5, ID: fmt.Sprintf("%032d", i), Data: []byte(`{"params":{"mechanism":"sparse","epsilon":1},"answered":42,"positives":7}`)}
 	}
+	mt := startMem()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := w.Snapshot(state); err != nil {
@@ -171,7 +197,7 @@ func BenchmarkWALSnapshot(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	recordBench(b, SyncNone.String())
+	recordBench(b, mt, SyncNone.String())
 }
 
 // BenchmarkWALAppendDuringSnapshot measures append latency while snapshots
@@ -214,6 +240,7 @@ func BenchmarkWALAppendDuringSnapshot(b *testing.B) {
 			}()
 			ev := benchEvent()
 			lat := make([]time.Duration, b.N)
+			mt := startMem()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				start := time.Now()
@@ -228,7 +255,7 @@ func BenchmarkWALAppendDuringSnapshot(b *testing.B) {
 			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 			p99 := float64(lat[len(lat)*99/100].Nanoseconds())
 			b.ReportMetric(p99, "p99-ns")
-			recordBenchP99(b, SyncNone.String(), p99)
+			recordBenchP99(b, mt, SyncNone.String(), p99)
 		})
 	}
 }
@@ -249,6 +276,7 @@ func BenchmarkWALRecover(b *testing.B) {
 	if err := w.Close(); err != nil {
 		b.Fatal(err)
 	}
+	mt := startMem()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := NewWAL(WALConfig{Dir: dir, Sync: SyncNone})
@@ -264,5 +292,5 @@ func BenchmarkWALRecover(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	recordBench(b, SyncNone.String())
+	recordBench(b, mt, SyncNone.String())
 }

@@ -21,7 +21,17 @@ func FuzzDecodeRecord(f *testing.F) {
 	valid := seed(Event{Kind: 1, ID: "0123456789abcdef0123456789abcdef", Data: []byte(`{"answered":3}`)})
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3]) // torn tail
-	f.Add(seed(Event{Kind: 255, ID: "", Data: nil}))
+	f.Add(seed(Event{Kind: 254, ID: "", Data: nil}))
+	// An atomic batch frame (kind 255 is reserved for it) and a torn copy.
+	batch, err := appendBatchRecord(nil, []Event{
+		{Kind: 2, ID: "s", Data: []byte{5, 2}},
+		{Kind: 4, ID: "0123456789abcdef0123456789abcdef"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batch)
+	f.Add(batch[:len(batch)-4])
 	// Payloads spanning the server codec's generations, kept green so
 	// legacy WAL decode can never regress at the record layer: a v1
 	// counters-only progress delta, a v2 delta with the special-cased
@@ -61,8 +71,18 @@ func FuzzDecodeRecord(f *testing.F) {
 		if ev.Kind == 0 {
 			t.Fatal("decoder accepted reserved kind 0")
 		}
-		// Round trip: re-encoding must reproduce the consumed bytes.
-		re, err := appendRecord(nil, ev)
+		// Round trip: re-encoding must reproduce the consumed bytes. Batch
+		// frames round-trip through their own encoder.
+		var re []byte
+		if ev.Kind == batchKind {
+			sub, serr := decodeBatchPayload(ev.Data)
+			if serr != nil {
+				t.Fatalf("accepted batch frame does not expand: %v", serr)
+			}
+			re, err = appendBatchRecord(nil, sub)
+		} else {
+			re, err = appendRecord(nil, ev)
+		}
 		if err != nil {
 			t.Fatalf("re-encoding decoded event: %v", err)
 		}

@@ -14,6 +14,7 @@ type Mem struct {
 }
 
 var _ SessionStore = (*Mem)(nil)
+var _ BatchAppender = (*Mem)(nil)
 var _ Healther = (*Mem)(nil)
 
 // NewMem returns a ready no-op store.
@@ -25,6 +26,15 @@ func (m *Mem) Append(Event) error {
 		return ErrClosed
 	}
 	m.appends.Add(1)
+	return nil
+}
+
+// AppendBatch implements BatchAppender by discarding the events.
+func (m *Mem) AppendBatch(evs []Event) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	m.appends.Add(uint64(len(evs)))
 	return nil
 }
 

@@ -1,0 +1,26 @@
+//go:build !linux
+
+package store
+
+// Stub for platforms without the mmap fast path: the WAL uses write()
+// journaling everywhere (see mmap_linux.go for the real implementation).
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+var mmapChunk = int64(4 << 20)
+
+type mmapRegion struct{}
+
+func (r *mmapRegion) active() bool { return false }
+
+func mapSegment(*os.File, int64) (mmapRegion, error) {
+	return mmapRegion{}, errors.New("store: mmap journaling is not supported on this platform")
+}
+
+func (r *mmapRegion) sync() error  { return nil }
+func (r *mmapRegion) unmap() error { return nil }

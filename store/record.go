@@ -32,6 +32,13 @@ const (
 // castagnoli is the CRC-32C table used for all record checksums.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// batchKind is the reserved record kind framing an atomic batch of events
+// (AppendBatch): the record's payload carries the sub-events back to back,
+// and the record-level CRC covers them all, so a torn batch fails the
+// checksum as a unit and recovery drops it whole — a partial batch can
+// never replay. Application events must not use this kind.
+const batchKind byte = 0xff
+
 // Record-decoding error sentinels. ErrTruncatedRecord means the buffer ends
 // mid-record (a torn tail); ErrCorruptRecord means the bytes are complete
 // but wrong (checksum mismatch, oversized length, malformed payload).
@@ -39,6 +46,33 @@ var (
 	ErrTruncatedRecord = errors.New("store: truncated record")
 	ErrCorruptRecord   = errors.New("store: corrupt record")
 )
+
+// uvarintLen returns the encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// recordSize returns the exact framed size appendRecord would produce for
+// ev, so the mmap append path can reserve precisely that many bytes and
+// encode in place.
+func recordSize(ev Event) int {
+	return recordHeaderSize + 1 + uvarintLen(uint64(len(ev.ID))) + len(ev.ID) + len(ev.Data)
+}
+
+// batchRecordSize is recordSize for the batch frame appendBatchRecord
+// would produce.
+func batchRecordSize(evs []Event) int {
+	n := recordHeaderSize + 1 + 1 // header, batchKind, empty-id uvarint
+	for _, ev := range evs {
+		n += 1 + uvarintLen(uint64(len(ev.ID))) + len(ev.ID) + uvarintLen(uint64(len(ev.Data))) + len(ev.Data)
+	}
+	return n
+}
 
 // appendRecord encodes ev as one framed record appended to buf.
 func appendRecord(buf []byte, ev Event) ([]byte, error) {
@@ -48,6 +82,9 @@ func appendRecord(buf []byte, ev Event) ([]byte, error) {
 	}
 	if ev.Kind == 0 {
 		return buf, fmt.Errorf("store: event kind 0 is reserved")
+	}
+	if ev.Kind == batchKind {
+		return buf, fmt.Errorf("store: event kind %d is reserved for batch frames", batchKind)
 	}
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
@@ -61,9 +98,95 @@ func appendRecord(buf []byte, ev Event) ([]byte, error) {
 	return buf, nil
 }
 
+// appendBatchRecord encodes evs as ONE framed batch record appended to buf.
+// Payload layout after the batchKind byte and an empty id:
+//
+//	| kind byte | idLen uvarint | id | dataLen uvarint | data |  × len(evs)
+//
+// On error buf is returned unchanged, so callers encoding into a shared
+// group-commit buffer never leave half a frame behind.
+func appendBatchRecord(buf []byte, evs []Event) ([]byte, error) {
+	if len(evs) == 0 {
+		return buf, fmt.Errorf("store: empty batch")
+	}
+	payloadLen := 1 + binary.MaxVarintLen64
+	for _, ev := range evs {
+		if ev.Kind == 0 || ev.Kind == batchKind {
+			return buf, fmt.Errorf("store: event kind %d is reserved", ev.Kind)
+		}
+		payloadLen += 1 + 2*binary.MaxVarintLen64 + len(ev.ID) + len(ev.Data)
+	}
+	if payloadLen > MaxRecordSize {
+		return buf, fmt.Errorf("store: batch of %d bytes exceeds the record cap of %d", payloadLen, MaxRecordSize)
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	buf = append(buf, batchKind)
+	buf = binary.AppendUvarint(buf, 0) // batch frames carry no id of their own
+	for _, ev := range evs {
+		buf = append(buf, ev.Kind)
+		buf = binary.AppendUvarint(buf, uint64(len(ev.ID)))
+		buf = append(buf, ev.ID...)
+		buf = binary.AppendUvarint(buf, uint64(len(ev.Data)))
+		buf = append(buf, ev.Data...)
+	}
+	payload := buf[start+recordHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+// walkBatchPayload steps through a batch frame's sub-events, calling emit
+// for each when non-nil. With a nil emit it is a pure, allocation-free
+// validation pass — what decodeRecord uses, so recovery builds the events
+// only once (in decodeAll).
+func walkBatchPayload(data []byte, emit func(Event)) error {
+	if len(data) == 0 {
+		return fmt.Errorf("%w: empty batch frame", ErrCorruptRecord)
+	}
+	for len(data) > 0 {
+		kind := data[0]
+		if kind == 0 || kind == batchKind {
+			return fmt.Errorf("%w: reserved kind %d inside batch frame", ErrCorruptRecord, kind)
+		}
+		data = data[1:]
+		idLen, n := binary.Uvarint(data)
+		if n <= 0 || idLen > uint64(len(data)-n) {
+			return fmt.Errorf("%w: bad id length in batch frame", ErrCorruptRecord)
+		}
+		idRaw := data[n : n+int(idLen)]
+		data = data[n+int(idLen):]
+		dataLen, n := binary.Uvarint(data)
+		if n <= 0 || dataLen > uint64(len(data)-n) {
+			return fmt.Errorf("%w: bad data length in batch frame", ErrCorruptRecord)
+		}
+		if emit != nil {
+			ev := Event{Kind: kind, ID: string(idRaw)}
+			if dataLen > 0 {
+				ev.Data = append([]byte(nil), data[n:n+int(dataLen)]...)
+			}
+			emit(ev)
+		}
+		data = data[n+int(dataLen):]
+	}
+	return nil
+}
+
+// decodeBatchPayload parses a batch frame's sub-events (the Data of a
+// batchKind record, already CRC-verified at the record layer).
+func decodeBatchPayload(data []byte) ([]Event, error) {
+	var evs []Event
+	if err := walkBatchPayload(data, func(ev Event) { evs = append(evs, ev) }); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
 // decodeRecord decodes the first record in b, returning the event and the
-// number of bytes consumed. It returns ErrTruncatedRecord when b ends
-// mid-record and ErrCorruptRecord when the record is complete but invalid.
+// number of bytes consumed. A batchKind event's Data is the still-framed
+// batch payload (validated here; decodeAll expands it). It returns
+// ErrTruncatedRecord when b ends mid-record and ErrCorruptRecord when the
+// record is complete but invalid.
 func decodeRecord(b []byte) (Event, int, error) {
 	if len(b) < recordHeaderSize {
 		return Event{}, 0, ErrTruncatedRecord
@@ -95,12 +218,21 @@ func decodeRecord(b []byte) (Event, int, error) {
 	if data := rest[idLen:]; len(data) > 0 {
 		ev.Data = append([]byte(nil), data...)
 	}
+	if kind == batchKind {
+		if len(ev.ID) != 0 {
+			return Event{}, 0, fmt.Errorf("%w: batch frame carries an id", ErrCorruptRecord)
+		}
+		if err := walkBatchPayload(ev.Data, nil); err != nil {
+			return Event{}, 0, err
+		}
+	}
 	return ev, recordHeaderSize + int(length), nil
 }
 
-// decodeAll decodes consecutive records from b. It returns the events of
-// the valid prefix, the byte length of that prefix, and the error that
-// stopped the scan (nil when b was consumed exactly).
+// decodeAll decodes consecutive records from b, expanding batch frames into
+// their sub-events. It returns the events of the valid prefix, the byte
+// length of that prefix, and the error that stopped the scan (nil when b
+// was consumed exactly).
 func decodeAll(b []byte) ([]Event, int, error) {
 	var events []Event
 	off := 0
@@ -109,7 +241,16 @@ func decodeAll(b []byte) ([]Event, int, error) {
 		if err != nil {
 			return events, off, err
 		}
-		events = append(events, ev)
+		if ev.Kind == batchKind {
+			sub, berr := decodeBatchPayload(ev.Data)
+			if berr != nil {
+				// Unreachable: decodeRecord validated the frame.
+				return events, off, berr
+			}
+			events = append(events, sub...)
+		} else {
+			events = append(events, ev)
+		}
 		off += n
 	}
 	return events, off, nil

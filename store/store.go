@@ -17,7 +17,14 @@
 //     nothing.
 //   - WAL: an append-only write-ahead log of length-prefixed, CRC-checked
 //     records with periodic snapshot compaction and truncated-tail-tolerant
-//     recovery. See NewWAL.
+//     recovery. Appends go through a memory-mapped segment on Linux (memcpy
+//     durability == unbuffered write durability, no syscall) and group
+//     commit coalesces concurrent appends into shared flushes wherever a
+//     durability round-trip is needed. See NewWAL.
+//
+// Stores may additionally implement BatchAppender to journal a multi-event
+// transition as one crash-atomic unit with one durability round-trip;
+// AppendAll is the capability-dispatching helper.
 //
 // New backends (e.g. a replicated log or a key-value store) implement
 // SessionStore and plug into server.ManagerConfig.Store without any change
@@ -46,7 +53,9 @@ type SessionStore interface {
 	// Append durably journals one event. The caller must not release the
 	// response that acknowledges the event's state transition until Append
 	// has returned nil (the store's sync policy decides how hard that
-	// durability promise is).
+	// durability promise is). Implementations must not retain ev.Data past
+	// Append's return: callers are free to recycle the buffer, which is how
+	// the server keeps the query hot path allocation-free.
 	Append(ev Event) error
 	// Snapshot atomically replaces the store's recovery baseline with the
 	// given full-state events and discards the journal tail they subsume.
@@ -59,6 +68,38 @@ type SessionStore interface {
 	Recover() ([]Event, error)
 	// Close flushes and releases the store. Append after Close fails.
 	Close() error
+}
+
+// BatchAppender is the optional batched-append side of a SessionStore: one
+// call journals several events with ONE durability round-trip (for the WAL,
+// one buffered write plus at most one fsync), and the whole batch is atomic
+// on recovery — either every event replays or none does, so a crash mid-way
+// through a multi-event transition cannot replay half of it. The same
+// response-release contract as Append applies to the batch as a whole, and
+// ev.Data buffers must likewise not be retained. Stores without natural
+// batch support simply do not implement BatchAppender; callers fall back to
+// sequential appends (AppendAll does this automatically).
+type BatchAppender interface {
+	AppendBatch(evs []Event) error
+}
+
+// AppendAll journals evs through one atomic AppendBatch when the store
+// supports it, and as sequential Append calls otherwise (in which case a
+// crash can persist a prefix of the batch — exactly the guarantee
+// individual appends already had).
+func AppendAll(st SessionStore, evs []Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if ba, ok := st.(BatchAppender); ok {
+		return ba.AppendBatch(evs)
+	}
+	for _, ev := range evs {
+		if err := st.Append(ev); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Rotation is an in-progress two-phase snapshot, started by Rotator.Rotate.
@@ -96,6 +137,11 @@ type Health struct {
 	Appends uint64 `json:"appends"`
 	// AppendedBytes counts record bytes written by Append since open.
 	AppendedBytes uint64 `json:"appendedBytes"`
+	// Flushes counts physical journal writes since open. Under group
+	// commit many concurrent appends coalesce into one flush, so
+	// Appends/Flushes is the realized batching ratio (1.0 means no
+	// coalescing happened).
+	Flushes uint64 `json:"flushes,omitempty"`
 	// Syncs counts fsync calls since open.
 	Syncs uint64 `json:"syncs"`
 	// Failures counts Append/Snapshot/sync errors since open.
@@ -126,6 +172,11 @@ type Health struct {
 	// a rotation and its commit; persistent growth means snapshots are
 	// failing).
 	Segments int `json:"segments,omitempty"`
+	// Mmap reports that the journal appends through a memory-mapped
+	// segment (the fast path) rather than write() calls. Durability is
+	// identical; with mmap, Flushes counts sync barriers rather than
+	// physical writes.
+	Mmap bool `json:"mmap,omitempty"`
 }
 
 // Healther is the optional health-reporting side of a SessionStore. Both

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,6 +67,20 @@ type WALConfig struct {
 	// SyncInterval is the background fsync cadence under SyncInterval;
 	// 0 means DefaultSyncInterval.
 	SyncInterval time.Duration
+	// CommitWindow stretches group commit: the flush leader waits this long
+	// before writing, so more concurrent appenders join the batch and share
+	// its write (and, under SyncAlways, its fsync/msync). 0 — the default —
+	// means flush immediately: coalescing then happens only to the extent
+	// appends actually queue up behind an in-flight flush. Every append's
+	// latency grows by up to the window, so keep it at or below the disk's
+	// sync latency; it buys nothing under SyncNone.
+	CommitWindow time.Duration
+	// DisableMmap forces write()-based journaling even where the mmap fast
+	// path is supported. The durability guarantees are identical; the mmap
+	// path is simply faster (a memcpy hands bytes to the kernel instead of
+	// a syscall). Mainly for debugging and for exercising the portable
+	// fallback in tests.
+	DisableMmap bool
 }
 
 // DefaultSyncInterval is the background fsync cadence when WALConfig leaves
@@ -103,29 +119,57 @@ func parseSeg(name, prefix string) (uint64, bool) {
 }
 
 // WAL is the durable SessionStore: an append-only journal of CRC-checked,
-// length-prefixed records with snapshot compaction.
+// length-prefixed records with snapshot compaction, mmap-backed appends and
+// group commit.
 //
-// Durability model: Append writes the record to the journal file with a
-// single unbuffered write — once Append returns, the event survives a
-// process crash regardless of sync policy; the policy only decides how much
-// a machine (power) crash can lose. Recovery tolerates a torn final record
-// (truncating the tail) but refuses corrupt snapshots: a snapshot is
-// rename-atomic, so damage there means disk trouble an operator must see.
+// Durability model: once Append returns, the event's bytes are in the
+// kernel (memcpy into a MAP_SHARED mapping on Linux, an unbuffered write()
+// elsewhere — the two are equivalent: dirty page cache survives a process
+// crash either way) and the event survives a process crash regardless of
+// sync policy; the policy only decides how much a machine (power) crash
+// can lose. Recovery tolerates a torn final record (truncating the tail)
+// and all-zero mmap chunk padding, but refuses corrupt snapshots: a
+// snapshot is rename-atomic, so damage there means disk trouble an
+// operator must see.
+//
+// Group commit: whenever appends must share a durability round-trip — the
+// msync barrier of SyncAlways in mmap mode, every write in write() mode —
+// concurrent callers encode into a shared pending batch and the flush
+// leader retires it with ONE write and at most ONE fsync/msync, releasing
+// every waiter only after the batch is durable. The journal-before-response
+// invariant therefore holds per event while the durability cost is
+// amortized across the batch; events still hit the disk in arrival order,
+// and a torn tail still truncates at a record boundary.
 type WAL struct {
-	dir  string
-	sync SyncPolicy
+	dir    string
+	sync   SyncPolicy
+	window time.Duration
 
 	mu          sync.Mutex
-	f           *os.File // active journal segment
-	gen         uint64   // active journal segment generation
-	snapGen     uint64   // latest published snapshot generation; 0 = none
-	segments    int      // live journal segments (gen chain since snapGen)
-	snapPending bool     // a rotation is between Rotate and Commit/Abort
+	idle        *sync.Cond // signaled when flushing drops to false
+	f           *os.File   // active journal segment
+	m           mmapRegion // active segment's mapping; inactive in write() mode
+	noMmap      bool       // config or runtime fallback: journal via write()
+	gen         uint64     // active journal segment generation
+	snapGen     uint64     // latest published snapshot generation; 0 = none
+	segments    int        // live journal segments (gen chain since snapGen)
+	snapPending bool       // a rotation is between Rotate and Commit/Abort
 	closed      bool
 	broken      bool // journal offset unknown after a failed rollback; all writes refused
-	scratch     []byte
 	walBytes    uint64
 	recovered   []Event
+
+	// Group-commit state, guarded by mu. pending is the batch the NEXT
+	// flush will write; flushing marks an active leader (which writes
+	// outside mu); paused asks the leader to yield so Rotate can swap the
+	// segment file. freeBatches recycles batch structs (and their encode
+	// buffers), so the steady-state append path allocates nothing.
+	// Invariant: pending != nil implies a leader is active or about to be
+	// restarted (by Rotate after a pause).
+	pending     *walBatch
+	flushing    bool
+	paused      bool
+	freeBatches []*walBatch
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -133,6 +177,7 @@ type WAL struct {
 	// Counters surfaced by Health; guarded by mu.
 	appends        uint64
 	appendedBytes  uint64
+	flushes        uint64
 	syncs          uint64
 	failures       uint64
 	lastErr        string
@@ -143,8 +188,27 @@ type WAL struct {
 }
 
 var _ SessionStore = (*WAL)(nil)
+var _ BatchAppender = (*WAL)(nil)
 var _ Healther = (*WAL)(nil)
 var _ Rotator = (*WAL)(nil)
+
+// walBatch is one group-commit unit: the already-encoded records of every
+// caller that joined, flushed with one write. Everything is guarded by the
+// WAL's mu: joiners bump refs and wait (spin-then-park on the batch's own
+// condvar); the leader sets done+err and broadcasts; the last member to
+// observe the result recycles the batch.
+type walBatch struct {
+	buf     []byte
+	count   int  // events in the batch
+	counted int  // events already accounted in w.appends (mmap sync tickets)
+	refs    int  // callers that have yet to observe the result
+	parked  bool // a waiter gave up spinning; the leader must broadcast
+	// done is atomic so spinning waiters poll it without bouncing the
+	// store mutex; err is published before done and read only after.
+	done    atomic.Bool
+	err     error
+	flushed sync.Cond // on the WAL's mu; per-batch so a flush wakes only its own waiters
+}
 
 // NewWAL opens (or initializes) the journal directory, replays the latest
 // snapshot plus journal into memory for Recover, truncates any torn tail so
@@ -157,7 +221,11 @@ func NewWAL(cfg WALConfig) (*WAL, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating WAL dir: %w", err)
 	}
-	w := &WAL{dir: cfg.Dir, sync: cfg.Sync}
+	if cfg.CommitWindow < 0 {
+		return nil, fmt.Errorf("store: negative commit window %v", cfg.CommitWindow)
+	}
+	w := &WAL{dir: cfg.Dir, sync: cfg.Sync, window: cfg.CommitWindow, noMmap: cfg.DisableMmap || !mmapSupported}
+	w.idle = sync.NewCond(&w.mu)
 	if err := w.open(); err != nil {
 		return nil, err
 	}
@@ -276,29 +344,41 @@ func (w *WAL) open() error {
 			w.walBytes = uint64(valid)
 		}
 		if derr != nil {
-			if i != len(chain)-1 {
+			switch {
+			case allZero(raw[valid:]):
+				// An all-zero tail is mmap chunk padding — the signature of
+				// a crash (or an interrupted rotation) before the segment
+				// was sealed and trimmed, in ANY segment of the chain. No
+				// record can begin with eight zero bytes, so the valid
+				// prefix is complete; trim the padding so a write()-mode
+				// reopen cannot append after it.
+				if err := os.Truncate(walPath, int64(valid)); err != nil {
+					return fmt.Errorf("store: trimming journal padding: %w", err)
+				}
+			case i != len(chain)-1:
 				// A torn or corrupt tail is only benign in the FINAL segment
 				// (crash mid-append). In an earlier segment the events after
 				// the damage are gone while later segments still replay, so
 				// acknowledged budget would silently vanish mid-stream.
 				return fmt.Errorf("store: journal segment %s is corrupt but newer segments exist: %w", walPath, derr)
-			}
-			// Torn tail (crash mid-append) or trailing corruption: keep the
-			// valid prefix, truncate the rest so appends resume on a record
-			// boundary, and surface the drop in Health.
-			w.truncatedTail = true
-			w.droppedBytes = uint64(len(raw) - valid)
-			if err := os.Truncate(walPath, int64(valid)); err != nil {
-				return fmt.Errorf("store: truncating torn journal tail: %w", err)
+			default:
+				// Torn tail (crash mid-append) or trailing corruption: keep
+				// the valid prefix, truncate the rest so appends resume on a
+				// record boundary, and surface the drop in Health.
+				w.truncatedTail = true
+				w.droppedBytes = uint64(len(raw) - valid)
+				if err := os.Truncate(walPath, int64(valid)); err != nil {
+					return fmt.Errorf("store: truncating torn journal tail: %w", err)
+				}
 			}
 		}
 	}
 
-	f, err := os.OpenFile(filepath.Join(w.dir, segName(walPrefix, w.gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, m, err := w.openSegment(w.gen, int64(w.walBytes), false)
 	if err != nil {
-		return fmt.Errorf("store: opening journal: %w", err)
+		return err
 	}
-	w.f = f
+	w.f, w.m = f, m
 
 	// Drop generations older than the baseline now that the chain is decided.
 	for _, gen := range snaps {
@@ -314,7 +394,49 @@ func (w *WAL) open() error {
 	return nil
 }
 
-// flusher fsyncs the active segment on the configured interval.
+// allZero reports whether b contains only zero bytes.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// openSegment opens (creating if needed) journal segment gen for appending
+// at offset walBytes and, where supported, maps it. A mapping failure is
+// not fatal: the store falls back to write() journaling, whose guarantees
+// are identical. fresh truncates an existing file first (rotation reuses
+// nothing).
+func (w *WAL) openSegment(gen uint64, walBytes int64, fresh bool) (*os.File, mmapRegion, error) {
+	path := filepath.Join(w.dir, segName(walPrefix, gen))
+	truncFlag := 0
+	if fresh {
+		truncFlag = os.O_TRUNC
+	}
+	if !w.noMmap {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|truncFlag, 0o644)
+		if err != nil {
+			return nil, mmapRegion{}, fmt.Errorf("store: opening journal: %w", err)
+		}
+		m, merr := mapSegment(f, walBytes)
+		if merr == nil {
+			return f, m, nil
+		}
+		// Filesystem without fallocate/mmap support: remember and fall
+		// back for the store's lifetime.
+		_ = f.Close()
+		w.noMmap = true
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|truncFlag, 0o644)
+	if err != nil {
+		return nil, mmapRegion{}, fmt.Errorf("store: opening journal: %w", err)
+	}
+	return f, mmapRegion{}, nil
+}
+
+// flusher syncs the active segment on the configured interval.
 func (w *WAL) flusher(interval time.Duration) {
 	defer close(w.flushDone)
 	ticker := time.NewTicker(interval)
@@ -326,7 +448,7 @@ func (w *WAL) flusher(interval time.Duration) {
 		case <-ticker.C:
 			w.mu.Lock()
 			if !w.closed {
-				if err := w.f.Sync(); err != nil {
+				if err := w.syncSegmentLocked(); err != nil {
 					w.fail(err)
 				} else {
 					w.syncs++
@@ -337,53 +459,392 @@ func (w *WAL) flusher(interval time.Duration) {
 	}
 }
 
+// syncSegmentLocked makes the active segment's appended bytes durable:
+// msync in mmap mode, fsync in write() mode. Callers hold w.mu.
+func (w *WAL) syncSegmentLocked() error {
+	if w.m.active() {
+		return w.m.sync()
+	}
+	return w.f.Sync()
+}
+
 // fail records an operational error for Health; callers hold w.mu.
 func (w *WAL) fail(err error) {
 	w.failures++
 	w.lastErr = err.Error()
 }
 
-// Append implements SessionStore.
+// Append implements SessionStore. In mmap mode the record is encoded
+// straight into the mapped segment — the memcpy hands the bytes to the
+// kernel, which is exactly the durability an unbuffered write() gave — and
+// only SyncAlways then waits on the shared msync barrier. In write() mode
+// the record is encoded into the shared pending batch, and the caller
+// either becomes the flush leader or waits until a leader has made the
+// batch durable.
 func (w *WAL) Append(ev Event) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	if err := w.writableLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if w.m.active() {
+		need := recordSize(ev)
+		dst, err := w.reserveLocked(need)
+		if err != nil {
+			w.fail(err)
+			w.mu.Unlock()
+			return err
+		}
+		if _, err := appendRecord(dst, ev); err != nil {
+			w.fail(err)
+			w.mu.Unlock()
+			return err
+		}
+		return w.mmapCommitLocked(need, 1) // unlocks
+	}
+	b := w.pendingLocked()
+	buf, err := appendRecord(b.buf, ev)
+	if err != nil {
+		w.fail(err)
+		w.retireIfEmptyLocked(b)
+		w.mu.Unlock()
+		return err
+	}
+	b.buf = buf
+	b.count++
+	return w.commitLocked(b) // unlocks
+}
+
+// AppendBatch implements BatchAppender: evs are framed as one atomic batch
+// record (all-or-nothing on recovery) and flushed with one write through
+// the same group-commit path as Append.
+func (w *WAL) AppendBatch(evs []Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if len(evs) == 1 {
+		return w.Append(evs[0])
+	}
+	w.mu.Lock()
+	if err := w.writableLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if w.m.active() {
+		need := batchRecordSize(evs)
+		dst, err := w.reserveLocked(need)
+		if err != nil {
+			w.fail(err)
+			w.mu.Unlock()
+			return err
+		}
+		if _, err := appendBatchRecord(dst, evs); err != nil {
+			w.fail(err)
+			w.mu.Unlock()
+			return err
+		}
+		return w.mmapCommitLocked(need, len(evs)) // unlocks
+	}
+	b := w.pendingLocked()
+	buf, err := appendBatchRecord(b.buf, evs)
+	if err != nil {
+		w.fail(err)
+		w.retireIfEmptyLocked(b)
+		w.mu.Unlock()
+		return err
+	}
+	b.buf = buf
+	b.count += len(evs)
+	return w.commitLocked(b) // unlocks
+}
+
+// reserveLocked returns the next need bytes of the mapped segment as an
+// empty slice with exactly that capacity, so the caller encodes the record
+// in place (append fills the window, never reallocates). walBytes is NOT
+// advanced — a failed encode leaves nothing behind. Grows the mapping by
+// whole chunks when the window does not fit. Callers hold w.mu.
+func (w *WAL) reserveLocked(need int) ([]byte, error) {
+	for {
+		// Recomputed every iteration: waiting below releases w.mu, and
+		// another appender may have advanced walBytes (or grown the
+		// mapping) in the meantime — encoding at a stale offset would
+		// overwrite its record.
+		off := int(w.walBytes)
+		if off+need <= len(w.m.buf) {
+			return w.m.buf[off : off : off+need], nil
+		}
+		if err := w.writableLocked(); err != nil {
+			w.restartLeaderLocked()
+			return nil, err
+		}
+		if w.flushing {
+			// Growth swaps the mapping, and an in-flight msync (the
+			// SyncAlways leader runs outside w.mu) must not touch a stale
+			// one: park the leader like Rotate does.
+			w.paused = true
+			w.idle.Wait()
+			w.paused = false
+			continue
+		}
+		if err := w.m.unmap(); err != nil {
+			w.broken = true
+			w.restartLeaderLocked()
+			return nil, err
+		}
+		m, err := mapSegment(w.f, int64(off+need))
+		if err != nil {
+			// Can't map further (disk full, filesystem limit). Fall back
+			// to write() journaling so the store stays usable: trim the
+			// chunk padding first — an O_APPEND reopen must continue at
+			// the last record boundary, not after the zeros.
+			if terr := w.f.Truncate(int64(off)); terr != nil {
+				w.broken = true
+				w.fail(terr)
+			} else if nf, oerr := os.OpenFile(filepath.Join(w.dir, segName(walPrefix, w.gen)), os.O_WRONLY|os.O_APPEND, 0o644); oerr != nil {
+				w.broken = true
+				w.fail(oerr)
+			} else {
+				_ = w.f.Close()
+				w.f = nf
+				w.noMmap = true
+			}
+			w.restartLeaderLocked()
+			return nil, err
+		}
+		w.m = m
+	}
+}
+
+// mmapCommitLocked publishes an in-place encoded record of need bytes
+// holding count events: the memcpy already handed the bytes to the kernel,
+// so only SyncAlways has anything to wait for — the shared msync barrier.
+// Callers hold w.mu; it is released on return.
+func (w *WAL) mmapCommitLocked(need, count int) error {
+	w.walBytes += uint64(need)
+	w.appends += uint64(count)
+	w.appendedBytes += uint64(need)
+	if w.sync != SyncAlways {
+		w.mu.Unlock()
+		return nil
+	}
+	b := w.pendingLocked()
+	b.count += count
+	b.counted += count       // already in w.appends; the leader must not re-count
+	return w.commitLocked(b) // unlocks
+}
+
+// restartLeaderLocked re-arms a flush leader for batches a paused leader
+// left pending, when the path that paused it cannot (or may not) flush
+// them itself — without this their waiters would stay parked until some
+// unrelated later append. Callers hold w.mu.
+func (w *WAL) restartLeaderLocked() {
+	if w.pending != nil && !w.flushing && !w.closed {
+		w.flushing = true
+		go func() {
+			w.mu.Lock()
+			w.lead()
+			w.mu.Unlock()
+		}()
+	}
+}
+
+// writableLocked is the shared append guard; callers hold w.mu.
+func (w *WAL) writableLocked() error {
 	if w.closed {
 		return ErrClosed
 	}
 	if w.broken {
 		return fmt.Errorf("store: journal in failed state: %s", w.lastErr)
 	}
-	buf, err := appendRecord(w.scratch[:0], ev)
-	if err != nil {
-		w.fail(err)
-		return err
-	}
-	w.scratch = buf
-	if _, err := w.f.Write(buf); err != nil {
-		w.fail(err)
-		// A partial write leaves junk past the last record boundary; a
-		// LATER successful append would land after it, and recovery —
-		// which stops at the first bad record — would silently drop that
-		// acknowledged event. Roll the file back to the last good offset;
-		// if even that fails, refuse all further writes: the journal
-		// offset is unknown and appending blind would be worse.
-		if terr := w.f.Truncate(int64(w.walBytes)); terr != nil {
-			w.broken = true
-			w.fail(terr)
-		}
-		return fmt.Errorf("store: appending record: %w", err)
-	}
-	w.appends++
-	w.appendedBytes += uint64(len(buf))
-	w.walBytes += uint64(len(buf))
-	if w.sync == SyncAlways {
-		if err := w.f.Sync(); err != nil {
-			w.fail(err)
-			return fmt.Errorf("store: syncing journal: %w", err)
-		}
-		w.syncs++
-	}
 	return nil
+}
+
+// pendingLocked returns the batch currently accepting events, creating (or
+// recycling) it if needed. Callers hold w.mu.
+func (w *WAL) pendingLocked() *walBatch {
+	if w.pending == nil {
+		var b *walBatch
+		if n := len(w.freeBatches); n > 0 {
+			b = w.freeBatches[n-1]
+			w.freeBatches = w.freeBatches[:n-1]
+		} else {
+			b = new(walBatch)
+			b.flushed.L = &w.mu
+		}
+		w.pending = b
+	}
+	return w.pending
+}
+
+// retireIfEmptyLocked drops a batch this caller created but failed to put
+// anything into, so no empty batch lingers for a leader to chase. Callers
+// hold w.mu.
+func (w *WAL) retireIfEmptyLocked(b *walBatch) {
+	if b.count == 0 && b.refs == 0 && w.pending == b {
+		w.pending = nil
+		w.recycleLocked(b)
+	}
+}
+
+// recycleLocked resets a fully-observed batch for reuse. Callers hold w.mu.
+func (w *WAL) recycleLocked(b *walBatch) {
+	if len(w.freeBatches) < 4 {
+		b.buf = b.buf[:0]
+		b.count, b.counted, b.refs, b.parked, b.err = 0, 0, 0, false, nil
+		b.done.Store(false)
+		w.freeBatches = append(w.freeBatches, b)
+	}
+}
+
+// commitLocked completes an enqueue: the caller's events are already
+// encoded into batch b. If no leader is active the caller becomes it and
+// flushes until the queue drains; otherwise it waits until a leader has
+// flushed b. Either way the caller returns b's outcome; the last member
+// out recycles the batch. Callers hold w.mu; it is released on return.
+func (w *WAL) commitLocked(b *walBatch) error {
+	b.refs++
+	if !w.flushing {
+		w.flushing = true
+		w.lead() // releases and re-acquires mu; b is flushed on return
+	}
+	// Spin-then-park: on a busy machine the flush completes within a few
+	// scheduler passes, and a cooperative yield is several times cheaper
+	// than a full park + wake through the condvar. The spin polls the
+	// atomic done flag without touching the store mutex; parking — with
+	// the mutex held and the flag re-checked under it — only happens when
+	// the flush is genuinely slow (an fsync under SyncAlways, a congested
+	// disk) so waiters stop burning cycles.
+	if !b.done.Load() {
+		w.mu.Unlock()
+		for spins := 0; spins < 4; spins++ {
+			runtime.Gosched()
+			if b.done.Load() {
+				break
+			}
+		}
+		w.mu.Lock()
+		for !b.done.Load() {
+			b.parked = true
+			b.flushed.Wait()
+		}
+	}
+	err := b.err
+	b.refs--
+	if b.refs == 0 {
+		w.recycleLocked(b)
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// lead is the group-commit flush loop: it repeatedly takes the pending
+// batch, writes it OUTSIDE w.mu (appends keep enqueueing into the next
+// batch meanwhile), applies the sync policy, and releases the batch's
+// waiting callers. It runs until the queue is empty or Rotate asks it to
+// yield (paused). Called with w.mu held and flushing just set; w.mu is
+// held again on return.
+func (w *WAL) lead() {
+	for {
+		if w.pending != nil {
+			// Gather phase: give concurrent appenders a chance to join the
+			// batch before it is sealed. With a commit window the leader
+			// sleeps it out; without one it still yields the processor
+			// once — on a saturated machine the runnable request
+			// goroutines run, reach Append, enqueue and wait, so the batch
+			// fills for the cost of one scheduler pass. A fast write
+			// syscall never releases the P, so without this yield a
+			// single-core server would degenerate to one write per event.
+			w.mu.Unlock()
+			if w.window > 0 {
+				time.Sleep(w.window)
+			} else {
+				runtime.Gosched()
+			}
+			w.mu.Lock()
+		}
+		cur := w.pending
+		if cur == nil || (w.paused && !w.closed) {
+			// Queue drained — or Rotate is waiting for the file to be
+			// quiescent and will restart a leader for anything still
+			// pending. (When the store is closing, Close drains instead.)
+			w.flushing = false
+			w.idle.Broadcast()
+			return
+		}
+		w.pending = nil
+		if w.broken {
+			cur.err = fmt.Errorf("store: journal in failed state: %s", w.lastErr)
+			w.releaseLocked(cur)
+			continue
+		}
+		if w.m.active() {
+			// mmap mode: every event in this batch is already in the
+			// mapping; the flush is purely the SyncAlways msync barrier.
+			m := w.m
+			w.mu.Unlock()
+			serr := m.sync()
+			w.mu.Lock()
+			if serr != nil {
+				w.fail(serr)
+				cur.err = fmt.Errorf("store: msync journal: %w", serr)
+			} else {
+				w.flushes++
+				w.syncs++
+			}
+			w.releaseLocked(cur)
+			continue
+		}
+		f := w.f
+		off := w.walBytes
+		w.mu.Unlock()
+
+		_, werr := f.Write(cur.buf)
+		var serr error
+		if werr == nil && w.sync == SyncAlways {
+			serr = f.Sync()
+		}
+
+		w.mu.Lock()
+		switch {
+		case werr != nil:
+			w.fail(werr)
+			// Same rollback contract as before group commit: junk past the
+			// last record boundary must not survive in front of later
+			// appends.
+			if terr := f.Truncate(int64(off)); terr != nil {
+				w.broken = true
+				w.fail(terr)
+			}
+			cur.err = fmt.Errorf("store: appending record: %w", werr)
+		default:
+			// counted events (mmap sync tickets that joined before a
+			// write()-mode fallback) are already in w.appends.
+			w.appends += uint64(cur.count - cur.counted)
+			w.appendedBytes += uint64(len(cur.buf))
+			w.walBytes += uint64(len(cur.buf))
+			w.flushes++
+			if serr != nil {
+				// The bytes are down (a process crash keeps them) but the
+				// SyncAlways promise is broken; report it to every caller.
+				w.fail(serr)
+				cur.err = fmt.Errorf("store: syncing journal: %w", serr)
+			} else if w.sync == SyncAlways {
+				w.syncs++
+			}
+		}
+		w.releaseLocked(cur)
+	}
+}
+
+// releaseLocked marks a batch complete and wakes any waiter that gave up
+// spinning and parked on the batch's condvar. Callers hold w.mu and have
+// set cur.err (the plain err write is ordered before the atomic done
+// store, which is what spinning readers synchronize on).
+func (w *WAL) releaseLocked(cur *walBatch) {
+	cur.done.Store(true)
+	if cur.parked {
+		cur.flushed.Broadcast()
+	}
 }
 
 // Rotate implements Rotator: under the store lock it seals the active
@@ -396,6 +857,22 @@ func (w *WAL) Append(ev Event) error {
 func (w *WAL) Rotate() (Rotation, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Park the flush leader first: it writes the segment file outside w.mu,
+	// and the file must be quiescent before it is sealed and swapped. The
+	// paused flag makes the leader yield after its in-flight batch instead
+	// of waiting for the queue to drain, which under sustained load it
+	// never would.
+	for w.flushing {
+		w.paused = true
+		w.idle.Wait()
+	}
+	w.paused = false
+	// Whatever happens next, appends that parked while the leader was
+	// yielded must get a new leader once the rotation (or its failure) is
+	// over; their events land in whatever segment is then active, which is
+	// correct — they are unacknowledged until flushed. Registered after the
+	// unlock defer, so it runs while w.mu is still held.
+	defer w.restartLeaderLocked()
 	if w.closed {
 		return nil, ErrClosed
 	}
@@ -406,7 +883,7 @@ func (w *WAL) Rotate() (Rotation, error) {
 		return nil, fmt.Errorf("store: a snapshot rotation is already in progress")
 	}
 	gen := w.gen + 1
-	newWal, err := os.OpenFile(filepath.Join(w.dir, segName(walPrefix, gen)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	newWal, newMap, err := w.openSegment(gen, 0, true)
 	if err != nil {
 		w.fail(err)
 		return nil, fmt.Errorf("store: starting new journal segment: %w", err)
@@ -420,15 +897,22 @@ func (w *WAL) Rotate() (Rotation, error) {
 	// durable as the events it subsumes, then stop writing to it. Appends
 	// from here on land in the new segment and are replayed after the
 	// baseline regardless of whether the commit ever happens.
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncSegmentLocked(); err != nil {
+		_ = newMap.unmap()
 		_ = newWal.Close()
 		_ = os.Remove(filepath.Join(w.dir, segName(walPrefix, gen)))
 		w.fail(err)
 		return nil, fmt.Errorf("store: syncing sealed segment: %w", err)
 	}
 	w.syncs++
+	if w.m.active() {
+		// Trim the sealed segment's chunk padding; best-effort, recovery
+		// skips an all-zero tail anyway.
+		_ = w.m.unmap()
+		_ = w.f.Truncate(int64(w.walBytes))
+	}
 	_ = w.f.Close()
-	w.f = newWal
+	w.f, w.m = newWal, newMap
 	w.gen = gen
 	w.walBytes = 0
 	w.segments++
@@ -574,8 +1058,10 @@ func (w *WAL) Recover() ([]Event, error) {
 	return w.recovered, nil
 }
 
-// Close implements SessionStore: it stops the background flusher, fsyncs
-// the journal and closes it.
+// Close implements SessionStore: it drains any in-flight group commit,
+// stops the background flusher, fsyncs the journal and closes it. Events
+// already accepted into a pending batch are flushed before the file closes;
+// new appends fail with ErrClosed.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -583,6 +1069,16 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
+	for w.flushing {
+		w.idle.Wait()
+	}
+	if w.pending != nil {
+		// A leader yielded to a Rotate that never restarted one (or the
+		// pause raced Close): flush the stragglers ourselves — lead ignores
+		// paused once closed is set.
+		w.flushing = true
+		w.lead()
+	}
 	w.mu.Unlock()
 	if w.flushStop != nil {
 		close(w.flushStop)
@@ -591,10 +1087,20 @@ func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var firstErr error
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncSegmentLocked(); err != nil {
 		firstErr = err
 	} else {
 		w.syncs++
+	}
+	if w.m.active() {
+		if err := w.m.unmap(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// Trim the chunk padding so the closed journal ends on a record
+		// boundary; recovery tolerates the padding regardless.
+		if err := w.f.Truncate(int64(w.walBytes)); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	if err := w.f.Close(); err != nil && firstErr == nil {
 		firstErr = err
@@ -614,6 +1120,7 @@ func (w *WAL) Health() Health {
 		Backend:            "wal",
 		Appends:            w.appends,
 		AppendedBytes:      w.appendedBytes,
+		Flushes:            w.flushes,
 		Syncs:              w.syncs,
 		Failures:           w.failures,
 		LastError:          w.lastErr,
@@ -626,5 +1133,6 @@ func (w *WAL) Health() Health {
 		Generation:         w.gen,
 		SnapshotGeneration: w.snapGen,
 		Segments:           w.segments,
+		Mmap:               w.m.active(),
 	}
 }

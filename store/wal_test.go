@@ -52,7 +52,7 @@ func TestRecordRoundTrip(t *testing.T) {
 	events := []Event{
 		ev(1, "abc", `{"x":1}`),
 		ev(2, "", ""),
-		ev(255, strings.Repeat("s", 300), string(make([]byte, 1000))),
+		ev(254, strings.Repeat("s", 300), string(make([]byte, 1000))),
 	}
 	var buf []byte
 	var err error
