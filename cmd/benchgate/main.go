@@ -1,0 +1,141 @@
+// Command benchgate compares a freshly measured benchmark summary (the
+// JSON written by the server/store suites under SVT_BENCH_JSON) against a
+// committed baseline and exits non-zero on regression, so CI catches a
+// perf cliff before it merges.
+//
+//	go test -bench . -run '^$' ./server/  # with SVT_BENCH_JSON=/tmp/new.json
+//	benchgate -baseline BENCH_server.json -candidate /tmp/new.json
+//
+// Two axes gate, matched per benchmark name:
+//
+//   - throughput (any "*PerSec" field): the candidate must reach at least
+//     (1 - threshold) of the baseline, default threshold 10%.
+//   - allocations (allocsPerOp): the candidate may exceed the baseline by
+//     at most threshold, with one whole allocation of absolute headroom so
+//     near-zero baselines (pooled paths measuring 0.0001 allocs/op) do not
+//     fail on scheduler noise.
+//
+// Benchmarks present only in the candidate pass (new coverage); baselines
+// whose benchmark disappeared fail, so a gate cannot be dodged by renaming
+// the benchmark it guards.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// summary mirrors the SVT_BENCH_JSON layout; entry fields stay generic so
+// one gate reads both the server file (queriesPerSec) and the store file
+// (appendsPerSec, snapshotsPerSec, ...).
+type summary struct {
+	Package    string           `json:"package"`
+	Benchmarks []map[string]any `json:"benchmarks"`
+}
+
+func load(path string) (*summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// throughput returns the entry's "*PerSec" value. Entries carry exactly
+// one; ok is false for benchmarks that only report latency.
+func throughput(e map[string]any) (float64, bool) {
+	for k, v := range e {
+		if f, isNum := v.(float64); isNum && strings.HasSuffix(k, "PerSec") {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+func num(e map[string]any, key string) (float64, bool) {
+	f, ok := e[key].(float64)
+	return f, ok
+}
+
+// gate compares candidate against baseline and returns the list of
+// regressions, empty when the gate passes.
+func gate(baseline, candidate *summary, threshold float64) []string {
+	byName := make(map[string]map[string]any, len(candidate.Benchmarks))
+	for _, e := range candidate.Benchmarks {
+		if name, ok := e["name"].(string); ok {
+			byName[name] = e
+		}
+	}
+	var failures []string
+	for _, base := range baseline.Benchmarks {
+		name, _ := base["name"].(string)
+		cand, ok := byName[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but not measured", name))
+			continue
+		}
+		if baseTP, ok := throughput(base); ok {
+			candTP, ok := throughput(cand)
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: baseline has throughput, candidate does not", name))
+			} else if floor := baseTP * (1 - threshold); candTP < floor {
+				failures = append(failures, fmt.Sprintf(
+					"%s: throughput %.0f/s is %.1f%% below baseline %.0f/s (floor %.0f/s)",
+					name, candTP, 100*(1-candTP/baseTP), baseTP, floor))
+			}
+		}
+		if baseAllocs, ok := num(base, "allocsPerOp"); ok {
+			if candAllocs, ok := num(cand, "allocsPerOp"); ok {
+				ceiling := baseAllocs*(1+threshold) + 1
+				if candAllocs > ceiling {
+					failures = append(failures, fmt.Sprintf(
+						"%s: %.3f allocs/op exceeds baseline %.3f allocs/op (ceiling %.3f)",
+						name, candAllocs, baseAllocs, ceiling))
+				}
+			}
+		}
+	}
+	return failures
+}
+
+func main() {
+	var (
+		baselinePath  = flag.String("baseline", "", "committed baseline JSON (required)")
+		candidatePath = flag.String("candidate", "", "freshly measured JSON (required)")
+		threshold     = flag.Float64("threshold", 0.10, "allowed relative regression (0.10 = 10%)")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *candidatePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -candidate are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	candidate, err := load(*candidatePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	failures := gate(baseline, candidate, *threshold)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s (threshold %.0f%%):\n",
+			len(failures), *baselinePath, *threshold*100)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  ", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of %s\n",
+		len(baseline.Benchmarks), *threshold*100, *baselinePath)
+}

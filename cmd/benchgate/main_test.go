@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func entry(name string, perSecKey string, perSec, allocs float64) map[string]any {
+	return map[string]any{"name": name, perSecKey: perSec, "allocsPerOp": allocs}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := &summary{Benchmarks: []map[string]any{
+		entry("A", "queriesPerSec", 1000, 2),
+		entry("B", "appendsPerSec", 5000, 0),
+	}}
+	cand := &summary{Benchmarks: []map[string]any{
+		entry("A", "queriesPerSec", 910, 2.1), // -9% throughput: inside 10%
+		entry("B", "appendsPerSec", 5200, 0.5),
+		entry("C", "queriesPerSec", 1, 99), // new benchmark: not gated
+	}}
+	if fails := gate(base, cand, 0.10); len(fails) != 0 {
+		t.Fatalf("gate failed on in-threshold candidate: %v", fails)
+	}
+}
+
+func TestGateCatchesThroughputRegression(t *testing.T) {
+	base := &summary{Benchmarks: []map[string]any{entry("A", "queriesPerSec", 1000, 1)}}
+	cand := &summary{Benchmarks: []map[string]any{entry("A", "queriesPerSec", 850, 1)}}
+	fails := gate(base, cand, 0.10)
+	if len(fails) != 1 || !strings.Contains(fails[0], "below baseline") {
+		t.Fatalf("15%% throughput drop not caught: %v", fails)
+	}
+}
+
+func TestGateCatchesAllocRegression(t *testing.T) {
+	base := &summary{Benchmarks: []map[string]any{entry("A", "queriesPerSec", 1000, 2)}}
+	cand := &summary{Benchmarks: []map[string]any{entry("A", "queriesPerSec", 1000, 4)}}
+	fails := gate(base, cand, 0.10)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op") {
+		t.Fatalf("doubled allocs/op not caught: %v", fails)
+	}
+	// Near-zero baselines keep one whole allocation of headroom.
+	base = &summary{Benchmarks: []map[string]any{entry("A", "queriesPerSec", 1000, 0.001)}}
+	cand = &summary{Benchmarks: []map[string]any{entry("A", "queriesPerSec", 1000, 0.9)}}
+	if fails := gate(base, cand, 0.10); len(fails) != 0 {
+		t.Fatalf("sub-allocation noise failed the gate: %v", fails)
+	}
+}
+
+func TestGateCatchesMissingBenchmark(t *testing.T) {
+	base := &summary{Benchmarks: []map[string]any{entry("A", "queriesPerSec", 1000, 1)}}
+	cand := &summary{Benchmarks: []map[string]any{entry("Renamed", "queriesPerSec", 1000, 1)}}
+	fails := gate(base, cand, 0.10)
+	if len(fails) != 1 || !strings.Contains(fails[0], "not measured") {
+		t.Fatalf("vanished benchmark not caught: %v", fails)
+	}
+}

@@ -15,7 +15,8 @@
 //	GET    /v1/sessions/{id}       status, remaining budget, (ε₁, ε₂, ε₃)
 //	DELETE /v1/sessions/{id}       end a session
 //	GET    /v1/stats               service-wide counters + store health
-//	GET    /healthz                liveness
+//	GET    /healthz                liveness (503 + reason when degraded)
+//	GET    /metrics                Prometheus text exposition
 //
 // Persistence: with -store wal every budget-mutating event (session
 // create, answered queries, consumed positives, halt, delete, expiry) is
@@ -27,12 +28,22 @@
 // -commit-window optionally stretches group commit so more concurrent
 // appends share each flush (mainly useful with -fsync always).
 //
-// Diagnostics: -pprof-addr serves net/http/pprof on a separate listener,
-// so hot-path regressions are profilable in production without exposing
-// profiling endpoints to analyst traffic.
+// Observability: GET /metrics (on by default, -metrics=false to disable)
+// serves Prometheus text exposition covering all three layers — HTTP
+// (per-route latency, status classes, in-flight, body bytes, per-tenant
+// 429s), manager (per-mechanism query latency, positives, halts, live
+// sessions, per-tenant ε spent and near-halt counts, snapshot timing) and
+// store (append/sync latency, group-commit batch sizes, journal size,
+// recovery). -slow-query-ms logs a structured trace line (trace ID from
+// X-Request-Id or generated, session, mechanism, batch size, journal
+// wait) for /query requests over the threshold; -log-format picks text or
+// json for all structured output. -pprof-addr serves net/http/pprof on a
+// separate listener, so hot-path regressions are profilable in production
+// without exposing profiling endpoints to analyst traffic.
 //
 // Rate limiting: -rate enables per-tenant token buckets on /v1/* keyed by
 // the X-Tenant header; rejected requests get a JSON 429 with Retry-After.
+// /metrics and /healthz sit outside /v1/ and are never throttled.
 //
 // The process drains in-flight requests on SIGINT or SIGTERM, stops the
 // janitor, takes a final snapshot and flushes the store before exiting, so
@@ -45,16 +56,19 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
 
 	"github.com/dpgo/svt/server"
 	"github.com/dpgo/svt/store"
+	"github.com/dpgo/svt/telemetry"
 )
 
 func main() {
@@ -80,6 +94,10 @@ func main() {
 		burst = flag.Float64("burst", 0, "rate-limit burst depth (0 = max(rate, 1))")
 
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+
+		metrics   = flag.Bool("metrics", true, "serve Prometheus text exposition on GET /metrics")
+		slowQuery = flag.Int("slow-query-ms", 0, "log a traced line for /query requests at or over this many milliseconds (0 = disabled)")
+		logFormat = flag.String("log-format", "text", "structured log output format: text or json")
 	)
 	flag.Parse()
 	if err := run(config{
@@ -87,6 +105,7 @@ func main() {
 		maxSessions: *maxSessions, maxBody: *maxBody, maxBatch: *maxBatch, drain: *drain,
 		backend: *backend, walDir: *walDir, fsync: *fsync, fsyncInt: *fsyncInt, snapInt: *snapInt,
 		commitWindow: *commitWindow, rate: *rate, burst: *burst, pprofAddr: *pprofAddr,
+		metrics: *metrics, slowQueryMS: *slowQuery, logFormat: *logFormat,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "svtserve:", err)
 		os.Exit(1)
@@ -106,6 +125,30 @@ type config struct {
 	fsyncInt, snapInt, commitWindow time.Duration
 	rate, burst                     float64
 	pprofAddr                       string
+	metrics                         bool
+	slowQueryMS                     int
+	logFormat                       string
+}
+
+// newLogger builds the process's structured logger per -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// buildVersion is the module version stamped by the toolchain, "devel"
+// when built from a working tree.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
 }
 
 // openStore builds the configured session store; nil means in-memory.
@@ -128,6 +171,11 @@ func openStore(cfg config) (store.SessionStore, error) {
 }
 
 func run(cfg config) error {
+	logger, err := newLogger(cfg.logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	if cfg.pprofAddr != "" {
 		// Diagnostics sidecar: pprof on its own listener so profiling a
 		// production hot-path regression never mixes with (or is rate
@@ -150,6 +198,13 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	var reg *telemetry.Registry
+	if cfg.metrics {
+		reg = telemetry.NewRegistry()
+		reg.RegisterBuildInfo("svt_build_info",
+			"Constant 1, labeled with the svtserve build and Go runtime versions.",
+			buildVersion())
+	}
 	mgr, err := server.Open(server.ManagerConfig{
 		Shards:           cfg.shards,
 		DefaultTTL:       cfg.ttl,
@@ -158,6 +213,7 @@ func run(cfg config) error {
 		MaxSessions:      cfg.maxSessions,
 		Store:            st,
 		SnapshotInterval: cfg.snapInt,
+		Telemetry:        reg,
 	})
 	if err != nil {
 		if st != nil {
@@ -169,7 +225,14 @@ func run(cfg config) error {
 		log.Printf("svtserve: wal store at %s (fsync=%s), recovered %d sessions", cfg.walDir, cfg.fsync, mgr.Recovered())
 	}
 
-	var handler http.Handler = server.NewAPI(mgr, server.APIConfig{MaxBodyBytes: cfg.maxBody, MaxBatch: cfg.maxBatch})
+	api := server.NewAPI(mgr, server.APIConfig{
+		MaxBodyBytes:       cfg.maxBody,
+		MaxBatch:           cfg.maxBatch,
+		Telemetry:          reg,
+		SlowQueryThreshold: time.Duration(cfg.slowQueryMS) * time.Millisecond,
+		Logger:             logger,
+	})
+	var handler http.Handler = api
 	if cfg.rate > 0 {
 		rl, err := server.NewRateLimiter(server.RateLimitConfig{Rate: cfg.rate, Burst: cfg.burst})
 		if err != nil {
@@ -179,9 +242,29 @@ func run(cfg config) error {
 			}
 			return err
 		}
+		api.SetRateLimiter(rl)
 		handler = rl.Middleware(handler)
 		log.Printf("svtserve: per-tenant rate limit %g req/s", cfg.rate)
 	}
+
+	// One machine-parseable line with the effective configuration, so an
+	// operator reading the log of a crashed or misbehaving instance knows
+	// exactly what it was running with — resolved values, not flag text.
+	logger.Info("svtserve configuration",
+		slog.String("addr", cfg.addr),
+		slog.String("store", cfg.backend),
+		slog.String("fsync", cfg.fsync),
+		slog.Duration("fsyncInterval", cfg.fsyncInt),
+		slog.Duration("commitWindow", cfg.commitWindow),
+		slog.Duration("snapshotInterval", cfg.snapInt),
+		slog.Int("shards", mgr.Shards()),
+		slog.Duration("ttl", cfg.ttl),
+		slog.Int("maxSessions", cfg.maxSessions),
+		slog.Float64("rateLimit", cfg.rate),
+		slog.Bool("metrics", cfg.metrics),
+		slog.Int("slowQueryMs", cfg.slowQueryMS),
+		slog.String("version", buildVersion()),
+	)
 
 	srv := &http.Server{
 		Addr:              cfg.addr,

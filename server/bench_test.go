@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/dpgo/svt/store"
+	"github.com/dpgo/svt/telemetry"
 )
 
 // benchEntry is one benchmark's summary line in the JSON trajectory.
@@ -135,7 +136,7 @@ func TestMain(m *testing.M) {
 // benchManager builds a manager with n never-halting sparse sessions.
 func benchManager(b *testing.B, shards, sessions int) (*SessionManager, []string) {
 	b.Helper()
-	return benchManagerStore(b, shards, sessions, nil)
+	return benchManagerStore(b, shards, sessions, nil, nil)
 }
 
 // benchManagerWAL is benchManager journaling to a real write-ahead log in a
@@ -147,12 +148,12 @@ func benchManagerWAL(b *testing.B, shards, sessions int) (*SessionManager, []str
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { _ = st.Close() })
-	return benchManagerStore(b, shards, sessions, st)
+	return benchManagerStore(b, shards, sessions, st, nil)
 }
 
-func benchManagerStore(b *testing.B, shards, sessions int, st store.SessionStore) (*SessionManager, []string) {
+func benchManagerStore(b *testing.B, shards, sessions int, st store.SessionStore, reg *telemetry.Registry) (*SessionManager, []string) {
 	b.Helper()
-	m, err := Open(ManagerConfig{Shards: shards, SweepInterval: time.Hour, SnapshotInterval: -1, Store: st})
+	m, err := Open(ManagerConfig{Shards: shards, SweepInterval: time.Hour, SnapshotInterval: -1, Store: st, Telemetry: reg})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func BenchmarkManagerBatch64(b *testing.B) {
 func BenchmarkHTTPQueryParallel(b *testing.B) {
 	const sessions = 64
 	m, ids := benchManager(b, 16, sessions)
-	benchHTTP(b, m, ids, sessions)
+	benchHTTP(b, m, ids, sessions, APIConfig{})
 }
 
 // walParallelism is how many concurrent request goroutines per GOMAXPROCS
@@ -284,7 +285,24 @@ func BenchmarkHTTPQueryParallelWAL(b *testing.B) {
 	const sessions = 64
 	m, ids := benchManagerWAL(b, 16, sessions)
 	b.SetParallelism(walParallelism)
-	benchHTTP(b, m, ids, sessions)
+	benchHTTP(b, m, ids, sessions, APIConfig{})
+}
+
+// BenchmarkHTTPQueryParallelWALTelemetry is HTTPQueryParallelWAL with the
+// three-layer telemetry registry attached (slow-query tracing off, as in
+// the default production configuration). The gap to the uninstrumented
+// run is the telemetry overhead, documented in README as <= 5%.
+func BenchmarkHTTPQueryParallelWALTelemetry(b *testing.B) {
+	const sessions = 64
+	reg := telemetry.NewRegistry()
+	st, err := store.NewWAL(store.WALConfig{Dir: b.TempDir(), Sync: store.SyncInterval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = st.Close() })
+	m, ids := benchManagerStore(b, 16, sessions, st, reg)
+	b.SetParallelism(walParallelism)
+	benchHTTP(b, m, ids, sessions, APIConfig{Telemetry: reg})
 }
 
 // BenchmarkManagerParallelWAL isolates the journaling overhead on the
@@ -351,9 +369,9 @@ func (w *nullResponseWriter) WriteHeader(c int)           { w.code = c }
 // in-process dispatch of pre-built requests, so the measured cost is mux
 // routing + request decode + session query (+ journaling) + response
 // encode — the serving stack, not the test harness.
-func benchHTTP(b *testing.B, m *SessionManager, ids []string, sessions int) {
+func benchHTTP(b *testing.B, m *SessionManager, ids []string, sessions int, cfg APIConfig) {
 	b.Helper()
-	api := NewAPI(m, APIConfig{})
+	api := NewAPI(m, cfg)
 	body := []byte(`{"query":1}`)
 	var next atomic.Uint64
 	mt := startMem()

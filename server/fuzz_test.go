@@ -69,7 +69,7 @@ func sessionRecordSeeds() [][]byte {
 			Mechanism: MechPMW, Epsilon: 2, Sensitivity: 1, MaxPositives: 3,
 			Threshold: &th, Monotonic: true, AnswerFraction: 0.25, Seed: 17,
 			TTLSeconds: 600, Histogram: []float64{2, 1, 3}, UpdateFraction: 0.5,
-			LearningRate: 0.1,
+			LearningRate: 0.1, Tenant: "acme",
 		},
 		CreatedAt: 1700000000000000000, Answered: 9, Positives: 2,
 		Draws: 40, AuxDraws: 7, State: mech.SyntheticStateBlob([]float64{1, 2, 3}),

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/dpgo/svt/store"
+	"github.com/dpgo/svt/telemetry"
 )
 
 // TestBatchResultEncodingMatchesStdlib: the pooled encoder's output must
@@ -106,9 +107,9 @@ func TestEncodeFailuresCounted(t *testing.T) {
 // POST through the full handler stack (mux, decode, session, journal,
 // encode) using a pre-built request and a discarding writer, so the number
 // is the SERVER's allocation budget, not the harness's.
-func queryAllocs(t *testing.T, m *SessionManager) float64 {
+func queryAllocs(t *testing.T, m *SessionManager, cfg APIConfig) float64 {
 	t.Helper()
-	api := NewAPI(m, APIConfig{})
+	api := NewAPI(m, cfg)
 	s, err := m.Create(CreateParams{
 		Mechanism: MechSparse, Epsilon: 1, MaxPositives: 1 << 30, Threshold: ptr(1e12),
 	})
@@ -140,7 +141,7 @@ func TestQueryHotPathAllocs(t *testing.T) {
 	t.Run("mem", func(t *testing.T) {
 		m := NewSessionManager(ManagerConfig{SweepInterval: time.Hour})
 		defer m.Close()
-		if got := queryAllocs(t, m); got > budget {
+		if got := queryAllocs(t, m, APIConfig{}); got > budget {
 			t.Fatalf("single-query HTTP path allocates %.1f/op, budget %d", got, budget)
 		}
 	})
@@ -155,8 +156,29 @@ func TestQueryHotPathAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer m.Close()
-		if got := queryAllocs(t, m); got > budget {
+		if got := queryAllocs(t, m, APIConfig{}); got > budget {
 			t.Fatalf("single-query WAL HTTP path allocates %.1f/op, budget %d", got, budget)
+		}
+	})
+	// Full observability on: telemetry registry across all three layers
+	// plus slow-query timing. The instrumented record path must stay
+	// within the same pinned budget — that is the telemetry subsystem's
+	// zero-allocation contract.
+	t.Run("wal+telemetry", func(t *testing.T) {
+		st, err := store.NewWAL(store.WALConfig{Dir: t.TempDir(), Sync: store.SyncInterval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		reg := telemetry.NewRegistry()
+		m, err := Open(ManagerConfig{SweepInterval: time.Hour, SnapshotInterval: -1, Store: st, Telemetry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		cfg := APIConfig{Telemetry: reg, SlowQueryThreshold: time.Hour}
+		if got := queryAllocs(t, m, cfg); got > budget {
+			t.Fatalf("instrumented single-query WAL path allocates %.1f/op, budget %d", got, budget)
 		}
 	})
 }

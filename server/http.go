@@ -1,16 +1,22 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/dpgo/svt/telemetry"
 )
 
 // APIConfig bounds what the HTTP layer accepts. The zero value applies
@@ -22,6 +28,18 @@ type APIConfig struct {
 	// MaxBatch caps the number of queries in one batch request; 0 means
 	// DefaultMaxBatch.
 	MaxBatch int
+	// Telemetry, when set, instruments every request (route latency,
+	// status classes, in-flight, body bytes) and serves the registry's
+	// Prometheus exposition on GET /metrics. The registry must be the same
+	// one given to the manager so one scrape covers all layers.
+	Telemetry *telemetry.Registry
+	// SlowQueryThreshold, when positive, times every /query request and
+	// logs a structured trace line (trace ID, session, mechanism, batch
+	// size, journal wait) for requests at or over the threshold. Zero
+	// disables the timing entirely.
+	SlowQueryThreshold time.Duration
+	// Logger receives slow-query trace lines; nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // Defaults for APIConfig zero values.
@@ -55,6 +73,19 @@ type API struct {
 	// response is otherwise invisible.
 	encodeFailures atomic.Uint64
 
+	// tel is nil when the API runs without a telemetry registry; ServeHTTP
+	// then degenerates to a bare mux dispatch.
+	tel *apiTelemetry
+	// limiter is the rate limiter attached via SetRateLimiter, read by the
+	// stats and metrics paths for per-tenant rejection counts. Atomic so a
+	// limiter can be attached after the API is already serving.
+	limiter atomic.Pointer[RateLimiter]
+	// slowQueryNanos is cfg.SlowQueryThreshold in nanoseconds, 0 when
+	// slow-query tracing is off.
+	slowQueryNanos int64
+	// slow receives slow-query trace lines.
+	slow *slog.Logger
+
 	// logf emits operational warnings; swappable in tests.
 	logf func(format string, args ...any)
 }
@@ -68,6 +99,20 @@ func NewAPI(mgr *SessionManager, cfg APIConfig) *API {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	a := &API{mgr: mgr, cfg: cfg, mux: http.NewServeMux(), logf: log.Printf}
+	a.slowQueryNanos = int64(cfg.SlowQueryThreshold)
+	a.slow = cfg.Logger
+	if a.slow == nil {
+		a.slow = slog.Default()
+	}
+	patterns := []string{
+		"/v1/mechanisms",
+		"/v1/sessions",
+		"/v1/sessions/{id}",
+		"/v1/sessions/{id}/query",
+		"/v1/stats",
+		"/healthz",
+		"/",
+	}
 	a.mux.HandleFunc("/v1/mechanisms", a.handleMechanisms)
 	a.mux.HandleFunc("/v1/sessions", a.handleSessions)
 	a.mux.HandleFunc("/v1/sessions/{id}", a.handleSession)
@@ -75,12 +120,49 @@ func NewAPI(mgr *SessionManager, cfg APIConfig) *API {
 	a.mux.HandleFunc("/v1/stats", a.handleStats)
 	a.mux.HandleFunc("/healthz", a.handleHealth)
 	a.mux.HandleFunc("/", a.handleNotFound)
+	if cfg.Telemetry != nil {
+		a.mux.Handle("/metrics", cfg.Telemetry.Handler())
+		patterns = append(patterns, "/metrics")
+		a.tel = a.registerAPITelemetry(cfg.Telemetry, patterns)
+	}
 	return a
 }
 
-// ServeHTTP implements http.Handler.
+// SetRateLimiter points the stats and metrics paths at the limiter
+// guarding this API (usually the one whose Middleware wraps it), so 429s
+// show up per tenant in GET /v1/stats and /metrics.
+func (a *API) SetRateLimiter(rl *RateLimiter) {
+	a.limiter.Store(rl)
+}
+
+// ServeHTTP implements http.Handler. With telemetry attached it wraps the
+// dispatch in the instrumentation envelope: in-flight gauge, pooled status
+// capture, and a sampled route-latency observation keyed by the mux
+// pattern the request actually matched.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	a.mux.ServeHTTP(w, r)
+	t := a.tel
+	if t == nil {
+		a.mux.ServeHTTP(w, r)
+		return
+	}
+	var start int64
+	sampled := t.tick.Add(1)&(querySamplePeriod-1) == 0
+	if sampled {
+		start = telemetry.Now()
+	}
+	t.inFlight.Add(1)
+	sw := swPool.Get().(*statusWriter)
+	sw.ResponseWriter, sw.status, sw.bytes = w, 0, 0
+	a.mux.ServeHTTP(sw, r)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	respBytes := sw.bytes
+	sw.ResponseWriter = nil // drop the request-scoped writer before pooling
+	swPool.Put(sw)
+	t.inFlight.Add(-1)
+	t.observe(r.Pattern, status, r.ContentLength, respBytes, start, sampled)
 }
 
 // ErrorBody is the uniform error response envelope.
@@ -182,6 +264,10 @@ func (a *API) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if !a.decodeBody(w, r, &params) {
 		return
 	}
+	// The tenant comes from the request header, never the body: the field
+	// is how the gateway's authentication identifies the caller, so letting
+	// the body set it would let one tenant book sessions against another.
+	params.Tenant = r.Header.Get(TenantHeader)
 	s, err := a.mgr.Create(params)
 	switch {
 	case errors.Is(err, ErrTooManySessions):
@@ -234,6 +320,7 @@ type queryScratch struct {
 	one     [1]QueryItem
 	results []QueryResult
 	buf     []byte // body read, then reused for the response encode
+	trace   QueryTrace
 }
 
 var queryPool = sync.Pool{New: func() any {
@@ -303,7 +390,23 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d exceeds the cap of %d", len(items), a.cfg.MaxBatch))
 		return
 	}
-	res, err := a.mgr.QueryInto(r.PathValue("id"), items, sc.results[:0])
+	id := r.PathValue("id")
+	var res BatchResult
+	if a.slowQueryNanos > 0 {
+		// Slow-query tracing is opt-in: only then does every request read
+		// the clock twice and thread a trace through the manager.
+		start := telemetry.Now()
+		sc.trace = QueryTrace{TraceID: r.Header.Get("X-Request-Id")}
+		if sc.trace.TraceID != "" {
+			w.Header().Set("X-Request-Id", sc.trace.TraceID)
+		}
+		res, err = a.mgr.QueryTraced(id, items, sc.results[:0], &sc.trace)
+		if dur := telemetry.Now() - start; dur >= a.slowQueryNanos {
+			a.logSlowQuery(&sc.trace, id, len(items), dur, err)
+		}
+	} else {
+		res, err = a.mgr.QueryInto(id, items, sc.results[:0])
+	}
 	if cap(res.Results) > cap(sc.results) {
 		sc.results = res.Results[:0]
 	}
@@ -330,6 +433,40 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 			a.countEncodeFailure(werr)
 		}
 	}
+}
+
+// newTraceID mints a 16-hex-char request ID for slow-query log lines when
+// the client did not supply an X-Request-Id. Generated only off the hot
+// path (at log time), so the allocation never taxes fast requests.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// logSlowQuery emits the structured trace line for a /query request that
+// ran at or over the configured threshold. The line carries everything
+// needed to chase the latency: the trace ID, the session, its mechanism,
+// the batch size, the total duration, and how much of it was spent waiting
+// on the WAL group-commit flush.
+func (a *API) logSlowQuery(tr *QueryTrace, id string, batch int, dur int64, err error) {
+	if tr.TraceID == "" {
+		tr.TraceID = newTraceID()
+	}
+	attrs := []any{
+		slog.String("traceId", tr.TraceID),
+		slog.String("session", id),
+		slog.String("mechanism", string(tr.Mechanism)),
+		slog.Int("batch", batch),
+		slog.Duration("duration", time.Duration(dur)),
+		slog.Duration("journalWait", time.Duration(tr.JournalNanos)),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	a.slow.Warn("slow query", attrs...)
 }
 
 // appendBatchResultJSON encodes a BatchResult exactly as encoding/json
@@ -411,12 +548,25 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := a.mgr.Stats()
 	st.EncodeFailures = a.encodeFailures.Load()
+	if rl := a.limiter.Load(); rl != nil {
+		st.RateLimited = rl.RejectedByTenant()
+	}
 	a.writeJSON(w, http.StatusOK, st)
 }
 
+// handleHealth reports liveness, degrading to 503 with a machine-readable
+// reason when the store has entered its failed state or the most recent
+// journal-compaction snapshot failed — both conditions where the process
+// still answers queries but an operator needs to act before disk or
+// durability runs out.
 func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		a.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if ok, reason := a.mgr.HealthStatus(); !ok {
+		a.writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "unhealthy", "reason": reason})
 		return
 	}
 	a.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

@@ -52,6 +52,7 @@ import (
 
 	"github.com/dpgo/svt/mech"
 	"github.com/dpgo/svt/store"
+	"github.com/dpgo/svt/telemetry"
 )
 
 // Journaled event kinds. evCreate and evSnapshot both carry a full
@@ -148,6 +149,7 @@ const (
 	recMonotonic    = 1 << 1 // Params.Monotonic
 	recHasState     = 1 << 2 // opaque mechanism state blob present
 	recHasHistogram = 1 << 3 // Params.Histogram present
+	recHasTenant    = 1 << 4 // Params.Tenant present: uvarint length + bytes at the record's end
 )
 
 // appendSessionRecord encodes rec in the v4 binary layout:
@@ -159,10 +161,13 @@ const (
 //	maxPositives, seed, cacheSize (uvarints),
 //	[threshold float64 LE]  [histogram: uvarint count + count × float64 LE]
 //	createdAt (zig-zag varint), answered, positives, draws, auxDraws
-//	(uvarints), [state: uvarint length + bytes]
+//	(uvarints), [state: uvarint length + bytes],
+//	[tenant: uvarint length + bytes]
 //
 // Varints keep the common record tens of bytes; the encode allocates
-// nothing when buf has capacity.
+// nothing when buf has capacity. New optional fields go at the END behind
+// a fresh flag bit (like tenant), so records written before the field
+// existed decode unchanged.
 func appendSessionRecord(buf []byte, rec *sessionRecord) []byte {
 	var flags byte
 	if rec.Params.Threshold != nil {
@@ -176,6 +181,9 @@ func appendSessionRecord(buf []byte, rec *sessionRecord) []byte {
 	}
 	if len(rec.Params.Histogram) > 0 {
 		flags |= recHasHistogram
+	}
+	if rec.Params.Tenant != "" {
+		flags |= recHasTenant
 	}
 	buf = append(buf, recBinaryV4, flags)
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Params.Mechanism)))
@@ -206,6 +214,10 @@ func appendSessionRecord(buf []byte, rec *sessionRecord) []byte {
 	if len(rec.State) > 0 {
 		buf = binary.AppendUvarint(buf, uint64(len(rec.State)))
 		buf = append(buf, rec.State...)
+	}
+	if rec.Params.Tenant != "" {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Params.Tenant)))
+		buf = append(buf, rec.Params.Tenant...)
 	}
 	return buf
 }
@@ -278,7 +290,7 @@ func decodeSessionRecordV4(data []byte) (*sessionRecord, error) {
 		return bad()
 	}
 	flags := data[1]
-	if flags&^byte(recHasThreshold|recMonotonic|recHasState|recHasHistogram) != 0 {
+	if flags&^byte(recHasThreshold|recMonotonic|recHasState|recHasHistogram|recHasTenant) != 0 {
 		return bad()
 	}
 	d := recDecoder{data: data[2:]}
@@ -319,6 +331,13 @@ func decodeSessionRecordV4(data []byte) (*sessionRecord, error) {
 			return bad()
 		}
 		rec.State = append([]byte(nil), d.bytes(n)...)
+	}
+	if flags&recHasTenant != 0 {
+		n := d.uvarint()
+		if n == 0 {
+			return bad()
+		}
+		rec.Params.Tenant = string(d.bytes(n))
 	}
 	if d.bad || len(d.data) != 0 {
 		return bad()
@@ -754,6 +773,10 @@ func (m *SessionManager) SnapshotNow() error {
 	}
 	m.snapMu.Lock()
 	defer m.snapMu.Unlock()
+	var start int64
+	if m.tel != nil {
+		start = telemetry.Now()
+	}
 	err := m.snapshotNow()
 	if err != nil {
 		m.snapFailures.Add(1)
@@ -762,6 +785,7 @@ func (m *SessionManager) SnapshotNow() error {
 		// A success clears the last error so Stats reports only a CURRENT
 		// failure condition; the failure counter keeps the history.
 		m.snapLastErr.Store("")
+		m.tel.observeSnapshot(start)
 	}
 	return err
 }

@@ -47,12 +47,13 @@ type RateLimiter struct {
 	burst      float64
 	maxTenants int
 
-	mu        sync.Mutex
-	buckets   map[string]*tokenBucket
-	overflow  tokenBucket
-	rejected  uint64
-	evicted   uint64
-	lastSweep time.Time
+	mu         sync.Mutex
+	buckets    map[string]*tokenBucket
+	overflow   tokenBucket
+	rejected   uint64
+	rejectedBy map[string]uint64
+	evicted    uint64
+	lastSweep  time.Time
 
 	// now is the clock, swappable in tests.
 	now func() time.Time
@@ -79,6 +80,7 @@ func NewRateLimiter(cfg RateLimitConfig) (*RateLimiter, error) {
 		burst:      burst,
 		maxTenants: maxTenants,
 		buckets:    make(map[string]*tokenBucket),
+		rejectedBy: make(map[string]uint64),
 		now:        time.Now,
 	}, nil
 }
@@ -148,6 +150,21 @@ func (rl *RateLimiter) Allow(tenant string) (bool, time.Duration) {
 		return true, 0
 	}
 	rl.rejected++
+	// Per-tenant rejection attribution. The map key space is bounded the
+	// same way the bucket table is: once maxTenants distinct tenants hold
+	// rejection counts, further new tenants are attributed to "overflow"
+	// rather than letting a hostile client grow the map without limit.
+	// Rejection counts are never evicted — they are cumulative history, and
+	// resetting one on idle-eviction would make the /metrics counter go
+	// backwards.
+	key := tenant
+	if key == "" {
+		key = "default"
+	}
+	if _, ok := rl.rejectedBy[key]; !ok && len(rl.rejectedBy) >= rl.maxTenants {
+		key = "overflow"
+	}
+	rl.rejectedBy[key]++
 	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
 	return false, wait
 }
@@ -157,6 +174,22 @@ func (rl *RateLimiter) Rejected() uint64 {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	return rl.rejected
+}
+
+// RejectedByTenant returns a copy of the per-tenant rejection counts. The
+// empty tenant is reported as "default"; tenants past the tracking cap are
+// folded into "overflow". Tenants that were never rejected do not appear.
+func (rl *RateLimiter) RejectedByTenant() map[string]uint64 {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if len(rl.rejectedBy) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(rl.rejectedBy))
+	for tenant, n := range rl.rejectedBy {
+		out[tenant] = n
+	}
+	return out
 }
 
 // Evicted returns how many idle tenant buckets the limiter has reclaimed.

@@ -31,6 +31,7 @@ import (
 
 	"github.com/dpgo/svt/mech"
 	"github.com/dpgo/svt/store"
+	"github.com/dpgo/svt/telemetry"
 )
 
 // ManagerConfig configures a SessionManager. The zero value is usable:
@@ -67,6 +68,12 @@ type ManagerConfig struct {
 	// the registered set at Open time for its per-mechanism counters, so
 	// register custom mechanisms before opening.
 	Registry *mech.Registry
+	// Telemetry, when set, receives the manager's and the store's metric
+	// families (see telemetry.go) and enables sampled query-latency
+	// histograms. nil means no instrumentation and zero overhead. The
+	// registry must not already hold svt_* manager families — one
+	// registry serves one manager.
+	Telemetry *telemetry.Registry
 }
 
 // Defaults for ManagerConfig zero values.
@@ -92,9 +99,12 @@ type shard struct {
 	created atomic.Uint64
 	deleted atomic.Uint64
 	expired atomic.Uint64
-	// queries counts answered queries per mechanism, indexed by the
+	// queries/positives/halts count answered queries, consumed positive
+	// outcomes and halt transitions per mechanism, indexed by the
 	// manager's registry-derived mechIndex (fixed at Open time).
-	queries []atomic.Uint64
+	queries   []atomic.Uint64
+	positives []atomic.Uint64
+	halts     []atomic.Uint64
 }
 
 // SessionManager owns all live sessions.
@@ -132,6 +142,10 @@ type SessionManager struct {
 	// see it even though serving continues.
 	snapFailures atomic.Uint64
 	snapLastErr  atomic.Value // string
+
+	// tel holds the telemetry handles when cfg.Telemetry was set; nil
+	// means no instrumentation (and no overhead) anywhere in the manager.
+	tel *managerTelemetry
 
 	// logf emits operational warnings; swappable in tests.
 	logf func(format string, args ...any)
@@ -189,9 +203,18 @@ func Open(cfg ManagerConfig) (*SessionManager, error) {
 	m.captureMechanisms()
 	for i := range m.shards {
 		m.shards[i] = &shard{
-			sessions: make(map[string]*Session),
-			queries:  make([]atomic.Uint64, len(m.mechNames)),
+			sessions:  make(map[string]*Session),
+			queries:   make([]atomic.Uint64, len(m.mechNames)),
+			positives: make([]atomic.Uint64, len(m.mechNames)),
+			halts:     make([]atomic.Uint64, len(m.mechNames)),
 		}
+	}
+	if cfg.Telemetry != nil {
+		// Register before recovery so the store instrumenter is attached
+		// while the open-time snapshot's appends flow (recovery itself ran
+		// in the store's constructor; its measurement is replayed onto the
+		// instrumenter at attach).
+		m.tel = m.registerManagerTelemetry(cfg.Telemetry)
 	}
 	if m.store != nil {
 		if err := m.recoverSessions(); err != nil {
@@ -498,13 +521,20 @@ func (m *SessionManager) Len() int { return int(m.live.Load()) }
 // Shards returns the number of lock stripes.
 func (m *SessionManager) Shards() int { return len(m.shards) }
 
-// countQuery charges n answered queries to the mechanism's counter on the
-// session's home shard. Both the shard and the index were resolved when the
-// session registered, so the hot path touches no map and hashes nothing.
-func (m *SessionManager) countQuery(s *Session, n int) {
-	if s.mechIdx >= 0 && s.home != nil && n > 0 {
-		s.home.queries[s.mechIdx].Add(uint64(n))
-	}
+// QueryTrace carries per-request observability through the manager: the
+// HTTP layer hands one in (from its pooled scratch, so tracing allocates
+// nothing) and the manager fills in what only it can see — the session's
+// mechanism and how long the journal append (the WAL flush wait) took.
+// The trace ID travels with it into whatever log line the request earns.
+type QueryTrace struct {
+	// TraceID is the request's correlation ID (X-Request-Id, or generated
+	// at log time when the client sent none).
+	TraceID string
+	// Mechanism is the queried session's mechanism, filled by the manager.
+	Mechanism Mechanism
+	// JournalNanos is how long the batch's journal append took — the
+	// store's group-commit/flush wait — 0 when the manager has no store.
+	JournalNanos int64
 }
 
 // Query routes a batch to the session, journals the released progress and
@@ -513,32 +543,87 @@ func (m *SessionManager) countQuery(s *Session, n int) {
 // the journal append fails the whole response is withheld (ErrStoreAppend):
 // an analyst must never observe a DP release the store could forget.
 func (m *SessionManager) Query(id string, items []QueryItem) (BatchResult, error) {
-	return m.QueryInto(id, items, nil)
+	return m.queryInto(id, items, nil, nil)
 }
 
 // QueryInto is Query writing its results into dst's backing array (dst may
 // be nil): the HTTP layer recycles result slices across requests through
 // it. Callers that retain the results must pass nil.
 func (m *SessionManager) QueryInto(id string, items []QueryItem, dst []QueryResult) (BatchResult, error) {
+	return m.queryInto(id, items, dst, nil)
+}
+
+// QueryTraced is QueryInto additionally filling tr (which must be
+// non-nil) with the request's trace details; the extra clock reads around
+// the journal append make it marginally more expensive than QueryInto,
+// which is why slow-query tracing is opt-in.
+func (m *SessionManager) QueryTraced(id string, items []QueryItem, dst []QueryResult, tr *QueryTrace) (BatchResult, error) {
+	return m.queryInto(id, items, dst, tr)
+}
+
+// queryInto is the single query entry point. Per-mechanism counting
+// happens inside queryTake (under the session lock, where the deltas are
+// exact); this level adds journaling, the sampled latency histogram and
+// trace capture.
+func (m *SessionManager) queryInto(id string, items []QueryItem, dst []QueryResult, tr *QueryTrace) (BatchResult, error) {
+	start, sampled := m.tel.sampleQueryStart()
 	s, ok := m.Get(id)
 	if !ok {
 		return BatchResult{}, ErrSessionNotFound
 	}
+	if tr != nil {
+		tr.Mechanism = s.mech
+	}
 	if m.store == nil {
 		res, err := s.queryInto(items, dst)
-		m.countQuery(s, len(res.Results))
+		if sampled && err == nil {
+			m.observeQuery(s, start)
+		}
 		return res, err
 	}
 	m.journalMu.RLock()
 	res, d, err := s.queryTake(items, dst, true)
-	if jerr := m.journalProgress(s, d); jerr != nil {
-		m.journalMu.RUnlock()
-		m.countQuery(s, len(res.Results))
-		return BatchResult{}, jerr
+	var jerr error
+	if tr != nil {
+		j0 := telemetry.Now()
+		jerr = m.journalProgress(s, d)
+		tr.JournalNanos = telemetry.Now() - j0
+	} else {
+		jerr = m.journalProgress(s, d)
 	}
 	m.journalMu.RUnlock()
-	m.countQuery(s, len(res.Results))
+	if jerr != nil {
+		return BatchResult{}, jerr
+	}
+	if sampled && err == nil {
+		m.observeQuery(s, start)
+	}
 	return res, err
+}
+
+// observeQuery records one sampled query-latency observation on the
+// session's mechanism histogram.
+func (m *SessionManager) observeQuery(s *Session, start int64) {
+	if s.mechIdx >= 0 && s.mechIdx < len(m.tel.queryLatency) {
+		m.tel.queryLatency[s.mechIdx].ObserveN(telemetry.Seconds(telemetry.Now()-start), querySamplePeriod)
+	}
+}
+
+// HealthStatus reports whether the manager is fit to serve durable
+// traffic, with a reason when it is not: a store in a failed state
+// refuses every journal append (all mutating requests 503), and a failed
+// last snapshot means the journal can no longer compact. /healthz
+// degrades to 503 on either, so load balancers drain the node.
+func (m *SessionManager) HealthStatus() (bool, string) {
+	if h, ok := m.store.(store.Healther); ok {
+		if hs := h.Health(); hs.Broken {
+			return false, "store in failed state: " + hs.LastError
+		}
+	}
+	if msg, ok := m.snapLastErr.Load().(string); ok && msg != "" {
+		return false, "last snapshot failed: " + msg
+	}
+	return true, ""
 }
 
 // ErrSessionNotFound is returned by Query for an unknown or expired ID.

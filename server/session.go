@@ -79,6 +79,13 @@ type CreateParams struct {
 	// their defaults.
 	UpdateFraction float64 `json:"updateFraction,omitempty"`
 	LearningRate   float64 `json:"learningRate,omitempty"`
+	// Tenant attributes the session for per-tenant budget telemetry. It is
+	// deliberately NOT settable through the request body (json:"-"): the
+	// HTTP layer fills it from the authenticated X-Tenant header, the same
+	// identity the rate limiter keys on. Persisted in the journal (codec
+	// v4's tenant flag) so attribution survives a crash; empty means the
+	// default tenant.
+	Tenant string `json:"-"`
 }
 
 // mechParams maps the wire-level create request onto the mechanism layer's
@@ -197,6 +204,11 @@ type Session struct {
 	answered  int
 	positives int
 	budget    Budget
+	// haltSeen marks that the session's halt transition has been counted
+	// (or, for a recovered already-halted session, that it pre-dates this
+	// process), so the per-mechanism halt counter counts each session at
+	// most once.
+	haltSeen bool
 
 	// jAnswered/jPositives/jDraws/jAux are the counters and noise-stream
 	// positions at the last successfully journaled progress event, so each
@@ -344,6 +356,7 @@ func (s *Session) queryTake(items []QueryItem, dst []QueryResult, take bool) (Ba
 		dst = make([]QueryResult, 0, len(items))
 	}
 	out := BatchResult{Results: dst[:0]}
+	pos0 := s.positives
 	for i, item := range items {
 		res, refused, err := s.inst.Answer(s.resolve(item))
 		if err != nil {
@@ -367,6 +380,24 @@ func (s *Session) queryTake(items []QueryItem, dst []QueryResult, take bool) (Ba
 	}
 	out.Halted = s.inst.Halted()
 	out.Remaining = s.inst.Remaining()
+	// Charge the per-mechanism counters while the deltas are exact, under
+	// the same lock that produced them. Shard and index were resolved at
+	// registration, so this is array math, no map and no hash; sessions
+	// outside a manager (home == nil) have nothing to charge.
+	if s.home != nil && s.mechIdx >= 0 {
+		if n := len(out.Results); n > 0 {
+			s.home.queries[s.mechIdx].Add(uint64(n))
+		}
+		if dp := s.positives - pos0; dp > 0 {
+			s.home.positives[s.mechIdx].Add(uint64(dp))
+		}
+		if out.Halted && !s.haltSeen {
+			s.home.halts[s.mechIdx].Add(1)
+		}
+	}
+	if out.Halted {
+		s.haltSeen = true
+	}
 	var d progressDelta
 	if take {
 		d = s.takeProgressLocked()
@@ -415,5 +446,9 @@ func (s *Session) restore(answered, positives int) error {
 	s.answered = answered
 	s.positives = positives
 	s.jAnswered, s.jPositives = answered, positives
+	// A session recovered already halted pre-dates this process's halt
+	// counter; marking it seen keeps the counter to transitions this
+	// process observed.
+	s.haltSeen = s.inst.Halted()
 	return nil
 }

@@ -25,6 +25,13 @@ type Stats struct {
 	Queries map[Mechanism]uint64 `json:"queries"`
 	// TotalQueries is the sum over Queries.
 	TotalQueries uint64 `json:"totalQueries"`
+	// Positives counts above-threshold answers by mechanism, same key set
+	// as Queries.
+	Positives map[Mechanism]uint64 `json:"positives"`
+	// Halts counts sessions that transitioned to the halted state by
+	// mechanism (each session counted at most once, recovered-halted
+	// sessions excluded), same key set as Queries.
+	Halts map[Mechanism]uint64 `json:"halts"`
 	// ShardLive is the live-session count per shard, for spotting skew.
 	ShardLive []int `json:"shardLive"`
 	// Store is the persistence backend's health, absent when the manager
@@ -43,6 +50,10 @@ type Stats struct {
 	// client's point of view). Filled by the HTTP layer; always zero when
 	// Stats is read directly off the manager.
 	EncodeFailures uint64 `json:"encodeFailures,omitempty"`
+	// RateLimited counts 429 rejections per tenant ("default" for requests
+	// without an X-Tenant header, "overflow" past the tracking cap). Filled
+	// by the HTTP layer when a rate limiter is attached; absent otherwise.
+	RateLimited map[string]uint64 `json:"rateLimited,omitempty"`
 }
 
 // Stats aggregates the per-shard counters. The snapshot is monotone but
@@ -54,6 +65,8 @@ func (m *SessionManager) Stats() Stats {
 		Live:      m.Len(),
 		Shards:    len(m.shards),
 		Queries:   make(map[Mechanism]uint64, len(m.mechNames)),
+		Positives: make(map[Mechanism]uint64, len(m.mechNames)),
+		Halts:     make(map[Mechanism]uint64, len(m.mechNames)),
 		ShardLive: make([]int, len(m.shards)),
 	}
 	for i, sh := range m.shards {
@@ -62,6 +75,8 @@ func (m *SessionManager) Stats() Stats {
 		st.Expired += sh.expired.Load()
 		for j, name := range m.mechNames {
 			st.Queries[name] += sh.queries[j].Load()
+			st.Positives[name] += sh.positives[j].Load()
+			st.Halts[name] += sh.halts[j].Load()
 		}
 		sh.mu.RLock()
 		st.ShardLive[i] = len(sh.sessions)

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingInstrumenter captures every hook call for assertions.
+type recordingInstrumenter struct {
+	mu            sync.Mutex
+	appendWeight  uint64
+	appendCalls   int
+	flushEvents   []int
+	flushSyncs    []time.Duration
+	recoverEvents int
+	recoverCalls  int
+	recoverDur    time.Duration
+}
+
+func (r *recordingInstrumenter) AppendSampled(d time.Duration, weight uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.appendCalls++
+	r.appendWeight += weight
+}
+
+func (r *recordingInstrumenter) FlushObserved(events int, sync time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushEvents = append(r.flushEvents, events)
+	r.flushSyncs = append(r.flushSyncs, sync)
+}
+
+func (r *recordingInstrumenter) RecoveryObserved(d time.Duration, events int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recoverCalls++
+	r.recoverDur = d
+	r.recoverEvents = events
+}
+
+func TestWALInstrumentation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWAL(WALConfig{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingInstrumenter{}
+	w.SetInstrumenter(rec)
+	if rec.recoverCalls != 1 || rec.recoverEvents != 0 {
+		t.Fatalf("recovery not replayed on attach: %+v", rec)
+	}
+
+	// 4*appendSamplePeriod appends: the 1-in-N sampling must fire exactly
+	// 4 times with total weight equal to the append count.
+	n := 4 * appendSamplePeriod
+	for i := 0; i < n; i++ {
+		if err := w.Append(Event{Kind: 1, ID: "s", Data: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.mu.Lock()
+	calls, weight := rec.appendCalls, rec.appendWeight
+	flushes := len(rec.flushEvents)
+	totalFlushed := 0
+	for _, e := range rec.flushEvents {
+		totalFlushed += e
+	}
+	rec.mu.Unlock()
+	if calls != 4 || weight != uint64(n) {
+		t.Fatalf("append sampling: %d calls weight %d, want 4 calls weight %d", calls, weight, n)
+	}
+	// SyncAlways: every append waits on a sync barrier, so flushes were
+	// observed and together they cover every event.
+	if flushes == 0 || totalFlushed != n {
+		t.Fatalf("flush observations cover %d events over %d flushes, want %d", totalFlushed, flushes, n)
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with events in the journal: the recovery observation must
+	// carry the replayed event count.
+	w2, err := NewWAL(WALConfig{Dir: dir, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	rec2 := &recordingInstrumenter{}
+	w2.SetInstrumenter(rec2)
+	if rec2.recoverCalls != 1 || rec2.recoverEvents != n {
+		t.Fatalf("recovery replay: calls %d events %d, want 1 and %d", rec2.recoverCalls, rec2.recoverEvents, n)
+	}
+}
+
+func TestWALInstrumenterDetach(t *testing.T) {
+	w, err := NewWAL(WALConfig{Dir: t.TempDir(), Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rec := &recordingInstrumenter{}
+	w.SetInstrumenter(rec)
+	w.SetInstrumenter(nil)
+	for i := 0; i < 4*appendSamplePeriod; i++ {
+		if err := w.Append(Event{Kind: 1, ID: "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.appendCalls != 0 {
+		t.Fatalf("detached instrumenter still observed %d appends", rec.appendCalls)
+	}
+}
+
+func TestMemInstrumentation(t *testing.T) {
+	m := NewMem()
+	rec := &recordingInstrumenter{}
+	m.SetInstrumenter(rec)
+	if rec.recoverCalls != 1 {
+		t.Fatalf("recovery not reported on attach: %+v", rec)
+	}
+	n := 2 * appendSamplePeriod
+	for i := 0; i < n; i++ {
+		if err := m.Append(Event{Kind: 1, ID: "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.AppendBatch(make([]Event, 3)); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.appendCalls < 2 {
+		t.Fatalf("mem sampling fired %d times over %d appends, want >= 2", rec.appendCalls, n)
+	}
+}

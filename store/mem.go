@@ -1,6 +1,9 @@
 package store
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Mem is the no-op SessionStore: events are acknowledged and discarded, and
 // Recover always returns an empty stream. It preserves the historical
@@ -11,19 +14,46 @@ type Mem struct {
 	appends   atomic.Uint64
 	snapshots atomic.Uint64
 	closed    atomic.Bool
+
+	// instOn/instTick mirror the WAL's sampled append instrumentation so
+	// the two backends report through the same hook; a Mem append is a
+	// pair of atomics, so its "latency" mostly measures the hook itself,
+	// but keeping the series populated lets dashboards built against one
+	// backend work against the other.
+	inst     Instrumenter
+	instOn   atomic.Bool
+	instTick atomic.Uint64
 }
 
 var _ SessionStore = (*Mem)(nil)
 var _ BatchAppender = (*Mem)(nil)
 var _ Healther = (*Mem)(nil)
+var _ Instrumented = (*Mem)(nil)
 
 // NewMem returns a ready no-op store.
 func NewMem() *Mem { return &Mem{} }
+
+// SetInstrumenter implements Instrumented; like the WAL's, it must be
+// attached before concurrent use. Mem recovers nothing, has no flushes
+// and reports an empty recovery immediately.
+func (m *Mem) SetInstrumenter(i Instrumenter) {
+	m.inst = i
+	m.instOn.Store(i != nil)
+	if i != nil {
+		i.RecoveryObserved(0, 0)
+	}
+}
 
 // Append implements SessionStore by discarding the event.
 func (m *Mem) Append(Event) error {
 	if m.closed.Load() {
 		return ErrClosed
+	}
+	if m.instOn.Load() && m.instTick.Add(1)&(appendSamplePeriod-1) == 0 {
+		start := time.Now()
+		m.appends.Add(1)
+		m.inst.AppendSampled(time.Since(start), appendSamplePeriod)
+		return nil
 	}
 	m.appends.Add(1)
 	return nil
@@ -33,6 +63,12 @@ func (m *Mem) Append(Event) error {
 func (m *Mem) AppendBatch(evs []Event) error {
 	if m.closed.Load() {
 		return ErrClosed
+	}
+	if m.instOn.Load() && m.instTick.Add(1)&(appendSamplePeriod-1) == 0 {
+		start := time.Now()
+		m.appends.Add(uint64(len(evs)))
+		m.inst.AppendSampled(time.Since(start), appendSamplePeriod)
+		return nil
 	}
 	m.appends.Add(uint64(len(evs)))
 	return nil

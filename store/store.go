@@ -31,7 +31,10 @@
 // to the serving layer.
 package store
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // Event is one journaled state transition. The store treats it as opaque:
 // Kind and Data are defined by the application (the server package journals
@@ -128,6 +131,43 @@ type Rotator interface {
 	Rotate() (Rotation, error)
 }
 
+// Instrumenter receives timing measurements from inside a store's write
+// and recovery paths — the internals that counters alone cannot expose
+// (latency distributions, realized group-commit batch sizes). The
+// telemetry layer implements it with histograms; backends call it so
+// Mem, WAL and future replicated stores report uniformly.
+//
+// Implementations must be cheap (a few atomic operations) and safe for
+// concurrent use: AppendSampled and FlushObserved are called from the
+// append and flush paths, in some cases while the store's internal lock
+// is held.
+type Instrumenter interface {
+	// AppendSampled reports the caller-observed latency of one append
+	// (enqueue through durability acknowledgement). Appends are SAMPLED:
+	// one call stands for weight appends, so rates derived from the
+	// observation count estimate the full population.
+	AppendSampled(d time.Duration, weight uint64)
+	// FlushObserved reports one physical flush: how many events the
+	// group-commit batch carried (0 for a background interval sync, which
+	// flushes whatever bytes are buffered rather than a counted batch)
+	// and how long the durability barrier (fsync/msync) took — 0 when the
+	// flush needed no barrier under the store's sync policy.
+	FlushObserved(events int, sync time.Duration)
+	// RecoveryObserved reports the duration of the store's open-time
+	// recovery scan and how many events it replayed. Called once, when
+	// the instrumenter is attached.
+	RecoveryObserved(d time.Duration, events int)
+}
+
+// Instrumented is the optional instrumentation side of a SessionStore.
+// SetInstrumenter must be called before the store is used concurrently
+// (the server attaches telemetry while opening the manager, before it
+// serves traffic); passing nil detaches. Both built-in backends
+// implement it.
+type Instrumented interface {
+	SetInstrumenter(Instrumenter)
+}
+
 // Health is a point-in-time snapshot of a store's internal counters, for
 // surfacing in operational endpoints (the server exposes it in /v1/stats).
 type Health struct {
@@ -177,6 +217,11 @@ type Health struct {
 	// identical; with mmap, Flushes counts sync barriers rather than
 	// physical writes.
 	Mmap bool `json:"mmap,omitempty"`
+	// Broken reports that the store has entered a failed state it cannot
+	// recover from without a restart (for the WAL: the journal offset is
+	// unknown after a failed rollback) and is refusing writes. A broken
+	// store is unhealthy — the server's /healthz degrades on it.
+	Broken bool `json:"broken,omitempty"`
 }
 
 // Healther is the optional health-reporting side of a SessionStore. Both

@@ -174,6 +174,16 @@ type WAL struct {
 	flushStop chan struct{}
 	flushDone chan struct{}
 
+	// inst receives sampled timing observations (see SetInstrumenter);
+	// instOn gates the hot path's clock reads without taking mu, and
+	// instTick drives the 1-in-N append sampling. openDur remembers how
+	// long open()'s recovery scan took so a later SetInstrumenter can
+	// replay it.
+	inst     Instrumenter
+	instOn   atomic.Bool
+	instTick atomic.Uint64
+	openDur  time.Duration
+
 	// Counters surfaced by Health; guarded by mu.
 	appends        uint64
 	appendedBytes  uint64
@@ -191,6 +201,7 @@ var _ SessionStore = (*WAL)(nil)
 var _ BatchAppender = (*WAL)(nil)
 var _ Healther = (*WAL)(nil)
 var _ Rotator = (*WAL)(nil)
+var _ Instrumented = (*WAL)(nil)
 
 // walBatch is one group-commit unit: the already-encoded records of every
 // caller that joined, flushed with one write. Everything is guarded by the
@@ -226,9 +237,11 @@ func NewWAL(cfg WALConfig) (*WAL, error) {
 	}
 	w := &WAL{dir: cfg.Dir, sync: cfg.Sync, window: cfg.CommitWindow, noMmap: cfg.DisableMmap || !mmapSupported}
 	w.idle = sync.NewCond(&w.mu)
+	openStart := time.Now()
 	if err := w.open(); err != nil {
 		return nil, err
 	}
+	w.openDur = time.Since(openStart)
 	if w.sync == SyncInterval {
 		interval := cfg.SyncInterval
 		if interval <= 0 {
@@ -448,10 +461,16 @@ func (w *WAL) flusher(interval time.Duration) {
 		case <-ticker.C:
 			w.mu.Lock()
 			if !w.closed {
+				syncStart := time.Now()
 				if err := w.syncSegmentLocked(); err != nil {
 					w.fail(err)
 				} else {
 					w.syncs++
+					if w.inst != nil {
+						// events 0: an interval sync flushes whatever
+						// bytes are buffered, not a counted batch.
+						w.inst.FlushObserved(0, time.Since(syncStart))
+					}
 				}
 			}
 			w.mu.Unlock()
@@ -474,14 +493,67 @@ func (w *WAL) fail(err error) {
 	w.lastErr = err.Error()
 }
 
-// Append implements SessionStore. In mmap mode the record is encoded
+// SetInstrumenter implements Instrumented. It must be called before the
+// WAL is used concurrently (the server attaches telemetry while opening
+// the manager). The recovery measurement taken at open is replayed onto
+// the new instrumenter so the attach order does not lose it.
+func (w *WAL) SetInstrumenter(i Instrumenter) {
+	w.mu.Lock()
+	w.inst = i
+	w.instOn.Store(i != nil)
+	dur, events := w.openDur, len(w.recovered)
+	w.mu.Unlock()
+	if i != nil {
+		i.RecoveryObserved(dur, events)
+	}
+}
+
+// appendSamplePeriod is the append-latency sampling rate: one append in
+// this many reads the clock and reports a weighted observation. Power of
+// two so the tick check is a mask.
+const appendSamplePeriod = 8
+
+// sampleStart decides whether this append is one of the 1-in-N sampled
+// observations, reading the clock only then — steady-state
+// instrumentation cost is two uncontended atomics per append.
+func (w *WAL) sampleStart() (time.Time, bool) {
+	if !w.instOn.Load() || w.instTick.Add(1)&(appendSamplePeriod-1) != 0 {
+		return time.Time{}, false
+	}
+	return time.Now(), true
+}
+
+// Append implements SessionStore; doAppend does the work, this wrapper
+// adds the sampled caller-observed latency (enqueue through durability
+// acknowledgement, group-commit wait included).
+func (w *WAL) Append(ev Event) error {
+	start, sampled := w.sampleStart()
+	err := w.doAppend(ev)
+	if sampled && err == nil {
+		w.inst.AppendSampled(time.Since(start), appendSamplePeriod)
+	}
+	return err
+}
+
+// AppendBatch implements BatchAppender; see Append for the sampling
+// wrapper.
+func (w *WAL) AppendBatch(evs []Event) error {
+	start, sampled := w.sampleStart()
+	err := w.doAppendBatch(evs)
+	if sampled && err == nil {
+		w.inst.AppendSampled(time.Since(start), appendSamplePeriod)
+	}
+	return err
+}
+
+// doAppend journals one event. In mmap mode the record is encoded
 // straight into the mapped segment — the memcpy hands the bytes to the
 // kernel, which is exactly the durability an unbuffered write() gave — and
 // only SyncAlways then waits on the shared msync barrier. In write() mode
 // the record is encoded into the shared pending batch, and the caller
 // either becomes the flush leader or waits until a leader has made the
 // batch durable.
-func (w *WAL) Append(ev Event) error {
+func (w *WAL) doAppend(ev Event) error {
 	w.mu.Lock()
 	if err := w.writableLocked(); err != nil {
 		w.mu.Unlock()
@@ -515,15 +587,15 @@ func (w *WAL) Append(ev Event) error {
 	return w.commitLocked(b) // unlocks
 }
 
-// AppendBatch implements BatchAppender: evs are framed as one atomic batch
-// record (all-or-nothing on recovery) and flushed with one write through
-// the same group-commit path as Append.
-func (w *WAL) AppendBatch(evs []Event) error {
+// doAppendBatch journals evs as one atomic batch record (all-or-nothing
+// on recovery), flushed with one write through the same group-commit path
+// as doAppend.
+func (w *WAL) doAppendBatch(evs []Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
 	if len(evs) == 1 {
-		return w.Append(evs[0])
+		return w.doAppend(evs[0])
 	}
 	w.mu.Lock()
 	if err := w.writableLocked(); err != nil {
@@ -782,7 +854,9 @@ func (w *WAL) lead() {
 			// mapping; the flush is purely the SyncAlways msync barrier.
 			m := w.m
 			w.mu.Unlock()
+			syncStart := time.Now()
 			serr := m.sync()
+			syncDur := time.Since(syncStart)
 			w.mu.Lock()
 			if serr != nil {
 				w.fail(serr)
@@ -790,6 +864,9 @@ func (w *WAL) lead() {
 			} else {
 				w.flushes++
 				w.syncs++
+				if w.inst != nil {
+					w.inst.FlushObserved(cur.count, syncDur)
+				}
 			}
 			w.releaseLocked(cur)
 			continue
@@ -800,8 +877,11 @@ func (w *WAL) lead() {
 
 		_, werr := f.Write(cur.buf)
 		var serr error
+		var syncDur time.Duration
 		if werr == nil && w.sync == SyncAlways {
+			syncStart := time.Now()
 			serr = f.Sync()
+			syncDur = time.Since(syncStart)
 		}
 
 		w.mu.Lock()
@@ -823,6 +903,9 @@ func (w *WAL) lead() {
 			w.appendedBytes += uint64(len(cur.buf))
 			w.walBytes += uint64(len(cur.buf))
 			w.flushes++
+			if w.inst != nil {
+				w.inst.FlushObserved(cur.count, syncDur)
+			}
 			if serr != nil {
 				// The bytes are down (a process crash keeps them) but the
 				// SyncAlways promise is broken; report it to every caller.
@@ -1134,5 +1217,6 @@ func (w *WAL) Health() Health {
 		SnapshotGeneration: w.snapGen,
 		Segments:           w.segments,
 		Mmap:               w.m.active(),
+		Broken:             w.broken,
 	}
 }

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Expose renders every registered family appended to buf in Prometheus
+// text exposition format 0.0.4: a # HELP and # TYPE line per family,
+// then one sample line per label set (histograms expand into cumulative
+// _bucket lines plus _sum and _count). Families appear in registration
+// order; label sets within a stored family in first-use order; collector
+// output sorted by label string, so successive scrapes of the same state
+// are byte-identical.
+func (r *Registry) Expose(buf []byte) []byte {
+	r.mu.Lock()
+	families := r.families
+	r.mu.Unlock()
+	for _, f := range families {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = appendEscapedHelp(buf, f.help)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ...)
+		buf = append(buf, '\n')
+		if f.collect != nil {
+			for _, s := range sortedEmits(f.collect) {
+				buf = appendSample(buf, f.name, s.labels, s.v)
+			}
+			continue
+		}
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		metrics := make([]metric, len(order))
+		for i, labels := range order {
+			metrics[i] = f.metrics[labels]
+		}
+		f.mu.Unlock()
+		for i, labels := range order {
+			buf = metrics[i].appendSamples(buf, f.name, labels)
+		}
+	}
+	return buf
+}
+
+// appendEscapedHelp escapes \ and newline in HELP text.
+func appendEscapedHelp(buf []byte, help string) []byte {
+	for i := 0; i < len(help); i++ {
+		switch help[i] {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, help[i])
+		}
+	}
+	return buf
+}
+
+// appendSample appends one `name{labels} value` line.
+func appendSample(buf []byte, name, labels string, v float64) []byte {
+	buf = append(buf, name...)
+	if labels != "" {
+		buf = append(buf, '{')
+		buf = append(buf, labels...)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	buf = appendValue(buf, v)
+	return append(buf, '\n')
+}
+
+// appendValue renders a sample value; integers render without an
+// exponent so counter output stays human-readable.
+func appendValue(buf []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendInt(buf, int64(v), 10)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+func (c *Counter) appendSamples(buf []byte, name, labels string) []byte {
+	return appendSample(buf, name, labels, float64(c.Value()))
+}
+
+func (g *Gauge) appendSamples(buf []byte, name, labels string) []byte {
+	return appendSample(buf, name, labels, float64(g.Value()))
+}
+
+func (h *Histogram) appendSamples(buf []byte, name, labels string) []byte {
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		buf = append(buf, name...)
+		buf = append(buf, "_bucket{"...)
+		if labels != "" {
+			buf = append(buf, labels...)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `le="`...)
+		buf = append(buf, le...)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendUint(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = appendSample(buf, name+"_sum", labels, h.Sum())
+	buf = appendSample(buf, name+"_count", labels, float64(cum))
+	return buf
+}
+
+// RegisterBuildInfo registers the conventional constant-1 build-info
+// gauge carrying the service version and Go runtime version as labels.
+func (r *Registry) RegisterBuildInfo(name, help, version string) {
+	labels := Labels(Label("version", version), Label("goversion", runtime.Version()))
+	r.NewCollector(name, help, "gauge", func(emit func(string, float64)) {
+		emit(labels, 1)
+	})
+}
+
+// Handler returns the /metrics endpoint: the registry rendered in text
+// exposition format. Scrapes are read-only and safe concurrently with
+// the record path.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body := r.Expose(make([]byte, 0, 16<<10))
+		w.Header().Set("Content-Type", ContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		if req.Method == http.MethodHead {
+			return
+		}
+		w.Write(body)
+	})
+}

@@ -1,0 +1,345 @@
+// Package promtext is a hand-rolled validating parser for the Prometheus
+// text exposition format (version 0.0.4), written so the repository can
+// golden-test its own /metrics output — and CI can smoke-test a live
+// endpoint — without adding a dependency on a Prometheus client library.
+// It enforces the subset of the spec the telemetry package emits: HELP
+// then TYPE then samples per family, valid metric and label names,
+// parseable values, and cumulative non-decreasing histogram buckets
+// ending in le="+Inf".
+package promtext
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// suffix for histogram series.
+	Name string
+	// Labels holds the decoded label pairs.
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary or untyped
+	Samples []Sample
+}
+
+// Parse validates text as Prometheus exposition format and returns the
+// families in document order. Any spec violation the parser understands
+// is an error carrying the 1-based line number.
+func Parse(text string) ([]Family, error) {
+	var (
+		families []Family
+		cur      *Family
+		seen     = map[string]bool{}
+	)
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP line", ln)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("line %d: duplicate family %s", ln, name)
+			}
+			seen[name] = true
+			families = append(families, Family{Name: name, Help: unescapeHelp(help), Type: "untyped"})
+			cur = &families[len(families)-1]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", ln)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", ln, typ)
+			}
+			if cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("line %d: TYPE %s without preceding HELP", ln, name)
+			}
+			if len(cur.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE %s after samples", ln, name)
+			}
+			cur.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // plain comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln, err)
+		}
+		if cur == nil || !belongsTo(s.Name, cur) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family block", ln, s.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	for _, f := range families {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// belongsTo reports whether a sample name is part of family f (exact
+// match, or the histogram/summary series suffixes).
+func belongsTo(sample string, f *Family) bool {
+	if sample == f.Name {
+		return true
+	}
+	if f.Type == "histogram" || f.Type == "summary" {
+		rest, ok := strings.CutPrefix(sample, f.Name)
+		if !ok {
+			return false
+		}
+		switch rest {
+		case "_bucket", "_sum", "_count":
+			return f.Type == "histogram" || rest != "_bucket"
+		}
+	}
+	return false
+}
+
+// parseSample parses `name{labels} value` (labels optional).
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels decodes `k="v",k2="v2"` into dst.
+func parseLabels(body string, dst map[string]string) error {
+	i := 0
+	for i < len(body) {
+		start := i
+		for i < len(body) && isNameChar(body[i], i-start) {
+			i++
+		}
+		key := body[start:i]
+		if key == "" || !strings.HasPrefix(body[i:], `="`) {
+			return fmt.Errorf("malformed label at %q", body[start:])
+		}
+		i += 2
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return fmt.Errorf("unterminated label value for %s", key)
+			}
+			c := body[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(body) {
+					return fmt.Errorf("dangling escape in label %s", key)
+				}
+				switch body[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("invalid escape \\%c in label %s", body[i], key)
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := dst[key]; dup {
+			return fmt.Errorf("duplicate label %s", key)
+		}
+		dst[key] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return fmt.Errorf("expected , between labels, got %q", body[i:])
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates each label-set's bucket series: cumulative,
+// non-decreasing, le strictly increasing, +Inf present and equal to the
+// series _count.
+func checkHistogram(f Family) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		hasInf bool
+		count  float64
+		gotCnt bool
+	}
+	bySet := map[string]*series{}
+	key := func(labels map[string]string) string {
+		var parts []string
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	for _, s := range f.Samples {
+		k := key(s.Labels)
+		sr := bySet[k]
+		if sr == nil {
+			sr = &series{}
+			bySet[k] = sr
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket sample without le label", f.Name)
+			}
+			le := 0.0
+			if leStr == "+Inf" {
+				le = float64(1<<63 - 1) // any value larger than all bounds
+				sr.hasInf = true
+			} else {
+				var err error
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("%s: bad le %q", f.Name, leStr)
+				}
+			}
+			if n := len(sr.les); n > 0 && le <= sr.les[n-1] {
+				return fmt.Errorf("%s{%s}: le not increasing", f.Name, k)
+			}
+			if n := len(sr.counts); n > 0 && s.Value < sr.counts[n-1] {
+				return fmt.Errorf("%s{%s}: bucket counts not cumulative", f.Name, k)
+			}
+			sr.les = append(sr.les, le)
+			sr.counts = append(sr.counts, s.Value)
+		case f.Name + "_count":
+			sr.count = s.Value
+			sr.gotCnt = true
+		}
+	}
+	for k, sr := range bySet {
+		if !sr.hasInf {
+			return fmt.Errorf("%s{%s}: missing le=\"+Inf\" bucket", f.Name, k)
+		}
+		if !sr.gotCnt {
+			return fmt.Errorf("%s{%s}: missing _count series", f.Name, k)
+		}
+		if inf := sr.counts[len(sr.counts)-1]; inf != sr.count {
+			return fmt.Errorf("%s{%s}: +Inf bucket %v != _count %v", f.Name, k, inf, sr.count)
+		}
+	}
+	return nil
+}
+
+func isNameChar(c byte, pos int) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(pos > 0 && c >= '0' && c <= '9')
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isNameChar(name[i], i) {
+			return false
+		}
+	}
+	return true
+}
+
+func unescapeHelp(h string) string {
+	if !strings.Contains(h, "\\") {
+		return h
+	}
+	var b strings.Builder
+	for i := 0; i < len(h); i++ {
+		if h[i] == '\\' && i+1 < len(h) {
+			i++
+			switch h[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(h[i])
+			}
+			continue
+		}
+		b.WriteByte(h[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,345 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// epoch anchors the package's monotonic clock. All Now values are
+// nanoseconds since process start; only differences are meaningful.
+var epoch = time.Now()
+
+// Now returns a monotonic timestamp in nanoseconds since process start.
+// It is cheaper than time.Now (one monotonic clock read, no wall-clock
+// read) and is the clock every latency measurement in this module uses.
+func Now() int64 { return int64(time.Since(epoch)) }
+
+// Seconds converts a difference of two Now values to seconds.
+func Seconds(nanos int64) float64 { return float64(nanos) * 1e-9 }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: observation counts per bucket
+// plus a running sum, all atomics. Buckets are cumulative only at
+// exposition time; the record path touches exactly one bucket counter.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of each bucket, ascending; an
+	// implicit +Inf bucket follows the last bound.
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1
+	total  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation of v.
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records one MEASURED observation of v standing for n
+// population members (sampled instrumentation: the call site measured one
+// request in n). The bucket v falls into and the observation count grow
+// by n, and the sum grows by n*v, so rates and quantiles estimated from
+// the histogram approximate the full population.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(n)
+	h.total.Add(n)
+	if v != 0 {
+		addFloat(&h.sum, v*float64(n))
+	}
+}
+
+// Count returns the total (weighted) observation count.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the (weighted) sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// addFloat atomically adds d to the float64 stored as bits in a.
+func addFloat(a *atomic.Uint64, d float64) {
+	for {
+		old := a.Load()
+		if a.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// LatencyBuckets is the default duration ladder in seconds: wide enough
+// to resolve sub-microsecond WAL appends at one end and multi-second
+// stalls at the other.
+var LatencyBuckets = []float64{
+	500e-9, 1e-6, 5e-6, 25e-6, 100e-6, 500e-6,
+	2.5e-3, 10e-3, 50e-3, 250e-3, 1, 5,
+}
+
+// CountBuckets is the default ladder for small cardinalities (batch
+// sizes, event counts): powers of two.
+var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+
+// metric is anything a family can hold; exposition is in expose.go.
+type metric interface {
+	appendSamples(buf []byte, name, labels string) []byte
+}
+
+// family is one metric family: a name, help text, a TYPE, and either a
+// set of label-addressed metrics or a scrape-time collector.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge" or "histogram"
+
+	mu      sync.Mutex
+	order   []string // label strings in first-use order
+	metrics map[string]metric
+
+	// collect, when set, produces the family's samples at scrape time
+	// instead of from stored metrics (for values derived from live state:
+	// session walks, store health).
+	collect func(emit func(labels string, v float64))
+
+	bounds []float64 // histogram families only
+}
+
+// with returns (creating if needed) the metric addressed by labels.
+func (f *family) with(labels string) metric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.metrics[labels]; ok {
+		return m
+	}
+	var m metric
+	switch f.typ {
+	case "counter":
+		m = new(Counter)
+	case "gauge":
+		m = new(Gauge)
+	case "histogram":
+		m = newHistogram(f.bounds)
+	default:
+		panic("telemetry: family " + f.name + " has no stored-metric type")
+	}
+	f.metrics[labels] = m
+	f.order = append(f.order, labels)
+	return m
+}
+
+// Registry holds metric families in registration order and renders them
+// as one Prometheus text document. Registration panics on an invalid or
+// duplicate name — both are programmer errors — and is expected to
+// happen once at startup; the record paths of the registered metrics are
+// then lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register validates and stores a family.
+func (r *Registry) register(f *family) *family {
+	if !validName(f.name) {
+		panic("telemetry: invalid metric name " + f.name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic("telemetry: duplicate metric family " + f.name)
+	}
+	f.metrics = make(map[string]metric)
+	r.families = append(r.families, f)
+	r.byName[f.name] = f
+	return f
+}
+
+// validName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// NewCounter registers an unlabeled counter family.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, typ: "counter"})
+	return f.with("").(*Counter)
+}
+
+// NewGauge registers an unlabeled gauge family.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, typ: "gauge"})
+	return f.with("").(*Gauge)
+}
+
+// NewHistogram registers an unlabeled histogram family with the given
+// bucket upper bounds (ascending; +Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(&family{name: name, help: help, typ: "histogram", bounds: bounds})
+	return f.with("").(*Histogram)
+}
+
+// CounterVec is a counter family addressed by a rendered label string.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string) *CounterVec {
+	return &CounterVec{r.register(&family{name: name, help: help, typ: "counter"})}
+}
+
+// With returns the counter for the given rendered label string (see
+// Label/Labels). The lookup takes the family mutex: resolve once and keep
+// the pointer on hot paths.
+func (v *CounterVec) With(labels string) *Counter { return v.f.with(labels).(*Counter) }
+
+// GaugeVec is a gauge family addressed by a rendered label string.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string) *GaugeVec {
+	return &GaugeVec{r.register(&family{name: name, help: help, typ: "gauge"})}
+}
+
+// With returns the gauge for the given rendered label string.
+func (v *GaugeVec) With(labels string) *Gauge { return v.f.with(labels).(*Gauge) }
+
+// HistogramVec is a histogram family addressed by a rendered label string.
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64) *HistogramVec {
+	return &HistogramVec{r.register(&family{name: name, help: help, typ: "histogram", bounds: bounds})}
+}
+
+// With returns the histogram for the given rendered label string.
+func (v *HistogramVec) With(labels string) *Histogram { return v.f.with(labels).(*Histogram) }
+
+// NewCollector registers a family whose samples are produced at scrape
+// time by fn: fn is called once per exposition and emits (labels, value)
+// pairs. kind must be "counter" or "gauge" (emitted counter values must
+// be cumulative). Use collectors for values derived from live state — a
+// session-table walk, a store health snapshot — rather than mirroring
+// them into stored gauges on every change.
+func (r *Registry) NewCollector(name, help, kind string, fn func(emit func(labels string, v float64))) {
+	if kind != "counter" && kind != "gauge" {
+		panic("telemetry: collector " + name + " kind must be counter or gauge, got " + kind)
+	}
+	r.register(&family{name: name, help: help, typ: kind, collect: fn})
+}
+
+// Label renders one escaped label pair for the *Vec and collector APIs.
+func Label(key, value string) string {
+	return key + `="` + escapeLabel(value) + `"`
+}
+
+// Labels joins rendered label pairs.
+func Labels(pairs ...string) string {
+	out := ""
+	for i, p := range pairs {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	clean := true
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' || v[i] == '"' || v[i] == '\n' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return v
+	}
+	out := make([]byte, 0, len(v)+8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// sortedEmits collects a collector's output and orders it by label string
+// so exposition is deterministic (collectors often walk maps).
+func sortedEmits(fn func(emit func(labels string, v float64))) []emitSample {
+	var out []emitSample
+	fn(func(labels string, v float64) {
+		out = append(out, emitSample{labels, v})
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+type emitSample struct {
+	labels string
+	v      float64
+}

@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/dpgo/svt/telemetry/promtext"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.NewGauge("g", "help")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "help", []float64{1, 10, 100})
+	h.Observe(0.5)  // bucket le=1
+	h.Observe(1)    // le=1 (inclusive upper bound)
+	h.Observe(5)    // le=10
+	h.Observe(1000) // +Inf
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got, want := h.Sum(), 0.5+1+5+1000; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	want := []uint64{2, 1, 0, 1}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestHistogramObserveNWeights(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "help", []float64{1})
+	h.ObserveN(0.5, 8)
+	h.ObserveN(2, 0) // no-op
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	if got := h.Sum(); got != 4 {
+		t.Fatalf("sum = %v, want 4 (0.5 * weight 8)", got)
+	}
+	if got := h.counts[0].Load(); got != 8 {
+		t.Fatalf("bucket 0 = %d, want 8", got)
+	}
+}
+
+func TestHistogramBoundsMustAscend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	r := NewRegistry()
+	r.NewHistogram("h", "help", []float64{1, 1})
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate family")
+		}
+	}()
+	r.NewGauge("dup_total", "help")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"", "1abc", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for name %q", name)
+				}
+			}()
+			NewRegistry().NewCounter(name, "help")
+		}()
+	}
+}
+
+func TestExposeGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("req_total", "requests")
+	c.With(Label("route", "/a")).Add(3)
+	c.With(Label("route", "/b")).Inc()
+	g := r.NewGauge("in_flight", "in flight")
+	g.Set(2)
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	got := string(r.Expose(nil))
+	want := strings.Join([]string{
+		"# HELP req_total requests",
+		"# TYPE req_total counter",
+		`req_total{route="/a"} 3`,
+		`req_total{route="/b"} 1`,
+		"# HELP in_flight in flight",
+		"# TYPE in_flight gauge",
+		"in_flight 2",
+		"# HELP lat_seconds latency",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.001"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 3.0505",
+		"lat_seconds_count 3",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if _, err := promtext.Parse(got); err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+}
+
+func TestExposeParsesWithLabelsAndCollectors(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("weird_total", "values with \\ and \"quotes\"").
+		With(Label("k", "a\\b\"c\nd")).Add(5)
+	r.NewCollector("col", "collector", "gauge", func(emit func(string, float64)) {
+		// Emitted unsorted on purpose: exposition must sort.
+		emit(Label("x", "b"), 2)
+		emit(Label("x", "a"), 1)
+	})
+	r.RegisterBuildInfo("build_info", "build info", "test-1.0")
+
+	text := string(r.Expose(nil))
+	fams, err := promtext.Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	byName := map[string]promtext.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	w := byName["weird_total"].Samples
+	if len(w) != 1 || w[0].Labels["k"] != "a\\b\"c\nd" {
+		t.Fatalf("label round-trip failed: %+v", w)
+	}
+	col := byName["col"].Samples
+	if len(col) != 2 || col[0].Labels["x"] != "a" || col[1].Labels["x"] != "b" {
+		t.Fatalf("collector output not sorted: %+v", col)
+	}
+	bi := byName["build_info"].Samples
+	if len(bi) != 1 || bi[0].Value != 1 || bi[0].Labels["version"] != "test-1.0" || bi[0].Labels["goversion"] == "" {
+		t.Fatalf("build info sample wrong: %+v", bi)
+	}
+}
+
+func TestCollectorKindValidated(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on histogram collector kind")
+		}
+	}()
+	NewRegistry().NewCollector("c", "help", "histogram", func(func(string, float64)) {})
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("one_total", "help").Inc()
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q, want %q", ct, ContentType)
+	}
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+// TestRecordPathAllocs pins the telemetry record path at zero
+// allocations: counters, gauges and histogram observations (including
+// weighted sampled observations and the Now clock) must be safe to call
+// from the server's pooled query hot path.
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "help")
+	cv := r.NewCounterVec("cv_total", "help").With(Label("k", "v"))
+	g := r.NewGauge("g", "help")
+	h := r.NewHistogram("h", "help", LatencyBuckets)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		start := Now()
+		c.Inc()
+		cv.Add(2)
+		g.Add(1)
+		g.Add(-1)
+		h.ObserveN(Seconds(Now()-start), 8)
+	}); allocs != 0 {
+		t.Fatalf("record path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestAddFloatConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "help", []float64{1})
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.25)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if got := h.Sum(); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("sum = %v, want 1000", got)
+	}
+	if got := h.Count(); got != 4000 {
+		t.Fatalf("count = %d, want 4000", got)
+	}
+}
