@@ -15,6 +15,8 @@
 //	GET    /v1/sessions/{id}       status, remaining budget, (ε₁, ε₂, ε₃)
 //	DELETE /v1/sessions/{id}       end a session
 //	GET    /v1/stats               service-wide counters + store health
+//	GET    /v1/traces              recent + slowest-per-route trace summaries
+//	GET    /v1/traces/{id}         one trace's full span tree
 //	GET    /healthz                liveness (503 + reason when degraded)
 //	GET    /metrics                Prometheus text exposition
 //
@@ -37,9 +39,17 @@
 // recovery). -slow-query-ms logs a structured trace line (trace ID from
 // X-Request-Id or generated, session, mechanism, batch size, journal
 // wait) for /query requests over the threshold; -log-format picks text or
-// json for all structured output. -pprof-addr serves net/http/pprof on a
-// separate listener, so hot-path regressions are profilable in production
-// without exposing profiling endpoints to analyst traffic.
+// json for all structured output. -trace-sample head-samples 1-in-N
+// /query requests into in-process span trees (HTTP decode/encode →
+// manager answer → journal wait → store gather/write/sync), retained in
+// a fixed ring plus a slowest-per-route reservoir and served on GET
+// /v1/traces; requests carrying a W3C traceparent or an X-Request-Id are
+// always traced, and every /query response echoes both headers. Sampled
+// latency observations carry the trace ID as an OpenMetrics exemplar, so
+// a /metrics outlier links straight to its trace. -pprof-addr serves
+// net/http/pprof on a separate listener, so hot-path regressions are
+// profilable in production without exposing profiling endpoints to
+// analyst traffic.
 //
 // Rate limiting: -rate enables per-tenant token buckets on /v1/* keyed by
 // the X-Tenant header; rejected requests get a JSON 429 with Retry-After.
@@ -69,6 +79,7 @@ import (
 	"github.com/dpgo/svt/server"
 	"github.com/dpgo/svt/store"
 	"github.com/dpgo/svt/telemetry"
+	"github.com/dpgo/svt/trace"
 )
 
 func main() {
@@ -95,9 +106,11 @@ func main() {
 
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 
-		metrics   = flag.Bool("metrics", true, "serve Prometheus text exposition on GET /metrics")
-		slowQuery = flag.Int("slow-query-ms", 0, "log a traced line for /query requests at or over this many milliseconds (0 = disabled)")
-		logFormat = flag.String("log-format", "text", "structured log output format: text or json")
+		metrics     = flag.Bool("metrics", true, "serve Prometheus text exposition on GET /metrics")
+		slowQuery   = flag.Int("slow-query-ms", 0, "log a traced line for /query requests at or over this many milliseconds (0 = disabled)")
+		logFormat   = flag.String("log-format", "text", "structured log output format: text or json")
+		traceSample = flag.Int("trace-sample", trace.DefaultSampleEvery, "trace one /query request in N (1 = every request, 0 = tracing disabled); requests carrying traceparent or X-Request-Id are always traced")
+		traceBuffer = flag.Int("trace-buffer", trace.DefaultCapacity, "completed traces retained for GET /v1/traces")
 	)
 	flag.Parse()
 	if err := run(config{
@@ -106,6 +119,7 @@ func main() {
 		backend: *backend, walDir: *walDir, fsync: *fsync, fsyncInt: *fsyncInt, snapInt: *snapInt,
 		commitWindow: *commitWindow, rate: *rate, burst: *burst, pprofAddr: *pprofAddr,
 		metrics: *metrics, slowQueryMS: *slowQuery, logFormat: *logFormat,
+		traceSample: *traceSample, traceBuffer: *traceBuffer,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "svtserve:", err)
 		os.Exit(1)
@@ -128,6 +142,7 @@ type config struct {
 	metrics                         bool
 	slowQueryMS                     int
 	logFormat                       string
+	traceSample, traceBuffer        int
 }
 
 // newLogger builds the process's structured logger per -log-format.
@@ -205,6 +220,13 @@ func run(cfg config) error {
 			"Constant 1, labeled with the svtserve build and Go runtime versions.",
 			buildVersion())
 	}
+	var tracer *trace.Tracer
+	if cfg.traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			SampleEvery: cfg.traceSample,
+			Capacity:    cfg.traceBuffer,
+		})
+	}
 	mgr, err := server.Open(server.ManagerConfig{
 		Shards:           cfg.shards,
 		DefaultTTL:       cfg.ttl,
@@ -214,6 +236,7 @@ func run(cfg config) error {
 		Store:            st,
 		SnapshotInterval: cfg.snapInt,
 		Telemetry:        reg,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		if st != nil {
@@ -231,7 +254,11 @@ func run(cfg config) error {
 		Telemetry:          reg,
 		SlowQueryThreshold: time.Duration(cfg.slowQueryMS) * time.Millisecond,
 		Logger:             logger,
+		Tracer:             tracer,
 	})
+	if tracer != nil {
+		log.Printf("svtserve: tracing 1 in %d /query requests, last %d traces on GET /v1/traces", cfg.traceSample, cfg.traceBuffer)
+	}
 	var handler http.Handler = api
 	if cfg.rate > 0 {
 		rl, err := server.NewRateLimiter(server.RateLimitConfig{Rate: cfg.rate, Burst: cfg.burst})
@@ -263,6 +290,7 @@ func run(cfg config) error {
 		slog.Float64("rateLimit", cfg.rate),
 		slog.Bool("metrics", cfg.metrics),
 		slog.Int("slowQueryMs", cfg.slowQueryMS),
+		slog.Int("traceSample", cfg.traceSample),
 		slog.String("version", buildVersion()),
 	)
 

@@ -26,6 +26,7 @@ import (
 
 	"github.com/dpgo/svt/store"
 	"github.com/dpgo/svt/telemetry"
+	"github.com/dpgo/svt/trace"
 )
 
 // benchEntry is one benchmark's summary line in the JSON trajectory.
@@ -303,6 +304,44 @@ func BenchmarkHTTPQueryParallelWALTelemetry(b *testing.B) {
 	m, ids := benchManagerStore(b, 16, sessions, st, reg)
 	b.SetParallelism(walParallelism)
 	benchHTTP(b, m, ids, sessions, APIConfig{Telemetry: reg})
+}
+
+// BenchmarkHTTPQueryParallelWALTraced is the fully observed configuration:
+// telemetry registry plus the tracer at its default 1-in-16 head sampling,
+// exactly what `svtserve` runs with out of the box. The gap to
+// HTTPQueryParallelWALTelemetry is the tracing overhead the benchgate
+// holds to <= 10%; the gap to HTTPQueryParallelWAL (no telemetry at all)
+// is the whole observability bill.
+func BenchmarkHTTPQueryParallelWALTraced(b *testing.B) {
+	const sessions = 64
+	reg := telemetry.NewRegistry()
+	tracer := trace.New(trace.Config{})
+	st, err := store.NewWAL(store.WALConfig{Dir: b.TempDir(), Sync: store.SyncInterval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = st.Close() })
+	m, err := Open(ManagerConfig{
+		Shards: 16, SweepInterval: time.Hour, SnapshotInterval: -1,
+		Store: st, Telemetry: reg, Tracer: tracer,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	ids := make([]string, sessions)
+	for i := range ids {
+		s, err := m.Create(CreateParams{
+			Mechanism: MechSparse, Epsilon: 1, MaxPositives: 1 << 30,
+			Threshold: ptr(1e12), Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = s.ID()
+	}
+	b.SetParallelism(walParallelism)
+	benchHTTP(b, m, ids, sessions, APIConfig{Telemetry: reg, Tracer: tracer})
 }
 
 // BenchmarkManagerParallelWAL isolates the journaling overhead on the

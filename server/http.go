@@ -1,8 +1,6 @@
 package server
 
 import (
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +15,7 @@ import (
 	"time"
 
 	"github.com/dpgo/svt/telemetry"
+	"github.com/dpgo/svt/trace"
 )
 
 // APIConfig bounds what the HTTP layer accepts. The zero value applies
@@ -40,6 +39,11 @@ type APIConfig struct {
 	SlowQueryThreshold time.Duration
 	// Logger receives slow-query trace lines; nil means slog.Default().
 	Logger *slog.Logger
+	// Tracer, when set, head-samples /query requests into span trees and
+	// serves them on GET /v1/traces and GET /v1/traces/{id}. Give the same
+	// Tracer to the manager (ManagerConfig.Tracer) so its spans join the
+	// HTTP span under one tree. Nil disables tracing and the endpoints.
+	Tracer *trace.Tracer
 }
 
 // Defaults for APIConfig zero values.
@@ -85,6 +89,9 @@ type API struct {
 	slowQueryNanos int64
 	// slow receives slow-query trace lines.
 	slow *slog.Logger
+	// tracer is nil when tracing is off; Sample and the span methods are
+	// nil-safe, so the hot path never branches on it.
+	tracer *trace.Tracer
 
 	// logf emits operational warnings; swappable in tests.
 	logf func(format string, args ...any)
@@ -104,6 +111,7 @@ func NewAPI(mgr *SessionManager, cfg APIConfig) *API {
 	if a.slow == nil {
 		a.slow = slog.Default()
 	}
+	a.tracer = cfg.Tracer
 	patterns := []string{
 		"/v1/mechanisms",
 		"/v1/sessions",
@@ -120,6 +128,11 @@ func NewAPI(mgr *SessionManager, cfg APIConfig) *API {
 	a.mux.HandleFunc("/v1/stats", a.handleStats)
 	a.mux.HandleFunc("/healthz", a.handleHealth)
 	a.mux.HandleFunc("/", a.handleNotFound)
+	if cfg.Tracer != nil {
+		a.mux.HandleFunc("/v1/traces", a.handleTraces)
+		a.mux.HandleFunc("/v1/traces/{id}", a.handleTrace)
+		patterns = append(patterns, "/v1/traces", "/v1/traces/{id}")
+	}
 	if cfg.Telemetry != nil {
 		a.mux.Handle("/metrics", cfg.Telemetry.Handler())
 		patterns = append(patterns, "/metrics")
@@ -152,17 +165,17 @@ func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	t.inFlight.Add(1)
 	sw := swPool.Get().(*statusWriter)
-	sw.ResponseWriter, sw.status, sw.bytes = w, 0, 0
+	sw.ResponseWriter, sw.status, sw.bytes, sw.exemplar = w, 0, 0, ""
 	a.mux.ServeHTTP(sw, r)
 	status := sw.status
 	if status == 0 {
 		status = http.StatusOK
 	}
-	respBytes := sw.bytes
+	respBytes, exemplar := sw.bytes, sw.exemplar
 	sw.ResponseWriter = nil // drop the request-scoped writer before pooling
 	swPool.Put(sw)
 	t.inFlight.Add(-1)
-	t.observe(r.Pattern, status, r.ContentLength, respBytes, start, sampled)
+	t.observe(r.Pattern, status, r.ContentLength, respBytes, start, sampled, exemplar)
 }
 
 // ErrorBody is the uniform error response envelope.
@@ -357,8 +370,41 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sc := queryPool.Get().(*queryScratch)
 	defer func() {
 		sc.req = queryRequest{} // drop decoded pointers; keeps nothing alive
+		sc.trace = QueryTrace{} // drop the span; a pooled scratch must not pin a trace
 		queryPool.Put(sc)
 	}()
+	// Correlation: every /query response carries an X-Request-Id — the
+	// client's own when it sent one, a freshly minted one otherwise — so
+	// any response can be quoted in a support ticket and matched to logs.
+	// The mint is two small allocations, which the hot-path allocation
+	// budget absorbs (see TestQueryHotPathAllocs).
+	reqID := r.Header.Get("X-Request-Id")
+	hasCorr := reqID != ""
+	if !hasCorr {
+		reqID = newRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	// Head-sample the trace decision before any work so the decode is
+	// inside the trace. A request already carrying correlation (a valid
+	// traceparent or its own request ID) is always sampled: someone
+	// upstream is following it.
+	// The canonical-form key matters: Header.Get on a non-canonical key
+	// ("traceparent") pays a per-call canonicalization allocation.
+	tpID, _, hasTP := trace.ParseTraceparent(r.Header.Get("Traceparent"))
+	var root *trace.Span
+	if a.tracer.Sample(hasCorr || hasTP) {
+		var tid trace.TraceID
+		if hasTP {
+			tid = tpID
+		}
+		root = a.tracer.StartRoot("http", "/v1/sessions/{id}/query", reqID, tid)
+		w.Header().Set("Traceparent", trace.FormatTraceparent(root.TraceID(), root.SpanID()))
+		if sw, ok := w.(*statusWriter); ok {
+			sw.exemplar = root.TraceIDString()
+		}
+		defer root.End()
+	}
+	ds := root.StartChild("decode")
 	r.Body = http.MaxBytesReader(w, r.Body, a.cfg.MaxBodyBytes)
 	body, err := readBody(r.Body, sc.buf[:0])
 	sc.buf = body[:0]
@@ -376,6 +422,7 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 		a.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	ds.End()
 	items := sc.req.Queries
 	if items == nil {
 		sc.one[0] = sc.req.QueryItem
@@ -391,18 +438,20 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	root.SetAttr("session", id)
+	root.SetAttrInt("batch", int64(len(items)))
 	var res BatchResult
-	if a.slowQueryNanos > 0 {
-		// Slow-query tracing is opt-in: only then does every request read
-		// the clock twice and thread a trace through the manager.
+	if a.slowQueryNanos > 0 || root != nil {
+		// The traced manager path is opt-in: only a slow-query threshold
+		// or a sampled trace makes the request read the clock twice and
+		// thread a trace through the manager.
 		start := telemetry.Now()
-		sc.trace = QueryTrace{TraceID: r.Header.Get("X-Request-Id")}
-		if sc.trace.TraceID != "" {
-			w.Header().Set("X-Request-Id", sc.trace.TraceID)
-		}
+		sc.trace = QueryTrace{TraceID: reqID, Span: root}
 		res, err = a.mgr.QueryTraced(id, items, sc.results[:0], &sc.trace)
-		if dur := telemetry.Now() - start; dur >= a.slowQueryNanos {
-			a.logSlowQuery(&sc.trace, id, len(items), dur, err)
+		if a.slowQueryNanos > 0 {
+			if dur := telemetry.Now() - start; dur >= a.slowQueryNanos {
+				a.logSlowQuery(&sc.trace, id, len(items), dur, err)
+			}
 		}
 	} else {
 		res, err = a.mgr.QueryInto(id, items, sc.results[:0])
@@ -418,6 +467,7 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		a.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	default:
+		es := root.StartChild("encode")
 		out, ok := appendBatchResultJSON(sc.buf[:0], &res)
 		sc.buf = out[:0]
 		if !ok {
@@ -425,6 +475,7 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// fall back to the stdlib path so the failure is accounted the
 			// same way it always was.
 			a.writeJSON(w, http.StatusOK, res)
+			es.End()
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -432,18 +483,8 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if _, werr := w.Write(out); werr != nil {
 			a.countEncodeFailure(werr)
 		}
+		es.End()
 	}
-}
-
-// newTraceID mints a 16-hex-char request ID for slow-query log lines when
-// the client did not supply an X-Request-Id. Generated only off the hot
-// path (at log time), so the allocation never taxes fast requests.
-func newTraceID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "unknown"
-	}
-	return hex.EncodeToString(b[:])
 }
 
 // logSlowQuery emits the structured trace line for a /query request that
@@ -453,7 +494,7 @@ func newTraceID() string {
 // on the WAL group-commit flush.
 func (a *API) logSlowQuery(tr *QueryTrace, id string, batch int, dur int64, err error) {
 	if tr.TraceID == "" {
-		tr.TraceID = newTraceID()
+		tr.TraceID = newRequestID()
 	}
 	attrs := []any{
 		slog.String("traceId", tr.TraceID),
@@ -554,6 +595,20 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	a.writeJSON(w, http.StatusOK, st)
 }
 
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	// Status is "ok" or "unhealthy".
+	Status string `json:"status"`
+	// Reason explains an unhealthy status; absent when healthy.
+	Reason string `json:"reason,omitempty"`
+	// SnapshotAgeSeconds is how long ago the last journal-compaction
+	// snapshot succeeded. Absent (not 0) before the first success, so a
+	// freshly booted node is distinguishable from one snapshotting right
+	// now; a growing value on a node configured to snapshot means
+	// compaction has stopped and the journal is growing unboundedly.
+	SnapshotAgeSeconds *float64 `json:"snapshotAgeSeconds,omitempty"`
+}
+
 // handleHealth reports liveness, degrading to 503 with a machine-readable
 // reason when the store has entered its failed state or the most recent
 // journal-compaction snapshot failed — both conditions where the process
@@ -564,10 +619,15 @@ func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 		a.methodNotAllowed(w, http.MethodGet)
 		return
 	}
+	resp := HealthResponse{Status: "ok"}
+	if age, ok := a.mgr.SnapshotAge(); ok {
+		secs := age.Seconds()
+		resp.SnapshotAgeSeconds = &secs
+	}
 	if ok, reason := a.mgr.HealthStatus(); !ok {
-		a.writeJSON(w, http.StatusServiceUnavailable,
-			map[string]string{"status": "unhealthy", "reason": reason})
+		resp.Status, resp.Reason = "unhealthy", reason
+		a.writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	a.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	a.writeJSON(w, http.StatusOK, resp)
 }

@@ -266,9 +266,9 @@ func TestHTTPStatsAndHealth(t *testing.T) {
 	if st.Live != 3 || st.Created != 3 || st.Queries[MechProposed] != 6 || st.TotalQueries != 6 {
 		t.Errorf("stats %+v", st)
 	}
-	var health map[string]string
-	if code := doJSON(t, http.MethodGet, srv.URL+"/healthz", nil, &health); code != http.StatusOK || health["status"] != "ok" {
-		t.Errorf("healthz: %d %v", code, health)
+	var health HealthResponse
+	if code := doJSON(t, http.MethodGet, srv.URL+"/healthz", nil, &health); code != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz: %d %+v", code, health)
 	}
 }
 

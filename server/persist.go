@@ -785,6 +785,7 @@ func (m *SessionManager) SnapshotNow() error {
 		// A success clears the last error so Stats reports only a CURRENT
 		// failure condition; the failure counter keeps the history.
 		m.snapLastErr.Store("")
+		m.snapLastOK.Store(m.now().UnixNano())
 		m.tel.observeSnapshot(start)
 	}
 	return err

@@ -29,6 +29,14 @@ type RateLimitConfig struct {
 	Burst float64
 	// MaxTenants caps tracked tenants; 0 means DefaultMaxTenants.
 	MaxTenants int
+	// MaxTenantSeries caps how many distinct tenants appear BY NAME in
+	// the per-tenant rejection counts (RejectedByTenant, and through it
+	// the rate-limit metric labels); rejections for tenants beyond the
+	// cap aggregate under OtherTenant. It is deliberately much smaller
+	// than MaxTenants: the limiter can afford 16k buckets, but 16k label
+	// sets would blow up every scrape and the time series behind them.
+	// 0 means DefaultMaxTenantSeries.
+	MaxTenantSeries int
 }
 
 // tokenBucket is one tenant's refillable budget.
@@ -46,6 +54,7 @@ type RateLimiter struct {
 	rate       float64
 	burst      float64
 	maxTenants int
+	maxSeries  int
 
 	mu         sync.Mutex
 	buckets    map[string]*tokenBucket
@@ -75,10 +84,15 @@ func NewRateLimiter(cfg RateLimitConfig) (*RateLimiter, error) {
 	if maxTenants <= 0 {
 		maxTenants = DefaultMaxTenants
 	}
+	maxSeries := cfg.MaxTenantSeries
+	if maxSeries <= 0 {
+		maxSeries = DefaultMaxTenantSeries
+	}
 	return &RateLimiter{
 		rate:       cfg.Rate,
 		burst:      burst,
 		maxTenants: maxTenants,
+		maxSeries:  maxSeries,
 		buckets:    make(map[string]*tokenBucket),
 		rejectedBy: make(map[string]uint64),
 		now:        time.Now,
@@ -150,10 +164,11 @@ func (rl *RateLimiter) Allow(tenant string) (bool, time.Duration) {
 		return true, 0
 	}
 	rl.rejected++
-	// Per-tenant rejection attribution. The map key space is bounded the
-	// same way the bucket table is: once maxTenants distinct tenants hold
-	// rejection counts, further new tenants are attributed to "overflow"
-	// rather than letting a hostile client grow the map without limit.
+	// Per-tenant rejection attribution. The key space is bounded by the
+	// SERIES cap, not the bucket cap: every key here becomes a label set
+	// on the rate-limit metric, so once maxSeries distinct tenants hold
+	// rejection counts, further new tenants aggregate under OtherTenant
+	// rather than letting a hostile client mint unbounded time series.
 	// Rejection counts are never evicted — they are cumulative history, and
 	// resetting one on idle-eviction would make the /metrics counter go
 	// backwards.
@@ -161,8 +176,8 @@ func (rl *RateLimiter) Allow(tenant string) (bool, time.Duration) {
 	if key == "" {
 		key = "default"
 	}
-	if _, ok := rl.rejectedBy[key]; !ok && len(rl.rejectedBy) >= rl.maxTenants {
-		key = "overflow"
+	if _, ok := rl.rejectedBy[key]; !ok && len(rl.rejectedBy) >= rl.maxSeries {
+		key = OtherTenant
 	}
 	rl.rejectedBy[key]++
 	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
@@ -177,8 +192,9 @@ func (rl *RateLimiter) Rejected() uint64 {
 }
 
 // RejectedByTenant returns a copy of the per-tenant rejection counts. The
-// empty tenant is reported as "default"; tenants past the tracking cap are
-// folded into "overflow". Tenants that were never rejected do not appear.
+// empty tenant is reported as "default"; tenants past the MaxTenantSeries
+// cardinality cap are folded into OtherTenant ("_other"). Tenants that
+// were never rejected do not appear.
 func (rl *RateLimiter) RejectedByTenant() map[string]uint64 {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()

@@ -32,6 +32,7 @@ import (
 	"github.com/dpgo/svt/mech"
 	"github.com/dpgo/svt/store"
 	"github.com/dpgo/svt/telemetry"
+	"github.com/dpgo/svt/trace"
 )
 
 // ManagerConfig configures a SessionManager. The zero value is usable:
@@ -74,6 +75,18 @@ type ManagerConfig struct {
 	// registry must not already hold svt_* manager families — one
 	// registry serves one manager.
 	Telemetry *telemetry.Registry
+	// Tracer, when set, lets trace-sampled requests (threaded in through
+	// QueryTraced's span) pick up the store's flush-phase breakdown: the
+	// manager attaches a store.Instrumenter even without a Telemetry
+	// registry so the journal span gains gather/write/sync children. Use
+	// the same Tracer in APIConfig. nil with nil Telemetry means no
+	// instrumenter is attached at all.
+	Tracer *trace.Tracer
+	// MaxTenantSeries caps per-tenant label cardinality in the telemetry
+	// collectors: past this many distinct tenants, further tenants
+	// aggregate into the OtherTenant series. 0 means
+	// DefaultMaxTenantSeries.
+	MaxTenantSeries int
 }
 
 // Defaults for ManagerConfig zero values.
@@ -83,7 +96,13 @@ const (
 	DefaultMaxTTL           = 24 * time.Hour
 	DefaultSweepInterval    = 30 * time.Second
 	DefaultSnapshotInterval = time.Minute
+	DefaultMaxTenantSeries  = 128
 )
+
+// OtherTenant is the label value per-tenant metric series aggregate into
+// once the tenant-cardinality cap (ManagerConfig.MaxTenantSeries,
+// RateLimitConfig.MaxTenantSeries) is reached.
+const OtherTenant = "_other"
 
 // ErrTooManySessions is returned by Create when MaxSessions live sessions
 // already exist.
@@ -146,6 +165,16 @@ type SessionManager struct {
 	// tel holds the telemetry handles when cfg.Telemetry was set; nil
 	// means no instrumentation (and no overhead) anywhere in the manager.
 	tel *managerTelemetry
+	// storeInst is the instrumenter attached to the store when telemetry
+	// or tracing is on; traced requests read its last-flush phase
+	// breakdown to build the journal span's store children.
+	storeInst *storeTelemetry
+	// maxTenantSeries bounds per-tenant label cardinality in tenantAgg.
+	maxTenantSeries int
+	// snapLastOK is the wall-clock time (unix nanos) of the last
+	// successful snapshot, 0 before the first; SnapshotAge derives the
+	// staleness surfaced in /healthz and /metrics.
+	snapLastOK atomic.Int64
 
 	// logf emits operational warnings; swappable in tests.
 	logf func(format string, args ...any)
@@ -200,6 +229,10 @@ func Open(cfg ManagerConfig) (*SessionManager, error) {
 		now:         time.Now,
 		logf:        log.Printf,
 	}
+	m.maxTenantSeries = cfg.MaxTenantSeries
+	if m.maxTenantSeries <= 0 {
+		m.maxTenantSeries = DefaultMaxTenantSeries
+	}
 	m.captureMechanisms()
 	for i := range m.shards {
 		m.shards[i] = &shard{
@@ -209,12 +242,24 @@ func Open(cfg ManagerConfig) (*SessionManager, error) {
 			halts:     make([]atomic.Uint64, len(m.mechNames)),
 		}
 	}
+	// The store instrumenter serves two consumers: telemetry histograms
+	// and the tracer's flush-phase breakdown. Build it when either is on.
+	var instrumented store.Instrumented
+	if m.store != nil && (cfg.Telemetry != nil || cfg.Tracer != nil) {
+		if inst, ok := m.store.(store.Instrumented); ok {
+			m.storeInst = &storeTelemetry{}
+			instrumented = inst
+		}
+	}
 	if cfg.Telemetry != nil {
 		// Register before recovery so the store instrumenter is attached
 		// while the open-time snapshot's appends flow (recovery itself ran
 		// in the store's constructor; its measurement is replayed onto the
 		// instrumenter at attach).
 		m.tel = m.registerManagerTelemetry(cfg.Telemetry)
+	}
+	if instrumented != nil {
+		instrumented.SetInstrumenter(m.storeInst)
 	}
 	if m.store != nil {
 		if err := m.recoverSessions(); err != nil {
@@ -535,6 +580,20 @@ type QueryTrace struct {
 	// JournalNanos is how long the batch's journal append took — the
 	// store's group-commit/flush wait — 0 when the manager has no store.
 	JournalNanos int64
+	// Span is the request's root span when the request is trace-sampled,
+	// nil otherwise (every span operation is nil-safe, so the manager
+	// threads it unconditionally). The manager hangs its own child —
+	// mechanism answer, journal wait, store flush phases — under it.
+	Span *trace.Span
+}
+
+// exemplarID returns the trace ID a sampled latency observation should
+// carry as its exemplar: "" unless the request is trace-sampled.
+func exemplarID(tr *QueryTrace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.Span.TraceIDString()
 }
 
 // Query routes a batch to the session, journals the released progress and
@@ -571,42 +630,81 @@ func (m *SessionManager) queryInto(id string, items []QueryItem, dst []QueryResu
 	if !ok {
 		return BatchResult{}, ErrSessionNotFound
 	}
+	// Every span call below is nil-safe: when the request is not
+	// trace-sampled (tr nil or tr.Span nil) ms stays nil and the whole
+	// block costs a handful of nil checks and zero allocations.
+	var ms *trace.Span
 	if tr != nil {
 		tr.Mechanism = s.mech
+		ms = tr.Span.StartChild("manager")
+		ms.SetAttr("mechanism", string(s.mech))
 	}
 	if m.store == nil {
+		as := ms.StartChild("answer")
 		res, err := s.queryInto(items, dst)
+		as.End()
+		ms.End()
 		if sampled && err == nil {
-			m.observeQuery(s, start)
+			m.observeQuery(s, start, exemplarID(tr))
 		}
 		return res, err
 	}
 	m.journalMu.RLock()
+	as := ms.StartChild("answer")
 	res, d, err := s.queryTake(items, dst, true)
+	as.End()
 	var jerr error
 	if tr != nil {
+		js := ms.StartChild("journal.wait")
 		j0 := telemetry.Now()
 		jerr = m.journalProgress(s, d)
 		tr.JournalNanos = telemetry.Now() - j0
+		js.SetAttrInt("answered", int64(d.answered))
+		js.End()
+		if jerr == nil && js != nil && m.storeInst != nil {
+			// Under SyncAlways the flush observed most recently by the
+			// instrumenter is the one this request just waited on; break
+			// the journal wait into its gather/write/sync phases.
+			m.storeInst.attachFlushPhases(js)
+		}
 	} else {
 		jerr = m.journalProgress(s, d)
 	}
 	m.journalMu.RUnlock()
+	ms.End()
 	if jerr != nil {
 		return BatchResult{}, jerr
 	}
 	if sampled && err == nil {
-		m.observeQuery(s, start)
+		m.observeQuery(s, start, exemplarID(tr))
 	}
 	return res, err
 }
 
 // observeQuery records one sampled query-latency observation on the
-// session's mechanism histogram.
-func (m *SessionManager) observeQuery(s *Session, start int64) {
+// session's mechanism histogram. exemplar is the trace ID to attach to
+// the observation ("" for none), linking the histogram bucket to a
+// retrievable trace.
+func (m *SessionManager) observeQuery(s *Session, start int64, exemplar string) {
 	if s.mechIdx >= 0 && s.mechIdx < len(m.tel.queryLatency) {
-		m.tel.queryLatency[s.mechIdx].ObserveN(telemetry.Seconds(telemetry.Now()-start), querySamplePeriod)
+		m.tel.queryLatency[s.mechIdx].ObserveNExemplar(telemetry.Seconds(telemetry.Now()-start), querySamplePeriod, exemplar)
 	}
+}
+
+// SnapshotAge returns how long ago the last successful snapshot
+// finished. ok is false before the first success (including managers
+// that never snapshot — no store, or no snapshot policy), so callers
+// can distinguish "never" from "just now".
+func (m *SessionManager) SnapshotAge() (time.Duration, bool) {
+	last := m.snapLastOK.Load()
+	if last == 0 {
+		return 0, false
+	}
+	age := m.now().Sub(time.Unix(0, last))
+	if age < 0 {
+		age = 0
+	}
+	return age, true
 }
 
 // HealthStatus reports whether the manager is fit to serve durable

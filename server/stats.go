@@ -51,9 +51,13 @@ type Stats struct {
 	// Stats is read directly off the manager.
 	EncodeFailures uint64 `json:"encodeFailures,omitempty"`
 	// RateLimited counts 429 rejections per tenant ("default" for requests
-	// without an X-Tenant header, "overflow" past the tracking cap). Filled
-	// by the HTTP layer when a rate limiter is attached; absent otherwise.
+	// without an X-Tenant header, OtherTenant past the label-cardinality
+	// cap). Filled by the HTTP layer when a rate limiter is attached;
+	// absent otherwise.
 	RateLimited map[string]uint64 `json:"rateLimited,omitempty"`
+	// SnapshotAgeSeconds is seconds since the last successful
+	// journal-compaction snapshot, absent before the first success.
+	SnapshotAgeSeconds *float64 `json:"snapshotAgeSeconds,omitempty"`
 }
 
 // Stats aggregates the per-shard counters. The snapshot is monotone but
@@ -93,6 +97,10 @@ func (m *SessionManager) Stats() Stats {
 	st.SnapshotFailures = m.snapFailures.Load()
 	if msg, ok := m.snapLastErr.Load().(string); ok {
 		st.LastSnapshotError = msg
+	}
+	if age, ok := m.SnapshotAge(); ok {
+		secs := age.Seconds()
+		st.SnapshotAgeSeconds = &secs
 	}
 	return st
 }

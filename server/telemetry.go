@@ -23,6 +23,7 @@ import (
 
 	"github.com/dpgo/svt/store"
 	"github.com/dpgo/svt/telemetry"
+	"github.com/dpgo/svt/trace"
 )
 
 // querySamplePeriod is the 1-in-N sampling rate for the manager's and the
@@ -75,7 +76,10 @@ func epsilonSpent(b Budget, positives, maxPositives int, halted bool) float64 {
 // tenantAgg walks the live session table aggregating per tenant. Lock
 // order (shard read lock, then each session's mutex) matches every other
 // session walk (collectRecords), so scrapes cannot deadlock against the
-// data path; the walk is scrape-time-only cost.
+// data path; the walk is scrape-time-only cost. Label cardinality is
+// bounded: past maxTenantSeries distinct tenants, further tenants
+// aggregate into the OtherTenant series, so a tenant-ID spray cannot
+// balloon the scrape body or the heap behind it.
 func (m *SessionManager) tenantAgg() map[string]*tenantStats {
 	agg := make(map[string]*tenantStats)
 	for _, sh := range m.shards {
@@ -86,6 +90,10 @@ func (m *SessionManager) tenantAgg() map[string]*tenantStats {
 				tenant = "default"
 			}
 			st := agg[tenant]
+			if st == nil && len(agg) >= m.maxTenantSeries {
+				tenant = OtherTenant
+				st = agg[tenant]
+			}
 			if st == nil {
 				st = &tenantStats{}
 				agg[tenant] = st
@@ -160,6 +168,13 @@ func (m *SessionManager) registerManagerTelemetry(reg *telemetry.Registry) *mana
 		perMech(func(sh *shard) []atomic.Uint64 { return sh.halts }))
 	reg.NewCollector("svt_snapshot_failures_total", "Failed journal-compaction snapshots.", "counter",
 		func(emit func(string, float64)) { emit("", float64(m.snapFailures.Load())) })
+	reg.NewCollector("svt_snapshot_age_seconds",
+		"Seconds since the last successful journal-compaction snapshot; absent until one succeeds. A growing value with traffic flowing means the snapshot loop is wedged.", "gauge",
+		func(emit func(string, float64)) {
+			if age, ok := m.SnapshotAge(); ok {
+				emit("", age.Seconds())
+			}
+		})
 
 	reg.NewCollector("svt_tenant_sessions", "Live sessions by tenant.", "gauge",
 		func(emit func(string, float64)) {
@@ -181,7 +196,10 @@ func (m *SessionManager) registerManagerTelemetry(reg *telemetry.Registry) *mana
 		})
 
 	if m.store != nil {
-		registerStoreTelemetry(reg, m.store)
+		registerStoreHealth(reg, m.store)
+		if m.storeInst != nil {
+			m.storeInst.register(reg)
+		}
 	}
 	return t
 }
@@ -204,26 +222,46 @@ func (t *managerTelemetry) observeSnapshot(start int64) {
 	t.snapshotDuration.Observe(telemetry.Seconds(telemetry.Now() - start))
 }
 
-// storeTelemetry adapts store.Instrumenter onto telemetry histograms.
+// storeTelemetry adapts store.Instrumenter onto telemetry histograms and
+// keeps the most recent flush's phase breakdown for the tracing layer.
+// The histogram fields are nil when the manager runs with tracing but no
+// telemetry registry; every method nil-gates them, so one instrumenter
+// serves both subsystems.
 type storeTelemetry struct {
 	appendLatency *telemetry.Histogram
 	batchEvents   *telemetry.Histogram
 	syncLatency   *telemetry.Histogram
 	recoveryNanos atomic.Int64
+
+	// Last foreground (batch-carrying) flush's phases, in nanoseconds.
+	// A traced request reads them right after its journal append returns:
+	// under SyncAlways the append waited on exactly that flush, so the
+	// phases are its own; under relaxed sync policies they are the most
+	// recent flush's — an approximation, clamped into the journal span.
+	lastGather atomic.Int64
+	lastWrite  atomic.Int64
+	lastSync   atomic.Int64
 }
 
 var _ store.Instrumenter = (*storeTelemetry)(nil)
 
 func (t *storeTelemetry) AppendSampled(d time.Duration, weight uint64) {
-	t.appendLatency.ObserveN(d.Seconds(), weight)
+	if t.appendLatency != nil {
+		t.appendLatency.ObserveN(d.Seconds(), weight)
+	}
 }
 
-func (t *storeTelemetry) FlushObserved(events int, sync time.Duration) {
-	if events > 0 {
-		t.batchEvents.Observe(float64(events))
+func (t *storeTelemetry) FlushObserved(f store.Flush) {
+	if f.Events > 0 {
+		if t.batchEvents != nil {
+			t.batchEvents.Observe(float64(f.Events))
+		}
+		t.lastGather.Store(int64(f.Gather))
+		t.lastWrite.Store(int64(f.Write))
+		t.lastSync.Store(int64(f.Sync))
 	}
-	if sync > 0 {
-		t.syncLatency.Observe(sync.Seconds())
+	if f.Sync > 0 && t.syncLatency != nil {
+		t.syncLatency.Observe(f.Sync.Seconds())
 	}
 }
 
@@ -231,11 +269,57 @@ func (t *storeTelemetry) RecoveryObserved(d time.Duration, events int) {
 	t.recoveryNanos.Store(int64(d))
 }
 
-// registerStoreTelemetry registers the store layer's families: health
-// counters mirrored as collectors, plus — when the store implements
-// Instrumented — the append/flush/sync timing histograms fed through the
-// store.Instrumenter hook.
-func registerStoreTelemetry(reg *telemetry.Registry, st store.SessionStore) {
+// attachFlushPhases hangs the last flush's gather/write/sync breakdown
+// under a just-ended journal-wait span. The phases are anchored backwards
+// from the span's end — sync finished when the append returned, write
+// preceded sync, gather preceded write — and AttachChild clamps each
+// child into the parent's bounds, so rendered durations always nest even
+// when the flush the atomics describe is not exactly this request's own.
+func (t *storeTelemetry) attachFlushPhases(js *trace.Span) {
+	if t == nil || js == nil {
+		return
+	}
+	_, end := js.Bounds()
+	if end == 0 {
+		return
+	}
+	gather, write, sync := t.lastGather.Load(), t.lastWrite.Load(), t.lastSync.Load()
+	syncStart := end - sync
+	writeStart := syncStart - write
+	gatherStart := writeStart - gather
+	if gather > 0 {
+		js.AttachChild("store.gather", gatherStart, writeStart)
+	}
+	if write > 0 {
+		js.AttachChild("store.write", writeStart, syncStart)
+	}
+	if sync > 0 {
+		js.AttachChild("store.sync", syncStart, end)
+	}
+}
+
+// register creates the instrumenter's histogram families on reg; without
+// a registry the instrumenter still runs, feeding only the trace phases.
+func (t *storeTelemetry) register(reg *telemetry.Registry) {
+	t.appendLatency = reg.NewHistogram("svt_store_append_duration_seconds",
+		"Caller-observed append latency, enqueue through durability acknowledgement (sampled 1-in-8).",
+		telemetry.LatencyBuckets)
+	t.batchEvents = reg.NewHistogram("svt_store_commit_batch_events",
+		"Events per group-commit flush batch.",
+		telemetry.CountBuckets)
+	t.syncLatency = reg.NewHistogram("svt_store_sync_duration_seconds",
+		"Durability barrier (fsync/msync) latency per flush.",
+		telemetry.LatencyBuckets)
+	reg.NewCollector("svt_store_recovery_duration_seconds",
+		"Open-time recovery scan duration.", "gauge",
+		func(emit func(string, float64)) {
+			emit("", float64(t.recoveryNanos.Load())*1e-9)
+		})
+}
+
+// registerStoreHealth registers the store layer's health counters,
+// mirrored as collectors off the store's Health snapshot.
+func registerStoreHealth(reg *telemetry.Registry, st store.SessionStore) {
 	if h, ok := st.(store.Healther); ok {
 		counter := func(name, help string, v func(store.Health) float64) {
 			reg.NewCollector(name, help, "counter",
@@ -273,25 +357,6 @@ func registerStoreTelemetry(reg *telemetry.Registry, st store.SessionStore) {
 			func(h store.Health) float64 { return b2f(h.Broken) })
 		gauge("svt_store_recovered_events", "Events replayed by open-time recovery.",
 			func(h store.Health) float64 { return float64(h.RecoveredEvents) })
-	}
-	if inst, ok := st.(store.Instrumented); ok {
-		t := &storeTelemetry{
-			appendLatency: reg.NewHistogram("svt_store_append_duration_seconds",
-				"Caller-observed append latency, enqueue through durability acknowledgement (sampled 1-in-8).",
-				telemetry.LatencyBuckets),
-			batchEvents: reg.NewHistogram("svt_store_commit_batch_events",
-				"Events per group-commit flush batch.",
-				telemetry.CountBuckets),
-			syncLatency: reg.NewHistogram("svt_store_sync_duration_seconds",
-				"Durability barrier (fsync/msync) latency per flush.",
-				telemetry.LatencyBuckets),
-		}
-		reg.NewCollector("svt_store_recovery_duration_seconds",
-			"Open-time recovery scan duration.", "gauge",
-			func(emit func(string, float64)) {
-				emit("", float64(t.recoveryNanos.Load())*1e-9)
-			})
-		inst.SetInstrumenter(t)
 	}
 }
 
@@ -375,6 +440,10 @@ type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	// exemplar is the request's trace ID when the request was
+	// trace-sampled (set by handleQuery); a sampled latency observation
+	// then carries it as an OpenMetrics exemplar.
+	exemplar string
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
@@ -399,8 +468,10 @@ func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter 
 var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 // observe records one completed request; called by ServeHTTP after the
-// mux returns. pattern is r.Pattern, set in place by the mux dispatch.
-func (t *apiTelemetry) observe(pattern string, status int, reqBytes, respBytes int64, start int64, sampled bool) {
+// mux returns. pattern is r.Pattern, set in place by the mux dispatch;
+// exemplar is the trace ID of a trace-sampled request ("" otherwise),
+// attached to the latency observation so /metrics links to /v1/traces.
+func (t *apiTelemetry) observe(pattern string, status int, reqBytes, respBytes int64, start int64, sampled bool, exemplar string) {
 	rt := t.routes[pattern]
 	if rt == nil {
 		rt = t.fallback
@@ -411,7 +482,7 @@ func (t *apiTelemetry) observe(pattern string, status int, reqBytes, respBytes i
 	}
 	rt.classes[class].Inc()
 	if sampled {
-		rt.latency.ObserveN(telemetry.Seconds(telemetry.Now()-start), querySamplePeriod)
+		rt.latency.ObserveNExemplar(telemetry.Seconds(telemetry.Now()-start), querySamplePeriod, exemplar)
 	}
 	if reqBytes > 0 {
 		t.requestBytes.Add(uint64(reqBytes))

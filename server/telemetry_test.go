@@ -191,18 +191,23 @@ func TestHealthzDegrades(t *testing.T) {
 	api := NewAPI(m, APIConfig{})
 	mustCreate(t, m, sparseParams())
 
-	get := func() (int, map[string]string) {
+	get := func() (int, HealthResponse) {
 		rec := httptest.NewRecorder()
 		api.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
-		var body map[string]string
+		var body HealthResponse
 		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 			t.Fatalf("healthz body is not JSON: %v: %s", err, rec.Body.String())
 		}
 		return rec.Code, body
 	}
 
-	if code, body := get(); code != http.StatusOK || body["status"] != "ok" {
-		t.Fatalf("healthy /healthz: %d %v", code, body)
+	if code, body := get(); code != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("healthy /healthz: %d %+v", code, body)
+	}
+	// The manager snapshots once at open, so a WAL-backed /healthz always
+	// reports how stale the recovery baseline is.
+	if _, body := get(); body.SnapshotAgeSeconds == nil {
+		t.Fatal("healthy /healthz missing snapshotAgeSeconds after the open-time snapshot")
 	}
 
 	// Close the store out from under the manager: the next snapshot fails
@@ -217,8 +222,8 @@ func TestHealthzDegrades(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("degraded /healthz: status %d, want 503 (%v)", code, body)
 	}
-	if body["status"] != "unhealthy" || body["reason"] == "" {
-		t.Fatalf("degraded /healthz body %v, want unhealthy with a reason", body)
+	if body.Status != "unhealthy" || body.Reason == "" {
+		t.Fatalf("degraded /healthz body %+v, want unhealthy with a reason", body)
 	}
 }
 

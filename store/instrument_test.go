@@ -25,11 +25,11 @@ func (r *recordingInstrumenter) AppendSampled(d time.Duration, weight uint64) {
 	r.appendWeight += weight
 }
 
-func (r *recordingInstrumenter) FlushObserved(events int, sync time.Duration) {
+func (r *recordingInstrumenter) FlushObserved(f Flush) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.flushEvents = append(r.flushEvents, events)
-	r.flushSyncs = append(r.flushSyncs, sync)
+	r.flushEvents = append(r.flushEvents, f.Events)
+	r.flushSyncs = append(r.flushSyncs, f.Sync)
 }
 
 func (r *recordingInstrumenter) RecoveryObserved(d time.Duration, events int) {

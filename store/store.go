@@ -147,16 +147,34 @@ type Instrumenter interface {
 	// one call stands for weight appends, so rates derived from the
 	// observation count estimate the full population.
 	AppendSampled(d time.Duration, weight uint64)
-	// FlushObserved reports one physical flush: how many events the
-	// group-commit batch carried (0 for a background interval sync, which
-	// flushes whatever bytes are buffered rather than a counted batch)
-	// and how long the durability barrier (fsync/msync) took — 0 when the
-	// flush needed no barrier under the store's sync policy.
-	FlushObserved(events int, sync time.Duration)
+	// FlushObserved reports one physical flush with its phase breakdown;
+	// see Flush.
+	FlushObserved(f Flush)
 	// RecoveryObserved reports the duration of the store's open-time
 	// recovery scan and how many events it replayed. Called once, when
 	// the instrumenter is attached.
 	RecoveryObserved(d time.Duration, events int)
+}
+
+// Flush is one physical flush reported through Instrumenter.FlushObserved,
+// broken into the phases a group commit actually spends time in, so the
+// tracing layer can render a journal wait as gather → write → sync rather
+// than one opaque interval.
+type Flush struct {
+	// Events is how many events the group-commit batch carried; 0 for a
+	// background interval sync, which flushes whatever bytes are buffered
+	// rather than a counted batch.
+	Events int
+	// Gather is how long the flush leader held the batch open for
+	// concurrent appenders to join (the commit window or scheduler
+	// yield); 0 when the flush had no gather phase.
+	Gather time.Duration
+	// Write is the physical write() of the batch; 0 in mmap mode, where
+	// appenders copied their records into the mapping directly.
+	Write time.Duration
+	// Sync is the durability barrier (fsync/msync); 0 when the flush
+	// needed no barrier under the store's sync policy.
+	Sync time.Duration
 }
 
 // Instrumented is the optional instrumentation side of a SessionStore.

@@ -467,9 +467,9 @@ func (w *WAL) flusher(interval time.Duration) {
 				} else {
 					w.syncs++
 					if w.inst != nil {
-						// events 0: an interval sync flushes whatever
+						// Events 0: an interval sync flushes whatever
 						// bytes are buffered, not a counted batch.
-						w.inst.FlushObserved(0, time.Since(syncStart))
+						w.inst.FlushObserved(Flush{Sync: time.Since(syncStart)})
 					}
 				}
 			}
@@ -817,6 +817,7 @@ func (w *WAL) commitLocked(b *walBatch) error {
 // held again on return.
 func (w *WAL) lead() {
 	for {
+		var gatherDur time.Duration
 		if w.pending != nil {
 			// Gather phase: give concurrent appenders a chance to join the
 			// batch before it is sealed. With a commit window the leader
@@ -827,11 +828,13 @@ func (w *WAL) lead() {
 			// syscall never releases the P, so without this yield a
 			// single-core server would degenerate to one write per event.
 			w.mu.Unlock()
+			gatherStart := time.Now()
 			if w.window > 0 {
 				time.Sleep(w.window)
 			} else {
 				runtime.Gosched()
 			}
+			gatherDur = time.Since(gatherStart)
 			w.mu.Lock()
 		}
 		cur := w.pending
@@ -865,7 +868,7 @@ func (w *WAL) lead() {
 				w.flushes++
 				w.syncs++
 				if w.inst != nil {
-					w.inst.FlushObserved(cur.count, syncDur)
+					w.inst.FlushObserved(Flush{Events: cur.count, Gather: gatherDur, Sync: syncDur})
 				}
 			}
 			w.releaseLocked(cur)
@@ -875,7 +878,9 @@ func (w *WAL) lead() {
 		off := w.walBytes
 		w.mu.Unlock()
 
+		writeStart := time.Now()
 		_, werr := f.Write(cur.buf)
+		writeDur := time.Since(writeStart)
 		var serr error
 		var syncDur time.Duration
 		if werr == nil && w.sync == SyncAlways {
@@ -904,7 +909,7 @@ func (w *WAL) lead() {
 			w.walBytes += uint64(len(cur.buf))
 			w.flushes++
 			if w.inst != nil {
-				w.inst.FlushObserved(cur.count, syncDur)
+				w.inst.FlushObserved(Flush{Events: cur.count, Gather: gatherDur, Write: writeDur, Sync: syncDur})
 			}
 			if serr != nil {
 				// The bytes are down (a process crash keeps them) but the

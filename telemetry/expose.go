@@ -5,11 +5,16 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 )
 
 // ContentType is the Prometheus text exposition content type served by
 // Handler.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// OpenMetricsContentType is the exposition content type Handler serves
+// when the scraper's Accept header asks for OpenMetrics.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 // Expose renders every registered family appended to buf in Prometheus
 // text exposition format 0.0.4: a # HELP and # TYPE line per family,
@@ -18,17 +23,34 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 // order; label sets within a stored family in first-use order; collector
 // output sorted by label string, so successive scrapes of the same state
 // are byte-identical.
-func (r *Registry) Expose(buf []byte) []byte {
+func (r *Registry) Expose(buf []byte) []byte { return r.expose(buf, false) }
+
+// ExposeOpenMetrics renders the registry in OpenMetrics 1.0 text format.
+// Differences from Expose: counter family HELP/TYPE lines drop the
+// conventional _total name suffix (sample lines keep the full name),
+// histogram bucket lines carry their bucket's exemplar when one has been
+// recorded (see Histogram.ObserveNExemplar), and the document ends with
+// the mandatory # EOF terminator.
+func (r *Registry) ExposeOpenMetrics(buf []byte) []byte {
+	buf = r.expose(buf, true)
+	return append(buf, "# EOF\n"...)
+}
+
+func (r *Registry) expose(buf []byte, om bool) []byte {
 	r.mu.Lock()
 	families := r.families
 	r.mu.Unlock()
 	for _, f := range families {
+		metaName := f.name
+		if om && f.typ == "counter" {
+			metaName = strings.TrimSuffix(metaName, "_total")
+		}
 		buf = append(buf, "# HELP "...)
-		buf = append(buf, f.name...)
+		buf = append(buf, metaName...)
 		buf = append(buf, ' ')
 		buf = appendEscapedHelp(buf, f.help)
 		buf = append(buf, "\n# TYPE "...)
-		buf = append(buf, f.name...)
+		buf = append(buf, metaName...)
 		buf = append(buf, ' ')
 		buf = append(buf, f.typ...)
 		buf = append(buf, '\n')
@@ -46,6 +68,10 @@ func (r *Registry) Expose(buf []byte) []byte {
 		}
 		f.mu.Unlock()
 		for i, labels := range order {
+			if h, ok := metrics[i].(*Histogram); ok && om {
+				buf = h.appendSamplesOM(buf, f.name, labels)
+				continue
+			}
 			buf = metrics[i].appendSamples(buf, f.name, labels)
 		}
 	}
@@ -98,6 +124,16 @@ func (g *Gauge) appendSamples(buf []byte, name, labels string) []byte {
 }
 
 func (h *Histogram) appendSamples(buf []byte, name, labels string) []byte {
+	return h.appendHistogram(buf, name, labels, false)
+}
+
+// appendSamplesOM is appendSamples in OpenMetrics form: bucket lines
+// carry their recorded exemplar as ` # {trace_id="..."} value timestamp`.
+func (h *Histogram) appendSamplesOM(buf []byte, name, labels string) []byte {
+	return h.appendHistogram(buf, name, labels, true)
+}
+
+func (h *Histogram) appendHistogram(buf []byte, name, labels string, om bool) []byte {
 	cum := uint64(0)
 	for i := range h.counts {
 		cum += h.counts[i].Load()
@@ -115,6 +151,16 @@ func (h *Histogram) appendSamples(buf []byte, name, labels string) []byte {
 		buf = append(buf, le...)
 		buf = append(buf, `"} `...)
 		buf = strconv.AppendUint(buf, cum, 10)
+		if om {
+			if ex := h.exemplars[i].Load(); ex != nil {
+				buf = append(buf, ` # {trace_id="`...)
+				buf = append(buf, escapeLabel(ex.traceID)...)
+				buf = append(buf, `"} `...)
+				buf = appendValue(buf, ex.value)
+				buf = append(buf, ' ')
+				buf = strconv.AppendFloat(buf, ex.unix, 'f', 3, 64)
+			}
+		}
 		buf = append(buf, '\n')
 	}
 	buf = appendSample(buf, name+"_sum", labels, h.Sum())
@@ -133,7 +179,9 @@ func (r *Registry) RegisterBuildInfo(name, help, version string) {
 
 // Handler returns the /metrics endpoint: the registry rendered in text
 // exposition format. Scrapes are read-only and safe concurrently with
-// the record path.
+// the record path. An Accept header asking for application/openmetrics-text
+// gets the OpenMetrics rendering (with exemplars); everything else gets
+// the 0.0.4 text format unchanged.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -141,8 +189,15 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		body := r.Expose(make([]byte, 0, 16<<10))
-		w.Header().Set("Content-Type", ContentType)
+		var body []byte
+		ct := ContentType
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			body = r.ExposeOpenMetrics(make([]byte, 0, 16<<10))
+			ct = OpenMetricsContentType
+		} else {
+			body = r.Expose(make([]byte, 0, 16<<10))
+		}
+		w.Header().Set("Content-Type", ct)
 		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 		if req.Method == http.MethodHead {
 			return

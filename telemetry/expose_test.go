@@ -1,0 +1,112 @@
+package telemetry
+
+// Tests for the OpenMetrics rendering added alongside the 0.0.4 text
+// format: exemplar attachment on histogram buckets, counter-suffix
+// handling on HELP/TYPE lines, the # EOF terminator, and content-type
+// negotiation on the Handler.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExemplarRoundTrip: a sampled observation recorded with a trace ID
+// surfaces on exactly its bucket's OpenMetrics line; the 0.0.4 format
+// never shows it; an empty trace ID records nothing.
+func TestExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.001, 0.1})
+	h.ObserveNExemplar(0.05, 8, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveNExemplar(3, 8, "") // not trace-sampled: no exemplar stored
+	h.Observe(0.0005)
+
+	om := string(r.ExposeOpenMetrics(nil))
+	want := `lat_seconds_bucket{le="0.1"} 9 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05 `
+	if !strings.Contains(om, want) {
+		t.Fatalf("exemplar missing from its bucket line:\n%s", om)
+	}
+	for _, line := range strings.Split(om, "\n") {
+		if strings.Contains(line, "#") && strings.Contains(line, "trace_id") {
+			if !strings.HasPrefix(line, `lat_seconds_bucket{le="0.1"}`) {
+				t.Fatalf("exemplar leaked onto the wrong line: %s", line)
+			}
+		}
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("OpenMetrics output lacks the # EOF terminator:\n%s", om)
+	}
+
+	// The 0.0.4 rendering must be unchanged by exemplar recording, and
+	// remain parseable by the strict 0.0.4 parser.
+	plain := string(r.Expose(nil))
+	if strings.Contains(plain, "trace_id") || strings.Contains(plain, "EOF") {
+		t.Fatalf("0.0.4 exposition contaminated by OpenMetrics syntax:\n%s", plain)
+	}
+}
+
+// TestOpenMetricsCounterSuffix: counter HELP/TYPE lines drop the _total
+// suffix in OpenMetrics, while sample lines keep the full series name.
+func TestOpenMetricsCounterSuffix(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("req_total", "requests").Inc()
+	g := r.NewGauge("in_flight_total", "gauge keeps its name") // not a counter
+	g.Set(1)
+
+	om := string(r.ExposeOpenMetrics(nil))
+	for _, want := range []string{
+		"# HELP req requests\n",
+		"# TYPE req counter\n",
+		"req_total 1\n",
+		"# TYPE in_flight_total gauge\n",
+	} {
+		if !strings.Contains(om, want) {
+			t.Fatalf("OpenMetrics output missing %q:\n%s", want, om)
+		}
+	}
+	if strings.Contains(om, "# TYPE req_total counter") {
+		t.Fatalf("counter TYPE line kept the _total suffix:\n%s", om)
+	}
+}
+
+// TestHandlerContentNegotiation: the default scrape stays on the 0.0.4
+// format byte-for-byte; an OpenMetrics Accept header switches format and
+// content type.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("one_total", "help").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("default content type %q, want %q", ct, ContentType)
+	}
+
+	omReq, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omReq.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;q=0.5")
+	omResp, err := srv.Client().Do(omReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer omResp.Body.Close()
+	if ct := omResp.Header.Get("Content-Type"); ct != OpenMetricsContentType {
+		t.Fatalf("negotiated content type %q, want %q", ct, OpenMetricsContentType)
+	}
+	body, err := io.ReadAll(omResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(body), "# EOF\n") {
+		t.Fatalf("negotiated body is not OpenMetrics:\n%s", body)
+	}
+}

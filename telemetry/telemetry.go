@@ -48,13 +48,25 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram is a fixed-bucket histogram: observation counts per bucket
 // plus a running sum, all atomics. Buckets are cumulative only at
 // exposition time; the record path touches exactly one bucket counter.
+// Each bucket additionally retains its most recent exemplar — a trace ID
+// attached by ObserveNExemplar — exposed on OpenMetrics scrapes so a
+// latency outlier in a bucket links directly to a retrievable trace.
 type Histogram struct {
 	// bounds are the inclusive upper bounds of each bucket, ascending; an
 	// implicit +Inf bucket follows the last bound.
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1
-	total  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, updated by CAS
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1
+	total     atomic.Uint64
+	sum       atomic.Uint64              // float64 bits, updated by CAS
+	exemplars []atomic.Pointer[exemplar] // len(bounds)+1, last-write-wins
+}
+
+// exemplar links one observed value to the trace that produced it, with
+// the wall-clock time of the observation (OpenMetrics exemplar fields).
+type exemplar struct {
+	traceID string
+	value   float64
+	unix    float64 // wall-clock seconds
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -64,8 +76,9 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
 	}
 }
 
@@ -81,15 +94,43 @@ func (h *Histogram) ObserveN(v float64, n uint64) {
 	if n == 0 {
 		return
 	}
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
+	h.counts[h.bucket(v)].Add(n)
+	h.total.Add(n)
+	if v != 0 {
+		addFloat(&h.sum, v*float64(n))
 	}
+}
+
+// ObserveNExemplar is ObserveN additionally tagging the observation's
+// bucket with traceID as its exemplar ("" records no exemplar and costs
+// nothing extra). The exemplar is last-write-wins per bucket: scrapes see
+// the most recent trace that landed there.
+func (h *Histogram) ObserveNExemplar(v float64, n uint64, traceID string) {
+	if n == 0 {
+		return
+	}
+	i := h.bucket(v)
 	h.counts[i].Add(n)
 	h.total.Add(n)
 	if v != 0 {
 		addFloat(&h.sum, v*float64(n))
 	}
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{
+			traceID: traceID,
+			value:   v,
+			unix:    float64(time.Now().UnixNano()) * 1e-9,
+		})
+	}
+}
+
+// bucket returns the index of the bucket v falls into.
+func (h *Histogram) bucket(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
 }
 
 // Count returns the total (weighted) observation count.

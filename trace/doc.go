@@ -1,0 +1,54 @@
+// Package trace is the service's zero-dependency in-process span tracer:
+// explicit-parent spans, head sampling, and a fixed-size retention store
+// (a lock-free ring of the last N completed traces plus an always-keep
+// slowest-per-route reservoir) that the server exposes on GET /v1/traces.
+// It answers the question the metrics layer cannot: for THIS slow
+// request, where did the time go — decode, mechanism answer, journal
+// wait, group-commit gather, write or sync?
+//
+// # Model
+//
+// Spans are explicit-parent: a child is created from its parent's handle
+// (Span.StartChild), never from context magic or goroutine-local state,
+// so the tree mirrors the call structure the server actually has — the
+// HTTP handler owns the root and hands the manager a span through the
+// QueryTrace seam, the manager hands the journal span its store-phase
+// children. A span carries a name, start/end timestamps on a monotonic
+// process clock (Now), string attributes, and children. Spans measured
+// elsewhere (the WAL's flush phases, observed through the
+// store.Instrumenter hook) are grafted in with Span.AttachChild, which
+// clamps the interval to the parent's bounds so child durations always
+// nest.
+//
+// # Not-sampled cost
+//
+// Every Span method is nil-safe. The head-sampling decision
+// (Tracer.Sample) is made once per request: one unforced request in
+// SampleEvery is traced; a request carrying a traceparent or an
+// X-Request-Id is always traced (someone upstream is already correlating
+// it). A not-sampled request carries a nil *Span through all three
+// layers — one atomic add, zero allocations, which is how the serving
+// path's ≤10 allocs/request pin holds with tracing compiled in. Sampled
+// requests allocate their span tree; at the default 1-in-16 that
+// amortizes to well under the benchgate regression budget.
+//
+// # Retention and retrieval
+//
+// A completed root publishes into a fixed-size ring (atomic slot store,
+// no lock) retaining the last Capacity traces, and into a small
+// slowest-per-route reservoir that survives ring churn so the worst
+// request per route is always retrievable. The server serves
+// GET /v1/traces (summaries, filterable by route and minimum duration)
+// and GET /v1/traces/{id}, which accepts either the 32-hex trace ID or
+// the X-Request-Id and returns the full span tree as JSON.
+//
+// # Correlation
+//
+// W3C traceparent headers are parsed (ParseTraceparent) to adopt an
+// upstream trace ID and echoed (FormatTraceparent) with this process's
+// root span ID. Sampled latency observations in the telemetry package
+// carry the trace ID as an OpenMetrics exemplar, so a latency spike seen
+// in /metrics clicks through to the exact trace: scrape with
+// `Accept: application/openmetrics-text`, read the `# {trace_id="..."}`
+// exemplar off the slow bucket, and GET /v1/traces/{that id}.
+package trace

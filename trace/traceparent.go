@@ -1,0 +1,127 @@
+package trace
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) traceparent
+// handling: version 00, `00-{32 hex trace-id}-{16 hex parent-id}-{2 hex
+// flags}`. The server accepts the header to adopt an upstream trace ID and
+// echoes a traceparent carrying its own root span ID, so this process
+// slots into a distributed trace as one segment.
+
+// TraceID is a 128-bit W3C trace ID. The zero value is invalid.
+type TraceID [16]byte
+
+// SpanID is a 64-bit W3C parent/span ID. The zero value is invalid.
+type SpanID [8]byte
+
+// IsZero reports whether the trace ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+const hexDigits = "0123456789abcdef"
+
+// String renders the trace ID as 32 lowercase hex characters.
+func (id TraceID) String() string {
+	var buf [32]byte
+	for i, b := range id {
+		buf[2*i] = hexDigits[b>>4]
+		buf[2*i+1] = hexDigits[b&0xf]
+	}
+	return string(buf[:])
+}
+
+// String renders the span ID as 16 lowercase hex characters.
+func (id SpanID) String() string {
+	var buf [16]byte
+	for i, b := range id {
+		buf[2*i] = hexDigits[b>>4]
+		buf[2*i+1] = hexDigits[b&0xf]
+	}
+	return string(buf[:])
+}
+
+// hexNibble decodes one hex digit, ok=false on anything else. Uppercase
+// is accepted on parse (the spec forbids sending it but tolerating it is
+// harmless); output is always lowercase.
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func decodeHex(dst, src []byte) bool {
+	for i := 0; i < len(dst); i++ {
+		hi, ok1 := hexNibble(src[2*i])
+		lo, ok2 := hexNibble(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+// ParseTraceparent parses a traceparent header. ok is false — and the
+// header is to be ignored, per spec — on anything malformed: wrong
+// length or separators, non-hex digits, an unknown version, or an
+// all-zero trace or parent ID. Future versions with trailing fields are
+// accepted as long as the version-00 prefix parses.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	var id TraceID
+	var span SpanID
+	// 00-<32>-<16>-<2> = 55 bytes minimum; longer only for version > 00.
+	if len(h) < 55 {
+		return id, span, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return id, span, false
+	}
+	v1, ok1 := hexNibble(h[0])
+	v2, ok2 := hexNibble(h[1])
+	if !ok1 || !ok2 {
+		return id, span, false
+	}
+	version := v1<<4 | v2
+	if version == 0xff {
+		return id, span, false // ff is forbidden by spec
+	}
+	if version == 0 && len(h) != 55 {
+		return id, span, false // version 00 has no trailing fields
+	}
+	if version > 0 && len(h) > 55 && h[55] != '-' {
+		return id, span, false
+	}
+	if !decodeHex(id[:], []byte(h[3:35])) || !decodeHex(span[:], []byte(h[36:52])) {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, ok := hexNibble(h[53]); !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, ok := hexNibble(h[54]); !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	if id.IsZero() || span == (SpanID{}) {
+		return TraceID{}, SpanID{}, false
+	}
+	return id, span, true
+}
+
+// FormatTraceparent renders the version-00 traceparent the server echoes:
+// our root span as the parent ID, the sampled flag set (we only echo on
+// traces we recorded).
+func FormatTraceparent(id TraceID, span SpanID) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	for _, b := range id {
+		buf = append(buf, hexDigits[b>>4], hexDigits[b&0xf])
+	}
+	buf = append(buf, '-')
+	for _, b := range span {
+		buf = append(buf, hexDigits[b>>4], hexDigits[b&0xf])
+	}
+	buf = append(buf, "-01"...)
+	return string(buf)
+}

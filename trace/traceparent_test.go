@@ -1,0 +1,60 @@
+package trace
+
+import "testing"
+
+// TestTraceparentRoundTrip: what FormatTraceparent emits, ParseTraceparent
+// accepts, and the IDs survive the trip.
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := mintTraceID()
+	span := mintSpanID()
+	h := FormatTraceparent(id, span)
+	if len(h) != 55 {
+		t.Fatalf("formatted traceparent %q is %d bytes, want 55", h, len(h))
+	}
+	gotID, gotSpan, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("own traceparent %q rejected", h)
+	}
+	if gotID != id || gotSpan != span {
+		t.Fatalf("round trip mangled IDs: %s/%s -> %s/%s", id, span, gotID, gotSpan)
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	const valid = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name string
+		h    string
+		ok   bool
+	}{
+		{"valid", valid, true},
+		{"valid uppercase hex", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01", true},
+		{"future version with extension", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true},
+		{"empty", "", false},
+		{"truncated", valid[:54], false},
+		{"version 00 with trailing data", valid + "-extra", false},
+		{"future version with unseparated trailing", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01extra", false},
+		{"version ff forbidden", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"non-hex version", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"wrong separator", "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e473x-00f067aa0ba902b7-01", false},
+		{"non-hex span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bx-01", false},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x", false},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},
+		{"all-zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			id, span, ok := ParseTraceparent(tc.h)
+			if ok != tc.ok {
+				t.Fatalf("ParseTraceparent(%q) ok=%v, want %v", tc.h, ok, tc.ok)
+			}
+			if ok && (id.IsZero() || span == (SpanID{})) {
+				t.Fatalf("accepted %q but returned zero IDs", tc.h)
+			}
+			if !ok && (!id.IsZero() || span != (SpanID{})) {
+				t.Fatalf("rejected %q but leaked partial IDs", tc.h)
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package trace
+
+import "time"
+
+// Summary is one completed trace in a GET /v1/traces listing.
+type Summary struct {
+	TraceID       string    `json:"traceId"`
+	RequestID     string    `json:"requestId,omitempty"`
+	Route         string    `json:"route"`
+	Name          string    `json:"name"`
+	Start         time.Time `json:"start"`
+	DurationNanos int64     `json:"durationNanos"`
+	// Spans is the total span count in the tree.
+	Spans int `json:"spans"`
+	// Slowest marks the trace currently retained as its route's slowest.
+	Slowest bool `json:"slowest,omitempty"`
+}
+
+// View is one full trace: the root span tree with identity and the
+// wall-clock anchor. Span offsets are relative to the root's start, so a
+// view is self-contained.
+type View struct {
+	TraceID       string    `json:"traceId"`
+	RequestID     string    `json:"requestId,omitempty"`
+	Route         string    `json:"route"`
+	Start         time.Time `json:"start"`
+	DurationNanos int64     `json:"durationNanos"`
+	Root          Node      `json:"root"`
+}
+
+// Node is one span in a View's tree.
+type Node struct {
+	Name string `json:"name"`
+	// OffsetNanos is the span's start relative to the ROOT span's start.
+	OffsetNanos   int64  `json:"offsetNanos"`
+	DurationNanos int64  `json:"durationNanos"`
+	Attrs         []Attr `json:"attrs,omitempty"`
+	Children      []Node `json:"children,omitempty"`
+}
+
+// node renders a finalized span subtree relative to the root's start.
+func node(s *Span, rootStart int64) Node {
+	n := Node{
+		Name:          s.name,
+		OffsetNanos:   s.start - rootStart,
+		DurationNanos: s.end - s.start,
+		Attrs:         s.attrs,
+	}
+	if len(s.children) > 0 {
+		n.Children = make([]Node, len(s.children))
+		for i, c := range s.children {
+			n.Children[i] = node(c, rootStart)
+		}
+	}
+	return n
+}
+
+func (r *Root) summary(slowest bool) Summary {
+	return Summary{
+		TraceID:       r.idHex,
+		RequestID:     r.requestID,
+		Route:         r.route,
+		Name:          r.span.name,
+		Start:         r.wallStart,
+		DurationNanos: r.span.end - r.span.start,
+		Spans:         countSpans(&r.span),
+		Slowest:       slowest,
+	}
+}
+
+func countSpans(s *Span) int {
+	n := 1
+	for _, c := range s.children {
+		n += countSpans(c)
+	}
+	return n
+}
+
+func (r *Root) view() View {
+	return View{
+		TraceID:       r.idHex,
+		RequestID:     r.requestID,
+		Route:         r.route,
+		Start:         r.wallStart,
+		DurationNanos: r.span.end - r.span.start,
+		Root:          node(&r.span, r.span.start),
+	}
+}
+
+// Recent lists completed traces, newest first: the ring's contents plus
+// any slowest-per-route reservoir entries the ring has already recycled.
+// route filters to one route when non-empty; minDuration drops faster
+// traces; limit caps the result (0 means no cap beyond the retained set).
+// Nil-safe: a nil Tracer lists nothing.
+func (t *Tracer) Recent(route string, minDuration time.Duration, limit int) []Summary {
+	if t == nil {
+		return nil
+	}
+	n := uint64(len(t.slots))
+	pos := t.pos.Load()
+	seen := make(map[*Root]bool, n)
+	var out []Summary
+
+	// Reservoir membership is read first so ring entries can be marked.
+	t.mu.Lock()
+	slowRoots := make([]*Root, 0, len(t.slowest))
+	for _, r := range t.slowest {
+		slowRoots = append(slowRoots, r)
+	}
+	t.mu.Unlock()
+	isSlowest := make(map[*Root]bool, len(slowRoots))
+	for _, r := range slowRoots {
+		isSlowest[r] = true
+	}
+
+	keep := func(r *Root) bool {
+		if r == nil || seen[r] {
+			return false
+		}
+		seen[r] = true
+		if route != "" && r.route != route {
+			return false
+		}
+		if minDuration > 0 && time.Duration(r.span.end-r.span.start) < minDuration {
+			return false
+		}
+		return true
+	}
+	for i := uint64(0); i < n && pos > i; i++ {
+		r := t.slots[(pos-1-i)%n].Load()
+		if keep(r) {
+			out = append(out, r.summary(isSlowest[r]))
+		}
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+	for _, r := range slowRoots {
+		if keep(r) {
+			out = append(out, r.summary(true))
+		}
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+	return out
+}
+
+// Lookup retrieves one retained trace by its 32-hex trace ID or by the
+// request ID it is correlated with. Nil-safe.
+func (t *Tracer) Lookup(id string) (View, bool) {
+	if t == nil || id == "" {
+		return View{}, false
+	}
+	match := func(r *Root) bool {
+		return r != nil && (r.idHex == id || r.requestID == id)
+	}
+	// Newest ring entry wins (a request ID could in principle recur).
+	n := uint64(len(t.slots))
+	pos := t.pos.Load()
+	for i := uint64(0); i < n && pos > i; i++ {
+		if r := t.slots[(pos-1-i)%n].Load(); match(r) {
+			return r.view(), true
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.slowest {
+		if match(r) {
+			return r.view(), true
+		}
+	}
+	return View{}, false
+}
