@@ -1,0 +1,71 @@
+// Package analysis is a deliberately minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that svtlint's analyzers need.
+//
+// The main module is zero-dependency by policy and this build environment is
+// offline, so vendoring x/tools is not an option. The subset kept here is the
+// part that matters for single-package syntax+types analyzers: an Analyzer
+// with a name, a doc string and a Run function, and a Pass carrying one
+// type-checked package. Facts, Requires chains and SuggestedFixes are out of
+// scope; an analyzer that grows to need them is the signal to revisit the
+// dependency decision.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nolint:svtlint/<name> suppressions. It must be a valid identifier.
+	Name string
+
+	// Doc is the mandatory help text: first line is a one-sentence summary,
+	// the rest explains the invariant and the sanctioned alternatives.
+	Doc string
+
+	// Run applies the check to one package unit and reports diagnostics via
+	// pass.Report/Reportf. The returned value is ignored by the driver (it
+	// exists to keep Run signatures source-compatible with x/tools).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one type-checked package unit through an analyzer. A unit is
+// either a package together with its in-package _test.go files, or an
+// external test package (package foo_test).
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Module is the module path of the tree under analysis
+	// (e.g. "github.com/dpgo/svt", or "svtfix" in analysistest fixtures).
+	Module string
+
+	// RelPath is the package directory relative to the module root, with
+	// forward slashes; "" for the root package. Analyzers scope themselves
+	// with this rather than the import path so that fixture trees exercise
+	// the same path logic as the real repository.
+	RelPath string
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding. End is optional.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos
+	Message string
+}

@@ -1,0 +1,78 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"net/textproto"
+	"strconv"
+
+	"github.com/dpgo/svt/lint/analysis"
+)
+
+// headerMethods are the http.Header methods that canonicalize their key
+// argument on every call when it is not already in canonical form.
+var headerMethods = map[string]bool{
+	"Get": true, "Set": true, "Del": true, "Add": true, "Values": true,
+}
+
+// Canonheader requires string literals passed to http.Header methods to be
+// pre-canonicalized.
+var Canonheader = &analysis.Analyzer{
+	Name: "canonheader",
+	Doc: `string literals passed to http.Header.Get/Set/Del/Add/Values must be canonical
+
+net/http canonicalizes non-canonical keys on every call, which costs an
+allocation per request on hot paths — a non-canonical Get("traceparent")
+cost the PR 7 traced hot path one alloc/req and was only found by hand
+against the ≤10 allocs/req pin. Write the MIME-canonical form the way
+textproto.CanonicalMIMEHeaderKey would ("Traceparent", "X-Request-Id",
+"Content-Type") so the fast already-canonical path is taken. This applies in
+tests too: test literals get copy-pasted into production code.`,
+	Run: runCanonheader,
+}
+
+func runCanonheader(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !headerMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isHTTPHeader(pass.TypesInfo, sel) {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			key, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if canon := textproto.CanonicalMIMEHeaderKey(key); canon != key {
+				pass.Reportf(lit.Pos(),
+					"non-canonical header key %q forces a canonicalization alloc in http.Header.%s; write %q",
+					key, sel.Sel.Name, canon)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isHTTPHeader reports whether sel selects a method on net/http.Header.
+func isHTTPHeader(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	named := namedOrAlias(s.Recv())
+	return named != nil &&
+		named.Obj().Name() == "Header" &&
+		named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "net/http"
+}

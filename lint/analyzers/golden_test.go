@@ -1,0 +1,58 @@
+package analyzers_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dpgo/svt/lint/analysistest"
+	"github.com/dpgo/svt/lint/analyzers"
+)
+
+func fixture(elems ...string) string {
+	return filepath.Join(append([]string{"..", "testdata", "src"}, elems...)...)
+}
+
+// TestGolden runs every registered analyzer against its violating and clean
+// fixture trees: the violating tree must produce diagnostics (each matched
+// by a // want comment), the clean tree must produce none.
+func TestGolden(t *testing.T) {
+	for _, a := range analyzers.All() {
+		t.Run(a.Name+"/violating", func(t *testing.T) {
+			diags := analysistest.Run(t, fixture(a.Name, "violating"), a)
+			if len(diags) == 0 {
+				t.Fatalf("%s produced no diagnostics on its violating fixture", a.Name)
+			}
+		})
+		t.Run(a.Name+"/clean", func(t *testing.T) {
+			if diags := analysistest.Run(t, fixture(a.Name, "clean"), a); len(diags) != 0 {
+				t.Fatalf("%s produced %d diagnostics on its clean fixture", a.Name, len(diags))
+			}
+		})
+	}
+}
+
+// TestRegistryMeta asserts the registration contract: unique names, a real
+// doc string (summary line + rationale) and golden fixtures for every
+// analyzer, so an undocumented or untested analyzer cannot ship.
+func TestRegistryMeta(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analyzers.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v missing Name, Doc or Run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Doc) < 80 {
+			t.Errorf("%s: doc string is a stub (%d bytes); document the invariant and the sanctioned alternative", a.Name, len(a.Doc))
+		}
+		for _, kind := range []string{"violating", "clean"} {
+			dir := fixture(a.Name, kind)
+			if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+				t.Errorf("%s: missing %s fixture tree at %s", a.Name, kind, dir)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/dpgo/svt/lint/analysis"
+)
+
+// hotpathDirective marks a function (doc comment) or a whole file (comment
+// above the package clause) as allocation/syscall-budgeted hot path.
+const hotpathDirective = "//svt:hotpath"
+
+// hotclockBanned maps package path -> banned function names -> sanctioned
+// replacement hint.
+var hotclockBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "telemetry.Now (one cheap monotonic read, sampled)",
+		"Since": "a telemetry.Now delta",
+	},
+	"fmt": {
+		"Sprintf":  "pooled encoding (server/persist.go idiom) or strconv.Append*",
+		"Sprint":   "pooled encoding or strconv.Append*",
+		"Sprintln": "pooled encoding or strconv.Append*",
+	},
+}
+
+// Hotclock bans wall-clock reads and fmt formatting in //svt:hotpath scope.
+var Hotclock = &analysis.Analyzer{
+	Name: "hotclock",
+	Doc: `no time.Now/time.Since or fmt.Sprint* inside //svt:hotpath scope
+
+Functions on the per-request fast path hold a measured budget (the ≤10
+allocs/req pin, the ~4% telemetry overhead ceiling). Mark them with a
+//svt:hotpath line in the function doc comment — or mark a whole file with
+the directive above its package clause — and this check bans the two
+regressions that have actually bitten: raw clock reads (time.Now,
+time.Since; use telemetry.Now, which is a single monotonic read and is what
+the sampled instrumentation expects) and fmt.Sprintf/Sprint/Sprintln
+(allocate per call; use the pooled-encoder idiom from server/persist.go or
+strconv.Append*). Error paths that need formatting belong in a separate
+unmarked function.`,
+	Run: runHotclock,
+}
+
+func runHotclock(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		fileHot := fileMarkedHot(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fileHot || commentHasDirective(fd.Doc) {
+				checkHotFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// fileMarkedHot reports whether a //svt:hotpath line appears above the
+// package clause.
+func fileMarkedHot(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		if commentHasDirective(cg) {
+			return true
+		}
+	}
+	return commentHasDirective(f.Doc)
+}
+
+func commentHasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if hint, banned := hotclockBanned[fn.Pkg().Path()][fn.Name()]; banned {
+			pass.Reportf(call.Pos(),
+				"%s.%s inside //svt:hotpath function %s; use %s",
+				fn.Pkg().Name(), fn.Name(), fd.Name.Name, hint)
+		}
+		return true
+	})
+}

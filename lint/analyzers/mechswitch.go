@@ -1,0 +1,127 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"github.com/dpgo/svt/lint/analysis"
+)
+
+// mechanismDirs are the module-relative directories that define concrete
+// mechanism implementations. The root package holds svt.Sparse.
+var mechanismDirs = []string{"", "mech", "internal/core", "variants", "pmw"}
+
+// mechanismNames are the registered mechanism kind strings. A switch in
+// server/ dispatching on two or more of them is per-mechanism dispatch that
+// belongs behind mech.Registry.
+var mechanismNames = map[string]bool{
+	"sparse":   true,
+	"proposed": true,
+	"dpbook":   true,
+	"pmw":      true,
+	"esvt":     true,
+}
+
+// Mechswitch enforces the PR 4 registry invariant: server/ holds exactly one
+// mech.Instance per session and contains zero mechanism-kind dispatch.
+var Mechswitch = &analysis.Analyzer{
+	Name: "mechswitch",
+	Doc: `server/ must not dispatch on mechanism kinds or concrete mechanism types
+
+The registry refactor (PR 4) left server/session.go holding exactly one
+mech.Instance; adding a mechanism must require zero server edits. This check
+flags, anywhere under server/: (a) type assertions and type-switch cases
+whose target is a concrete (non-interface) type defined in a mechanism
+package (the root svt package, mech/, internal/core/, variants/, pmw/) —
+asserting to capability interfaces like mech.Seeder remains fine; and
+(b) switch statements dispatching on two or more registered mechanism-name
+string literals ("sparse", "proposed", "dpbook", "pmw", "esvt"). Route new
+per-mechanism behavior through a mech.Registry capability flag or a new
+mech.Instance method instead.`,
+	Run: runMechswitch,
+}
+
+func runMechswitch(pass *analysis.Pass) (any, error) {
+	if !underDir(pass.RelPath, "server") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeAssertExpr:
+				if n.Type != nil { // nil inside a type switch; cases handled below
+					checkAssertedType(pass, n.Type)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, texpr := range cc.List {
+						checkAssertedType(pass, texpr)
+					}
+				}
+			case *ast.SwitchStmt:
+				checkStringSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkAssertedType flags T in x.(T) / case T: when T is a concrete type
+// defined in a mechanism package.
+func checkAssertedType(pass *analysis.Pass, texpr ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[texpr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return // capability-interface assertions are the sanctioned pattern
+	}
+	named := namedOrAlias(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	rel, local := relOf(pass.Module, named.Obj().Pkg().Path())
+	if !local {
+		return
+	}
+	for _, d := range mechanismDirs {
+		if underDir(rel, d) {
+			pass.Reportf(texpr.Pos(),
+				"type assertion to concrete mechanism type %s in server/ bypasses the mech.Instance registry; add a capability interface or instance method instead",
+				types.TypeString(tv.Type, nil))
+			return
+		}
+	}
+}
+
+// checkStringSwitch flags switches whose cases compare against two or more
+// registered mechanism-name literals.
+func checkStringSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	seen := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			lit, ok := ast.Unparen(e).(*ast.BasicLit)
+			if !ok {
+				continue
+			}
+			if s, err := strconv.Unquote(lit.Value); err == nil && mechanismNames[s] {
+				seen[s] = true
+			}
+		}
+	}
+	if len(seen) >= 2 {
+		pass.Reportf(sw.Pos(),
+			"switch dispatches on %d mechanism-name literals in server/; mechanism behavior belongs behind mech.Registry capabilities, not kind switches",
+			len(seen))
+	}
+}

@@ -1,0 +1,22 @@
+// Package analyzers holds svtlint's repo-specific checks. Each analyzer
+// machine-enforces one invariant that previously existed only as prose in
+// ROADMAP.md or a code comment; see lint/doc.go for the catalog and the
+// policy for adding a new one.
+package analyzers
+
+import "github.com/dpgo/svt/lint/analysis"
+
+// All returns every registered analyzer, in stable order. Adding an analyzer
+// here is what registers it with the svtlint multichecker, the analysistest
+// meta-test (which requires a doc string and golden fixtures) and the
+// //nolint:svtlint/<name> namespace.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Canonheader,
+		Floateq,
+		Hotclock,
+		Mechswitch,
+		Noretain,
+		Seededrand,
+	}
+}

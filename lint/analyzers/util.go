@@ -1,0 +1,59 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// relOf maps an import path to its module-relative directory. ok is false
+// for paths outside the analyzed module (stdlib).
+func relOf(module, pkgPath string) (rel string, ok bool) {
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	if pkgPath == module {
+		return "", true
+	}
+	if after, found := strings.CutPrefix(pkgPath, module+"/"); found {
+		return after, true
+	}
+	return "", false
+}
+
+// underDir reports whether rel is dir or below it. underDir(rel, "") is true
+// only for the module root itself.
+func underDir(rel, dir string) bool {
+	if dir == "" {
+		return rel == ""
+	}
+	return rel == dir || strings.HasPrefix(rel, dir+"/")
+}
+
+// staticCallee resolves the *types.Func a call statically dispatches to, or
+// nil for calls through function values, builtins and type conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isFunc reports whether fn is the function or method pkgPath.name.
+func isFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// namedOrAlias unwraps pointers and aliases to the defining *types.Named, or
+// nil for unnamed types.
+func namedOrAlias(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,135 @@
+// Command svtlint is the multichecker for this repository's machine-enforced
+// invariants. It type-checks the target module from source (offline,
+// stdlib-only — see lint/loader) and runs every analyzer registered in
+// lint/analyzers over each package, including _test.go units.
+//
+// Usage:
+//
+//	svtlint [-root dir] [-tests=false] [-list] [patterns...]
+//
+// Patterns default to ./... relative to -root. CI runs it from the lint
+// module against the main module as:
+//
+//	go run ./cmd/svtlint -root .. ./...
+//
+// Findings print as file:line:col: message (svtlint/<analyzer>) and any
+// finding makes the exit status 1. Suppressions use
+// //nolint:svtlint/<name> // reason — the reason is mandatory (see
+// lint/nolint).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/dpgo/svt/lint/analysis"
+	"github.com/dpgo/svt/lint/analyzers"
+	"github.com/dpgo/svt/lint/loader"
+	"github.com/dpgo/svt/lint/nolint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("svtlint", flag.ExitOnError)
+	root := fs.String("root", ".", "module root to analyze")
+	tests := fs.Bool("tests", true, "also analyze _test.go units")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range analyzers.All() {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, summary)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := loader.Load(loader.Config{Root: *root, Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "svtlint: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(stderr, "svtlint: no packages matched")
+		return 2
+	}
+
+	var findings []nolint.Finding
+	var allFiles []*ast.File
+	fset := pkgs[0].Fset
+	for _, pkg := range pkgs {
+		allFiles = append(allFiles, pkg.Files...)
+		for _, a := range analyzers.All() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Module:    moduleOf(pkg),
+				RelPath:   pkg.RelPath,
+				Report: func(d analysis.Diagnostic) {
+					findings = append(findings, nolint.Finding{
+						Position: pkg.Fset.Position(d.Pos),
+						Analyzer: a.Name,
+						Message:  d.Message,
+					})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "svtlint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				return 2
+			}
+		}
+	}
+
+	findings = nolint.Apply(fset, allFiles, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+
+	absRoot, _ := filepath.Abs(*root)
+	for _, f := range findings {
+		name := f.Position.Filename
+		if rel, err := filepath.Rel(absRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s (svtlint/%s)\n",
+			name, f.Position.Line, f.Position.Column, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "svtlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// moduleOf recovers the module path from a unit's import path and relative
+// directory (the loader guarantees PkgPath = module[/rel][_test]).
+func moduleOf(pkg *loader.Package) string {
+	p := strings.TrimSuffix(pkg.PkgPath, "_test")
+	if pkg.RelPath == "" {
+		return p
+	}
+	return strings.TrimSuffix(p, "/"+pkg.RelPath)
+}

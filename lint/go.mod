@@ -1,0 +1,3 @@
+module github.com/dpgo/svt/lint
+
+go 1.24

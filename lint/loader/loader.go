@@ -1,0 +1,374 @@
+// Package loader type-checks the packages of one Go module from source using
+// only the standard library.
+//
+// It exists because this environment builds offline: golang.org/x/tools
+// (go/packages, go/analysis) cannot be fetched, so svtlint carries its own
+// small loader. Imports are resolved two ways — module-local paths map onto
+// directories under the module root, everything else must be a GOROOT
+// standard-library package type-checked from $GOROOT/src. The module under
+// analysis is required to be dependency-free, which the main repository is by
+// policy; an unresolvable third-party import is a hard error.
+//
+// Dependencies are type-checked with IgnoreFuncBodies (only their exported
+// shape matters); the requested target packages get full bodies plus a
+// populated types.Info, and are additionally loaded as test units: the
+// package including its in-package _test.go files, and the external
+// package foo_test if present.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit.
+type Package struct {
+	// PkgPath is the import path ("github.com/dpgo/svt/server"); external
+	// test units carry the "_test" suffix.
+	PkgPath string
+	// RelPath is the package directory relative to the module root
+	// (forward slashes, "" for the root package).
+	RelPath string
+	// IsTestUnit reports whether the unit includes _test.go files.
+	IsTestUnit bool
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Config describes the module to load.
+type Config struct {
+	// Root is the module root directory (must contain the analyzed
+	// packages; a go.mod is only required when Module is unset).
+	Root string
+	// Module is the module path. If empty it is read from Root/go.mod.
+	Module string
+	// Tests controls whether _test.go units are produced for targets.
+	Tests bool
+}
+
+// Load type-checks the packages selected by patterns. A pattern is either
+// "./..." (every package under Root, skipping testdata, hidden dirs and
+// nested modules) or a directory path relative to Root such as "./server" or
+// "server".
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	module := cfg.Module
+	if module == "" {
+		module, err = modulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ld := &loader{
+		root:    root,
+		module:  module,
+		fset:    token.NewFileSet(),
+		ctxt:    buildContext(),
+		pkgs:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+
+	dirs, err := ld.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*Package
+	for _, rel := range dirs {
+		units, err := ld.loadTarget(rel, cfg.Tests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, units...)
+	}
+	return out, nil
+}
+
+type loader struct {
+	root    string
+	module  string
+	fset    *token.FileSet
+	ctxt    *build.Context
+	pkgs    map[string]*types.Package // import cache: path -> dep package (no tests, no bodies)
+	loading map[string]bool           // cycle guard
+}
+
+// buildContext is build.Default narrowed for offline source type-checking:
+// cgo off so that pure-Go fallback files are selected everywhere.
+func buildContext() *build.Context {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &ctxt
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if after, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(after), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// expand turns patterns into a sorted list of module-relative package dirs.
+func (ld *loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := ld.walk("", add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			base = strings.TrimPrefix(base, "./")
+			if err := ld.walk(base, add); err != nil {
+				return nil, err
+			}
+		default:
+			add(strings.TrimPrefix(pat, "./"))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// walk visits every directory under rel that contains Go files, skipping
+// testdata, hidden/underscore dirs and nested modules.
+func (ld *loader) walk(rel string, add func(string)) error {
+	dir := filepath.Join(ld.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	hasGo := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				continue
+			}
+			sub := path.Join(rel, name)
+			// A nested go.mod marks a separate module: stay out.
+			if _, err := os.Stat(filepath.Join(dir, name, "go.mod")); err == nil {
+				continue
+			}
+			if err := ld.walk(sub, add); err != nil {
+				return err
+			}
+			continue
+		}
+		if strings.HasSuffix(name, ".go") {
+			hasGo = true
+		}
+	}
+	if hasGo {
+		add(rel)
+	}
+	return nil
+}
+
+// Import implements types.Importer for dependency resolution.
+func (ld *loader) Import(ipath string) (*types.Package, error) {
+	if ipath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ld.pkgs[ipath]; ok {
+		return pkg, nil
+	}
+	if ld.loading[ipath] {
+		return nil, fmt.Errorf("import cycle through %q", ipath)
+	}
+	dir, err := ld.dirFor(ipath)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := ld.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %v", ipath, err)
+	}
+	files, err := ld.parseFiles(dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	ld.loading[ipath] = true
+	defer delete(ld.loading, ipath)
+
+	conf := types.Config{
+		Importer:         ld,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		// Dependencies only contribute their exported shape; tolerate
+		// non-fatal issues rather than aborting the whole run.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(ipath, ld.fset, files, nil)
+	if err != nil && pkg == nil {
+		return nil, fmt.Errorf("type-checking %q: %v", ipath, err)
+	}
+	pkg.MarkComplete()
+	ld.pkgs[ipath] = pkg
+	return pkg, nil
+}
+
+// dirFor resolves an import path to a directory: module-local first, then
+// GOROOT. Anything else is an error by the zero-dependency policy.
+func (ld *loader) dirFor(ipath string) (string, error) {
+	if ipath == ld.module {
+		return ld.root, nil
+	}
+	if after, ok := strings.CutPrefix(ipath, ld.module+"/"); ok {
+		return filepath.Join(ld.root, filepath.FromSlash(after)), nil
+	}
+	dir := filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(ipath))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	return "", fmt.Errorf("cannot resolve import %q: not module-local and not in GOROOT (the analyzed module must be dependency-free)", ipath)
+}
+
+func (ld *loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// loadTarget type-checks the package at rel with full bodies and types.Info,
+// producing up to three units: the plain package, the package with its
+// in-package tests, and the external test package.
+func (ld *loader) loadTarget(rel string, tests bool) ([]*Package, error) {
+	dir := filepath.Join(ld.root, filepath.FromSlash(rel))
+	bp, err := ld.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%s: %v", rel, err)
+	}
+	ipath := ld.module
+	if rel != "" {
+		ipath = ld.module + "/" + rel
+	}
+
+	var out []*Package
+	check := func(suffix string, names []string, isTest bool) (*Package, error) {
+		files, err := ld.parseFiles(dir, names)
+		if err != nil {
+			return nil, err
+		}
+		info := newInfo()
+		var firstErr error
+		conf := types.Config{
+			Importer:    ld,
+			FakeImportC: true,
+			Error: func(e error) {
+				if firstErr == nil {
+					firstErr = e
+				}
+			},
+		}
+		pkg, err := conf.Check(ipath+suffix, ld.fset, files, info)
+		if firstErr != nil {
+			return nil, fmt.Errorf("type-checking %s%s: %v", ipath, suffix, firstErr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s%s: %v", ipath, suffix, err)
+		}
+		return &Package{
+			PkgPath:    ipath + suffix,
+			RelPath:    rel,
+			IsTestUnit: isTest,
+			Fset:       ld.fset,
+			Files:      files,
+			Types:      pkg,
+			TypesInfo:  info,
+		}, nil
+	}
+
+	if !tests {
+		if len(bp.GoFiles) > 0 {
+			unit, err := check("", bp.GoFiles, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unit)
+		}
+		return out, nil
+	}
+
+	// Unit 1: package + in-package tests (or just the package when it has
+	// no test files — one unit either way, never both, so each finding is
+	// reported once).
+	if n := len(bp.GoFiles) + len(bp.TestGoFiles); n > 0 {
+		names := append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...)
+		unit, err := check("", names, len(bp.TestGoFiles) > 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unit)
+	}
+
+	// Unit 2: external test package. It imports the same plain (no test
+	// files) view of the package under test as every other dependency, so
+	// type identity stays consistent across the import graph. This means
+	// the export_test.go pattern is unsupported — the repository does not
+	// use it, and if it ever does the loader fails loudly here.
+	if len(bp.XTestGoFiles) > 0 {
+		xunit, err := check("_test", bp.XTestGoFiles, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, xunit)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+// Package nolint implements svtlint's suppression directives.
+//
+// A finding is suppressed by a comment on the same line or the line directly
+// above it:
+//
+//	eps := spent //nolint:svtlint/floateq // exact-zero sentinel, never composed
+//	//nolint:svtlint // generated file, audited by hand
+//
+// The scope list names analyzers as svtlint/<name>; bare "svtlint" suppresses
+// every svtlint analyzer on that line. A reason after a second "//" is
+// mandatory: a directive without one is itself reported (and suppresses
+// nothing), so every escape hatch in the tree documents why it is safe.
+package nolint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rendered diagnostic.
+type Finding struct {
+	Position token.Position
+	Analyzer string // analyzer name, e.g. "floateq"
+	Message  string
+}
+
+// directive is one parsed //nolint comment.
+type directive struct {
+	pos    token.Position
+	all    bool            // bare "svtlint": every analyzer
+	names  map[string]bool // svtlint/<name> entries
+	reason string
+	other  bool // scopes only for other linters (staticcheck etc.): ignore
+}
+
+// Apply filters findings through the //nolint directives in files and
+// appends one "nolint" finding per svtlint-scoped directive that lacks a
+// reason. Files must cover every file findings point into; fset must be the
+// one that produced them.
+func Apply(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	byLine := map[string][]*directive{}
+	var malformed []*directive
+	seen := map[string]bool{} // dedup files shared across analysis units
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		if seen[fname] {
+			continue
+		}
+		seen[fname] = true
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d := parseDirective(fset.Position(c.Pos()), c.Text)
+				if d == nil || d.other {
+					continue
+				}
+				if d.reason == "" {
+					malformed = append(malformed, d)
+					continue // an undocumented escape suppresses nothing
+				}
+				k := lineKey(d.pos.Filename, d.pos.Line)
+				byLine[k] = append(byLine[k], d)
+			}
+		}
+	}
+
+	var out []Finding
+	for _, f := range findings {
+		if suppressed(byLine, f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	for _, d := range malformed {
+		out = append(out, Finding{
+			Position: d.pos,
+			Analyzer: "nolint",
+			Message:  "nolint directive needs a reason: //nolint:svtlint/<name> // <why this is safe>",
+		})
+	}
+	return out
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+func suppressed(byLine map[string][]*directive, f Finding) bool {
+	for _, line := range []int{f.Position.Line, f.Position.Line - 1} {
+		for _, d := range byLine[lineKey(f.Position.Filename, line)] {
+			if d.all || d.names[f.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseDirective parses one comment; nil when it is not a nolint comment.
+func parseDirective(pos token.Position, text string) *directive {
+	body, ok := strings.CutPrefix(strings.TrimSpace(text), "//nolint:")
+	if !ok {
+		return nil
+	}
+	scopes, reason, _ := strings.Cut(body, "//")
+	d := &directive{
+		pos:    pos,
+		names:  map[string]bool{},
+		reason: strings.TrimSpace(reason),
+		other:  true,
+	}
+	for _, scope := range strings.Split(scopes, ",") {
+		scope = strings.TrimSpace(scope)
+		switch {
+		case scope == "svtlint":
+			d.all = true
+			d.other = false
+		case strings.HasPrefix(scope, "svtlint/"):
+			d.names[strings.TrimPrefix(scope, "svtlint/")] = true
+			d.other = false
+		}
+	}
+	return d
+}

@@ -1,0 +1,86 @@
+package nolint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const src = `package p
+
+var a = 1.0 //nolint:svtlint/floateq // sentinel compare, never composed
+
+//nolint:svtlint // whole-line escape with reason
+var b = 2.0
+
+var c = 3.0 //nolint:svtlint/floateq
+
+var d = 4.0 //nolint:errcheck // other linter's namespace, not ours
+
+var e = 5.0 //nolint:svtlint/hotclock // wrong analyzer for this finding
+`
+
+func load(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func finding(fset *token.FileSet, line int, analyzer string) Finding {
+	return Finding{
+		Position: token.Position{Filename: "p.go", Line: line, Column: 5},
+		Analyzer: analyzer,
+		Message:  "exact float comparison",
+	}
+}
+
+func TestApply(t *testing.T) {
+	fset, files := load(t)
+	in := []Finding{
+		finding(fset, 3, "floateq"),  // suppressed: same-line scoped directive
+		finding(fset, 6, "floateq"),  // suppressed: bare svtlint on the line above
+		finding(fset, 8, "floateq"),  // kept: directive lacks a reason
+		finding(fset, 10, "floateq"), // kept: foreign-linter directive
+		finding(fset, 12, "floateq"), // kept: directive names a different analyzer
+	}
+	out := Apply(fset, files, in)
+
+	var kept, nolintFindings []Finding
+	for _, f := range out {
+		if f.Analyzer == "nolint" {
+			nolintFindings = append(nolintFindings, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept %d findings, want 3: %+v", len(kept), kept)
+	}
+	for i, wantLine := range []int{8, 10, 12} {
+		if kept[i].Position.Line != wantLine {
+			t.Errorf("kept[%d] at line %d, want %d", i, kept[i].Position.Line, wantLine)
+		}
+	}
+	if len(nolintFindings) != 1 {
+		t.Fatalf("got %d nolint findings, want 1 (the reason-less directive): %+v", len(nolintFindings), nolintFindings)
+	}
+	if nf := nolintFindings[0]; nf.Position.Line != 8 || !strings.Contains(nf.Message, "needs a reason") {
+		t.Errorf("unexpected nolint finding: %+v", nf)
+	}
+}
+
+func TestApplyDedupsSharedFiles(t *testing.T) {
+	fset, files := load(t)
+	// The same file appears in two analysis units (package + test unit);
+	// the reason-less directive must be reported once, not twice.
+	out := Apply(fset, append(files, files[0]), nil)
+	if len(out) != 1 {
+		t.Fatalf("got %d findings from duplicated file, want 1", len(out))
+	}
+}

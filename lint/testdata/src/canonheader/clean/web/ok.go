@@ -1,0 +1,19 @@
+package web
+
+import (
+	"net/http"
+	"net/url"
+)
+
+// Headers uses canonical literals, dynamic keys and non-Header Get methods:
+// none of these are flagged.
+func Headers(h http.Header, key string) string {
+	h.Set("X-Request-Id", "1")
+	h.Del("Content-Type")
+	_ = h.Get(key) // dynamic key: the caller owns canonicalization
+
+	// url.Values has the same method set but no canonicalization cost.
+	v := url.Values{}
+	v.Set("traceparent", "00-abc-def-01")
+	return h.Get("Traceparent") + v.Get("traceparent")
+}

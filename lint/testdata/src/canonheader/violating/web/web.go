@@ -1,0 +1,14 @@
+package web
+
+import "net/http"
+
+// Headers exercises every checked http.Header method with a non-canonical
+// literal key.
+func Headers(h http.Header, r *http.Request, w http.ResponseWriter) string {
+	h.Set("x-request-id", "1")      // want `non-canonical header key "x-request-id".*"X-Request-Id"`
+	_ = r.Header.Get("traceparent") // want `non-canonical header key "traceparent".*"Traceparent"`
+	w.Header().Del("content-type")  // want `non-canonical header key "content-type".*"Content-Type"`
+	_ = h.Values("aCCept")          // want `non-canonical header key "aCCept".*"Accept"`
+	h.Add("retry-after", "1")       // want `non-canonical header key "retry-after".*"Retry-After"`
+	return h.Get("Accept")
+}

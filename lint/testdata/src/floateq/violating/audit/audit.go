@@ -1,0 +1,6 @@
+package audit
+
+// Matches compares empirical and analytic epsilon exactly.
+func Matches(empirical, analytic float64) bool {
+	return empirical == analytic // want `floating-point == comparison`
+}

@@ -1,0 +1,6 @@
+package mech
+
+// Halted compares a float32 budget exactly; both float widths are covered.
+func Halted(left float32) bool {
+	return left == 0 // want `floating-point == comparison`
+}

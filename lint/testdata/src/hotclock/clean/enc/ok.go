@@ -1,0 +1,24 @@
+package enc
+
+import (
+	"strconv"
+	"time"
+)
+
+// coarseNow stands in for telemetry.Now: the sanctioned clock helper.
+func coarseNow() int64 { return int64(time.Since(epoch)) }
+
+var epoch = time.Now()
+
+// Encode is marked and uses only sanctioned forms.
+//
+//svt:hotpath
+func Encode(buf []byte, v int64) []byte {
+	start := coarseNow()
+	buf = strconv.AppendInt(buf, v, 10)
+	buf = strconv.AppendInt(buf, coarseNow()-start, 10)
+	return buf
+}
+
+// Slow is unmarked: wall-clock reads and fmt are fine off the fast path.
+func Slow() string { return time.Now().String() }

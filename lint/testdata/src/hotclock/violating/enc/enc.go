@@ -1,0 +1,16 @@
+package enc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Encode is on the per-request fast path.
+//
+//svt:hotpath
+func Encode(buf []byte, v int64) []byte {
+	now := time.Now()         // want `time.Now inside //svt:hotpath function Encode`
+	_ = time.Since(now)       // want `time.Since inside //svt:hotpath function Encode`
+	s := fmt.Sprintf("%d", v) // want `fmt.Sprintf inside //svt:hotpath function Encode`
+	return append(buf, s...)
+}

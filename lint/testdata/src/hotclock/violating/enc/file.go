@@ -1,0 +1,9 @@
+//svt:hotpath — the whole file is request fast path
+package enc
+
+import "time"
+
+// Stamp is covered by the file-level directive.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now inside //svt:hotpath function Stamp`
+}

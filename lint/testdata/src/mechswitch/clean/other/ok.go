@@ -1,0 +1,22 @@
+// Package other is outside server/: concrete mechanism asserts are allowed
+// (conformance tests and adapters need them).
+package other
+
+import (
+	"svtfix/mech"
+	"svtfix/variants"
+)
+
+// Concrete asserts outside server/ are not flagged.
+func Concrete(i mech.Instance) float64 {
+	if g, ok := i.(*variants.Gap); ok {
+		return g.Rho
+	}
+	switch kind := "sparse"; kind {
+	case "sparse":
+		return 1
+	case "pmw":
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,27 @@
+package server
+
+import "svtfix/mech"
+
+// Route uses only sanctioned patterns: capability-interface assertions, a
+// single mechanism-name comparison (not a dispatch table) and switches on
+// unrelated strings.
+func Route(i mech.Instance, kind, fsync string) int {
+	if s, ok := i.(mech.Seeder); ok { // capability interface: fine
+		s.Seed(1)
+	}
+	if kind == "sparse" { // single-name special case, not a dispatch table
+		return 1
+	}
+	switch fsync { // unrelated string switch
+	case "always":
+		return 2
+	case "interval":
+		return 3
+	}
+	type local struct{ n int }
+	var v any = local{n: 4}
+	if l, ok := v.(local); ok { // concrete assert to a server-local type: fine
+		return l.n
+	}
+	return 0
+}

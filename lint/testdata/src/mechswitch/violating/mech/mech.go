@@ -1,0 +1,11 @@
+package mech
+
+// Instance is the registry's one handle on a mechanism.
+type Instance interface {
+	Answer(q float64) bool
+}
+
+// Seeder is a capability interface: asserting to it is sanctioned.
+type Seeder interface {
+	Seed(s int64)
+}

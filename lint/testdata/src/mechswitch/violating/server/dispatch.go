@@ -1,0 +1,26 @@
+package server
+
+import (
+	svt "svtfix"
+	"svtfix/mech"
+	"svtfix/variants"
+)
+
+// Dispatch reintroduces every pre-registry dispatch pattern PR 4 deleted.
+func Dispatch(i mech.Instance, kind string) int {
+	if s, ok := i.(*svt.Sparse); ok { // want `type assertion to concrete mechanism type`
+		_ = s
+		return 1
+	}
+	switch i.(type) {
+	case *variants.Gap: // want `type assertion to concrete mechanism type`
+		return 2
+	}
+	switch kind { // want `switch dispatches on 2 mechanism-name literals`
+	case "sparse":
+		return 3
+	case "pmw":
+		return 4
+	}
+	return 0
+}

@@ -1,0 +1,9 @@
+// Package svtfix stands in for the root svt package: it defines a concrete
+// mechanism.
+package svtfix
+
+// Sparse is a concrete mechanism implementation.
+type Sparse struct{ Eps float64 }
+
+// Answer implements the fixture mech.Instance.
+func (s *Sparse) Answer(q float64) bool { return q > s.Eps }

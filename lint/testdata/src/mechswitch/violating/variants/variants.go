@@ -1,0 +1,7 @@
+package variants
+
+// Gap is a concrete mechanism implementation.
+type Gap struct{ Rho float64 }
+
+// Answer implements the fixture mech.Instance.
+func (g *Gap) Answer(q float64) bool { return q > g.Rho }

@@ -1,0 +1,9 @@
+// Package store mirrors the real store.Event shape.
+package store
+
+// Event is an opaque journal record; Data is pooled by the caller.
+type Event struct {
+	Kind byte
+	ID   string
+	Data []byte
+}

@@ -1,0 +1,25 @@
+// Package rng mirrors the real internal/rng: the one sanctioned place that
+// touches crypto/rand (for seed material).
+package rng
+
+import "crypto/rand"
+
+// Source stands in for the journaled PRNG.
+type Source struct{ seed uint64 }
+
+// New seeds a Source from the OS entropy pool.
+func New() *Source {
+	var b [8]byte
+	rand.Read(b[:])
+	var s uint64
+	for _, x := range b {
+		s = s<<8 | uint64(x)
+	}
+	return &Source{seed: s}
+}
+
+// Uint64 is a placeholder draw.
+func (s *Source) Uint64() uint64 {
+	s.seed = s.seed*6364136223846793005 + 1442695040888963407
+	return s.seed
+}

@@ -1,0 +1,7 @@
+// Package server is not privacy-critical: ID minting may use math/rand/v2.
+package server
+
+import "math/rand/v2"
+
+// MintID mints a correlation handle, not noise.
+func MintID() uint64 { return rand.Uint64() }

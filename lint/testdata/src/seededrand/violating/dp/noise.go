@@ -1,0 +1,7 @@
+package dp
+
+import "math/rand" // want `privacy-critical package "dp" imports "math/rand"`
+
+// Noise draws unseeded, unjournaled noise: exactly the bug class seededrand
+// exists to catch.
+func Noise() float64 { return rand.Float64() }

@@ -1,0 +1,6 @@
+package core
+
+import "math/rand/v2" // want `privacy-critical package "internal/core" imports "math/rand/v2"`
+
+// Draw uses the global v2 generator, which has no journaled stream position.
+func Draw() uint64 { return rand.Uint64() }

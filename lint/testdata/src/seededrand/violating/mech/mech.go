@@ -1,0 +1,11 @@
+package mech
+
+import "crypto/rand" // want `privacy-critical package "mech" imports "crypto/rand"`
+
+// SeedBytes bypasses internal/rng: the draw is not replayable from the
+// journal.
+func SeedBytes(n int) []byte {
+	b := make([]byte, n)
+	rand.Read(b)
+	return b
+}
