@@ -88,7 +88,7 @@ func Run(s Scenario, trials int, seed uint64) (Estimate, error) {
 	loD, _ := stats.WilsonInterval(countD, trials, 0.05)
 	_, hiDP := stats.WilsonInterval(countDP, trials, 0.05)
 	switch {
-	case hiDP == 0:
+	case hiDP <= 0: // degenerate interval: avoid dividing by zero
 		est.RatioLower = math.Inf(1)
 	default:
 		est.RatioLower = loD / hiDP

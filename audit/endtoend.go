@@ -66,7 +66,7 @@ func RunSelectionAudit(a SelectionAudit, trials int, seed uint64) (Estimate, err
 	}
 	loD, _ := stats.WilsonInterval(countD, trials, 0.05)
 	_, hiDP := stats.WilsonInterval(countDP, trials, 0.05)
-	if hiDP == 0 {
+	if hiDP <= 0 { // degenerate interval: avoid dividing by zero
 		est.RatioLower = math.Inf(1)
 	} else {
 		est.RatioLower = loD / hiDP
