@@ -44,7 +44,7 @@ func PerStepEpsilon(k int, totalEpsilon, deltaPrime float64) (float64, error) {
 	lo, hi := 0.0, totalEpsilon // per-step ε never exceeds the total
 	for i := 0; i < 200; i++ {
 		mid := (lo + hi) / 2
-		if mid == lo || mid == hi {
+		if mid == lo || mid == hi { //nolint:svtlint/floateq // bisection termination: exact equality detects that [lo,hi] has no representable midpoint
 			break
 		}
 		got, err := AdvancedComposition(k, mid, deltaPrime)
@@ -57,7 +57,7 @@ func PerStepEpsilon(k int, totalEpsilon, deltaPrime float64) (float64, error) {
 			lo = mid
 		}
 	}
-	if lo == 0 {
+	if lo <= 0 {
 		return 0, fmt.Errorf("dp: no positive per-step epsilon satisfies the target")
 	}
 	return lo, nil
