@@ -41,7 +41,7 @@ func newESVT(p Params) (Instance, error) {
 	if err := rejectHistogramParams("esvt", p); err != nil {
 		return nil, err
 	}
-	if p.AnswerFraction != 0 {
+	if isSet(p.AnswerFraction) {
 		return nil, fmt.Errorf("mech: esvt releases indicators only, answerFraction is not supported (use sparse)")
 	}
 	if !(p.Epsilon > 0) || math.IsInf(p.Epsilon, 0) {

@@ -49,9 +49,16 @@ type Params struct {
 	LearningRate   float64
 }
 
+// isSet reports whether an optional float parameter was supplied. This is
+// the one sanctioned exact float comparison in the package: 0 is the
+// JSON-absent sentinel, assigned, never the result of budget arithmetic.
+func isSet(x float64) bool {
+	return x != 0 //nolint:svtlint/floateq // 0 is the unset-param sentinel, never computed
+}
+
 // delta returns the sensitivity with the package-wide default applied.
 func (p Params) delta() float64 {
-	if p.Sensitivity == 0 {
+	if !isSet(p.Sensitivity) {
 		return 1
 	}
 	return p.Sensitivity
@@ -210,7 +217,7 @@ func rejectHistogramParams(name string, p Params) error {
 	if len(p.Histogram) > 0 {
 		return fmt.Errorf("mech: histogram is not valid for %s sessions", name)
 	}
-	if p.UpdateFraction != 0 || p.LearningRate != 0 {
+	if isSet(p.UpdateFraction) || isSet(p.LearningRate) {
 		return fmt.Errorf("mech: updateFraction/learningRate are not valid for %s sessions", name)
 	}
 	return nil

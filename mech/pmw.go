@@ -36,7 +36,7 @@ func newPMW(p Params) (Instance, error) {
 	if p.Monotonic {
 		return nil, fmt.Errorf("mech: pmw does not support the monotonic refinement")
 	}
-	if p.AnswerFraction != 0 {
+	if isSet(p.AnswerFraction) {
 		return nil, fmt.Errorf("mech: pmw does not support answerFraction (every answer is numeric; updateFraction tunes the split)")
 	}
 	e, err := pmw.New(pmw.Config{

@@ -49,7 +49,7 @@ func newVariant(name string, build func(epsilon, delta float64, c int, seed uint
 	if p.Monotonic {
 		return nil, fmt.Errorf("mech: %s does not support the monotonic refinement (use sparse)", name)
 	}
-	if p.AnswerFraction != 0 {
+	if isSet(p.AnswerFraction) {
 		return nil, fmt.Errorf("mech: %s does not support ε₃ numeric releases (use sparse)", name)
 	}
 	s, err := build(p.Epsilon, p.delta(), p.MaxPositives, p.Seed)
