@@ -229,6 +229,19 @@ func (a *API) countEncodeFailure(err error) {
 	a.logf("server: response encode/write failed (response truncated): %v", err)
 }
 
+// writeBodyTooLarge and writeBatchTooLarge format the two 413 responses.
+// They live outside the //svt:hotpath scope on purpose: a request that
+// trips a cap is already off the fast path, so it may pay for fmt.
+func (a *API) writeBodyTooLarge(w http.ResponseWriter) {
+	a.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+		fmt.Sprintf("request body exceeds %d bytes", a.cfg.MaxBodyBytes))
+}
+
+func (a *API) writeBatchTooLarge(w http.ResponseWriter, n int) {
+	a.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+		fmt.Sprintf("batch of %d exceeds the cap of %d", n, a.cfg.MaxBatch))
+}
+
 // decodeBody decodes one JSON value, enforcing the body-size cap and
 // rejecting trailing garbage. It writes the error response itself and
 // reports success.
@@ -238,8 +251,7 @@ func (a *API) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			a.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", a.cfg.MaxBodyBytes))
+			a.writeBodyTooLarge(w)
 			return false
 		}
 		a.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
@@ -342,6 +354,8 @@ var queryPool = sync.Pool{New: func() any {
 
 // readBody slurps the request body into buf's backing array, growing it as
 // needed (the MaxBytesReader wrapper bounds the total).
+//
+//svt:hotpath
 func readBody(r io.Reader, buf []byte) ([]byte, error) {
 	for {
 		if len(buf) == cap(buf) {
@@ -362,6 +376,8 @@ func readBody(r io.Reader, buf []byte) ([]byte, error) {
 // json.Unmarshal of the raw body (no Decoder allocation; Unmarshal rejects
 // trailing garbage by itself), results appended into a recycled slice, and
 // a hand-rolled response encode into a recycled buffer.
+//
+//svt:hotpath
 func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		a.methodNotAllowed(w, http.MethodPost)
@@ -411,8 +427,7 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			a.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", a.cfg.MaxBodyBytes))
+			a.writeBodyTooLarge(w)
 			return
 		}
 		a.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
@@ -433,8 +448,7 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 		a.writeError(w, http.StatusBadRequest, CodeBadRequest, "empty query batch")
 		return
 	case len(items) > a.cfg.MaxBatch:
-		a.writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
-			fmt.Sprintf("batch of %d exceeds the cap of %d", len(items), a.cfg.MaxBatch))
+		a.writeBatchTooLarge(w, len(items))
 		return
 	}
 	id := r.PathValue("id")
@@ -514,6 +528,8 @@ func (a *API) logSlowQuery(tr *QueryTrace, id string, batch int, dur int64, err 
 // would (field order, omitempty semantics, trailing newline) without
 // reflection or allocation. It reports ok=false on non-finite floats,
 // which JSON cannot carry; callers fall back to the stdlib encoder.
+//
+//svt:hotpath
 func appendBatchResultJSON(buf []byte, res *BatchResult) ([]byte, bool) {
 	buf = append(buf, `{"results":[`...)
 	for i := range res.Results {
@@ -552,6 +568,8 @@ func appendBatchResultJSON(buf []byte, res *BatchResult) ([]byte, bool) {
 // appendJSONFloat formats a finite float64 with encoding/json's exact
 // rules: shortest round-trip form, 'f' notation in the human range, 'e'
 // notation outside it with the exponent's leading zero trimmed.
+//
+//svt:hotpath
 func appendJSONFloat(buf []byte, f float64) []byte {
 	abs := math.Abs(f)
 	format := byte('f')

@@ -168,6 +168,8 @@ const (
 // nothing when buf has capacity. New optional fields go at the END behind
 // a fresh flag bit (like tenant), so records written before the field
 // existed decode unchanged.
+//
+//svt:hotpath
 func appendSessionRecord(buf []byte, rec *sessionRecord) []byte {
 	var flags byte
 	if rec.Params.Threshold != nil {
@@ -450,6 +452,8 @@ func (s *Session) takeProgress() progressDelta {
 // takeProgressLocked is takeProgress for callers already holding s.mu (the
 // query path captures the delta in the same critical section it answered
 // under).
+//
+//svt:hotpath
 func (s *Session) takeProgressLocked() progressDelta {
 	main, aux := s.inst.Draws()
 	d := progressDelta{
@@ -475,6 +479,8 @@ func (s *Session) takeProgressLocked() progressDelta {
 // state blob (uvarint length + bytes). A v1 record is the first two fields
 // alone; v2 records carried ρ/synthetic-histogram fields behind their own
 // flag bits, which decodeProgress still accepts.
+//
+//svt:hotpath
 func appendProgressDelta(buf []byte, d progressDelta) []byte {
 	buf = binary.AppendUvarint(buf, uint64(d.answered))
 	buf = binary.AppendUvarint(buf, uint64(d.positives))
@@ -703,6 +709,8 @@ func (s *Session) restoreState(rec *sessionRecord) error {
 // journalProgress appends a batch's already-captured deltas; callers hold
 // m.journalMu read-locked. Batches that changed nothing (empty results on
 // an already halted session) are not journaled.
+//
+//svt:hotpath
 func (m *SessionManager) journalProgress(s *Session, d progressDelta) error {
 	if d.answered == 0 {
 		return nil

@@ -60,12 +60,16 @@ func uvarintLen(v uint64) int {
 // recordSize returns the exact framed size appendRecord would produce for
 // ev, so the mmap append path can reserve precisely that many bytes and
 // encode in place.
+//
+//svt:hotpath
 func recordSize(ev Event) int {
 	return recordHeaderSize + 1 + uvarintLen(uint64(len(ev.ID))) + len(ev.ID) + len(ev.Data)
 }
 
 // batchRecordSize is recordSize for the batch frame appendBatchRecord
 // would produce.
+//
+//svt:hotpath
 func batchRecordSize(evs []Event) int {
 	n := recordHeaderSize + 1 + 1 // header, batchKind, empty-id uvarint
 	for _, ev := range evs {
@@ -75,6 +79,8 @@ func batchRecordSize(evs []Event) int {
 }
 
 // appendRecord encodes ev as one framed record appended to buf.
+//
+//svt:hotpath
 func appendRecord(buf []byte, ev Event) ([]byte, error) {
 	payloadLen := 1 + binary.MaxVarintLen64 + len(ev.ID) + len(ev.Data)
 	if payloadLen > MaxRecordSize {
@@ -105,6 +111,8 @@ func appendRecord(buf []byte, ev Event) ([]byte, error) {
 //
 // On error buf is returned unchanged, so callers encoding into a shared
 // group-commit buffer never leave half a frame behind.
+//
+//svt:hotpath
 func appendBatchRecord(buf []byte, evs []Event) ([]byte, error) {
 	if len(evs) == 0 {
 		return buf, fmt.Errorf("store: empty batch")
@@ -187,6 +195,8 @@ func decodeBatchPayload(data []byte) ([]Event, error) {
 // batch payload (validated here; decodeAll expands it). It returns
 // ErrTruncatedRecord when b ends mid-record and ErrCorruptRecord when the
 // record is complete but invalid.
+//
+//svt:hotpath
 func decodeRecord(b []byte) (Event, int, error) {
 	if len(b) < recordHeaderSize {
 		return Event{}, 0, ErrTruncatedRecord
