@@ -1,0 +1,495 @@
+// Package client is the Go SDK for the SVT service's binary wire
+// protocol (svtserve -wire-addr). One Client owns one connection;
+// concurrent calls pipeline their requests on it and responses are
+// matched back by request ID, so a pool of goroutines sharing a Client
+// keeps the connection's pipeline full without any per-call locking
+// beyond the write mutex.
+//
+// The SDK is registry-driven: it fetches GET /v1/mechanisms' capability
+// flags over the wire (OpMechanisms) and validates CreateParams against
+// them — seed vs seedable, histogram vs needsHistogram, cache vs
+// monotonicRefinement — so a mechanism added to the server ships in the
+// client with no SDK change, and impossible requests fail before
+// spending a round trip.
+//
+//	c, err := client.Dial("localhost:9090", client.Options{Tenant: "acme"})
+//	...
+//	sess, err := c.Create(client.CreateParams{
+//		Mechanism: "sparse", Epsilon: 1, MaxPositives: 8,
+//	})
+//	...
+//	res, err := c.Query(sess.ID, []client.QueryItem{{Query: 41, Threshold: client.Float(40)}})
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dpgo/svt/wire"
+)
+
+// Float returns a pointer to v: threshold literals in QueryItem and
+// CreateParams are pointers so an explicit 0 is distinguishable from
+// "absent".
+func Float(v float64) *float64 { return &v }
+
+// Options configures Dial.
+type Options struct {
+	// Tenant identifies the caller for rate limiting and budget
+	// attribution; carried once in the hello handshake.
+	Tenant string
+	// Traceparent, when set to a W3C traceparent, seeds trace correlation
+	// for every query on the connection (the server samples them all).
+	Traceparent string
+	// DialTimeout bounds the TCP connect + handshake; 0 means no limit.
+	DialTimeout time.Duration
+	// MaxFrameBytes caps inbound response frames; 0 means the wire
+	// default (1 MiB).
+	MaxFrameBytes int
+}
+
+// APIError is a typed error frame from the server: the HTTP API's stable
+// code vocabulary plus a retry hint for rate_limited.
+type APIError struct {
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.RetryAfter > 0 {
+		return e.Code + ": " + e.Message + " (retry after " + e.RetryAfter.String() + ")"
+	}
+	return e.Code + ": " + e.Message
+}
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("client: connection closed")
+
+// Client is one wire-protocol connection. Safe for concurrent use;
+// concurrent calls pipeline.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	nextID   atomic.Uint64
+	maxFrame int
+	hello    wire.HelloOK
+
+	mu      sync.Mutex
+	pending map[uint64]chan roundTripResult
+	err     error // first fatal connection error
+	closed  bool
+	done    chan struct{}
+
+	mechMu sync.Mutex
+	mechs  map[string]MechanismInfo
+}
+
+type roundTripResult struct {
+	op   byte
+	body []byte
+}
+
+// Dial connects, performs the hello handshake and starts the response
+// reader.
+func Dial(addr string, opts Options) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if opts.DialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	maxFrame := opts.MaxFrameBytes
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrameBytes
+	}
+	c := &Client{
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 16<<10),
+		bw:       bufio.NewWriterSize(conn, 16<<10),
+		maxFrame: maxFrame,
+		pending:  make(map[uint64]chan roundTripResult),
+		done:     make(chan struct{}),
+	}
+	if opts.DialTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(opts.DialTimeout))
+	}
+	if err := c.handshake(opts); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if opts.DialTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) handshake(opts Options) error {
+	h := wire.Hello{Version: wire.Version, Tenant: opts.Tenant, Traceparent: opts.Traceparent}
+	id := c.nextID.Add(1)
+	payload := wire.AppendHelloBody(wire.AppendHeader(nil, wire.OpHello, id), &h)
+	if err := wire.WriteFrame(c.bw, payload); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	// The reader isn't running yet: the hello response is read synchronously.
+	resp, err := wire.ReadFrame(c.br, nil, c.maxFrame)
+	if err != nil {
+		return fmt.Errorf("client: handshake read: %w", err)
+	}
+	op, gotID, body, err := wire.ParseHeader(resp)
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	if gotID != id {
+		return fmt.Errorf("client: handshake response for request %d, want %d", gotID, id)
+	}
+	if op == wire.OpError {
+		return decodeAPIError(body)
+	}
+	if op != wire.OpHelloOK {
+		return fmt.Errorf("client: unexpected handshake response op %#x", op)
+	}
+	if err := wire.DecodeHelloOKBody(body, &c.hello); err != nil {
+		return err
+	}
+	if c.hello.Version != wire.Version {
+		return fmt.Errorf("client: server speaks protocol version %d, want %d", c.hello.Version, wire.Version)
+	}
+	return nil
+}
+
+// readLoop is the single response reader: it matches frames to waiting
+// calls by request ID. Responses may arrive in any order.
+func (c *Client) readLoop() {
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(c.br, buf, c.maxFrame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		buf = payload
+		op, id, body, err := wire.ParseHeader(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			// The frame buffer is reused for the next read; hand the
+			// waiter its own copy.
+			ch <- roundTripResult{op: op, body: append([]byte(nil), body...)}
+		}
+	}
+}
+
+// fail records the first fatal error and wakes every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if c.closed {
+			c.err = ErrClosed
+		} else {
+			c.err = err
+		}
+		close(c.done)
+	}
+	c.mu.Unlock()
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	closed := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if closed {
+		return nil
+	}
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}
+
+// roundTrip sends one request payload and waits for its response frame.
+func (c *Client) roundTrip(id uint64, payload []byte) (roundTripResult, error) {
+	ch := make(chan roundTripResult, 1)
+	c.mu.Lock()
+	if c.err != nil || c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return roundTripResult{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.bw, payload)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return roundTripResult{}, err
+	}
+
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-c.done:
+		c.mu.Lock()
+		err := c.err
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return roundTripResult{}, err
+	}
+}
+
+func decodeAPIError(body []byte) error {
+	var ef wire.ErrorFrame
+	if err := wire.DecodeErrorBody(body, &ef); err != nil {
+		return err
+	}
+	return &APIError{
+		Code:       ef.Code,
+		Message:    ef.Message,
+		RetryAfter: time.Duration(ef.RetryAfterSeconds) * time.Second,
+	}
+}
+
+// expect unwraps a response: the wanted op's body, a typed APIError, or
+// a protocol error.
+func expect(res roundTripResult, op byte) ([]byte, error) {
+	switch res.op {
+	case op:
+		return res.body, nil
+	case wire.OpError:
+		return nil, decodeAPIError(res.body)
+	default:
+		return nil, fmt.Errorf("client: unexpected response op %#x, want %#x", res.op, op)
+	}
+}
+
+// Mechanisms returns the server's mechanism registry with capability
+// flags, fetched once and cached for the life of the client.
+func (c *Client) Mechanisms() ([]MechanismInfo, error) {
+	infos, err := c.mechanismTable()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MechanismInfo, 0, len(infos))
+	for _, mi := range infos {
+		out = append(out, mi)
+	}
+	return out, nil
+}
+
+func (c *Client) mechanismTable() (map[string]MechanismInfo, error) {
+	c.mechMu.Lock()
+	defer c.mechMu.Unlock()
+	if c.mechs != nil {
+		return c.mechs, nil
+	}
+	id := c.nextID.Add(1)
+	res, err := c.roundTrip(id, wire.AppendHeader(nil, wire.OpMechanisms, id))
+	if err != nil {
+		return nil, err
+	}
+	body, err := expect(res, wire.OpMechanismsOK)
+	if err != nil {
+		return nil, err
+	}
+	var mr MechanismsResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		return nil, fmt.Errorf("client: bad mechanisms body: %w", err)
+	}
+	mechs := make(map[string]MechanismInfo, len(mr.Mechanisms))
+	for _, mi := range mr.Mechanisms {
+		mechs[mi.Name] = mi
+	}
+	c.mechs = mechs
+	return mechs, nil
+}
+
+// validateCreate checks params against the server's advertised
+// capability flags, failing locally before a round trip is spent. This is
+// what makes the SDK registry-driven: a new server mechanism is usable
+// through it immediately, and requests a mechanism cannot serve are
+// refused with the reason.
+func (c *Client) validateCreate(params *CreateParams) error {
+	mechs, err := c.mechanismTable()
+	if err != nil {
+		return err
+	}
+	mi, ok := mechs[params.Mechanism]
+	if !ok {
+		names := make([]string, 0, len(mechs))
+		for name := range mechs {
+			names = append(names, name)
+		}
+		return fmt.Errorf("client: unknown mechanism %q (server offers %s)",
+			params.Mechanism, strings.Join(names, ", "))
+	}
+	if params.Seed != 0 && !mi.Seedable {
+		return fmt.Errorf("client: mechanism %q is not seedable", mi.Name)
+	}
+	if mi.NeedsHistogram && len(params.Histogram) == 0 {
+		return fmt.Errorf("client: mechanism %q requires a histogram", mi.Name)
+	}
+	if !mi.NeedsHistogram && len(params.Histogram) > 0 {
+		return fmt.Errorf("client: mechanism %q does not take a histogram", mi.Name)
+	}
+	if params.CacheSize > 0 && !mi.MonotonicRefinement {
+		return fmt.Errorf("client: mechanism %q does not support the response cache", mi.Name)
+	}
+	if params.Monotonic && !mi.MonotonicRefinement {
+		return fmt.Errorf("client: mechanism %q does not support the monotonic refinement", mi.Name)
+	}
+	return nil
+}
+
+// Create opens a session. The tenant is the connection's, from Dial.
+func (c *Client) Create(params CreateParams) (*CreateResponse, error) {
+	if err := c.validateCreate(&params); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(params)
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	payload := append(wire.AppendHeader(nil, wire.OpCreate, id), body...)
+	res, err := c.roundTrip(id, payload)
+	if err != nil {
+		return nil, err
+	}
+	respBody, err := expect(res, wire.OpCreateOK)
+	if err != nil {
+		return nil, err
+	}
+	var cr CreateResponse
+	if err := json.Unmarshal(respBody, &cr); err != nil {
+		return nil, fmt.Errorf("client: bad create response: %w", err)
+	}
+	return &cr, nil
+}
+
+// Query answers a batch of queries against a session.
+func (c *Client) Query(session string, items []QueryItem) (*BatchResult, error) {
+	return c.QueryID(session, "", items)
+}
+
+// QueryID is Query with a caller-chosen correlation ID (the X-Request-Id
+// equivalent): the server echoes it on the response and always samples
+// the request into GET /v1/traces. Empty means the server mints one;
+// either way BatchResult.RequestID carries the ID the response bore.
+func (c *Client) QueryID(session, requestID string, items []QueryItem) (*BatchResult, error) {
+	if max := int(c.hello.MaxBatch); max > 0 && len(items) > max {
+		return nil, fmt.Errorf("client: batch of %d exceeds the server cap of %d", len(items), max)
+	}
+	witems := make([]wire.QueryItem, len(items))
+	for i, it := range items {
+		witems[i] = wire.QueryItem{Query: it.Query, Buckets: it.Buckets}
+		if it.Threshold != nil {
+			witems[i].Threshold = *it.Threshold
+			witems[i].HasThreshold = true
+		}
+	}
+	id := c.nextID.Add(1)
+	payload := wire.AppendQueryBody(wire.AppendHeader(nil, wire.OpQuery, id), session, requestID, witems)
+	res, err := c.roundTrip(id, payload)
+	if err != nil {
+		return nil, err
+	}
+	body, err := expect(res, wire.OpQueryOK)
+	if err != nil {
+		return nil, err
+	}
+	var qr wire.QueryResponse
+	if err := wire.DecodeQueryOKBody(body, &qr); err != nil {
+		return nil, err
+	}
+	out := &BatchResult{
+		Halted:    qr.Halted,
+		Remaining: qr.Remaining,
+		RequestID: string(qr.Corr),
+		Results:   make([]QueryResult, len(qr.Results)),
+	}
+	for i, r := range qr.Results {
+		out.Results[i] = QueryResult{
+			Above:         r.Above,
+			Numeric:       r.Numeric,
+			Value:         r.Value,
+			FromSynthetic: r.FromSynthetic,
+			Exhausted:     r.Exhausted,
+		}
+	}
+	return out, nil
+}
+
+// Status fetches a session's current state.
+func (c *Client) Status(session string) (*SessionStatus, error) {
+	id := c.nextID.Add(1)
+	payload := wire.AppendIDBody(wire.AppendHeader(nil, wire.OpStatus, id), session)
+	res, err := c.roundTrip(id, payload)
+	if err != nil {
+		return nil, err
+	}
+	body, err := expect(res, wire.OpStatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var st SessionStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("client: bad status response: %w", err)
+	}
+	return &st, nil
+}
+
+// Delete ends a session.
+func (c *Client) Delete(session string) error {
+	id := c.nextID.Add(1)
+	payload := wire.AppendIDBody(wire.AppendHeader(nil, wire.OpDelete, id), session)
+	res, err := c.roundTrip(id, payload)
+	if err != nil {
+		return err
+	}
+	_, err = expect(res, wire.OpDeleteOK)
+	return err
+}
+
+// ServerMaxBatch reports the per-batch query cap the server announced in
+// the handshake.
+func (c *Client) ServerMaxBatch() int { return int(c.hello.MaxBatch) }
+
+// ServerMaxFrame reports the frame-size cap the server announced in the
+// handshake.
+func (c *Client) ServerMaxFrame() int { return int(c.hello.MaxFrame) }

@@ -1,0 +1,290 @@
+package client_test
+
+// SDK tests run against a real WireServer on a loopback listener: the
+// full client path — dial, handshake, registry-driven validation,
+// pipelined round trips, typed error mapping — against the same serving
+// stack svtserve runs. The client package imports only wire, so pulling
+// the server in here creates no cycle.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dpgo/svt/client"
+	"github.com/dpgo/svt/server"
+)
+
+// startServer runs a WireServer for an in-memory manager on an ephemeral
+// loopback port and tears both down with the test.
+func startServer(t *testing.T, cfg server.WireConfig) (string, *server.WireServer) {
+	t.Helper()
+	m := server.NewSessionManager(server.ManagerConfig{})
+	t.Cleanup(m.Close)
+	ws := server.NewWireServer(m, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go ws.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		ws.Shutdown(ctx)
+	})
+	return ln.Addr().String(), ws
+}
+
+func dial(t *testing.T, addr string, opts client.Options) *client.Client {
+	t.Helper()
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	c, err := client.Dial(addr, opts)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func sparseParams() client.CreateParams {
+	return client.CreateParams{Mechanism: "sparse", Epsilon: 1, MaxPositives: 4}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	addr, _ := startServer(t, server.WireConfig{})
+	c := dial(t, addr, client.Options{Tenant: "acme"})
+
+	if c.ServerMaxBatch() <= 0 || c.ServerMaxFrame() <= 0 {
+		t.Fatalf("handshake caps not announced: batch=%d frame=%d", c.ServerMaxBatch(), c.ServerMaxFrame())
+	}
+
+	mechs, err := c.Mechanisms()
+	if err != nil {
+		t.Fatalf("Mechanisms: %v", err)
+	}
+	byName := make(map[string]client.MechanismInfo, len(mechs))
+	for _, mi := range mechs {
+		byName[mi.Name] = mi
+	}
+	if !byName["sparse"].MonotonicRefinement || !byName["pmw"].NeedsHistogram {
+		t.Fatalf("capability flags not carried through: %+v", byName)
+	}
+
+	sess, err := c.Create(sparseParams())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if sess.ID == "" || sess.Mechanism != "sparse" || sess.TTLSeconds <= 0 {
+		t.Fatalf("bad create response: %+v", sess)
+	}
+
+	// A sure-negative query (threshold far above the answer) must come
+	// back below, with the ID the server minted resolvable on the result.
+	res, err := c.Query(sess.ID, []client.QueryItem{{Query: 0, Threshold: client.Float(1e12)}})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Results) != 1 || res.Results[0].Above {
+		t.Fatalf("sure-negative query came back wrong: %+v", res)
+	}
+	if res.RequestID == "" {
+		t.Fatal("server minted no request ID")
+	}
+
+	// A caller-chosen correlation ID is echoed back verbatim.
+	res, err = c.QueryID(sess.ID, "corr-42", []client.QueryItem{{Query: 0, Threshold: client.Float(1e12)}})
+	if err != nil {
+		t.Fatalf("QueryID: %v", err)
+	}
+	if res.RequestID != "corr-42" {
+		t.Fatalf("RequestID = %q, want echo of corr-42", res.RequestID)
+	}
+
+	st, err := c.Status(sess.ID)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Answered != 2 || st.Halted {
+		t.Fatalf("status after 2 queries: %+v", st)
+	}
+
+	if err := c.Delete(sess.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	_, err = c.Status(sess.ID)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != "not_found" {
+		t.Fatalf("Status after delete = %v, want APIError not_found", err)
+	}
+}
+
+// TestClientValidation exercises the registry-driven pre-flight: every
+// one of these is refused locally, from the cached capability table,
+// without spending a round trip on a request the server must reject.
+func TestClientValidation(t *testing.T) {
+	addr, _ := startServer(t, server.WireConfig{})
+	c := dial(t, addr, client.Options{})
+
+	cases := []struct {
+		name   string
+		params client.CreateParams
+		want   string
+	}{
+		{
+			name:   "unknown mechanism lists offerings",
+			params: client.CreateParams{Mechanism: "nope", Epsilon: 1, MaxPositives: 1},
+			want:   "server offers",
+		},
+		{
+			name: "histogram on a non-histogram mechanism",
+			params: client.CreateParams{
+				Mechanism: "sparse", Epsilon: 1, MaxPositives: 1, Histogram: []float64{1, 2},
+			},
+			want: "does not take a histogram",
+		},
+		{
+			name:   "pmw without its histogram",
+			params: client.CreateParams{Mechanism: "pmw", Epsilon: 1, MaxPositives: 1},
+			want:   "requires a histogram",
+		},
+		{
+			name: "cache on a variant without the refinement",
+			params: client.CreateParams{
+				Mechanism: "proposed", Epsilon: 1, MaxPositives: 1, CacheSize: 8,
+			},
+			want: "does not support the response cache",
+		},
+		{
+			name: "monotonic on a variant without the refinement",
+			params: client.CreateParams{
+				Mechanism: "dpbook", Epsilon: 1, MaxPositives: 1, Monotonic: true,
+			},
+			want: "does not support the monotonic refinement",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Create(tc.params)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Create = %v, want error containing %q", err, tc.want)
+			}
+			var ae *client.APIError
+			if errors.As(err, &ae) {
+				t.Fatalf("validation error %v reached the server", err)
+			}
+		})
+	}
+}
+
+func TestClientRateLimited(t *testing.T) {
+	addr, ws := startServer(t, server.WireConfig{})
+	rl, err := server.NewRateLimiter(server.RateLimitConfig{Rate: 0.5, Burst: 1})
+	if err != nil {
+		t.Fatalf("NewRateLimiter: %v", err)
+	}
+	ws.SetRateLimiter(rl)
+
+	c := dial(t, addr, client.Options{Tenant: "acme"})
+	// The burst admits exactly one request; the next is limited with a
+	// retry hint derived from the refill rate.
+	if _, err := c.Mechanisms(); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	_, err = c.Status("whatever")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != "rate_limited" {
+		t.Fatalf("second request = %v, want APIError rate_limited", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatalf("rate_limited RetryAfter = %v, want > 0", ae.RetryAfter)
+	}
+}
+
+// TestClientConcurrentPipelined shares one Client across goroutines: all
+// their requests pipeline on the single connection and every response
+// must find its way back to the caller that sent it.
+func TestClientConcurrentPipelined(t *testing.T) {
+	addr, _ := startServer(t, server.WireConfig{})
+	c := dial(t, addr, client.Options{})
+
+	sess, err := c.Create(sparseParams())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	const goroutines, perG = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				res, err := c.Query(sess.ID, []client.QueryItem{{Query: 0, Threshold: client.Float(1e12)}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Results) != 1 {
+					errs <- errors.New("wrong result count")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent query: %v", err)
+	}
+	st, err := c.Status(sess.ID)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Answered != goroutines*perG {
+		t.Fatalf("Answered = %d, want %d", st.Answered, goroutines*perG)
+	}
+}
+
+func TestClientBatchCapPrecheck(t *testing.T) {
+	addr, _ := startServer(t, server.WireConfig{MaxBatch: 4})
+	c := dial(t, addr, client.Options{})
+	if got := c.ServerMaxBatch(); got != 4 {
+		t.Fatalf("ServerMaxBatch = %d, want 4", got)
+	}
+	sess, err := c.Create(sparseParams())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	items := make([]client.QueryItem, 5)
+	_, err = c.Query(sess.ID, items)
+	if err == nil || !strings.Contains(err.Error(), "exceeds the server cap") {
+		t.Fatalf("over-cap batch = %v, want local cap error", err)
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("cap error %v reached the server", err)
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	addr, _ := startServer(t, server.WireConfig{})
+	c := dial(t, addr, client.Options{})
+	if _, err := c.Mechanisms(); err != nil {
+		t.Fatalf("Mechanisms: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := c.Status("x"); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("Status after Close = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	svtserve -addr :8080 -shards 32 -ttl 10m
 //	svtserve -store wal -wal-dir /var/lib/svtserve -fsync always
+//	svtserve -addr :8080 -wire-addr :9090   # binary wire protocol alongside HTTP
 //
 // Endpoints (see the server package for request/response shapes):
 //
@@ -55,6 +56,13 @@
 // the X-Tenant header; rejected requests get a JSON 429 with Retry-After.
 // /metrics and /healthz sit outside /v1/ and are never throttled.
 //
+// Wire protocol: -wire-addr additionally serves the length-prefixed
+// binary protocol of the wire package on its own listener — the same
+// sessions, mechanisms, rate limits, telemetry and traces as the HTTP
+// API at a fraction of the per-query cost, with pipelined out-of-order
+// responses per connection. The client package is the Go SDK. JSON HTTP
+// stays on -addr for compatibility.
+//
 // The process drains in-flight requests on SIGINT or SIGTERM, stops the
 // janitor, takes a final snapshot and flushes the store before exiting, so
 // no acknowledged event is lost on a graceful shutdown.
@@ -67,6 +75,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -85,6 +94,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listen address (e.g. :9090; empty = disabled)")
 		shards      = flag.Int("shards", server.DefaultShards, "session-table lock stripes")
 		ttl         = flag.Duration("ttl", server.DefaultTTL, "default idle session time-to-live")
 		maxTTL      = flag.Duration("max-ttl", server.DefaultMaxTTL, "cap on per-session TTL requests")
@@ -114,7 +124,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(config{
-		addr: *addr, shards: *shards, ttl: *ttl, maxTTL: *maxTTL, sweep: *sweep,
+		addr: *addr, wireAddr: *wireAddr, shards: *shards, ttl: *ttl, maxTTL: *maxTTL, sweep: *sweep,
 		maxSessions: *maxSessions, maxBody: *maxBody, maxBatch: *maxBatch, drain: *drain,
 		backend: *backend, walDir: *walDir, fsync: *fsync, fsyncInt: *fsyncInt, snapInt: *snapInt,
 		commitWindow: *commitWindow, rate: *rate, burst: *burst, pprofAddr: *pprofAddr,
@@ -128,7 +138,7 @@ func main() {
 
 // config carries the parsed flags.
 type config struct {
-	addr                            string
+	addr, wireAddr                  string
 	shards                          int
 	ttl, maxTTL, sweep              time.Duration
 	maxSessions                     int
@@ -259,6 +269,24 @@ func run(cfg config) error {
 	if tracer != nil {
 		log.Printf("svtserve: tracing 1 in %d /query requests, last %d traces on GET /v1/traces", cfg.traceSample, cfg.traceBuffer)
 	}
+	var wireSrv *server.WireServer
+	var wireLn net.Listener
+	if cfg.wireAddr != "" {
+		wireSrv = server.NewWireServer(mgr, server.WireConfig{
+			MaxFrameBytes: int(cfg.maxBody),
+			MaxBatch:      cfg.maxBatch,
+			Telemetry:     reg,
+			Tracer:        tracer,
+		})
+		wireLn, err = net.Listen("tcp", cfg.wireAddr)
+		if err != nil {
+			mgr.Close()
+			if st != nil {
+				_ = st.Close()
+			}
+			return fmt.Errorf("wire listener: %w", err)
+		}
+	}
 	var handler http.Handler = api
 	if cfg.rate > 0 {
 		rl, err := server.NewRateLimiter(server.RateLimitConfig{Rate: cfg.rate, Burst: cfg.burst})
@@ -271,6 +299,11 @@ func run(cfg config) error {
 		}
 		api.SetRateLimiter(rl)
 		handler = rl.Middleware(handler)
+		if wireSrv != nil {
+			// Both edges share the same limiter, so a tenant's budget is
+			// one budget no matter which protocol it arrives over.
+			wireSrv.SetRateLimiter(rl)
+		}
 		log.Printf("svtserve: per-tenant rate limit %g req/s", cfg.rate)
 	}
 
@@ -279,6 +312,7 @@ func run(cfg config) error {
 	// exactly what it was running with — resolved values, not flag text.
 	logger.Info("svtserve configuration",
 		slog.String("addr", cfg.addr),
+		slog.String("wireAddr", cfg.wireAddr),
 		slog.String("store", cfg.backend),
 		slog.String("fsync", cfg.fsync),
 		slog.Duration("fsyncInterval", cfg.fsyncInt),
@@ -307,12 +341,20 @@ func run(cfg config) error {
 	for _, mi := range mgr.Mechanisms() {
 		mechs = append(mechs, mi.Name)
 	}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
 		log.Printf("svtserve: %d shards, ttl=%s, store=%s, mechanisms=[%s], listening on %s",
 			mgr.Shards(), cfg.ttl, cfg.backend, strings.Join(mechs, " "), cfg.addr)
 		errc <- srv.ListenAndServe()
 	}()
+	if wireSrv != nil {
+		go func() {
+			log.Printf("svtserve: wire protocol listening on %s", cfg.wireAddr)
+			if err := wireSrv.Serve(wireLn); !errors.Is(err, server.ErrWireServerClosed) {
+				errc <- fmt.Errorf("wire serve: %w", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -337,6 +379,15 @@ func run(cfg config) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	shutErr := srv.Shutdown(shutCtx)
+	if wireSrv != nil {
+		// Drain the binary edge before the manager stops and the final
+		// snapshot is cut: an in-flight wire request's journaled progress
+		// must be in the state being snapshotted, and its response frame
+		// must flush before the connection closes.
+		if werr := wireSrv.Shutdown(shutCtx); werr != nil && shutErr == nil {
+			shutErr = fmt.Errorf("wire: %w", werr)
+		}
+	}
 	mgr.Close()
 	snapErr := mgr.SnapshotNow()
 	if snapErr != nil {

@@ -46,7 +46,10 @@
 // mmap-backed appends and group commit — store.BatchAppender journals a
 // multi-event transition as one crash-atomic unit), so spent privacy
 // budget survives restarts at a per-query cost small enough for
-// million-query-per-second serving.
+// million-query-per-second serving. The wire subpackage defines a
+// length-prefixed binary protocol for the query hot path (svtserve
+// -wire-addr serves it alongside HTTP), and the client subpackage is its
+// pipelining, registry-driven Go SDK.
 //
 // # Choosing between SVT and EM
 //

@@ -749,19 +749,36 @@ func (m *SessionManager) collectRecords() []collectedRecord {
 	return recs
 }
 
-// encodeState turns collected records into snapshot events. The buffers
-// are not pooled here: a two-phase snapshot holds them until Commit's file
-// write, and snapshots are off the hot path.
-func encodeState(recs []collectedRecord) []store.Event {
-	state := make([]store.Event, 0, len(recs))
+// snapEncPool recycles the snapshot encode arena across snapshots: one
+// grown buffer instead of one fresh allocation per session record.
+var snapEncPool = sync.Pool{New: func() any { b := make([]byte, 0, 1<<16); return &b }}
+
+// encodeState turns collected records into snapshot events. Every record
+// is encoded into a single pooled arena; the events slice the arena, so
+// the store must not retain Event.Data past the Snapshot/Commit call (the
+// documented store contract). The caller invokes release once the store
+// call returns to hand the arena back to the pool.
+func encodeState(recs []collectedRecord) (state []store.Event, release func()) {
+	bp := snapEncPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	// Record offsets during the encode and slice the *final* arena
+	// afterwards: append may reallocate, which would invalidate any
+	// sub-slices taken mid-flight.
+	offs := make([]int, len(recs)+1)
 	for i := range recs {
-		state = append(state, store.Event{
+		offs[i] = len(buf)
+		buf = appendSessionRecord(buf, &recs[i].rec)
+	}
+	offs[len(recs)] = len(buf)
+	state = make([]store.Event, len(recs))
+	for i := range recs {
+		state[i] = store.Event{
 			Kind: evSnapshot,
 			ID:   recs[i].id,
-			Data: appendSessionRecord(nil, &recs[i].rec),
-		})
+			Data: buf[offs[i]:offs[i+1]:offs[i+1]],
+		}
 	}
-	return state
+	return state, func() { *bp = buf[:0]; snapEncPool.Put(bp) }
 }
 
 // SnapshotNow writes a full-state snapshot to the store, compacting the
@@ -805,7 +822,10 @@ func (m *SessionManager) snapshotNow() error {
 	if !ok {
 		m.journalMu.Lock()
 		defer m.journalMu.Unlock()
-		if err := m.store.Snapshot(encodeState(m.collectRecords())); err != nil {
+		state, release := encodeState(m.collectRecords())
+		err := m.store.Snapshot(state)
+		release()
+		if err != nil {
 			return fmt.Errorf("server: writing store snapshot: %w", err)
 		}
 		return nil
@@ -818,7 +838,10 @@ func (m *SessionManager) snapshotNow() error {
 	}
 	recs := m.collectRecords()
 	m.journalMu.Unlock()
-	if err := rot.Commit(encodeState(recs)); err != nil {
+	state, release := encodeState(recs)
+	err = rot.Commit(state)
+	release()
+	if err != nil {
 		return fmt.Errorf("server: writing store snapshot: %w", err)
 	}
 	return nil

@@ -1,0 +1,769 @@
+package server
+
+// End-to-end tests for the binary wire edge: full parity with the HTTP
+// API (journal-before-response, rate limiting, telemetry counters, trace
+// tree shape, request-ID correlation), pipelined out-of-order responses,
+// graceful drain on shutdown, and torn-connection robustness.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dpgo/svt/store"
+	"github.com/dpgo/svt/telemetry"
+	"github.com/dpgo/svt/trace"
+	"github.com/dpgo/svt/wire"
+)
+
+// startWireServer serves ws on an ephemeral port and returns the address.
+func startWireServer(t *testing.T, ws *WireServer) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		ws.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// wireTestConn is a raw-frame test client: it speaks the protocol without
+// the SDK so tests control framing, pipelining and teardown exactly.
+type wireTestConn struct {
+	t    *testing.T
+	c    net.Conn
+	br   *bufio.Reader
+	next uint64
+}
+
+func newWireTestConn(t *testing.T, c net.Conn) *wireTestConn {
+	return &wireTestConn{t: t, c: c, br: bufio.NewReader(c)}
+}
+
+func dialWire(t *testing.T, addr, tenant, traceparent string) *wireTestConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	tc := newWireTestConn(t, c)
+	id := tc.send(wire.OpHello, func(dst []byte) []byte {
+		return wire.AppendHelloBody(dst, &wire.Hello{Version: wire.Version, Tenant: tenant, Traceparent: traceparent})
+	})
+	op, gotID, _ := tc.read()
+	if op != wire.OpHelloOK || gotID != id {
+		t.Fatalf("handshake answered op %#x id %d, want helloOK id %d", op, gotID, id)
+	}
+	return tc
+}
+
+// send writes one frame whose body is built by appendBody and returns its
+// request ID. It does not read the response.
+func (tc *wireTestConn) send(op byte, appendBody func([]byte) []byte) uint64 {
+	tc.t.Helper()
+	tc.next++
+	payload := wire.AppendHeader(nil, op, tc.next)
+	if appendBody != nil {
+		payload = appendBody(payload)
+	}
+	if _, err := tc.c.Write(wire.AppendFrame(nil, payload)); err != nil {
+		tc.t.Fatal(err)
+	}
+	return tc.next
+}
+
+// read returns the next response frame. Each read gets its own buffer so
+// earlier bodies stay valid.
+func (tc *wireTestConn) read() (op byte, reqID uint64, body []byte) {
+	tc.t.Helper()
+	payload, err := wire.ReadFrame(tc.br, nil, wire.DefaultMaxFrameBytes)
+	if err != nil {
+		tc.t.Fatalf("reading frame: %v", err)
+	}
+	op, reqID, body, err = wire.ParseHeader(payload)
+	if err != nil {
+		tc.t.Fatalf("parsing response header: %v", err)
+	}
+	return op, reqID, body
+}
+
+// query round-trips one single-query batch and returns the response.
+func (tc *wireTestConn) query(session, corr string, items []wire.QueryItem) (wire.QueryResponse, *wire.ErrorFrame) {
+	tc.t.Helper()
+	id := tc.send(wire.OpQuery, func(dst []byte) []byte {
+		return wire.AppendQueryBody(dst, session, corr, items)
+	})
+	op, gotID, body := tc.read()
+	if gotID != id {
+		tc.t.Fatalf("response for request %d, want %d", gotID, id)
+	}
+	switch op {
+	case wire.OpQueryOK:
+		var qr wire.QueryResponse
+		if err := wire.DecodeQueryOKBody(body, &qr); err != nil {
+			tc.t.Fatalf("decoding query response: %v", err)
+		}
+		return qr, nil
+	case wire.OpError:
+		var ef wire.ErrorFrame
+		if err := wire.DecodeErrorBody(body, &ef); err != nil {
+			tc.t.Fatalf("decoding error frame: %v", err)
+		}
+		return wire.QueryResponse{}, &ef
+	default:
+		tc.t.Fatalf("unexpected response op %#x", op)
+		return wire.QueryResponse{}, nil
+	}
+}
+
+func sureNegativeWire() []wire.QueryItem {
+	return []wire.QueryItem{{Query: 0, Threshold: 1e12, HasThreshold: true}}
+}
+
+// TestWireQueryEndToEnd drives every op over a real TCP connection:
+// create (JSON body, tenant from hello), query (binary), status, delete,
+// mechanisms — and checks the responses against the manager's view.
+func TestWireQueryEndToEnd(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	ws := NewWireServer(m, WireConfig{})
+	addr := startWireServer(t, ws)
+	tc := dialWire(t, addr, "acme", "")
+
+	// Mechanisms carries the HTTP JSON body verbatim.
+	id := tc.send(wire.OpMechanisms, nil)
+	op, gotID, body := tc.read()
+	if op != wire.OpMechanismsOK || gotID != id {
+		t.Fatalf("mechanisms answered op %#x id %d", op, gotID)
+	}
+	var mr MechanismsResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Mechanisms) == 0 {
+		t.Fatal("no mechanisms over the wire")
+	}
+
+	// Create: JSON body, tenant fixed by the hello frame.
+	params, _ := json.Marshal(sparseParams())
+	id = tc.send(wire.OpCreate, func(dst []byte) []byte { return append(dst, params...) })
+	op, gotID, body = tc.read()
+	if op != wire.OpCreateOK || gotID != id {
+		t.Fatalf("create answered op %#x id %d: %s", op, gotID, body)
+	}
+	var cr CreateResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.ID == "" || cr.TTLSeconds <= 0 {
+		t.Fatalf("create response %+v", cr)
+	}
+	if s, ok := m.Get(cr.ID); !ok || s.params.Tenant != "acme" {
+		t.Fatalf("created session missing or wrong tenant")
+	}
+
+	// Query: one ⊥ answer, remaining decremented, corr echoed verbatim.
+	qr, ef := tc.query(cr.ID, "client-chose-this", sureNegativeWire())
+	if ef != nil {
+		t.Fatalf("query error %+v", ef)
+	}
+	if len(qr.Results) != 1 || qr.Results[0].Above || qr.Halted {
+		t.Fatalf("query response %+v", qr)
+	}
+	if string(qr.Corr) != "client-chose-this" {
+		t.Fatalf("corr %q not echoed verbatim", qr.Corr)
+	}
+
+	// Without a client corr the server mints one, X-Request-Id style.
+	qr, ef = tc.query(cr.ID, "", sureNegativeWire())
+	if ef != nil {
+		t.Fatalf("query error %+v", ef)
+	}
+	if len(qr.Corr) != 16 || !isHex(string(qr.Corr)) {
+		t.Fatalf("minted corr %q, want 16 hex chars", qr.Corr)
+	}
+
+	// Status agrees with the manager.
+	id = tc.send(wire.OpStatus, func(dst []byte) []byte { return wire.AppendIDBody(dst, cr.ID) })
+	op, _, body = tc.read()
+	if op != wire.OpStatusOK {
+		t.Fatalf("status answered op %#x: %s", op, body)
+	}
+	var st SessionStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Answered != 2 || st.ID != cr.ID {
+		t.Fatalf("status %+v, want 2 answered", st)
+	}
+
+	// Delete, then the session is gone for both edges.
+	id = tc.send(wire.OpDelete, func(dst []byte) []byte { return wire.AppendIDBody(dst, cr.ID) })
+	op, gotID, _ = tc.read()
+	if op != wire.OpDeleteOK || gotID != id {
+		t.Fatalf("delete answered op %#x", op)
+	}
+	if _, ok := m.Get(cr.ID); ok {
+		t.Fatal("session survived wire delete")
+	}
+	_, ef = tc.query(cr.ID, "", sureNegativeWire())
+	if ef == nil || ef.Code != CodeNotFound {
+		t.Fatalf("query after delete: %+v, want %s", ef, CodeNotFound)
+	}
+}
+
+// TestWireErrorFrames pins the typed error surface: bad ops, duplicate
+// hello, oversized batches (HTTP 413 message parity), unknown sessions.
+func TestWireErrorFrames(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	ws := NewWireServer(m, WireConfig{MaxBatch: 4})
+	addr := startWireServer(t, ws)
+	tc := dialWire(t, addr, "", "")
+
+	readError := func() wire.ErrorFrame {
+		t.Helper()
+		op, _, body := tc.read()
+		if op != wire.OpError {
+			t.Fatalf("op %#x, want error frame", op)
+		}
+		var ef wire.ErrorFrame
+		if err := wire.DecodeErrorBody(body, &ef); err != nil {
+			t.Fatal(err)
+		}
+		return ef
+	}
+
+	tc.send(0x42, nil)
+	if ef := readError(); ef.Code != CodeBadRequest || !strings.Contains(ef.Message, "unknown op") {
+		t.Fatalf("unknown op: %+v", ef)
+	}
+	tc.send(wire.OpHello, func(dst []byte) []byte {
+		return wire.AppendHelloBody(dst, &wire.Hello{Version: wire.Version})
+	})
+	if ef := readError(); ef.Code != CodeBadRequest || ef.Message != "duplicate hello" {
+		t.Fatalf("duplicate hello: %+v", ef)
+	}
+	s := mustCreate(t, m, sparseParams())
+	_, ef := tc.query(s.ID(), "", make([]wire.QueryItem, 5))
+	if ef == nil || ef.Code != CodeTooLarge || ef.Message != "batch of 5 exceeds the cap of 4" {
+		t.Fatalf("oversized batch: %+v", ef)
+	}
+	_, ef = tc.query(s.ID(), "", nil)
+	if ef == nil || ef.Code != CodeBadRequest {
+		t.Fatalf("empty batch: %+v", ef)
+	}
+	_, ef = tc.query("nope", "", sureNegativeWire())
+	if ef == nil || ef.Code != CodeNotFound {
+		t.Fatalf("unknown session: %+v", ef)
+	}
+}
+
+// TestWireRateLimitedParity: a tenant over budget gets the typed
+// rate_limited error frame with the HTTP 429's message and ceil-seconds
+// retry hint, from the same limiter instance that guards the HTTP edge.
+func TestWireRateLimitedParity(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	rl, err := NewRateLimiter(RateLimitConfig{Rate: 0.5, Burst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWireServer(m, WireConfig{})
+	ws.SetRateLimiter(rl)
+	addr := startWireServer(t, ws)
+	s := mustCreate(t, m, sparseParams())
+	tc := dialWire(t, addr, "acme", "")
+
+	if _, ef := tc.query(s.ID(), "", sureNegativeWire()); ef != nil {
+		t.Fatalf("first request within burst rejected: %+v", ef)
+	}
+	_, ef := tc.query(s.ID(), "", sureNegativeWire())
+	if ef == nil || ef.Code != CodeRateLimited {
+		t.Fatalf("second request: %+v, want %s", ef, CodeRateLimited)
+	}
+	if ef.Message != `tenant "acme" exceeded 0.5 requests/sec` {
+		t.Fatalf("rate-limit message %q diverges from the HTTP 429", ef.Message)
+	}
+	if ef.RetryAfterSeconds < 1 {
+		t.Fatalf("retry-after %d, want >= 1", ef.RetryAfterSeconds)
+	}
+	// The connection survives a rejection; budget refills.
+	time.Sleep(2100 * time.Millisecond)
+	if _, ef := tc.query(s.ID(), "", sureNegativeWire()); ef != nil {
+		t.Fatalf("request after refill rejected: %+v", ef)
+	}
+}
+
+// TestWirePipelinedOutOfOrder floods one connection with concurrent query
+// frames before reading anything; every response must come back exactly
+// once, matched by request ID, with its own correlation echoed.
+func TestWirePipelinedOutOfOrder(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	ws := NewWireServer(m, WireConfig{})
+	addr := startWireServer(t, ws)
+	s := mustCreate(t, m, sparseParams())
+	tc := dialWire(t, addr, "", "")
+
+	const n = 64
+	// One buffered write carrying all frames, so the server's reader sees
+	// buffered input and dispatches to the worker pool.
+	var batch []byte
+	sent := make(map[uint64]string, n)
+	for i := 0; i < n; i++ {
+		tc.next++
+		corr := "corr-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		sent[tc.next] = corr
+		payload := wire.AppendQueryBody(wire.AppendHeader(nil, wire.OpQuery, tc.next), s.ID(), corr, sureNegativeWire())
+		batch = wire.AppendFrame(batch, payload)
+	}
+	if _, err := tc.c.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		op, reqID, body := tc.read()
+		if op != wire.OpQueryOK {
+			t.Fatalf("response %d: op %#x, body %s", i, op, body)
+		}
+		corr, ok := sent[reqID]
+		if !ok {
+			t.Fatalf("response for unknown or duplicate request id %d", reqID)
+		}
+		delete(sent, reqID)
+		var qr wire.QueryResponse
+		if err := wire.DecodeQueryOKBody(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if string(qr.Corr) != corr {
+			t.Fatalf("request %d echoed corr %q, want %q", reqID, qr.Corr, corr)
+		}
+	}
+	if len(sent) != 0 {
+		t.Fatalf("%d requests never answered", len(sent))
+	}
+	if got := mustStatus(t, m, s.ID()).Answered; got != n {
+		t.Fatalf("answered %d, want %d", got, n)
+	}
+}
+
+// TestWireJournalBeforeResponse is the wire twin of
+// TestGroupCommitJournalBeforeResponse: every response RELEASED over the
+// wire must be recoverable from a crash image of the journal directory.
+func TestWireJournalBeforeResponse(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.NewWAL(store.WALConfig{Dir: dir, Sync: store.SyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m, err := Open(ManagerConfig{SweepInterval: time.Hour, SnapshotInterval: -1, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ws := NewWireServer(m, WireConfig{})
+	addr := startWireServer(t, ws)
+
+	const sessions, per = 8, 50
+	ids := make([]string, sessions)
+	for i := range ids {
+		s, err := m.Create(CreateParams{Mechanism: MechSparse, Epsilon: 1, MaxPositives: 1 << 30, Threshold: ptr(1e12)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = s.ID()
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			// Each session gets its own connection; synchronous round trips
+			// mean every received response was released by the server.
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			tc := newWireTestConn(t, conn)
+			tc.send(wire.OpHello, func(dst []byte) []byte {
+				return wire.AppendHelloBody(dst, &wire.Hello{Version: wire.Version})
+			})
+			tc.read()
+			for i := 0; i < per; i++ {
+				if _, ef := tc.query(id, "", sureNegativeWire()); ef != nil {
+					t.Errorf("query: %+v", ef)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	// The crash image: the journal directory as-is, no shutdown, no snapshot.
+	crash := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crash, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, st2 := openWALManager(t, crash)
+	defer st2.Close()
+	for _, id := range ids {
+		if got := mustStatus(t, m2, id).Answered; got != per {
+			t.Fatalf("session %s: recovered %d answered, want %d (all responses were released)", id, got, per)
+		}
+	}
+}
+
+// TestWireShutdownDrains: Shutdown must let pipelined in-flight requests
+// finish and their responses flush before returning, and the progress they
+// journaled must be in the final snapshot taken after the drain — the
+// svtserve SIGTERM sequence.
+func TestWireShutdownDrains(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.NewWAL(store.WALConfig{Dir: dir, Sync: store.SyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(ManagerConfig{SweepInterval: time.Hour, SnapshotInterval: -1, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWireServer(m, WireConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve(ln)
+	s := mustCreate(t, m, CreateParams{Mechanism: MechSparse, Epsilon: 1, MaxPositives: 1 << 30, Threshold: ptr(1e12)})
+	tc := dialWire(t, ln.Addr().String(), "", "")
+
+	const n = 16
+	var batch []byte
+	for i := 0; i < n; i++ {
+		tc.next++
+		batch = wire.AppendFrame(batch, wire.AppendQueryBody(
+			wire.AppendHeader(nil, wire.OpQuery, tc.next), s.ID(), "", sureNegativeWire()))
+	}
+	if _, err := tc.c.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	// The first response proves the server has the whole batch buffered
+	// (it arrived in one segment); now shut down mid-pipeline.
+	tc.read()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ws.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	// Every remaining in-flight response must still arrive.
+	for i := 1; i < n; i++ {
+		if op, _, body := tc.read(); op != wire.OpQueryOK {
+			t.Fatalf("drained response %d: op %#x, body %s", i, op, body)
+		}
+	}
+
+	// The svtserve teardown order: wire drain, then the final snapshot.
+	if err := m.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	st.Close()
+	m2, st2 := openWALManager(t, dir)
+	defer st2.Close()
+	if got := mustStatus(t, m2, s.ID()).Answered; got != n {
+		t.Fatalf("final snapshot recovered %d answered, want %d", got, n)
+	}
+}
+
+// TestWireTornConnectionMidPipeline: a client that vanishes with requests
+// in flight must leak nothing — the session stays usable, and Shutdown
+// still drains promptly. Run with -race to catch lock/state races in the
+// teardown path.
+func TestWireTornConnectionMidPipeline(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	ws := NewWireServer(m, WireConfig{})
+	addr := startWireServer(t, ws)
+	s := mustCreate(t, m, sparseParams())
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := newWireTestConn(t, conn)
+	tc.send(wire.OpHello, func(dst []byte) []byte {
+		return wire.AppendHelloBody(dst, &wire.Hello{Version: wire.Version})
+	})
+	tc.read()
+	var batch []byte
+	for i := 0; i < 64; i++ {
+		tc.next++
+		batch = wire.AppendFrame(batch, wire.AppendQueryBody(
+			wire.AppendHeader(nil, wire.OpQuery, tc.next), s.ID(), "", sureNegativeWire()))
+	}
+	if _, err := conn.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	tc.read()    // at least one request is mid-flight
+	conn.Close() // and the client is gone
+
+	// The session's lock must not be held by any orphaned worker: a direct
+	// manager query would deadlock if it were.
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Query(s.ID(), sureNegative())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query after torn connection hung: session lock leaked")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ws.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after torn connection: %v", err)
+	}
+}
+
+// TestWireTelemetryCounters: the wire edge's families move — per-op
+// ok/error counters and the connections gauge — in the same registry as
+// everything else.
+func TestWireTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := newTestManager(t, ManagerConfig{})
+	ws := NewWireServer(m, WireConfig{Telemetry: reg})
+	addr := startWireServer(t, ws)
+	s := mustCreate(t, m, sparseParams())
+	tc := dialWire(t, addr, "", "")
+
+	if _, ef := tc.query(s.ID(), "", sureNegativeWire()); ef != nil {
+		t.Fatalf("query: %+v", ef)
+	}
+	if _, ef := tc.query("nope", "", sureNegativeWire()); ef == nil {
+		t.Fatal("unknown session did not error")
+	}
+	id := tc.send(wire.OpStatus, func(dst []byte) []byte { return wire.AppendIDBody(dst, s.ID()) })
+	if op, gotID, _ := tc.read(); op != wire.OpStatusOK || gotID != id {
+		t.Fatalf("status answered op %#x", op)
+	}
+
+	out := string(reg.Expose(nil))
+	for _, want := range []string{
+		`svt_wire_requests_total{op="hello",status="ok"} 1`,
+		`svt_wire_requests_total{op="query",status="ok"} 1`,
+		`svt_wire_requests_total{op="query",status="error"} 1`,
+		`svt_wire_requests_total{op="status",status="ok"} 1`,
+		`svt_wire_connections 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// shapeOf renders a span tree as a nested name list, the structural
+// fingerprint the two edges must share.
+func shapeOf(n trace.Node) string {
+	var b strings.Builder
+	b.WriteString(n.Name)
+	if len(n.Children) > 0 {
+		b.WriteString("(")
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(shapeOf(c))
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// TestWireTraceParity: a traced wire query must retain a span tree
+// identical in shape to the HTTP edge's — decode, manager(answer,
+// journal.wait(store.sync)), encode — differing only in the root name and
+// route, and the minted correlation ID must resolve it through GET
+// /v1/traces/{id} exactly like an X-Request-Id.
+func TestWireTraceParity(t *testing.T) {
+	st, err := store.NewWAL(store.WALConfig{Dir: t.TempDir(), Sync: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tracer := trace.New(trace.Config{SampleEvery: 1})
+	m, err := Open(ManagerConfig{
+		SweepInterval: time.Hour, SnapshotInterval: -1, Store: st, Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	api := NewAPI(m, APIConfig{Tracer: tracer})
+	ws := NewWireServer(m, WireConfig{Tracer: tracer})
+	addr := startWireServer(t, ws)
+	s := mustCreate(t, m, sparseParams())
+
+	// One traced query per edge.
+	rec := postQuery(t, api, s.ID(), nil)
+	httpReqID := rec.Header().Get("X-Request-Id")
+	tc := dialWire(t, addr, "", "")
+	qr, ef := tc.query(s.ID(), "", sureNegativeWire())
+	if ef != nil {
+		t.Fatalf("wire query: %+v", ef)
+	}
+	wireReqID := string(qr.Corr)
+
+	hv, ok := tracer.Lookup(httpReqID)
+	if !ok {
+		t.Fatalf("no trace for HTTP request %s", httpReqID)
+	}
+	wv, ok := tracer.Lookup(wireReqID)
+	if !ok {
+		t.Fatalf("no trace for wire request %s", wireReqID)
+	}
+	if hv.Root.Name != "http" || wv.Root.Name != "wire" {
+		t.Fatalf("root names %q / %q, want http / wire", hv.Root.Name, wv.Root.Name)
+	}
+	if wv.Route != "wire:query" {
+		t.Fatalf("wire route %q", wv.Route)
+	}
+	hShape := strings.TrimPrefix(shapeOf(hv.Root), "http")
+	wShape := strings.TrimPrefix(shapeOf(wv.Root), "wire")
+	if hShape != wShape {
+		t.Fatalf("span tree shapes diverge:\n http %s\n wire %s", hShape, wShape)
+	}
+	for _, span := range []string{"decode", "manager(answer journal.wait(", "store.sync", "encode"} {
+		if !strings.Contains(wShape, span) {
+			t.Fatalf("wire tree misses %q in the golden chain: %s", span, wShape)
+		}
+	}
+
+	// The wire correlation ID resolves through the HTTP trace endpoints.
+	drec := httptest.NewRecorder()
+	api.ServeHTTP(drec, httptest.NewRequest(http.MethodGet, "/v1/traces/"+wireReqID, nil))
+	if drec.Code != http.StatusOK {
+		t.Fatalf("/v1/traces/{wire-corr} status %d: %s", drec.Code, drec.Body.String())
+	}
+	var v trace.View
+	if err := json.Unmarshal(drec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.RequestID != wireReqID || v.Route != "wire:query" {
+		t.Fatalf("trace identity %+v", v)
+	}
+}
+
+// discardConn is a net.Conn whose writes vanish, for measuring the wire
+// handler's cost without kernel I/O — the binary twin of
+// nullResponseWriter.
+type discardConn struct{}
+
+func (discardConn) Read(p []byte) (int, error)       { return 0, net.ErrClosed }
+func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (discardConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// wireQueryAllocs measures the steady-state allocations of one
+// single-query request through the wire handler (decode, session, journal,
+// encode, frame write) on the inline path.
+func wireQueryAllocs(t *testing.T, m *SessionManager, cfg WireConfig) float64 {
+	t.Helper()
+	ws := NewWireServer(m, cfg)
+	s, err := m.Create(CreateParams{
+		Mechanism: MechSparse, Epsilon: 1, MaxPositives: 1 << 30, Threshold: ptr(1e12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ws.newConn(discardConn{})
+	body := wire.AppendQueryBody(nil, s.ID(), "", []wire.QueryItem{{Query: 1}})
+	run := func() {
+		if err := c.handleOp(c.sc, wire.OpQuery, 1, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pools and the session intern map
+	return testing.AllocsPerRun(200, run)
+}
+
+// TestWireQueryHotPathAllocs pins the wire edge's per-request allocation
+// budget at 6 — the ISSUE 9 acceptance cap, well under the HTTP path's 10.
+func TestWireQueryHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomly drops Puts under the race detector, inflating alloc counts; CI pins this in a non-race pass")
+	}
+	const budget = 6
+	t.Run("mem", func(t *testing.T) {
+		m := NewSessionManager(ManagerConfig{SweepInterval: time.Hour})
+		defer m.Close()
+		if got := wireQueryAllocs(t, m, WireConfig{}); got > budget {
+			t.Fatalf("single-query wire path allocates %.1f/op, budget %d", got, budget)
+		}
+	})
+	t.Run("wal", func(t *testing.T) {
+		st, err := store.NewWAL(store.WALConfig{Dir: t.TempDir(), Sync: store.SyncInterval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		m, err := Open(ManagerConfig{SweepInterval: time.Hour, SnapshotInterval: -1, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if got := wireQueryAllocs(t, m, WireConfig{}); got > budget {
+			t.Fatalf("single-query WAL wire path allocates %.1f/op, budget %d", got, budget)
+		}
+	})
+	t.Run("wal+telemetry+tracer", func(t *testing.T) {
+		st, err := store.NewWAL(store.WALConfig{Dir: t.TempDir(), Sync: store.SyncInterval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		reg := telemetry.NewRegistry()
+		tracer := trace.New(trace.Config{SampleEvery: 1 << 30})
+		m, err := Open(ManagerConfig{
+			SweepInterval: time.Hour, SnapshotInterval: -1,
+			Store: st, Telemetry: reg, Tracer: tracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		cfg := WireConfig{Telemetry: reg, Tracer: tracer}
+		if got := wireQueryAllocs(t, m, cfg); got > budget {
+			t.Fatalf("instrumented single-query wire path allocates %.1f/op, budget %d", got, budget)
+		}
+	})
+}

@@ -58,7 +58,7 @@ func FuzzDecodeRecord(f *testing.F) {
 	f.Add(two)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ev, n, err := decodeRecord(data)
+		ev, n, err := decodeRecord(data, nil)
 		if err != nil {
 			if err != ErrTruncatedRecord && !bytes.Contains([]byte(err.Error()), []byte("corrupt")) {
 				t.Fatalf("unexpected error class: %v", err)
@@ -75,7 +75,7 @@ func FuzzDecodeRecord(f *testing.F) {
 		// frames round-trip through their own encoder.
 		var re []byte
 		if ev.Kind == batchKind {
-			sub, serr := decodeBatchPayload(ev.Data)
+			sub, serr := decodeBatchPayload(ev.Data, nil)
 			if serr != nil {
 				t.Fatalf("accepted batch frame does not expand: %v", serr)
 			}

@@ -144,11 +144,31 @@ func appendBatchRecord(buf []byte, evs []Event) ([]byte, error) {
 	return buf, nil
 }
 
+// interner deduplicates decoded event IDs: a session that journaled ten
+// thousand progress records yields ONE id string on recovery, not ten
+// thousand copies. The map lookup keyed by string(b) is allocation-free on
+// a hit (the compiler elides the conversion); a nil interner just converts.
+type interner map[string]string
+
+func (in interner) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := in[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if in != nil {
+		in[s] = s
+	}
+	return s
+}
+
 // walkBatchPayload steps through a batch frame's sub-events, calling emit
 // for each when non-nil. With a nil emit it is a pure, allocation-free
 // validation pass — what decodeRecord uses, so recovery builds the events
-// only once (in decodeAll).
-func walkBatchPayload(data []byte, emit func(Event)) error {
+// only once (in decodeAll). Emitted events alias data (see decodeRecord).
+func walkBatchPayload(data []byte, in interner, emit func(Event)) error {
 	if len(data) == 0 {
 		return fmt.Errorf("%w: empty batch frame", ErrCorruptRecord)
 	}
@@ -169,9 +189,9 @@ func walkBatchPayload(data []byte, emit func(Event)) error {
 			return fmt.Errorf("%w: bad data length in batch frame", ErrCorruptRecord)
 		}
 		if emit != nil {
-			ev := Event{Kind: kind, ID: string(idRaw)}
+			ev := Event{Kind: kind, ID: in.str(idRaw)}
 			if dataLen > 0 {
-				ev.Data = append([]byte(nil), data[n:n+int(dataLen)]...)
+				ev.Data = data[n : n+int(dataLen) : n+int(dataLen)]
 			}
 			emit(ev)
 		}
@@ -181,10 +201,11 @@ func walkBatchPayload(data []byte, emit func(Event)) error {
 }
 
 // decodeBatchPayload parses a batch frame's sub-events (the Data of a
-// batchKind record, already CRC-verified at the record layer).
-func decodeBatchPayload(data []byte) ([]Event, error) {
+// batchKind record, already CRC-verified at the record layer). Events
+// alias data; see decodeRecord.
+func decodeBatchPayload(data []byte, in interner) ([]Event, error) {
 	var evs []Event
-	if err := walkBatchPayload(data, func(ev Event) { evs = append(evs, ev) }); err != nil {
+	if err := walkBatchPayload(data, in, func(ev Event) { evs = append(evs, ev) }); err != nil {
 		return nil, err
 	}
 	return evs, nil
@@ -196,8 +217,14 @@ func decodeBatchPayload(data []byte) ([]Event, error) {
 // ErrTruncatedRecord when b ends mid-record and ErrCorruptRecord when the
 // record is complete but invalid.
 //
+// The returned event's Data ALIASES b — no copy — so callers must keep b
+// alive and unmodified as long as the event is retained. Recovery satisfies
+// this for free: the segment bytes come from os.ReadFile and the aliasing
+// events in w.recovered keep the buffer reachable. IDs are deduplicated
+// through in (nil disables interning).
+//
 //svt:hotpath
-func decodeRecord(b []byte) (Event, int, error) {
+func decodeRecord(b []byte, in interner) (Event, int, error) {
 	if len(b) < recordHeaderSize {
 		return Event{}, 0, ErrTruncatedRecord
 	}
@@ -224,15 +251,15 @@ func decodeRecord(b []byte) (Event, int, error) {
 		return Event{}, 0, fmt.Errorf("%w: bad id length", ErrCorruptRecord)
 	}
 	rest := payload[1+n:]
-	ev := Event{Kind: kind, ID: string(rest[:idLen])}
+	ev := Event{Kind: kind, ID: in.str(rest[:idLen])}
 	if data := rest[idLen:]; len(data) > 0 {
-		ev.Data = append([]byte(nil), data...)
+		ev.Data = data[:len(data):len(data)]
 	}
 	if kind == batchKind {
 		if len(ev.ID) != 0 {
 			return Event{}, 0, fmt.Errorf("%w: batch frame carries an id", ErrCorruptRecord)
 		}
-		if err := walkBatchPayload(ev.Data, nil); err != nil {
+		if err := walkBatchPayload(ev.Data, nil, nil); err != nil {
 			return Event{}, 0, err
 		}
 	}
@@ -242,17 +269,20 @@ func decodeRecord(b []byte) (Event, int, error) {
 // decodeAll decodes consecutive records from b, expanding batch frames into
 // their sub-events. It returns the events of the valid prefix, the byte
 // length of that prefix, and the error that stopped the scan (nil when b
-// was consumed exactly).
+// was consumed exactly). The events alias b (see decodeRecord) and share
+// one id interner, so a long journal of per-session progress records costs
+// one string per distinct session, not one per record.
 func decodeAll(b []byte) ([]Event, int, error) {
 	var events []Event
+	in := make(interner)
 	off := 0
 	for off < len(b) {
-		ev, n, err := decodeRecord(b[off:])
+		ev, n, err := decodeRecord(b[off:], in)
 		if err != nil {
 			return events, off, err
 		}
 		if ev.Kind == batchKind {
-			sub, berr := decodeBatchPayload(ev.Data)
+			sub, berr := decodeBatchPayload(ev.Data, in)
 			if berr != nil {
 				// Unreachable: decodeRecord validated the frame.
 				return events, off, berr

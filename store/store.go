@@ -63,7 +63,10 @@ type SessionStore interface {
 	// Snapshot atomically replaces the store's recovery baseline with the
 	// given full-state events and discards the journal tail they subsume.
 	// After a crash, Recover yields the snapshot events first, then any
-	// events appended after the snapshot.
+	// events appended after the snapshot. Like Append, implementations must
+	// not retain the state slice or any Event.Data past Snapshot's return:
+	// the server encodes the whole baseline into one pooled arena and
+	// recycles it as soon as the call comes back.
 	Snapshot(state []Event) error
 	// Recover returns the event stream to replay: the latest snapshot's
 	// events followed by every appended event that survived, in order. It is
@@ -112,6 +115,9 @@ type Rotation interface {
 	// publishes it, making it the new recovery baseline and discarding the
 	// journal segments it subsumes. It runs outside the store's append path:
 	// appends proceed concurrently into the segment the rotation opened.
+	// Commit carries the same retention contract as SessionStore.Snapshot:
+	// the state slice and every Event.Data are only valid for the duration
+	// of the call, because the caller encodes them in a pooled arena.
 	Commit(state []Event) error
 	// Abort abandons the snapshot. The rotated segment stays in place — the
 	// events appended to it are replayed after the previous baseline — and a

@@ -1092,6 +1092,10 @@ func (w *WAL) Snapshot(state []Event) error {
 	return rot.Commit(state)
 }
 
+// snapBufPool recycles the snapshot-file encode buffer across snapshots;
+// the buffer grows to the full baseline size once and is then reused.
+var snapBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1<<16); return &b }}
+
 // writeSnapshotFile writes state as framed records to path and fsyncs it.
 // It runs outside w.mu (Commit's baseline write is concurrent with appends)
 // and therefore touches no shared counters; the caller accounts the fsync.
@@ -1100,7 +1104,9 @@ func (w *WAL) writeSnapshotFile(path string, state []Event) error {
 	if err != nil {
 		return fmt.Errorf("store: creating snapshot: %w", err)
 	}
-	var buf []byte
+	bp := snapBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	defer func() { *bp = buf[:0]; snapBufPool.Put(bp) }()
 	for _, ev := range state {
 		buf, err = appendRecord(buf, ev)
 		if err != nil {

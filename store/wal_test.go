@@ -84,7 +84,7 @@ func TestDecodeRecordTruncatedAndCorrupt(t *testing.T) {
 	}
 	// Any strict prefix is a truncated tail, not corruption.
 	for cut := 0; cut < len(full); cut++ {
-		_, _, err := decodeRecord(full[:cut])
+		_, _, err := decodeRecord(full[:cut], nil)
 		if err != ErrTruncatedRecord {
 			t.Fatalf("cut at %d: err=%v, want ErrTruncatedRecord", cut, err)
 		}
@@ -92,13 +92,13 @@ func TestDecodeRecordTruncatedAndCorrupt(t *testing.T) {
 	// A flipped payload byte is corruption.
 	bad := append([]byte(nil), full...)
 	bad[len(bad)-1] ^= 0xff
-	if _, _, err := decodeRecord(bad); err == nil || err == ErrTruncatedRecord {
+	if _, _, err := decodeRecord(bad, nil); err == nil || err == ErrTruncatedRecord {
 		t.Fatalf("corrupt record: err=%v, want ErrCorruptRecord", err)
 	}
 	// An absurd length prefix is corruption, not an allocation.
 	huge := append([]byte(nil), full...)
 	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0x7f
-	if _, _, err := decodeRecord(huge); err == nil || err == ErrTruncatedRecord {
+	if _, _, err := decodeRecord(huge, nil); err == nil || err == ErrTruncatedRecord {
 		t.Fatalf("oversized length: err=%v, want ErrCorruptRecord", err)
 	}
 }

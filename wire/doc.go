@@ -1,0 +1,23 @@
+// Package wire is the binary wire protocol for the SVT service: a
+// length-prefixed frame codec shared by the server's binary listener
+// (server.WireServer, svtserve -wire-addr) and the Go client SDK
+// (client package).
+//
+// A connection starts with a hello exchange (protocol version, tenant,
+// optional W3C traceparent), after which every frame is
+//
+//	| length uvarint | op byte | requestID uvarint | body |
+//
+// Request IDs let a client pipeline requests and match responses that
+// arrive out of order; a response carries the request's op with RespFlag
+// (0x80) set, or OpError with a typed code, message and retry-after hint.
+// The hot query path (OpQuery / OpQueryOK) is fully binary — varints and
+// little-endian float64s, the journal codec's discipline — and its
+// decoders alias the frame buffer and reuse caller-owned slices so a
+// pooled steady state allocates nothing. Cold control ops (create,
+// status, mechanisms) carry the HTTP API's JSON bodies verbatim, keeping
+// one source of truth for request semantics across both edges.
+//
+// The package is self-contained (stdlib only, no server imports) so
+// clients link it without pulling in the service.
+package wire
