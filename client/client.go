@@ -19,6 +19,22 @@
 //	})
 //	...
 //	res, err := c.Query(sess.ID, []client.QueryItem{{Query: 41, Threshold: client.Float(40)}})
+//
+// # Self-healing
+//
+// The client reconnects automatically: when the connection dies it
+// re-dials with exponential backoff plus jitter, and retries calls that
+// are provably safe to retry — those that failed with a typed retryable
+// server error ("unavailable", and "rate_limited" when opted in, both
+// honoring the server's RetryAfter hint) and those whose request
+// provably never reached the server (the connection died before the
+// frame was flushed). A budget-mutating call (Create, Query, Delete)
+// whose frame WAS delivered but whose response never came back is
+// genuinely ambiguous — the server may have answered and spent budget —
+// so it fails with ErrAmbiguous instead of retrying; re-issuing such a
+// query blindly could spend privacy budget twice. Read-only calls
+// (Status, Mechanisms) are idempotent and retry through every failure
+// mode. Tune or disable all of this with Options.Retry.
 package client
 
 import (
@@ -26,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"strings"
 	"sync"
@@ -49,14 +66,77 @@ type Options struct {
 	// for every query on the connection (the server samples them all).
 	Traceparent string
 	// DialTimeout bounds the TCP connect + handshake; 0 means no limit.
+	// Applied to reconnects too.
 	DialTimeout time.Duration
 	// MaxFrameBytes caps inbound response frames; 0 means the wire
 	// default (1 MiB).
 	MaxFrameBytes int
+	// Retry is the reconnect-and-retry policy; nil means
+	// DefaultRetryPolicy(). To disable retries entirely use
+	// &RetryPolicy{MaxAttempts: 1}.
+	Retry *RetryPolicy
+	// Dialer, when set, replaces the default TCP dial — how tests (and
+	// the chaos suite) interpose fault-injecting connections. It is
+	// called for the initial connection and every reconnect.
+	Dialer func(addr string) (net.Conn, error)
+}
+
+// RetryPolicy bounds the client's self-healing. The zero value of each
+// field means its DefaultRetryPolicy value, so partial literals work.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempts per call, first try included.
+	// 0 means the default (4); 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt (with equal jitter: half fixed, half random) up to
+	// MaxBackoff. 0 means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth. 0 means 2s.
+	MaxBackoff time.Duration
+	// MaxRetryAfter caps how long a server Retry-After hint may make the
+	// client sleep; a hint above the cap surfaces the error to the
+	// caller instead. 0 means 5s.
+	MaxRetryAfter time.Duration
+	// RetryRateLimited also auto-retries "rate_limited" errors, honoring
+	// their RetryAfter. Off by default: rate-limit pushback is usually
+	// something the application wants to observe, not absorb.
+	RetryRateLimited bool
+}
+
+// DefaultRetryPolicy is the policy Dial uses when Options.Retry is nil.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:   4,
+		BaseBackoff:   50 * time.Millisecond,
+		MaxBackoff:    2 * time.Second,
+		MaxRetryAfter: 5 * time.Second,
+	}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.MaxRetryAfter <= 0 {
+		p.MaxRetryAfter = d.MaxRetryAfter
+	}
+	return p
 }
 
 // APIError is a typed error frame from the server: the HTTP API's stable
-// code vocabulary plus a retry hint for rate_limited.
+// code vocabulary (bad_request, not_found, too_large, too_many_sessions,
+// store_failure, rate_limited, unavailable) plus a retry hint.
+// "unavailable" (journal deadline exceeded or load shedding) and
+// "rate_limited" are the retryable codes; both carry RetryAfter. The
+// client auto-retries "unavailable" within its RetryPolicy, and
+// "rate_limited" only when RetryPolicy.RetryRateLimited is set.
 type APIError struct {
 	Code       string
 	Message    string
@@ -73,27 +153,71 @@ func (e *APIError) Error() string {
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("client: connection closed")
 
-// Client is one wire-protocol connection. Safe for concurrent use;
-// concurrent calls pipeline.
+// ErrAmbiguous marks a budget-mutating call (Create, Query, Delete)
+// whose request was delivered but whose response never arrived: the
+// server may or may not have executed it, so the client refuses to
+// retry — a blind re-issue of a query could spend (ε₁,ε₂,ε₃) budget
+// twice. The caller decides: Status shows the session's answered count
+// and remaining budget, which disambiguates whether the call landed.
+var ErrAmbiguous = errors.New("client: request outcome unknown (connection lost after send)")
+
+// Stats is a snapshot of the client's self-healing counters.
+type Stats struct {
+	// Reconnects counts successful re-dials after the initial connection.
+	Reconnects uint64
+	// DialFailures counts failed reconnect attempts.
+	DialFailures uint64
+	// Retries counts retry attempts across all calls (every attempt
+	// after a call's first).
+	Retries uint64
+	// Ambiguous counts calls that failed with ErrAmbiguous.
+	Ambiguous uint64
+}
+
+// Client is one wire-protocol connection (re-dialed transparently when
+// it breaks). Safe for concurrent use; concurrent calls pipeline.
 type Client struct {
+	addr     string
+	opts     Options
+	policy   RetryPolicy
+	maxFrame int
+
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	cc     *clientConn // live connection epoch; nil after it broke
+	hello  wire.HelloOK
+	closed bool
+	// closedCh interrupts backoff sleeps when the client is closed.
+	closedCh chan struct{}
+	// dialMu serializes reconnect attempts without blocking Close.
+	dialMu sync.Mutex
+
+	reconnects   atomic.Uint64
+	dialFailures atomic.Uint64
+	retries      atomic.Uint64
+	ambiguous    atomic.Uint64
+
+	mechMu sync.Mutex
+	mechs  map[string]MechanismInfo
+}
+
+// clientConn is one connection epoch: socket, buffers, pending map and
+// the first fatal error. A broken epoch is abandoned wholesale and the
+// Client dials a fresh one.
+type clientConn struct {
 	conn net.Conn
 	br   *bufio.Reader
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
 
-	nextID   atomic.Uint64
-	maxFrame int
-	hello    wire.HelloOK
+	hello wire.HelloOK
 
 	mu      sync.Mutex
 	pending map[uint64]chan roundTripResult
-	err     error // first fatal connection error
-	closed  bool
+	err     error
 	done    chan struct{}
-
-	mechMu sync.Mutex
-	mechs  map[string]MechanismInfo
 }
 
 type roundTripResult struct {
@@ -102,56 +226,81 @@ type roundTripResult struct {
 }
 
 // Dial connects, performs the hello handshake and starts the response
-// reader.
+// reader. The initial dial is eager and not retried: a config problem
+// (bad address, wrong protocol) should fail loudly at startup.
 func Dial(addr string, opts Options) (*Client, error) {
-	var conn net.Conn
-	var err error
-	if opts.DialTimeout > 0 {
-		conn, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
-	} else {
-		conn, err = net.Dial("tcp", addr)
-	}
-	if err != nil {
-		return nil, err
-	}
 	maxFrame := opts.MaxFrameBytes
 	if maxFrame <= 0 {
 		maxFrame = wire.DefaultMaxFrameBytes
 	}
+	policy := DefaultRetryPolicy()
+	if opts.Retry != nil {
+		policy = opts.Retry.withDefaults()
+	}
 	c := &Client{
-		conn:     conn,
-		br:       bufio.NewReaderSize(conn, 16<<10),
-		bw:       bufio.NewWriterSize(conn, 16<<10),
+		addr:     addr,
+		opts:     opts,
+		policy:   policy,
 		maxFrame: maxFrame,
-		pending:  make(map[uint64]chan roundTripResult),
-		done:     make(chan struct{}),
+		closedCh: make(chan struct{}),
 	}
-	if opts.DialTimeout > 0 {
-		conn.SetDeadline(time.Now().Add(opts.DialTimeout))
-	}
-	if err := c.handshake(opts); err != nil {
-		conn.Close()
+	cc, err := c.dialConn()
+	if err != nil {
 		return nil, err
 	}
-	if opts.DialTimeout > 0 {
-		conn.SetDeadline(time.Time{})
-	}
-	go c.readLoop()
+	c.cc = cc
+	c.hello = cc.hello
 	return c, nil
 }
 
-func (c *Client) handshake(opts Options) error {
-	h := wire.Hello{Version: wire.Version, Tenant: opts.Tenant, Traceparent: opts.Traceparent}
+// dialConn establishes one connection epoch: dial, handshake, reader.
+func (c *Client) dialConn() (*clientConn, error) {
+	var conn net.Conn
+	var err error
+	switch {
+	case c.opts.Dialer != nil:
+		conn, err = c.opts.Dialer(c.addr)
+	case c.opts.DialTimeout > 0:
+		conn, err = net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	default:
+		conn, err = net.Dial("tcp", c.addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 16<<10),
+		bw:      bufio.NewWriterSize(conn, 16<<10),
+		pending: make(map[uint64]chan roundTripResult),
+		done:    make(chan struct{}),
+	}
+	if c.opts.DialTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	}
+	if err := c.handshake(cc); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if c.opts.DialTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	go cc.readLoop(c.maxFrame)
+	return cc, nil
+}
+
+func (c *Client) handshake(cc *clientConn) error {
+	h := wire.Hello{Version: wire.Version, Tenant: c.opts.Tenant, Traceparent: c.opts.Traceparent}
 	id := c.nextID.Add(1)
 	payload := wire.AppendHelloBody(wire.AppendHeader(nil, wire.OpHello, id), &h)
-	if err := wire.WriteFrame(c.bw, payload); err != nil {
+	if err := wire.WriteFrame(cc.bw, payload); err != nil {
 		return err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := cc.bw.Flush(); err != nil {
 		return err
 	}
 	// The reader isn't running yet: the hello response is read synchronously.
-	resp, err := wire.ReadFrame(c.br, nil, c.maxFrame)
+	resp, err := wire.ReadFrame(cc.br, nil, c.maxFrame)
 	if err != nil {
 		return fmt.Errorf("client: handshake read: %w", err)
 	}
@@ -168,35 +317,89 @@ func (c *Client) handshake(opts Options) error {
 	if op != wire.OpHelloOK {
 		return fmt.Errorf("client: unexpected handshake response op %#x", op)
 	}
-	if err := wire.DecodeHelloOKBody(body, &c.hello); err != nil {
+	if err := wire.DecodeHelloOKBody(body, &cc.hello); err != nil {
 		return err
 	}
-	if c.hello.Version != wire.Version {
-		return fmt.Errorf("client: server speaks protocol version %d, want %d", c.hello.Version, wire.Version)
+	if cc.hello.Version != wire.Version {
+		return fmt.Errorf("client: server speaks protocol version %d, want %d", cc.hello.Version, wire.Version)
 	}
 	return nil
 }
 
-// readLoop is the single response reader: it matches frames to waiting
-// calls by request ID. Responses may arrive in any order.
-func (c *Client) readLoop() {
+// conn returns the live epoch, re-dialing if the previous one broke.
+// Exactly one dial attempt: the caller's retry loop owns backoff.
+func (c *Client) conn() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cc := c.cc
+	c.mu.Unlock()
+	if cc != nil && !cc.dead() {
+		return cc, nil
+	}
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	// Re-check under dialMu: another caller may have already reconnected
+	// (or Close may have run) while this one waited.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cc = c.cc
+	c.mu.Unlock()
+	if cc != nil && !cc.dead() {
+		return cc, nil
+	}
+	ncc, err := c.dialConn()
+	if err != nil {
+		c.dialFailures.Add(1)
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ncc.close(ErrClosed)
+		return nil, ErrClosed
+	}
+	c.cc = ncc
+	c.hello = ncc.hello
+	c.mu.Unlock()
+	c.reconnects.Add(1)
+	return ncc, nil
+}
+
+func (cc *clientConn) dead() bool {
+	select {
+	case <-cc.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// readLoop is the epoch's single response reader: it matches frames to
+// waiting calls by request ID. Responses may arrive in any order.
+func (cc *clientConn) readLoop(maxFrame int) {
 	var buf []byte
 	for {
-		payload, err := wire.ReadFrame(c.br, buf, c.maxFrame)
+		payload, err := wire.ReadFrame(cc.br, buf, maxFrame)
 		if err != nil {
-			c.fail(err)
+			cc.fail(err)
 			return
 		}
 		buf = payload
 		op, id, body, err := wire.ParseHeader(payload)
 		if err != nil {
-			c.fail(err)
+			cc.fail(err)
 			return
 		}
-		c.mu.Lock()
-		ch := c.pending[id]
-		delete(c.pending, id)
-		c.mu.Unlock()
+		cc.mu.Lock()
+		ch := cc.pending[id]
+		delete(cc.pending, id)
+		cc.mu.Unlock()
 		if ch != nil {
 			// The frame buffer is reused for the next read; hand the
 			// waiter its own copy.
@@ -205,72 +408,234 @@ func (c *Client) readLoop() {
 	}
 }
 
-// fail records the first fatal error and wakes every waiter.
-func (c *Client) fail(err error) {
-	c.mu.Lock()
-	if c.err == nil {
-		if c.closed {
-			c.err = ErrClosed
-		} else {
-			c.err = err
-		}
-		close(c.done)
+// fail records the epoch's first fatal error and wakes every waiter.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+		close(cc.done)
 	}
-	c.mu.Unlock()
+	cc.mu.Unlock()
 }
 
-// Close tears the connection down; in-flight calls fail with ErrClosed.
+// close fails the epoch with err (typically ErrClosed) before closing
+// the socket, so waiters observe the typed error rather than the read
+// loop's "use of closed network connection".
+func (cc *clientConn) close(err error) error {
+	cc.fail(err)
+	return cc.conn.Close()
+}
+
+// Close tears the connection down; in-flight calls fail fast with
+// ErrClosed (never ErrAmbiguous, and never a reconnect).
 func (c *Client) Close() error {
 	c.mu.Lock()
-	closed := c.closed
-	c.closed = true
-	c.mu.Unlock()
-	if closed {
+	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
-	err := c.conn.Close()
-	c.fail(ErrClosed)
-	return err
+	c.closed = true
+	close(c.closedCh)
+	cc := c.cc
+	c.cc = nil
+	c.mu.Unlock()
+	if cc != nil {
+		return cc.close(ErrClosed)
+	}
+	return nil
 }
 
-// roundTrip sends one request payload and waits for its response frame.
-func (c *Client) roundTrip(id uint64, payload []byte) (roundTripResult, error) {
-	ch := make(chan roundTripResult, 1)
+func (c *Client) isClosed() bool {
 	c.mu.Lock()
-	if c.err != nil || c.closed {
-		err := c.err
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
-		}
-		return roundTripResult{}, err
-	}
-	c.pending[id] = ch
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	return c.closed
+}
 
-	c.wmu.Lock()
-	err := wire.WriteFrame(c.bw, payload)
-	if err == nil {
-		err = c.bw.Flush()
+// Stats snapshots the self-healing counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Reconnects:   c.reconnects.Load(),
+		DialFailures: c.dialFailures.Load(),
+		Retries:      c.retries.Load(),
+		Ambiguous:    c.ambiguous.Load(),
 	}
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return roundTripResult{}, err
+}
+
+// roundTrip sends one request payload on this epoch and waits for its
+// response frame. sent reports whether the frame could have reached the
+// server: a false return proves the request never executed (the write
+// or flush failed, so the frame never fully entered the kernel — a
+// partial frame is dropped by the server's codec, never executed),
+// which makes retrying safe for any operation.
+func (cc *clientConn) roundTrip(id uint64, payload []byte) (res roundTripResult, sent bool, err error) {
+	ch := make(chan roundTripResult, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return roundTripResult{}, false, err
+	}
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	cc.wmu.Lock()
+	werr := wire.WriteFrame(cc.bw, payload)
+	if werr == nil {
+		werr = cc.bw.Flush()
+	}
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		// A write failure poisons the shared buffered writer; kill the
+		// epoch so other pipelined calls fail over too.
+		cc.fail(werr)
+		return roundTripResult{}, false, werr
 	}
 
 	select {
 	case res := <-ch:
-		return res, nil
-	case <-c.done:
-		c.mu.Lock()
-		err := c.err
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return roundTripResult{}, err
+		return res, true, nil
+	case <-cc.done:
+		// The response may have been delivered concurrently with the
+		// epoch dying; prefer it over reporting ambiguity.
+		select {
+		case res := <-ch:
+			return res, true, nil
+		default:
+		}
+		cc.mu.Lock()
+		err := cc.err
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return roundTripResult{}, true, err
 	}
+}
+
+// opKind classifies calls for retry purposes.
+type opKind int
+
+const (
+	// opIdempotent calls (Status, Mechanisms) re-execute harmlessly, so
+	// they retry through every transport failure mode.
+	opIdempotent opKind = iota
+	// opMutating calls (Create, Query, Delete) spend budget or change
+	// state; they retry only when provably unexecuted (typed retryable
+	// error, or the request never left this machine) and otherwise fail
+	// with ErrAmbiguous.
+	opMutating
+)
+
+// retryableAPIError reports whether a typed server error is safe and
+// worth retrying under the policy, and how long to wait first. Typed
+// retryable errors are safe for every op kind: the server refused the
+// request before executing it.
+func retryableAPIError(ae *APIError, pol RetryPolicy) (time.Duration, bool) {
+	switch ae.Code {
+	case "unavailable":
+		// Always retryable: the server refused before executing.
+	case "rate_limited":
+		if !pol.RetryRateLimited {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	wait := ae.RetryAfter
+	if wait > pol.MaxRetryAfter {
+		return 0, false
+	}
+	if wait <= 0 {
+		wait = pol.BaseBackoff
+	}
+	return wait, true
+}
+
+// backoff returns the attempt'th reconnect delay: exponential with
+// equal jitter (half fixed, half uniform random).
+func backoff(pol RetryPolicy, attempt int) time.Duration {
+	d := pol.BaseBackoff
+	for i := 0; i < attempt && d < pol.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > pol.MaxBackoff {
+		d = pol.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)+1))
+}
+
+// sleep waits d or until the client is closed, reporting false on close.
+func (c *Client) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !c.isClosed()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closedCh:
+		return false
+	}
+}
+
+// call runs one logical request through the retry loop: get (or
+// re-dial) a connection, round-trip, classify the failure, back off,
+// repeat within the policy's attempt budget.
+func (c *Client) call(kind opKind, want byte, build func(id uint64) []byte) ([]byte, error) {
+	pol := c.policy
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		cc, err := c.conn()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, ErrClosed
+			}
+			lastErr = err
+			if !c.sleep(backoff(pol, attempt)) {
+				return nil, ErrClosed
+			}
+			continue
+		}
+		id := c.nextID.Add(1)
+		res, sent, err := cc.roundTrip(id, build(id))
+		if err == nil {
+			body, aerr := expect(res, want)
+			if aerr == nil {
+				return body, nil
+			}
+			var ae *APIError
+			if errors.As(aerr, &ae) && attempt+1 < pol.MaxAttempts {
+				if wait, ok := retryableAPIError(ae, pol); ok {
+					lastErr = aerr
+					if !c.sleep(wait) {
+						return nil, ErrClosed
+					}
+					continue
+				}
+			}
+			return nil, aerr
+		}
+		// Transport-level failure. Close always wins: pending calls on a
+		// user-closed client fail fast with the typed error.
+		if errors.Is(err, ErrClosed) || c.isClosed() {
+			return nil, ErrClosed
+		}
+		if sent && kind == opMutating {
+			c.ambiguous.Add(1)
+			return nil, fmt.Errorf("%w: %v", ErrAmbiguous, err)
+		}
+		lastErr = err
+		if attempt+1 < pol.MaxAttempts && !c.sleep(backoff(pol, attempt)) {
+			return nil, ErrClosed
+		}
+	}
+	return nil, lastErr
 }
 
 func decodeAPIError(body []byte) error {
@@ -318,12 +683,9 @@ func (c *Client) mechanismTable() (map[string]MechanismInfo, error) {
 	if c.mechs != nil {
 		return c.mechs, nil
 	}
-	id := c.nextID.Add(1)
-	res, err := c.roundTrip(id, wire.AppendHeader(nil, wire.OpMechanisms, id))
-	if err != nil {
-		return nil, err
-	}
-	body, err := expect(res, wire.OpMechanismsOK)
+	body, err := c.call(opIdempotent, wire.OpMechanismsOK, func(id uint64) []byte {
+		return wire.AppendHeader(nil, wire.OpMechanisms, id)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -377,6 +739,9 @@ func (c *Client) validateCreate(params *CreateParams) error {
 }
 
 // Create opens a session. The tenant is the connection's, from Dial.
+// Create is budget-mutating: if the connection dies after the request
+// was delivered, it fails with ErrAmbiguous rather than risk creating
+// two sessions.
 func (c *Client) Create(params CreateParams) (*CreateResponse, error) {
 	if err := c.validateCreate(&params); err != nil {
 		return nil, err
@@ -385,13 +750,9 @@ func (c *Client) Create(params CreateParams) (*CreateResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	id := c.nextID.Add(1)
-	payload := append(wire.AppendHeader(nil, wire.OpCreate, id), body...)
-	res, err := c.roundTrip(id, payload)
-	if err != nil {
-		return nil, err
-	}
-	respBody, err := expect(res, wire.OpCreateOK)
+	respBody, err := c.call(opMutating, wire.OpCreateOK, func(id uint64) []byte {
+		return append(wire.AppendHeader(nil, wire.OpCreate, id), body...)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -411,8 +772,13 @@ func (c *Client) Query(session string, items []QueryItem) (*BatchResult, error) 
 // equivalent): the server echoes it on the response and always samples
 // the request into GET /v1/traces. Empty means the server mints one;
 // either way BatchResult.RequestID carries the ID the response bore.
+//
+// A query whose request was delivered but whose response was lost fails
+// with ErrAmbiguous and is never auto-retried: the server may have
+// answered it (journaling the budget spend), and re-asking would spend
+// budget again. Check Status to disambiguate.
 func (c *Client) QueryID(session, requestID string, items []QueryItem) (*BatchResult, error) {
-	if max := int(c.hello.MaxBatch); max > 0 && len(items) > max {
+	if max := c.ServerMaxBatch(); max > 0 && len(items) > max {
 		return nil, fmt.Errorf("client: batch of %d exceeds the server cap of %d", len(items), max)
 	}
 	witems := make([]wire.QueryItem, len(items))
@@ -423,13 +789,9 @@ func (c *Client) QueryID(session, requestID string, items []QueryItem) (*BatchRe
 			witems[i].HasThreshold = true
 		}
 	}
-	id := c.nextID.Add(1)
-	payload := wire.AppendQueryBody(wire.AppendHeader(nil, wire.OpQuery, id), session, requestID, witems)
-	res, err := c.roundTrip(id, payload)
-	if err != nil {
-		return nil, err
-	}
-	body, err := expect(res, wire.OpQueryOK)
+	body, err := c.call(opMutating, wire.OpQueryOK, func(id uint64) []byte {
+		return wire.AppendQueryBody(wire.AppendHeader(nil, wire.OpQuery, id), session, requestID, witems)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -455,15 +817,12 @@ func (c *Client) QueryID(session, requestID string, items []QueryItem) (*BatchRe
 	return out, nil
 }
 
-// Status fetches a session's current state.
+// Status fetches a session's current state. Status is read-only and
+// retries through any transport failure.
 func (c *Client) Status(session string) (*SessionStatus, error) {
-	id := c.nextID.Add(1)
-	payload := wire.AppendIDBody(wire.AppendHeader(nil, wire.OpStatus, id), session)
-	res, err := c.roundTrip(id, payload)
-	if err != nil {
-		return nil, err
-	}
-	body, err := expect(res, wire.OpStatusOK)
+	body, err := c.call(opIdempotent, wire.OpStatusOK, func(id uint64) []byte {
+		return wire.AppendIDBody(wire.AppendHeader(nil, wire.OpStatus, id), session)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -474,22 +833,28 @@ func (c *Client) Status(session string) (*SessionStatus, error) {
 	return &st, nil
 }
 
-// Delete ends a session.
+// Delete ends a session. Delete mutates state, so a delivered-but-
+// unanswered delete fails with ErrAmbiguous (a retry could report
+// not_found for a delete that actually succeeded).
 func (c *Client) Delete(session string) error {
-	id := c.nextID.Add(1)
-	payload := wire.AppendIDBody(wire.AppendHeader(nil, wire.OpDelete, id), session)
-	res, err := c.roundTrip(id, payload)
-	if err != nil {
-		return err
-	}
-	_, err = expect(res, wire.OpDeleteOK)
+	_, err := c.call(opMutating, wire.OpDeleteOK, func(id uint64) []byte {
+		return wire.AppendIDBody(wire.AppendHeader(nil, wire.OpDelete, id), session)
+	})
 	return err
 }
 
 // ServerMaxBatch reports the per-batch query cap the server announced in
-// the handshake.
-func (c *Client) ServerMaxBatch() int { return int(c.hello.MaxBatch) }
+// the (most recent) handshake.
+func (c *Client) ServerMaxBatch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int(c.hello.MaxBatch)
+}
 
 // ServerMaxFrame reports the frame-size cap the server announced in the
-// handshake.
-func (c *Client) ServerMaxFrame() int { return int(c.hello.MaxFrame) }
+// (most recent) handshake.
+func (c *Client) ServerMaxFrame() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int(c.hello.MaxFrame)
+}

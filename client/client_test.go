@@ -7,16 +7,19 @@ package client_test
 // the server in here creates no cycle.
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/dpgo/svt/client"
 	"github.com/dpgo/svt/server"
+	"github.com/dpgo/svt/wire"
 )
 
 // startServer runs a WireServer for an in-memory manager on an ephemeral
@@ -286,5 +289,179 @@ func TestClientClose(t *testing.T) {
 	}
 	if err := c.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestClientCloseRacesInFlight closes the client while goroutines have
+// queries in flight: every pending call must fail fast with the typed
+// ErrClosed — not deadlock, not ErrAmbiguous, and never trigger a
+// reconnect. Run under -race in CI.
+func TestClientCloseRacesInFlight(t *testing.T) {
+	addr, _ := startServer(t, server.WireConfig{})
+	c := dial(t, addr, client.Options{})
+
+	sess, err := c.Create(sparseParams())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				_, err := c.Query(sess.ID, []client.QueryItem{{Query: 0, Threshold: client.Float(1e12)}})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, client.ErrClosed) {
+			t.Fatalf("in-flight query after Close = %v, want ErrClosed", err)
+		}
+	}
+	if st := c.Stats(); st.Reconnects != 0 {
+		t.Fatalf("Reconnects after Close = %d, want 0", st.Reconnects)
+	}
+}
+
+// fakeWireServer speaks just enough of the protocol to script failure
+// modes the real server won't produce on demand: handle returns the
+// response payload for a request, or nil to drop the connection right
+// there. The hello handshake is answered automatically. conn is the
+// 0-based accept ordinal, so scripts can behave differently across
+// reconnects.
+func fakeWireServer(t *testing.T, handle func(conn int, op byte, id uint64, body []byte) []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for connNo := 0; ; connNo++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn, connNo int) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				bw := bufio.NewWriter(conn)
+				for {
+					payload, err := wire.ReadFrame(br, nil, 1<<20)
+					if err != nil {
+						return
+					}
+					op, id, body, err := wire.ParseHeader(payload)
+					if err != nil {
+						return
+					}
+					if op == wire.OpHello {
+						resp := wire.AppendHelloOKBody(wire.AppendHeader(nil, wire.OpHelloOK, id),
+							&wire.HelloOK{Version: wire.Version, MaxFrame: 1 << 20, MaxBatch: 64})
+						if wire.WriteFrame(bw, resp) != nil || bw.Flush() != nil {
+							return
+						}
+						continue
+					}
+					resp := handle(connNo, op, id, body)
+					if resp == nil {
+						return
+					}
+					if wire.WriteFrame(bw, resp) != nil || bw.Flush() != nil {
+						return
+					}
+				}
+			}(conn, connNo)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientRetriesUnavailable: a typed "unavailable" error is retried
+// automatically within the policy, honoring the (zero) retry hint.
+func TestClientRetriesUnavailable(t *testing.T) {
+	var calls atomic.Uint64
+	addr := fakeWireServer(t, func(_ int, op byte, id uint64, _ []byte) []byte {
+		if calls.Add(1) == 1 {
+			return wire.AppendErrorBody(wire.AppendHeader(nil, wire.OpError, id),
+				&wire.ErrorFrame{Code: "unavailable", Message: "shedding"})
+		}
+		return append(wire.AppendHeader(nil, wire.OpStatusOK, id), []byte(`{}`)...)
+	})
+	c := dial(t, addr, client.Options{
+		Retry: &client.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond},
+	})
+	if _, err := c.Status("s"); err != nil {
+		t.Fatalf("Status = %v, want retried success", err)
+	}
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestClientReconnectRetriesIdempotent: the connection dies after a
+// read-only request was delivered; the client must redial and retry it.
+func TestClientReconnectRetriesIdempotent(t *testing.T) {
+	addr := fakeWireServer(t, func(conn int, op byte, id uint64, _ []byte) []byte {
+		if conn == 0 {
+			return nil // read the request, then drop the connection
+		}
+		return append(wire.AppendHeader(nil, wire.OpStatusOK, id), []byte(`{}`)...)
+	})
+	c := dial(t, addr, client.Options{
+		Retry: &client.RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond},
+	})
+	if _, err := c.Status("s"); err != nil {
+		t.Fatalf("Status = %v, want reconnect + retried success", err)
+	}
+	st := c.Stats()
+	if st.Reconnects != 1 {
+		t.Fatalf("Reconnects = %d, want 1", st.Reconnects)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("Retries = 0, want > 0")
+	}
+}
+
+// TestClientAmbiguousQuery: a budget-mutating query whose frame was
+// delivered but never answered must fail with ErrAmbiguous and must NOT
+// be retried — the server may have spent budget answering it.
+func TestClientAmbiguousQuery(t *testing.T) {
+	var queries atomic.Uint64
+	addr := fakeWireServer(t, func(_ int, op byte, id uint64, _ []byte) []byte {
+		if op == wire.OpQuery {
+			queries.Add(1)
+			return nil // request delivered, connection dies before the response
+		}
+		return append(wire.AppendHeader(nil, wire.OpStatusOK, id), []byte(`{}`)...)
+	})
+	c := dial(t, addr, client.Options{
+		Retry: &client.RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond},
+	})
+	_, err := c.Query("s", []client.QueryItem{{Query: 0, Threshold: client.Float(1)}})
+	if !errors.Is(err, client.ErrAmbiguous) {
+		t.Fatalf("Query = %v, want ErrAmbiguous", err)
+	}
+	if n := queries.Load(); n != 1 {
+		t.Fatalf("server saw %d queries, want exactly 1 (no blind retry)", n)
+	}
+	if st := c.Stats(); st.Ambiguous != 1 {
+		t.Fatalf("Ambiguous = %d, want 1", st.Ambiguous)
 	}
 }

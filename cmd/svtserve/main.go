@@ -114,6 +114,13 @@ func main() {
 		rate  = flag.Float64("rate", 0, "per-tenant request rate limit in req/s on /v1/* (0 = disabled)")
 		burst = flag.Float64("burst", 0, "rate-limit burst depth (0 = max(rate, 1))")
 
+		journalDeadlineMS = flag.Int("journal-deadline-ms", 0, "journal-append wait deadline in milliseconds: a store stalled past it fails the request with a retryable 503 \"unavailable\" instead of hanging (0 = wait forever)")
+		maxInFlight       = flag.Int("max-inflight", 0, "in-flight request cap per edge (HTTP /v1/* and wire queries); excess load is shed with a retryable \"unavailable\" (0 = unlimited)")
+		wireIdleTimeout   = flag.Duration("wire-idle-timeout", 5*time.Minute, "wire connection idle read/write deadline (0 = none)")
+		httpReadTimeout   = flag.Duration("http-read-timeout", 30*time.Second, "HTTP server full-request read timeout (0 = none)")
+		httpWriteTimeout  = flag.Duration("http-write-timeout", 30*time.Second, "HTTP server response write timeout (0 = none)")
+		httpIdleTimeout   = flag.Duration("http-idle-timeout", 2*time.Minute, "HTTP keep-alive connection idle timeout (0 = none)")
+
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 
 		metrics     = flag.Bool("metrics", true, "serve Prometheus text exposition on GET /metrics")
@@ -130,6 +137,10 @@ func main() {
 		commitWindow: *commitWindow, rate: *rate, burst: *burst, pprofAddr: *pprofAddr,
 		metrics: *metrics, slowQueryMS: *slowQuery, logFormat: *logFormat,
 		traceSample: *traceSample, traceBuffer: *traceBuffer,
+		journalDeadline: time.Duration(*journalDeadlineMS) * time.Millisecond,
+		maxInFlight:     *maxInFlight, wireIdleTimeout: *wireIdleTimeout,
+		httpReadTimeout: *httpReadTimeout, httpWriteTimeout: *httpWriteTimeout,
+		httpIdleTimeout: *httpIdleTimeout,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "svtserve:", err)
 		os.Exit(1)
@@ -153,6 +164,12 @@ type config struct {
 	slowQueryMS                     int
 	logFormat                       string
 	traceSample, traceBuffer        int
+	journalDeadline                 time.Duration
+	maxInFlight                     int
+	wireIdleTimeout                 time.Duration
+	httpReadTimeout                 time.Duration
+	httpWriteTimeout                time.Duration
+	httpIdleTimeout                 time.Duration
 }
 
 // newLogger builds the process's structured logger per -log-format.
@@ -245,6 +262,7 @@ func run(cfg config) error {
 		MaxSessions:      cfg.maxSessions,
 		Store:            st,
 		SnapshotInterval: cfg.snapInt,
+		JournalDeadline:  cfg.journalDeadline,
 		Telemetry:        reg,
 		Tracer:           tracer,
 	})
@@ -261,6 +279,7 @@ func run(cfg config) error {
 	api := server.NewAPI(mgr, server.APIConfig{
 		MaxBodyBytes:       cfg.maxBody,
 		MaxBatch:           cfg.maxBatch,
+		MaxInFlight:        cfg.maxInFlight,
 		Telemetry:          reg,
 		SlowQueryThreshold: time.Duration(cfg.slowQueryMS) * time.Millisecond,
 		Logger:             logger,
@@ -275,6 +294,8 @@ func run(cfg config) error {
 		wireSrv = server.NewWireServer(mgr, server.WireConfig{
 			MaxFrameBytes: int(cfg.maxBody),
 			MaxBatch:      cfg.maxBatch,
+			MaxInFlight:   cfg.maxInFlight,
+			IdleTimeout:   cfg.wireIdleTimeout,
 			Telemetry:     reg,
 			Tracer:        tracer,
 		})
@@ -322,16 +343,25 @@ func run(cfg config) error {
 		slog.Duration("ttl", cfg.ttl),
 		slog.Int("maxSessions", cfg.maxSessions),
 		slog.Float64("rateLimit", cfg.rate),
+		slog.Duration("journalDeadline", cfg.journalDeadline),
+		slog.Int("maxInFlight", cfg.maxInFlight),
+		slog.Duration("wireIdleTimeout", cfg.wireIdleTimeout),
 		slog.Bool("metrics", cfg.metrics),
 		slog.Int("slowQueryMs", cfg.slowQueryMS),
 		slog.Int("traceSample", cfg.traceSample),
 		slog.String("version", buildVersion()),
 	)
 
+	// Slowloris and stuck-peer protection: bound every phase of an HTTP
+	// exchange. Request bodies are small (capped by -max-body) and no
+	// endpoint streams, so whole-request/response timeouts are safe.
 	srv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       cfg.httpReadTimeout,
+		WriteTimeout:      cfg.httpWriteTimeout,
+		IdleTimeout:       cfg.httpIdleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with scheduled read/write faults: added latency,
+// stalls (until Schedule.Release), injected errors, and tears that sever
+// the connection after forwarding a prefix of the buffer — the torn-
+// mid-frame case a wire peer sees when its counterpart dies between two
+// TCP segments. Once severed (by a tear or an injected error), every
+// later Read and Write fails with the same error and the underlying
+// connection is closed, exactly like a broken socket.
+type Conn struct {
+	net.Conn
+	sched *Schedule
+
+	mu     sync.Mutex
+	broken error
+}
+
+// WrapConn returns a faulting view of c driven by sched.
+func WrapConn(c net.Conn, sched *Schedule) *Conn {
+	return &Conn{Conn: c, sched: sched}
+}
+
+// sever marks the connection broken and closes the inner conn so the
+// peer observes the break too. The first severing error sticks.
+func (c *Conn) sever(err error) error {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+		_ = c.Conn.Close()
+	} else {
+		err = c.broken
+	}
+	c.mu.Unlock()
+	return err
+}
+
+func (c *Conn) brokenErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// noteErr records a passthrough I/O error so later calls fail the same
+// way without touching the closed socket again.
+func (c *Conn) noteErr(err error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	c.mu.Unlock()
+}
+
+// faultIO is the shared Read/Write gate. It returns tear >= 0 when the
+// matched rule severs the connection after forwarding tear bytes (with
+// tearErr as the severing error), or err != nil for an immediate
+// injected failure. tear < 0 with nil err means proceed untouched.
+func (c *Conn) faultIO(op Op, p []byte) (tear int, tearErr, err error) {
+	if err := c.brokenErr(); err != nil {
+		return -1, nil, err
+	}
+	r, ok := c.sched.match(op)
+	if !ok {
+		return -1, nil, nil
+	}
+	if r.Latency > 0 {
+		time.Sleep(r.Latency)
+	}
+	if r.Stall {
+		c.sched.wait()
+	}
+	if r.Tear {
+		cut := r.TearAfter
+		if cut > len(p) {
+			cut = len(p)
+		}
+		terr := r.Err
+		if terr == nil {
+			terr = errTorn
+		}
+		return cut, terr, nil
+	}
+	if r.Err != nil {
+		return -1, nil, c.sever(r.Err)
+	}
+	return -1, nil, nil
+}
+
+// Read forwards to the inner connection unless an OpRead rule fires. A
+// tear delivers only the first TearAfter bytes, then severs.
+func (c *Conn) Read(p []byte) (int, error) {
+	cut, tearErr, err := c.faultIO(OpRead, p)
+	if err != nil {
+		return 0, err
+	}
+	if cut >= 0 {
+		n := 0
+		if cut > 0 {
+			n, err = c.Conn.Read(p[:cut])
+			if err != nil {
+				return n, c.sever(err)
+			}
+		}
+		return n, c.sever(tearErr)
+	}
+	n, err := c.Conn.Read(p)
+	if err != nil {
+		c.noteErr(err)
+	}
+	return n, err
+}
+
+// Write forwards to the inner connection unless an OpWrite rule fires. A
+// tear pushes only the first TearAfter bytes to the wire, then severs —
+// the peer sees a truncated frame followed by the connection closing.
+func (c *Conn) Write(p []byte) (int, error) {
+	cut, tearErr, err := c.faultIO(OpWrite, p)
+	if err != nil {
+		return 0, err
+	}
+	if cut >= 0 {
+		n := 0
+		if cut > 0 {
+			n, err = c.Conn.Write(p[:cut])
+			if err != nil {
+				return n, c.sever(err)
+			}
+		}
+		return n, c.sever(tearErr)
+	}
+	n, err := c.Conn.Write(p)
+	if err != nil {
+		c.noteErr(err)
+	}
+	return n, err
+}
+
+// Close closes the inner connection.
+func (c *Conn) Close() error { return c.Conn.Close() }
+
+var _ net.Conn = (*Conn)(nil)

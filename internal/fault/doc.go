@@ -1,0 +1,35 @@
+// Package fault is a deterministic fault-injection harness for chaos
+// tests: a Store that wraps any store.SessionStore and a Conn that wraps
+// any net.Conn, both driven by a scripted Schedule of Rules.
+//
+// # Determinism rules
+//
+// Chaos tests must be replayable, so a Schedule never consults the wall
+// clock to decide whether a fault fires. Every Rule is indexed by the
+// per-operation call count (fail-after-N, fail-for-K), and probabilistic
+// rules draw from a splitmix64 stream seeded at construction — the same
+// seed and the same call order replay the same faults. Two corollaries:
+//
+//   - Probabilistic rules are only reproducible when the matched
+//     operation is invoked from a single goroutine (call order is the
+//     input to the coin). Count-windowed rules (After/Count) are
+//     reproducible under any interleaving of OTHER ops, because each op
+//     kind keeps its own counter.
+//   - Latency and stalls delay an operation but never gate on time:
+//     a Stall blocks until Schedule.Release, not until a deadline, so a
+//     test decides exactly when the world unsticks. This also keeps the
+//     package clean under the hotclock analyzer — no time.Now anywhere.
+//
+// # Capability forwarding
+//
+// Servers probe optional store capabilities (store.BatchAppender,
+// store.Rotator, store.Healther, store.Instrumented) by type assertion,
+// so a wrapper that unconditionally implemented them all would
+// mis-advertise. Wrap therefore composes the returned value from the
+// inner store's actual capability set: AppendBatch and Rotate are only
+// present when the inner store has them (store.AppendAll falls back to
+// sequential Appends — each of which is faultable — otherwise), while
+// Health and SetInstrumenter always forward when possible and degrade to
+// a synthetic healthy report / a dropped instrumenter when the inner
+// store lacks them.
+package fault

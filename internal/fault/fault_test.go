@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/dpgo/svt/store"
+)
+
+func TestScheduleWindows(t *testing.T) {
+	boom := errors.New("boom")
+	s := NewSchedule(1,
+		Rule{Op: OpAppend, After: 2, Count: 3, Err: boom},
+	)
+	st := Wrap(store.NewMem(), s)
+	for i := 1; i <= 8; i++ {
+		err := st.Append(store.Event{Kind: 1, ID: "s", Data: []byte{byte(i)}})
+		inWindow := i > 2 && i <= 5
+		if inWindow && !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+		if !inWindow && err != nil {
+			t.Fatalf("call %d: err = %v, want nil", i, err)
+		}
+	}
+	if got := s.Calls(OpAppend); got != 8 {
+		t.Fatalf("Calls = %d, want 8", got)
+	}
+	if got := s.Injected(OpAppend); got != 3 {
+		t.Fatalf("Injected = %d, want 3", got)
+	}
+}
+
+func TestScheduleSeededCoinReplays(t *testing.T) {
+	run := func(seed uint64) []bool {
+		s := NewSchedule(seed, Rule{Op: OpAppend, Prob: 0.5, Err: ErrInjected})
+		st := Wrap(store.NewMem(), s)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = st.Append(store.Event{Kind: 1, ID: "s"}) != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 64-call pattern")
+	}
+}
+
+func TestStallBlocksUntilRelease(t *testing.T) {
+	s := NewSchedule(1, Rule{Op: OpAppend, After: 1, Stall: true})
+	st := Wrap(store.NewMem(), s)
+	if err := st.Append(store.Event{Kind: 1, ID: "s"}); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- st.Append(store.Event{Kind: 1, ID: "s"}) }()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled append returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released append: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("append still stuck after Release")
+	}
+}
+
+// TestWrapMirrorsCapabilities pins the capability-forwarding contract:
+// the wrapper advertises exactly what the inner store does.
+func TestWrapMirrorsCapabilities(t *testing.T) {
+	s := NewSchedule(1)
+
+	mem := Wrap(store.NewMem(), s) // Mem: batch + health + instrumented, no rotator
+	if _, ok := mem.(store.BatchAppender); !ok {
+		t.Fatal("wrapped Mem lost BatchAppender")
+	}
+	if _, ok := mem.(store.Rotator); ok {
+		t.Fatal("wrapped Mem gained Rotator")
+	}
+	if h, ok := mem.(store.Healther); !ok || h.Health().Backend != "mem" {
+		t.Fatalf("wrapped Mem health not forwarded: %v", ok)
+	}
+
+	wal, err := store.NewWAL(store.WALConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	fw := Wrap(wal, s)
+	if _, ok := fw.(store.Rotator); !ok {
+		t.Fatal("wrapped WAL lost Rotator")
+	}
+	if _, ok := fw.(store.BatchAppender); !ok {
+		t.Fatal("wrapped WAL lost BatchAppender")
+	}
+
+	bare := Wrap(bareStore{}, s) // core-only inner: nothing extra advertised
+	if _, ok := bare.(store.BatchAppender); ok {
+		t.Fatal("bare wrapper gained BatchAppender")
+	}
+	if _, ok := bare.(store.Rotator); ok {
+		t.Fatal("bare wrapper gained Rotator")
+	}
+	if h := bare.(store.Healther).Health(); h.Backend != "fault" {
+		t.Fatalf("bare health backend = %q, want synthetic fault", h.Backend)
+	}
+}
+
+// bareStore implements only the core SessionStore surface.
+type bareStore struct{}
+
+func (bareStore) Append(store.Event) error        { return nil }
+func (bareStore) Snapshot([]store.Event) error    { return nil }
+func (bareStore) Recover() ([]store.Event, error) { return nil, nil }
+func (bareStore) Close() error                    { return nil }
+
+func TestBatchPathFaults(t *testing.T) {
+	boom := errors.New("batch boom")
+	s := NewSchedule(1, Rule{Op: OpAppendBatch, Err: boom})
+	st := Wrap(store.NewMem(), s)
+	evs := []store.Event{{Kind: 1, ID: "a"}, {Kind: 1, ID: "b"}}
+	if err := store.AppendAll(st, evs); !errors.Is(err, boom) {
+		t.Fatalf("AppendAll through batch wrapper = %v, want boom", err)
+	}
+	if got := s.Calls(OpAppendBatch); got != 1 {
+		t.Fatalf("batch calls = %d, want 1", got)
+	}
+}
+
+func TestConnTearMidFrame(t *testing.T) {
+	client, srv := net.Pipe()
+	defer srv.Close()
+	s := NewSchedule(1, Rule{Op: OpWrite, After: 1, Tear: true, TearAfter: 3})
+	fc := WrapConn(client, s)
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := srv.Read(buf)
+		got <- buf[:n]
+	}()
+
+	if n, err := fc.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("clean write = (%d, %v)", n, err)
+	}
+	if b := <-got; string(b) != "hello" {
+		t.Fatalf("peer read %q, want hello", b)
+	}
+
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := srv.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := fc.Write([]byte("world!"))
+	if n != 3 || !errors.Is(err, errTorn) {
+		t.Fatalf("torn write = (%d, %v), want (3, errTorn)", n, err)
+	}
+	if b := <-got; string(b) != "wor" {
+		t.Fatalf("peer read %q after tear, want wor (the 3-byte prefix)", b)
+	}
+	// Severed: everything after the tear fails the same way.
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, errTorn) {
+		t.Fatalf("post-tear write = %v, want errTorn", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, errTorn) {
+		t.Fatalf("post-tear read = %v, want errTorn", err)
+	}
+}
+
+func TestConnInjectedReadError(t *testing.T) {
+	boom := errors.New("read boom")
+	client, srv := net.Pipe()
+	defer srv.Close()
+	s := NewSchedule(1, Rule{Op: OpRead, Err: boom})
+	fc := WrapConn(client, s)
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, boom) {
+		t.Fatalf("read = %v, want boom", err)
+	}
+}

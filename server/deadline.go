@@ -1,0 +1,178 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dpgo/svt/store"
+)
+
+// ErrUnavailable is the typed, retryable error for requests the server
+// declines to finish right now: a journal append that exceeded the
+// configured deadline, or load shedding at the in-flight cap. It maps to
+// HTTP 503 / the wire "unavailable" code, both carrying Retry-After, so
+// well-behaved clients back off and retry instead of hammering a server
+// that is already struggling.
+//
+// Budget safety of the deadline path: when the deadline fires the append
+// has not returned, so the event was never acknowledged durable and the
+// response is withheld. If the abandoned append later completes anyway,
+// the journal holds progress for answers the analyst never received —
+// the safe direction (replay can only burn budget, never refresh it).
+// If it later fails, the in-memory claim was never journaled, which is
+// the same already-documented-safe case as a plain append failure.
+var ErrUnavailable = errors.New("server: temporarily unavailable")
+
+const (
+	waiterPending int32 = iota
+	waiterAbandoned
+	waiterDone
+)
+
+// journalWaiter runs store appends on its own long-lived goroutine so the
+// request path can bound how long it waits. Everything is reused — the
+// goroutine, the signal and result channels, the event-data buffer — so
+// an armed deadline adds no steady-state allocations to the query hot
+// path (the ≤10/≤6 alloc pins include the armed configuration).
+type journalWaiter struct {
+	m     *SessionManager
+	ev    store.Event
+	buf   []byte
+	jobs  chan struct{}
+	done  chan error
+	state atomic.Int32
+}
+
+func (m *SessionManager) newWaiter() *journalWaiter {
+	w := &journalWaiter{
+		m:    m,
+		buf:  make([]byte, 0, 256),
+		jobs: make(chan struct{}, 1),
+		done: make(chan error, 1),
+	}
+	go w.loop()
+	return w
+}
+
+// loop serves one append per jobs signal. Ownership of the waiter is
+// decided by a CAS on state: if the request goroutine abandoned the wait
+// (deadline fired first), the result has no receiver and the loop
+// recycles the waiter itself.
+func (w *journalWaiter) loop() {
+	for range w.jobs {
+		err := w.m.store.Append(w.ev)
+		if w.state.CompareAndSwap(waiterPending, waiterDone) {
+			w.done <- err
+		} else {
+			w.m.putWaiter(w)
+		}
+	}
+}
+
+func (m *SessionManager) getWaiter() *journalWaiter {
+	select {
+	case w := <-m.waiters:
+		return w
+	default:
+		return m.newWaiter()
+	}
+}
+
+// putWaiter parks a waiter on the bounded free list, or retires its
+// goroutine when the list is full or the manager is shutting down.
+func (m *SessionManager) putWaiter(w *journalWaiter) {
+	w.ev = store.Event{}
+	if m.waitersClosed.Load() {
+		close(w.jobs)
+		return
+	}
+	select {
+	case m.waiters <- w:
+	default:
+		close(w.jobs)
+	}
+}
+
+// timerPool recycles deadline timers across requests.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// storeAppend is the single chokepoint for request-path journal appends.
+// Without a configured deadline it is a direct call; with one, the append
+// runs on a pooled waiter goroutine and a stalled store turns into a
+// typed retryable ErrUnavailable after JournalDeadline instead of an
+// unbounded hang. The event data is copied into the waiter's own buffer
+// first: callers recycle their encode buffers (recBufPool) as soon as
+// storeAppend returns, which an abandoned append would otherwise race.
+func (m *SessionManager) storeAppend(ev store.Event) error {
+	d := m.journalDeadline
+	if d <= 0 {
+		return m.store.Append(ev)
+	}
+	w := m.getWaiter()
+	w.buf = append(w.buf[:0], ev.Data...)
+	w.ev = store.Event{Kind: ev.Kind, ID: ev.ID, Data: w.buf}
+	w.state.Store(waiterPending)
+	w.jobs <- struct{}{}
+	t := getTimer(d)
+	select {
+	case err := <-w.done:
+		putTimer(t)
+		m.putWaiter(w)
+		return err
+	case <-t.C:
+		timerPool.Put(t) // fired: nothing to stop or drain
+		if w.state.CompareAndSwap(waiterPending, waiterAbandoned) {
+			// The append is still in flight; the waiter's loop will
+			// recycle it whenever the store comes back. The event was
+			// never acknowledged durable, so withholding the response
+			// keeps accounting exact (see ErrUnavailable).
+			m.deadlineExceeded.Add(1)
+			return fmt.Errorf("%w: journal append exceeded deadline (%v)", ErrUnavailable, d)
+		}
+		// Lost the race: the append completed between the timer firing
+		// and the CAS. Take its real result.
+		err := <-w.done
+		m.putWaiter(w)
+		return err
+	}
+}
+
+// closeWaiters retires the parked waiter goroutines at manager shutdown.
+// Waiters still blocked inside a stalled Append retire themselves once
+// the store unsticks.
+func (m *SessionManager) closeWaiters() {
+	if m.waiters == nil {
+		return
+	}
+	m.waitersClosed.Store(true)
+	for {
+		select {
+		case w := <-m.waiters:
+			close(w.jobs)
+		default:
+			return
+		}
+	}
+}

@@ -185,6 +185,25 @@ func TestQueryHotPathAllocs(t *testing.T) {
 			t.Fatalf("instrumented single-query WAL path allocates %.1f/op, budget %d", got, budget)
 		}
 	})
+	// Journal deadline and in-flight shed gate armed (the deadline never
+	// fires, the cap never trips): the pooled waiter/timer machinery and
+	// the admission check must stay inside the same budget — resilience
+	// is not allowed to cost the happy path its allocation pin.
+	t.Run("wal+deadline", func(t *testing.T) {
+		st, err := store.NewWAL(store.WALConfig{Dir: t.TempDir(), Sync: store.SyncInterval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		m, err := Open(ManagerConfig{SweepInterval: time.Hour, SnapshotInterval: -1, Store: st, JournalDeadline: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if got := queryAllocs(t, m, APIConfig{MaxInFlight: 1 << 20}); got > budget {
+			t.Fatalf("deadline-armed single-query WAL path allocates %.1f/op, budget %d", got, budget)
+		}
+	})
 	// Tracing compiled in but the request not sampled: the sampling
 	// decision plus the nil-span plumbing through all three layers must
 	// cost nothing. The benchmark requests carry no traceparent or

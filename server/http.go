@@ -10,6 +10,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,12 @@ type APIConfig struct {
 	// Tracer to the manager (ManagerConfig.Tracer) so its spans join the
 	// HTTP span under one tree. Nil disables tracing and the endpoints.
 	Tracer *trace.Tracer
+	// MaxInFlight caps concurrently-served /v1/ requests; past the cap
+	// the API load-sheds with a typed 503 "unavailable" (Retry-After set)
+	// instead of queueing toward collapse. Liveness and metrics paths
+	// (/healthz, /metrics) are never shed — an overloaded server must
+	// still be observable. 0 means unlimited (the historical behavior).
+	MaxInFlight int
 }
 
 // Defaults for APIConfig zero values.
@@ -76,6 +83,11 @@ type API struct {
 	// away mid-response). Surfaced in GET /v1/stats: a silently truncated
 	// response is otherwise invisible.
 	encodeFailures atomic.Uint64
+
+	// inFlight counts /v1/ requests currently inside ServeHTTP when the
+	// MaxInFlight shed gate is armed (it stays untouched at 0 otherwise;
+	// the telemetry in-flight gauge is separate and covers every route).
+	inFlight atomic.Int64
 
 	// tel is nil when the API runs without a telemetry registry; ServeHTTP
 	// then degenerates to a bare mux dispatch.
@@ -153,6 +165,16 @@ func (a *API) SetRateLimiter(rl *RateLimiter) {
 // capture, and a sampled route-latency observation keyed by the mux
 // pattern the request actually matched.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a.cfg.MaxInFlight > 0 && strings.HasPrefix(r.URL.Path, "/v1/") {
+		if a.inFlight.Add(1) > int64(a.cfg.MaxInFlight) {
+			a.inFlight.Add(-1)
+			a.mgr.shedHTTP.Add(1)
+			a.writeUnavailable(w, CodeUnavailable,
+				"server overloaded: in-flight request cap reached, retry shortly")
+			return
+		}
+		defer a.inFlight.Add(-1)
+	}
 	t := a.tel
 	if t == nil {
 		a.mux.ServeHTTP(w, r)
@@ -198,7 +220,18 @@ const (
 	CodeTooManySessions  = "too_many_sessions"
 	CodeStoreFailure     = "store_failure"
 	CodeRateLimited      = "rate_limited"
+	// CodeUnavailable marks a typed, retryable condition: a journal
+	// append that exceeded ManagerConfig.JournalDeadline, or load
+	// shedding at APIConfig.MaxInFlight. Always delivered as HTTP 503
+	// with a Retry-After header (and on the wire as an error frame with
+	// RetryAfterSeconds), so clients know to back off and try again.
+	CodeUnavailable = "unavailable"
 )
+
+// DefaultRetryAfterSeconds is the retry hint attached to 503 responses
+// that have no better estimate (shedding clears as soon as in-flight
+// load drains; a stalled store usually recovers or pages an operator).
+const DefaultRetryAfterSeconds = 1
 
 func writeJSON(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
@@ -222,6 +255,14 @@ func (a *API) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (a *API) writeError(w http.ResponseWriter, status int, code, msg string) {
 	a.writeJSON(w, status, ErrorBody{ErrorDetail{Code: code, Message: msg}})
+}
+
+// writeUnavailable writes a 503 that consistently carries Retry-After,
+// whatever the code (store_failure or unavailable): every 503 this API
+// emits is retryable by construction, so every one carries the hint.
+func (a *API) writeUnavailable(w http.ResponseWriter, code, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(DefaultRetryAfterSeconds))
+	a.writeError(w, http.StatusServiceUnavailable, code, msg)
 }
 
 func (a *API) countEncodeFailure(err error) {
@@ -297,8 +338,10 @@ func (a *API) handleSessions(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrTooManySessions):
 		a.writeError(w, http.StatusTooManyRequests, CodeTooManySessions, err.Error())
+	case errors.Is(err, ErrUnavailable):
+		a.writeUnavailable(w, CodeUnavailable, err.Error())
 	case errors.Is(err, ErrStoreAppend):
-		a.writeError(w, http.StatusServiceUnavailable, CodeStoreFailure, err.Error())
+		a.writeUnavailable(w, CodeStoreFailure, err.Error())
 	case err != nil:
 		a.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	default:
@@ -476,8 +519,10 @@ func (a *API) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrSessionNotFound):
 		a.writeError(w, http.StatusNotFound, CodeNotFound, "no such session: "+r.PathValue("id"))
+	case errors.Is(err, ErrUnavailable):
+		a.writeUnavailable(w, CodeUnavailable, err.Error())
 	case errors.Is(err, ErrStoreAppend):
-		a.writeError(w, http.StatusServiceUnavailable, CodeStoreFailure, err.Error())
+		a.writeUnavailable(w, CodeStoreFailure, err.Error())
 	case err != nil:
 		a.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	default:
@@ -644,6 +689,7 @@ func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if ok, reason := a.mgr.HealthStatus(); !ok {
 		resp.Status, resp.Reason = "unhealthy", reason
+		w.Header().Set("Retry-After", strconv.Itoa(DefaultRetryAfterSeconds))
 		a.writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}

@@ -405,7 +405,7 @@ var recBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &
 func (m *SessionManager) appendStoreEvent(kind byte, id string, rec *sessionRecord) error {
 	bp := recBufPool.Get().(*[]byte)
 	data := appendSessionRecord((*bp)[:0], rec)
-	err := m.store.Append(store.Event{Kind: kind, ID: id, Data: data})
+	err := m.storeAppend(store.Event{Kind: kind, ID: id, Data: data})
 	*bp = data[:0]
 	recBufPool.Put(bp)
 	return err
@@ -717,10 +717,13 @@ func (m *SessionManager) journalProgress(s *Session, d progressDelta) error {
 	}
 	bp := recBufPool.Get().(*[]byte)
 	data := appendProgressDelta((*bp)[:0], d)
-	err := m.store.Append(store.Event{Kind: evProgress, ID: s.id, Data: data})
+	err := m.storeAppend(store.Event{Kind: evProgress, ID: s.id, Data: data})
 	*bp = data[:0]
 	recBufPool.Put(bp)
 	if err != nil {
+		if errors.Is(err, ErrUnavailable) {
+			return err
+		}
 		return fmt.Errorf("%w: %v", ErrStoreAppend, err)
 	}
 	return nil

@@ -21,6 +21,7 @@ package server
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -87,6 +88,14 @@ type ManagerConfig struct {
 	// aggregate into the OtherTenant series. 0 means
 	// DefaultMaxTenantSeries.
 	MaxTenantSeries int
+	// JournalDeadline bounds how long a request waits for its journal
+	// append before failing with the typed, retryable ErrUnavailable
+	// (HTTP 503 / wire "unavailable", with Retry-After). 0 disables the
+	// deadline: a stalled store stalls the request, the historical
+	// behavior. The append itself is never cancelled — see storeAppend
+	// for why abandoning the wait keeps budget accounting exact. Ignored
+	// without a Store.
+	JournalDeadline time.Duration
 }
 
 // Defaults for ManagerConfig zero values.
@@ -155,6 +164,21 @@ type SessionManager struct {
 	journalMu         sync.RWMutex
 	snapMu            sync.Mutex
 	recoveredSessions int
+
+	// Journal-append deadline machinery (deadline.go): a bounded free
+	// list of waiter goroutines, the configured deadline (0 = off), and
+	// the svt_journal_deadline_exceeded_total counter.
+	journalDeadline  time.Duration
+	waiters          chan *journalWaiter
+	waitersClosed    atomic.Bool
+	deadlineExceeded atomic.Uint64
+
+	// shedHTTP/shedWire count requests load-shed at each serving edge's
+	// in-flight cap. They live on the manager — the one object both
+	// edges share — so svt_shed_total can be a single family with an
+	// edge label on the one shared registry.
+	shedHTTP atomic.Uint64
+	shedWire atomic.Uint64
 
 	// Snapshot failure accounting, surfaced in Stats: a store that can no
 	// longer compact will eventually exhaust its disk, so the operator must
@@ -233,6 +257,10 @@ func Open(cfg ManagerConfig) (*SessionManager, error) {
 	if m.maxTenantSeries <= 0 {
 		m.maxTenantSeries = DefaultMaxTenantSeries
 	}
+	if m.store != nil && cfg.JournalDeadline > 0 {
+		m.journalDeadline = cfg.JournalDeadline
+		m.waiters = make(chan *journalWaiter, 64)
+	}
 	m.captureMechanisms()
 	for i := range m.shards {
 		m.shards[i] = &shard{
@@ -306,6 +334,7 @@ func (m *SessionManager) Close() {
 		if m.snapshotDone != nil {
 			<-m.snapshotDone
 		}
+		m.closeWaiters()
 	})
 }
 
@@ -446,6 +475,9 @@ func (m *SessionManager) Create(p CreateParams) (*Session, error) {
 			delete(sh.sessions, s.id)
 			sh.mu.Unlock()
 			m.live.Add(-1)
+			if errors.Is(err, ErrUnavailable) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("%w: %v", ErrStoreAppend, err)
 		}
 	}
@@ -524,7 +556,7 @@ func (m *SessionManager) Get(id string) (*Session, bool) {
 			// side, and RWMutex read locks must not nest). A lost expire
 			// event only resurrects the session on restart with its budget
 			// accounting intact; it then re-expires by TTL.
-			_ = m.store.Append(store.Event{Kind: evExpire, ID: id})
+			_ = m.storeAppend(store.Event{Kind: evExpire, ID: id})
 		}
 		return nil, false
 	}
@@ -552,7 +584,7 @@ func (m *SessionManager) Delete(id string) bool {
 		return false
 	}
 	if m.store != nil {
-		_ = m.store.Append(store.Event{Kind: evDelete, ID: id})
+		_ = m.storeAppend(store.Event{Kind: evDelete, ID: id})
 	}
 	sh.deleted.Add(1)
 	m.live.Add(-1)

@@ -135,6 +135,15 @@ func (m *SessionManager) registerManagerTelemetry(reg *telemetry.Registry) *mana
 
 	reg.NewCollector("svt_sessions_live", "Live sessions (expired-but-unswept included).", "gauge",
 		func(emit func(string, float64)) { emit("", float64(m.Len())) })
+	reg.NewCollector("svt_shed_total",
+		"Requests load-shed at an in-flight cap, by serving edge.", "counter",
+		func(emit func(string, float64)) {
+			emit(telemetry.Label("edge", "http"), float64(m.shedHTTP.Load()))
+			emit(telemetry.Label("edge", "wire"), float64(m.shedWire.Load()))
+		})
+	reg.NewCollector("svt_journal_deadline_exceeded_total",
+		"Journal appends abandoned at ManagerConfig.JournalDeadline (request failed retryable; the append itself was never acknowledged).", "counter",
+		func(emit func(string, float64)) { emit("", float64(m.deadlineExceeded.Load())) })
 	reg.NewCollector("svt_sessions_recovered", "Sessions rebuilt from the store at open.", "gauge",
 		func(emit func(string, float64)) { emit("", float64(m.recoveredSessions)) })
 	reg.NewCollector("svt_session_events_total", "Session lifecycle events by type.", "counter",

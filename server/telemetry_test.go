@@ -124,6 +124,8 @@ func TestMetricsEndpointGolden(t *testing.T) {
 		"svt_tenant_sessions",                 // tenant gauges
 		"svt_tenant_epsilon_spent",            //
 		"svt_sessions_live",                   //
+		"svt_shed_total",                      // load shedding (per edge)
+		"svt_journal_deadline_exceeded_total", // journal-wait deadline
 		"svt_snapshot_duration_seconds",       // snapshot timing
 		"svt_store_appends_total",             // store layer
 		"svt_store_sync_duration_seconds",     //

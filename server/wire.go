@@ -48,7 +48,32 @@ type WireServer struct {
 	// wg counts accept loops and connection handlers; Shutdown waits on it.
 	wg sync.WaitGroup
 
+	// inFlight counts admitted queries across every connection when
+	// cfg.MaxInFlight is set (untouched otherwise). Admission happens on
+	// the reader goroutines, release when the response is written.
+	inFlight atomic.Int64
+
 	logf func(format string, args ...any)
+}
+
+// admitQuery reserves an in-flight slot under cfg.MaxInFlight. A false
+// return means the query must be shed with a retryable error frame.
+func (ws *WireServer) admitQuery() bool {
+	if ws.cfg.MaxInFlight <= 0 {
+		return true
+	}
+	if ws.inFlight.Add(1) > int64(ws.cfg.MaxInFlight) {
+		ws.inFlight.Add(-1)
+		ws.mgr.shedWire.Add(1)
+		return false
+	}
+	return true
+}
+
+func (ws *WireServer) releaseQuery() {
+	if ws.cfg.MaxInFlight > 0 {
+		ws.inFlight.Add(-1)
+	}
 }
 
 // WireConfig configures the binary listener.
@@ -71,6 +96,19 @@ type WireConfig struct {
 	// shape as the HTTP path (decode, manager/answer/journal.wait with
 	// store flush phases, encode), served on GET /v1/traces.
 	Tracer *trace.Tracer
+	// IdleTimeout re-arms a read+write deadline on the connection each
+	// time a frame arrives: a peer that goes silent (or stops reading
+	// its responses) for this long is disconnected instead of holding a
+	// goroutine and its buffers forever. Before this knob only Shutdown
+	// ever set a deadline. 0 disables (the historical behavior, and what
+	// latency benchmarks use).
+	IdleTimeout time.Duration
+	// MaxInFlight caps queries in flight across all connections (worker
+	// pool plus queues). Past the cap the server load-sheds with a typed
+	// "unavailable" error frame carrying RetryAfterSeconds, counted in
+	// svt_shed_total{edge="wire"} — shedding, not queue collapse. 0
+	// means unlimited.
+	MaxInFlight int
 }
 
 // DefaultWireWorkers is the per-connection pipeline worker cap.
@@ -389,12 +427,17 @@ func (sc *wireScratch) release() {
 }
 
 // run is the read loop: handshake, then frames until read error or drain.
+// It is deliberately not //svt:hotpath-marked: the idle-deadline re-arm
+// reads the wall clock once per received frame, which is fine off the
+// pinned allocation path.
 func (c *wireConn) run() {
+	c.armIdleDeadline()
 	if !c.handshake() {
 		return
 	}
 	maxFrame := c.srv.cfg.MaxFrameBytes
 	for {
+		c.armIdleDeadline()
 		payload, err := wire.ReadFrame(c.br, c.readBuf, maxFrame)
 		c.readBuf = payload
 		if err != nil {
@@ -417,16 +460,47 @@ func (c *wireConn) run() {
 				continue
 			}
 		}
-		if op == wire.OpQuery && (c.br.Buffered() > 0 || c.inflight.Load() > 0) {
+		isQuery := op == wire.OpQuery
+		if isQuery && !c.srv.admitQuery() {
+			// Worker pool plus queue saturated: shed with the typed
+			// retryable error rather than queueing toward collapse.
+			c.srv.tel.count(wireOpQueryIdx, false)
+			c.writeError(c.sc.errorPayload(reqID, CodeUnavailable,
+				"server overloaded: in-flight query cap reached, retry shortly",
+				DefaultRetryAfterSeconds))
+			continue
+		}
+		if isQuery && (c.br.Buffered() > 0 || c.inflight.Load() > 0) {
 			// The client is pipelining: hand the query to a worker so a
 			// slow journal flush on one request doesn't head-of-line block
-			// the rest, and responses return as they finish.
+			// the rest, and responses return as they finish. The worker
+			// releases the admitted slot when the response is written.
 			c.dispatch(reqID, body)
 			continue
 		}
-		if err := c.handleOp(c.sc, op, reqID, body); err != nil {
+		err = c.handleOp(c.sc, op, reqID, body)
+		if isQuery {
+			c.srv.releaseQuery()
+		}
+		if err != nil {
 			return
 		}
+	}
+}
+
+// armIdleDeadline pushes the connection's read+write deadline IdleTimeout
+// into the future, unless draining (beginDrain owns the deadline then: it
+// set an immediate one to interrupt the blocked read, and re-arming would
+// resurrect a drain-stalled connection for a full idle period).
+func (c *wireConn) armIdleDeadline() {
+	idle := c.srv.cfg.IdleTimeout
+	if idle <= 0 || c.draining.Load() {
+		return
+	}
+	_ = c.c.SetDeadline(time.Now().Add(idle))
+	if c.draining.Load() {
+		// beginDrain raced the re-arm; restore its immediate deadline.
+		_ = c.c.SetReadDeadline(time.Now())
 	}
 }
 
@@ -489,6 +563,8 @@ func (c *wireConn) worker() {
 	defer sc.release()
 	for job := range c.jobs {
 		c.handleQuery(sc, job.reqID, job.body, true)
+		// Every dispatched job passed admitQuery on the reader goroutine.
+		c.srv.releaseQuery()
 	}
 }
 
@@ -649,8 +725,10 @@ func (c *wireConn) queryResponse(sc *wireScratch, reqID uint64, body []byte) []b
 	switch {
 	case errors.Is(err, ErrSessionNotFound):
 		return sc.errorPayload(reqID, CodeNotFound, "no such session: "+sid, 0)
+	case errors.Is(err, ErrUnavailable):
+		return sc.errorPayload(reqID, CodeUnavailable, err.Error(), DefaultRetryAfterSeconds)
 	case errors.Is(err, ErrStoreAppend):
-		return sc.errorPayload(reqID, CodeStoreFailure, err.Error(), 0)
+		return sc.errorPayload(reqID, CodeStoreFailure, err.Error(), DefaultRetryAfterSeconds)
 	case err != nil:
 		return sc.errorPayload(reqID, CodeBadRequest, err.Error(), 0)
 	}
@@ -788,8 +866,10 @@ func (c *wireConn) handleCreate(sc *wireScratch, reqID uint64, body []byte) erro
 	switch {
 	case errors.Is(err, ErrTooManySessions):
 		out = sc.errorPayload(reqID, CodeTooManySessions, err.Error(), 0)
+	case errors.Is(err, ErrUnavailable):
+		out = sc.errorPayload(reqID, CodeUnavailable, err.Error(), DefaultRetryAfterSeconds)
 	case errors.Is(err, ErrStoreAppend):
-		out = sc.errorPayload(reqID, CodeStoreFailure, err.Error(), 0)
+		out = sc.errorPayload(reqID, CodeStoreFailure, err.Error(), DefaultRetryAfterSeconds)
 	case err != nil:
 		out = sc.errorPayload(reqID, CodeBadRequest, err.Error(), 0)
 	default:

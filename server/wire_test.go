@@ -745,6 +745,23 @@ func TestWireQueryHotPathAllocs(t *testing.T) {
 			t.Fatalf("single-query WAL wire path allocates %.1f/op, budget %d", got, budget)
 		}
 	})
+	// Journal deadline armed but never firing: the pooled waiter path
+	// must keep the wire edge inside the same 6-alloc pin.
+	t.Run("wal+deadline", func(t *testing.T) {
+		st, err := store.NewWAL(store.WALConfig{Dir: t.TempDir(), Sync: store.SyncInterval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		m, err := Open(ManagerConfig{SweepInterval: time.Hour, SnapshotInterval: -1, Store: st, JournalDeadline: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if got := wireQueryAllocs(t, m, WireConfig{}); got > budget {
+			t.Fatalf("deadline-armed single-query WAL wire path allocates %.1f/op, budget %d", got, budget)
+		}
+	})
 	t.Run("wal+telemetry+tracer", func(t *testing.T) {
 		st, err := store.NewWAL(store.WALConfig{Dir: t.TempDir(), Sync: store.SyncInterval})
 		if err != nil {

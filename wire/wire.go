@@ -537,8 +537,11 @@ func DecodeQueryOKBody(body []byte, resp *QueryResponse) error {
 }
 
 // ErrorFrame is a decoded OpError body: the HTTP API's stable error code
-// vocabulary plus a retry hint. Body layout: code string, message string,
-// uvarint retry-after seconds (0 when not applicable).
+// vocabulary (bad_request, not_found, too_large, too_many_sessions,
+// store_failure, rate_limited, unavailable) plus a retry hint. Body
+// layout: code string, message string, uvarint retry-after seconds (0
+// when not applicable). "unavailable" and "rate_limited" are the
+// retryable codes; both always carry a non-zero retry hint.
 type ErrorFrame struct {
 	Code              string
 	Message           string
